@@ -1,0 +1,142 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [targets...] [--out DIR]
+//!
+//! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
+//!          lustre-ior ceph-ior all quick
+//! ```
+//!
+//! Each figure is printed as an aligned table and saved as CSV under the
+//! output directory (default `results/`).  `quick` runs a reduced set
+//! used for smoke testing.
+
+use benchkit::figures::{self, Figure};
+use benchkit::report;
+use benchkit::scenarios::{analyze_scenario, RunSpec, Scenario};
+use cluster::{Calibration, GIB};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn emit(figs: Vec<Figure>, out: &Path, all: &mut Vec<Figure>) {
+    for f in figs {
+        println!("{}", report::render_text(&f));
+        if f.series.len() > 1 || f.series.iter().any(|s| s.points.len() > 2) {
+            println!("{}", report::render_chart(&f, 56, 12));
+        }
+        if let Err(e) = report::save_csv(&f, out) {
+            eprintln!("warning: could not save {}.csv: {e}", f.id);
+        }
+        all.push(f);
+    }
+}
+
+/// Bottleneck analysis: one representative point per scenario against a
+/// 16-server deployment, with the top-utilised resources per phase —
+/// the reasoning the paper applies when comparing measured bandwidth to
+/// the "calculated optimum".
+fn analyze(cal: &Calibration) {
+    let scenarios = [
+        Scenario::IorDaos,
+        Scenario::IorDfs,
+        Scenario::IorDfuse,
+        Scenario::IorDfuseIl,
+        Scenario::IorHdf5DfuseIl,
+        Scenario::IorHdf5Daos,
+        Scenario::FieldIo,
+        Scenario::FdbDaos,
+        Scenario::IorLustre,
+        Scenario::FdbLustre,
+        Scenario::IorCeph,
+        Scenario::FdbCeph,
+    ];
+    for scen in scenarios {
+        let spec = RunSpec::new(16, 32, 16);
+        let (r, uses) = analyze_scenario(&spec, scen, cal, 5);
+        println!(
+            "
+--- {} @ 16 servers, 32x16 clients: write {:.1} GiB/s, read {:.1} GiB/s",
+            scen.name(),
+            r.write.bandwidth() / GIB,
+            r.read.bandwidth() / GIB
+        );
+        println!("{:<24} {:>12} {:>12}", "resource", "write util", "read util");
+        for u in uses {
+            println!("{:<24} {:>11.1}% {:>11.1}%", u.name, u.write_frac * 100.0, u.read_frac * 100.0);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            "-h" | "--help" => {
+                println!(
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|ablations|mdtest|analyze|all|quick]* [--out DIR]"
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "hw", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig6-rf2", "fig7", "fig8",
+            "fig9", "lustre-ior", "ceph-ior", "ablations", "mdtest",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let cal = Calibration::default();
+    let mut collected: Vec<Figure> = Vec::new();
+    for t in targets {
+        let t0 = Instant::now();
+        println!("\n################ {t} ################");
+        match t.as_str() {
+            "hw" => emit(vec![figures::hardware_table()], &out, &mut collected),
+            "fig1" => emit(figures::fig1(&cal), &out, &mut collected),
+            "fig2" => emit(figures::fig2(&cal), &out, &mut collected),
+            "fig3" => emit(figures::fig3(&cal), &out, &mut collected),
+            "fig4" => emit(figures::fig4(&cal), &out, &mut collected),
+            "fig5" => emit(figures::fig5(&cal), &out, &mut collected),
+            "fig6" => emit(figures::fig6(&cal, false), &out, &mut collected),
+            "fig6-rf2" => emit(figures::fig6(&cal, true), &out, &mut collected),
+            "fig7" => emit(figures::fig7(&cal), &out, &mut collected),
+            "fig8" => emit(figures::fig8(&cal), &out, &mut collected),
+            "fig9" => emit(figures::fig9(&cal), &out, &mut collected),
+            "lustre-ior" => emit(vec![figures::ior_lustre_table(&cal)], &out, &mut collected),
+            "ceph-ior" => emit(vec![figures::ior_ceph_table(&cal)], &out, &mut collected),
+            "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
+            "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),
+            "analyze" => analyze(&cal),
+            "quick" => {
+                emit(vec![figures::hardware_table()], &out, &mut collected);
+                emit(figures::fig4(&cal), &out, &mut collected);
+            }
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{t} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    let verdicts = benchkit::verdict::evaluate(&collected);
+    if !verdicts.is_empty() {
+        println!("\n################ paper-claim verdicts ################");
+        print!("{}", benchkit::verdict::render(&verdicts));
+        let failed = verdicts.iter().filter(|v| !v.pass).count();
+        println!("\n{} of {} claims reproduced", verdicts.len() - failed, verdicts.len());
+    }
+}

@@ -1,0 +1,10 @@
+//! # bench — Criterion benches and the `repro` figure regenerator
+//!
+//! * `src/bin/repro.rs` regenerates every paper table/figure (see
+//!   `repro --help`);
+//! * `benches/` holds one Criterion bench per figure (reduced sweep
+//!   points, measuring the simulation engine itself) plus micro-benches
+//!   of the hot paths (fair-share solve, placement, erasure coding).
+
+/// Re-exported so benches share one source of sweep definitions.
+pub use benchkit::figures;

@@ -1,0 +1,259 @@
+//! The phase driver: runs a [`ProcWorkload`] on a scheduler and applies
+//! the paper's bandwidth definition (§II): bytes moved divided by the
+//! wall-clock time between the start of the first I/O operation and the
+//! end of the last one.
+
+use cluster::bench::ProcWorkload;
+use simkit::{run, OpId, Scheduler, SimTime, World};
+
+/// Result of one measured phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseResult {
+    /// Logical bytes moved in the measured window.
+    pub bytes: f64,
+    /// Measured window in (simulated) seconds.
+    pub seconds: f64,
+    /// Total operations completed.
+    pub ops: usize,
+}
+
+impl PhaseResult {
+    /// Bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Operation rate in ops/second.
+    pub fn iops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SetupWorld {
+    remaining: usize,
+}
+impl World for SetupWorld {
+    fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {
+        self.remaining -= 1;
+    }
+}
+
+struct OpsWorld<'a, W: ProcWorkload> {
+    wl: &'a mut W,
+    /// Next op index to issue, per process.
+    next_idx: Vec<usize>,
+    /// Ops still in flight, per process.
+    inflight: Vec<usize>,
+    ops_per_proc: usize,
+    remaining: usize,
+    last_end: SimTime,
+}
+
+impl<W: ProcWorkload> World for OpsWorld<'_, W> {
+    fn on_op_complete(&mut self, op: OpId, sched: &mut Scheduler) {
+        let proc = op.0 as usize;
+        self.last_end = sched.now();
+        self.inflight[proc] -= 1;
+        let idx = self.next_idx[proc];
+        if idx < self.ops_per_proc {
+            self.next_idx[proc] += 1;
+            self.inflight[proc] += 1;
+            let step = self.wl.op(proc, idx);
+            sched.submit(step, OpId(proc as u64));
+        } else if self.inflight[proc] == 0 {
+            self.remaining -= 1;
+        }
+    }
+}
+
+/// Run one measured phase of `wl` on `sched`.
+///
+/// 1. Every process runs its `setup` (untimed);
+/// 2. barrier;
+/// 3. every process issues its ops back-to-back (queue depth 1, as IOR
+///    and the ECMWF tools do);
+/// 4. `finalize` runs (untimed unless the workload buffers, in which
+///    case its flushed bytes still count toward volume).
+pub fn run_phase<W: ProcWorkload>(sched: &mut Scheduler, wl: &mut W) -> PhaseResult {
+    let procs = wl.procs();
+    let ops_per_proc = wl.ops_per_proc();
+
+    // -- setup barrier (untimed) --
+    let mut setup = SetupWorld { remaining: procs };
+    for p in 0..procs {
+        let step = wl.setup(p);
+        sched.submit(step, OpId(p as u64));
+    }
+    run(sched, &mut setup);
+    assert_eq!(setup.remaining, 0, "setup completions");
+
+    // -- measured phase --
+    let t0 = sched.now();
+    let qd = wl.queue_depth().max(1);
+    let initial = qd.min(ops_per_proc);
+    let mut world = OpsWorld {
+        wl,
+        next_idx: vec![initial; procs],
+        inflight: vec![initial; procs],
+        ops_per_proc,
+        remaining: procs,
+        last_end: t0,
+    };
+    if ops_per_proc > 0 {
+        for p in 0..procs {
+            // Real parallel jobs leave the barrier with jittered start
+            // times (MPI barrier exit, first-RPC setup).  A small
+            // deterministic stagger reproduces that decorrelation;
+            // without it, identical queue-depth-1 processes march in
+            // lock-step waves that leave devices idle between waves.
+            let stagger = start_stagger_ns(p);
+            for i in 0..initial {
+                let step = world.wl.op(p, i);
+                sched.submit_after(stagger, step, OpId(p as u64));
+            }
+        }
+        run(sched, &mut world);
+        assert_eq!(world.remaining, 0, "all processes finished");
+    }
+    let mut t_end = world.last_end;
+
+    // -- finalize --
+    let finalize_bytes = wl.finalize_bytes() * procs as f64;
+    let in_window = wl.finalize_in_window();
+    let mut fin = SetupWorld { remaining: procs };
+    for p in 0..procs {
+        let step = wl.finalize(p);
+        sched.submit(step, OpId(p as u64));
+    }
+    run(sched, &mut fin);
+    if in_window || finalize_bytes > 0.0 {
+        // buffered writers flush real data during finalize; count it
+        t_end = sched.now();
+    }
+
+    if std::env::var_os("SIMKIT_DIAG").is_some() {
+        eprintln!(
+            "[diag] recomputes={} flow_visits={} fill_iters={} settle={:.1}s rebuild={:.1}s solve={:.1}s ({} procs x {} ops)",
+            sched.stat_recomputes, sched.stat_flow_visits, sched.stat_fill_iters,
+            sched.stat_ns[0] as f64 / 1e9, sched.stat_ns[1] as f64 / 1e9, sched.stat_ns[2] as f64 / 1e9,
+            procs, ops_per_proc
+        );
+    }
+    let total_ops = procs * ops_per_proc;
+    PhaseResult {
+        bytes: total_ops as f64 * wl.bytes_per_op() + finalize_bytes,
+        seconds: t_end.secs_since(t0),
+        ops: total_ops,
+    }
+}
+
+/// Deterministic per-process start jitter, uniform in [0, 2 ms).
+fn start_stagger_ns(proc: usize) -> u64 {
+    let mut z = proc as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % 2_000_000
+}
+
+/// A trivial workload for driver tests: each process performs `ops`
+/// transfers through one shared resource.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{ResourceId, Step};
+
+    struct Uniform {
+        procs: usize,
+        ops: usize,
+        bytes: f64,
+        res: ResourceId,
+    }
+    impl ProcWorkload for Uniform {
+        fn procs(&self) -> usize {
+            self.procs
+        }
+        fn node_of(&self, _p: usize) -> usize {
+            0
+        }
+        fn setup(&mut self, _p: usize) -> Step {
+            Step::delay(1000)
+        }
+        fn ops_per_proc(&self) -> usize {
+            self.ops
+        }
+        fn bytes_per_op(&self) -> f64 {
+            self.bytes
+        }
+        fn op(&mut self, _p: usize, _i: usize) -> Step {
+            Step::transfer(self.bytes, [self.res])
+        }
+    }
+
+    #[test]
+    fn bandwidth_equals_capacity_when_saturated() {
+        let mut sched = Scheduler::new();
+        let res = sched.add_resource("r", 1000.0);
+        let mut wl = Uniform { procs: 4, ops: 25, bytes: 10.0, res };
+        let r = run_phase(&mut sched, &mut wl);
+        assert_eq!(r.ops, 100);
+        assert!((r.bytes - 1000.0).abs() < 1e-9);
+        // 1000 bytes through 1000 B/s = 1 s, plus up to 2 ms of start
+        // stagger
+        assert!(r.seconds >= 1.0 - 1e-6 && r.seconds < 1.003, "{}", r.seconds);
+        assert!((r.bandwidth() - 1000.0).abs() < 5.0);
+        assert!((r.iops() - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn setup_time_is_not_measured() {
+        struct SlowSetup {
+            res: ResourceId,
+        }
+        impl ProcWorkload for SlowSetup {
+            fn procs(&self) -> usize {
+                1
+            }
+            fn node_of(&self, _p: usize) -> usize {
+                0
+            }
+            fn setup(&mut self, _p: usize) -> Step {
+                Step::delay(5_000_000_000) // five slow seconds
+            }
+            fn ops_per_proc(&self) -> usize {
+                1
+            }
+            fn bytes_per_op(&self) -> f64 {
+                100.0
+            }
+            fn op(&mut self, _p: usize, _i: usize) -> Step {
+                Step::transfer(100.0, [self.res])
+            }
+        }
+        let mut sched = Scheduler::new();
+        let res = sched.add_resource("r", 100.0);
+        let r = run_phase(&mut sched, &mut SlowSetup { res });
+        assert!(
+            r.seconds >= 1.0 - 1e-6 && r.seconds < 1.003,
+            "setup excluded: {}",
+            r.seconds
+        );
+    }
+
+    #[test]
+    fn zero_ops_is_safe() {
+        let mut sched = Scheduler::new();
+        let res = sched.add_resource("r", 10.0);
+        let mut wl = Uniform { procs: 2, ops: 0, bytes: 1.0, res };
+        let r = run_phase(&mut sched, &mut wl);
+        assert_eq!(r.ops, 0);
+        assert_eq!(r.bandwidth(), 0.0);
+    }
+}

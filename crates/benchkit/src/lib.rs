@@ -1,0 +1,31 @@
+//! # benchkit — the paper-reproduction harness
+//!
+//! Drives the benchmark workloads over the simulated deployments and
+//! regenerates every table and figure of the paper:
+//!
+//! * [`driver`] — runs a [`cluster::bench::ProcWorkload`] phase and
+//!   applies the paper's bandwidth definition (first-op-start to
+//!   last-op-end);
+//! * [`workloads`] — Field I/O and fdb-hammer process adapters;
+//! * [`scenarios`] — builders for every benchmark × interface × store
+//!   combination, with three-repetition statistics;
+//! * [`figures`] — the per-figure sweeps (Fig. 1–9 plus the §III-A
+//!   hardware table and the §III-E/F IOR text results);
+//! * [`report`] — rendering to aligned text tables and CSV.
+
+pub mod driver;
+pub mod figures;
+pub mod report;
+pub mod scenarios;
+pub mod stats;
+pub mod verdict;
+pub mod workloads;
+
+pub use driver::{run_phase, PhaseResult};
+pub use figures::{Figure, Point, Series};
+pub use scenarios::{
+    analyze_scenario, auto_ops, run_reps, run_scenario, PointStats, ResourceUse, RunResult,
+    RunSpec, Scenario,
+};
+pub use stats::Stats;
+pub use verdict::{evaluate, Verdict};

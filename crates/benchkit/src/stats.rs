@@ -1,0 +1,57 @@
+//! Repetition statistics: the paper reports mean ± standard deviation
+//! over three repetitions of every test.
+
+/// Mean and standard deviation of a set of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Compute from samples.
+    pub fn from(samples: &[f64]) -> Stats {
+        let n = samples.len();
+        if n == 0 {
+            return Stats { mean: 0.0, std: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        Stats { mean, std: var.sqrt(), n }
+    }
+
+    /// Relative standard deviation (coefficient of variation).
+    pub fn rel_std(&self) -> f64 {
+        if self.mean != 0.0 {
+            self.std / self.mean
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let s = Stats::from(&[2.0, 4.0, 6.0]);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = Stats::from(&[]);
+        assert_eq!((s.mean, s.std, s.n), (0.0, 0.0, 0));
+        let s = Stats::from(&[5.0]);
+        assert_eq!((s.mean, s.std), (5.0, 0.0));
+        assert_eq!(Stats::from(&[3.0, 3.0]).rel_std(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the workload adapters and the measurement
+//! protocol.
+
+use benchkit::scenarios::{run_scenario, RunSpec, Scenario};
+use benchkit::{run_phase, Stats};
+use benchkit::workloads::{FdbWorkload, FieldIoWorkload};
+use cluster::bench::{Phase, ProcWorkload};
+use cluster::{Calibration, ClusterSpec, GIB};
+use daos_core::{ContainerProps, DaosSystem, DataMode, ObjectClass};
+use fdb_sim::FdbDaos;
+use field_io::FieldIo;
+use simkit::{run, OpId, Scheduler, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Sink;
+impl World for Sink {
+    fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
+}
+
+fn daos_fixture(servers: usize, clients: usize) -> (Scheduler, Rc<RefCell<DaosSystem>>, daos_core::ContainerId) {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(servers, clients).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, servers, DataMode::Sized);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Sink);
+    (sched, Rc::new(RefCell::new(daos)), cid)
+}
+
+#[test]
+fn fieldio_workload_write_then_read_phases() {
+    let (mut sched, daos, cid) = daos_fixture(2, 2);
+    let (fio, s) = FieldIo::new(daos, 0, cid).unwrap();
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Sink);
+    let mut wl = FieldIoWorkload::new(fio, 8, 2, 12, 1 << 20);
+    let w = run_phase(&mut sched, &mut wl);
+    assert_eq!(w.ops, 96);
+    assert!(w.bandwidth() > 0.1 * GIB, "write bw {}", w.bandwidth() / GIB);
+    wl.phase = Phase::Read;
+    let r = run_phase(&mut sched, &mut wl);
+    assert_eq!(r.ops, 96);
+    assert!(r.bandwidth() > w.bandwidth() * 0.5);
+}
+
+#[test]
+fn fdb_workload_counts_buffered_finalize_in_window() {
+    let (mut sched, daos, cid) = daos_fixture(2, 2);
+    let (fdb, s) = FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Sink);
+    let mut wl = FdbWorkload::new(fdb, 4, 2, 10, 1 << 20);
+    assert!(wl.finalize_in_window(), "write phase flushes inside the window");
+    let w = run_phase(&mut sched, &mut wl);
+    assert_eq!(w.ops, 40);
+    wl.phase = Phase::Read;
+    assert!(!wl.finalize_in_window());
+    let r = run_phase(&mut sched, &mut wl);
+    assert_eq!(r.ops, 40);
+}
+
+#[test]
+fn scenario_results_are_deterministic_for_same_seed() {
+    let cal = Calibration::default();
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 16;
+    let a = run_scenario(&spec, Scenario::IorDaos, &cal);
+    let b = run_scenario(&spec, Scenario::IorDaos, &cal);
+    assert_eq!(a.write.seconds, b.write.seconds, "bit-identical reruns");
+    assert_eq!(a.read.seconds, b.read.seconds);
+}
+
+#[test]
+fn every_scenario_runs_at_toy_scale() {
+    let cal = Calibration::default();
+    let mut spec = RunSpec::new(2, 2, 2);
+    spec.ops_per_proc = 6;
+    for scen in [
+        Scenario::IorDaos,
+        Scenario::IorDfs,
+        Scenario::IorDfuse,
+        Scenario::IorDfuseIl,
+        Scenario::IorHdf5DfuseIl,
+        Scenario::IorHdf5Daos,
+        Scenario::FieldIo,
+        Scenario::FdbDaos,
+        Scenario::IorLustre,
+        Scenario::FdbLustre,
+        Scenario::IorCeph,
+        Scenario::FdbCeph,
+    ] {
+        let r = run_scenario(&spec, scen, &cal);
+        assert!(
+            r.write.bandwidth() > 0.0 && r.read.bandwidth() > 0.0,
+            "{} produced zero bandwidth",
+            scen.name()
+        );
+    }
+}
+
+#[test]
+fn stats_spread_comes_from_perturbation() {
+    let s = Stats::from(&[1.0, 1.1, 0.9]);
+    assert!((s.mean - 1.0).abs() < 1e-12);
+    assert!(s.std > 0.0);
+}
+
+#[test]
+fn queue_depth_raises_single_process_bandwidth() {
+    // one process, QD 1 vs QD 8 against an 8-server pool: pipelining
+    // through the event queue overlaps transfers on distinct targets
+    let run_qd = |qd: usize| {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(8, 1).build(&mut sched);
+        let mut daos = DaosSystem::deploy(&topo, &mut sched, 8, DataMode::Sized);
+        let (cid, s) = daos.cont_create(0, ContainerProps::default());
+        sched.submit(s, OpId(0));
+        run(&mut sched, &mut Sink);
+        let mut cfg = ior_bench::IorConfig::new(1, 1, 64);
+        cfg.queue_depth = qd;
+        let mut ior = ior_bench::Ior::new(
+            cfg,
+            ior_bench::IorBackend::Daos {
+                daos: Rc::new(RefCell::new(daos)),
+                cid,
+                oclass: ObjectClass::SX,
+            },
+        );
+        run_phase(&mut sched, &mut ior).bandwidth()
+    };
+    let qd1 = run_qd(1);
+    let qd8 = run_qd(8);
+    assert!(
+        qd8 > qd1 * 3.0,
+        "QD8 must overlap device transfers: {:.2} vs {:.2} GiB/s",
+        qd8 / GIB,
+        qd1 / GIB
+    );
+}
+
+#[test]
+fn mdtest_scenario_daos_vs_lustre() {
+    use benchkit::scenarios::{run_mdtest, MdStore};
+    let cal = Calibration::default();
+    let mut spec = RunSpec::new(4, 4, 16);
+    spec.ops_per_proc = 24;
+    let daos = run_mdtest(&spec, MdStore::Dfuse, &cal);
+    let lustre = run_mdtest(&spec, MdStore::Lustre, &cal);
+    for (i, name) in ["create", "stat", "remove"].iter().enumerate() {
+        assert!(daos[i].iops() > 0.0, "daos {name}");
+        assert!(lustre[i].iops() > 0.0, "lustre {name}");
+    }
+    // at modest client load both are live; the scaling divergence is
+    // covered by the metadata_stress example and the mdtest figure
+}

@@ -1,0 +1,11 @@
+//! # ceph-sim — a Ceph-like object store (librados model)
+//!
+//! The second baseline of the paper (§III-F): OSDs over NVMe devices,
+//! placement groups with stable hashing, primary-copy replication, WAL
+//! write amplification and per-OSD processing costs.  Objects are not
+//! sharded, the property that separates Ceph from DAOS for large
+//! per-process objects in the paper's IOR runs.
+
+pub mod rados;
+
+pub use rados::{CephDataMode, CephPoolOpts, CephSystem, RadosError};

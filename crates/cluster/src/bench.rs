@@ -1,0 +1,92 @@
+//! The process-workload interface the benchmark harness drives.
+//!
+//! All of the paper's benchmarks share one execution shape: `P` parallel
+//! processes pinned across client nodes, each performing a setup step
+//! (create its file/object/container), then — after a barrier — a
+//! sequence of equally-sized I/O operations.  The harness times the
+//! measured phase from the first operation's start to the last
+//! operation's end, exactly the paper's bandwidth definition (§II).
+//!
+//! Benchmarks implement [`ProcWorkload`]; `benchkit` supplies the driver.
+
+use simkit::Step;
+
+/// Which phase a workload run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Write phase (always runs first in the paper's benchmarks).
+    Write,
+    /// Read phase over previously written data.
+    Read,
+}
+
+/// A parallel benchmark workload.
+pub trait ProcWorkload {
+    /// Total parallel processes.
+    fn procs(&self) -> usize;
+
+    /// Client node a process runs on (processes are pinned evenly).
+    fn node_of(&self, proc: usize) -> usize;
+
+    /// Untimed preparation for a process (create files/objects/
+    /// containers, open handles…).
+    fn setup(&mut self, proc: usize) -> Step;
+
+    /// Operations per process in the measured phase.
+    fn ops_per_proc(&self) -> usize;
+
+    /// Logical bytes moved by one operation (for bandwidth math).
+    fn bytes_per_op(&self) -> f64;
+
+    /// The `idx`-th measured operation of a process.
+    fn op(&mut self, proc: usize, idx: usize) -> Step;
+
+    /// Untimed cleanup for a process (flush buffers, close handles).
+    /// Data written here still counts toward the phase's bytes if the
+    /// workload buffers (the fdb POSIX backend does); report extra bytes
+    /// via [`ProcWorkload::finalize_bytes`].
+    fn finalize(&mut self, proc: usize) -> Step {
+        let _ = proc;
+        Step::Noop
+    }
+
+    /// Bytes flushed during finalize (per process), counted into the
+    /// measured volume for buffered writers.
+    fn finalize_bytes(&self) -> f64 {
+        0.0
+    }
+
+    /// Whether the finalize step belongs inside the measured window
+    /// (true for buffered writers whose last flush carries real data).
+    fn finalize_in_window(&self) -> bool {
+        false
+    }
+
+    /// Operations each process keeps in flight.  1 is synchronous I/O
+    /// (IOR's default and the paper's runs); larger values model clients
+    /// pipelining through the libdaos event-queue API.
+    fn queue_depth(&self) -> usize {
+        1
+    }
+}
+
+/// Pin `procs` processes round-robin over `nodes` client nodes — the
+/// paper pins benchmark processes evenly across cores/nodes.
+pub fn pin_round_robin(procs: usize, nodes: usize) -> Vec<usize> {
+    (0..procs).map(|p| p % nodes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinning_is_even() {
+        let pins = pin_round_robin(10, 4);
+        let mut counts = [0; 4];
+        for &n in &pins {
+            counts[n] += 1;
+        }
+        assert_eq!(counts, [3, 3, 2, 2]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cluster — hardware models for the simulated test system
+//!
+//! This crate reproduces the paper's test system (§II-B) as simulation
+//! resources:
+//!
+//! * **server nodes** modelled on GCP `n2-custom-36-153600`: 36 logical
+//!   cores, 150 GiB DRAM, 16 local NVMe SSDs, 50 Gbps NIC;
+//! * **client nodes** modelled on `n2-highcpu-32`: 32 logical cores,
+//!   32 GiB DRAM, 50 Gbps NIC.
+//!
+//! [`ClusterSpec::build`] instantiates the hardware as [`simkit`]
+//! resources (per-device NVMe write/read bandwidth, per-node full-duplex
+//! NIC capacity) and returns a [`Topology`] handle that the storage-system
+//! crates use to route transfers.  Software services (DAOS targets, the
+//! Lustre MDS, Ceph OSDs, FUSE request pumps, …) are *not* created here —
+//! each storage crate layers its own service resources on top of this
+//! hardware, mirroring how the real systems are deployed onto identical
+//! machines.
+//!
+//! All tunable constants live in [`calibration::Calibration`], documented
+//! against the paper's measurements.
+
+pub mod bench;
+pub mod calibration;
+pub mod microbench;
+pub mod payload;
+pub mod posix;
+pub mod spec;
+pub mod topology;
+pub mod units;
+
+pub use calibration::Calibration;
+pub use payload::{Payload, ReadPayload};
+pub use spec::{ClientSpec, ClusterSpec, ServerSpec};
+pub use topology::{ClientNode, ServerNode, Topology};
+pub use units::{GIB, KIB, MIB};

@@ -1,0 +1,116 @@
+//! Payloads shared by all simulated storage systems.
+//!
+//! Benchmarks can run in two data modes:
+//!
+//! * **Full** — payloads carry real bytes; stores keep them and reads
+//!   hand them back.  Used by correctness tests, the erasure-coding
+//!   reconstruction path and the examples.
+//! * **Sized** — payloads carry only a length.  Used by the large
+//!   bandwidth sweeps, where storing terabytes of synthetic bytes in an
+//!   in-memory model would be pointless; timing is identical because the
+//!   simulator only sees sizes.
+
+/// Data handed to a store on write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Real bytes.
+    Bytes(Vec<u8>),
+    /// A length only.
+    Sized(u64),
+}
+
+impl Payload {
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Sized(n) => *n,
+        }
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes, when present.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Sized(_) => None,
+        }
+    }
+
+    /// Consume into bytes, when present.
+    pub fn into_bytes(self) -> Option<Vec<u8>> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Sized(_) => None,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(b: Vec<u8>) -> Self {
+        Payload::Bytes(b)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Self {
+        Payload::Bytes(b.to_vec())
+    }
+}
+
+/// What a store hands back on read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadPayload {
+    /// Real bytes (Full mode).
+    Bytes(Vec<u8>),
+    /// A length only (Sized mode).
+    Sized(u64),
+}
+
+impl ReadPayload {
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            ReadPayload::Bytes(b) => b.len() as u64,
+            ReadPayload::Sized(n) => *n,
+        }
+    }
+
+    /// True when nothing was read.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes, when present.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        match self {
+            ReadPayload::Bytes(b) => Some(b),
+            ReadPayload::Sized(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(Payload::Bytes(vec![1, 2, 3]).len(), 3);
+        assert_eq!(Payload::Sized(77).len(), 77);
+        assert!(Payload::Sized(0).is_empty());
+        assert_eq!(ReadPayload::Bytes(vec![9]).len(), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Payload = vec![1u8, 2].into();
+        assert_eq!(p.bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(p.into_bytes(), Some(vec![1, 2]));
+        assert_eq!(Payload::Sized(5).into_bytes(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Node and cluster specifications mirroring the paper's VM types.
+
+use crate::calibration::Calibration;
+use crate::topology::Topology;
+use simkit::Scheduler;
+
+/// A storage-server node (GCP `n2-custom-36-153600` in the paper).
+#[derive(Debug, Clone)]
+pub struct ServerSpec {
+    /// Logical cores (36 in the paper; informational).
+    pub cores: usize,
+    /// DRAM in GiB (150 in the paper; DAOS keeps metadata here since the
+    /// VMs have no storage-class memory).
+    pub dram_gib: usize,
+    /// Locally-attached NVMe devices (16 logical devices, 6 TiB total).
+    pub nvme_devices: usize,
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec { cores: 36, dram_gib: 150, nvme_devices: 16 }
+    }
+}
+
+/// A benchmark-client node (GCP `n2-highcpu-32` in the paper).
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// Logical cores (32); bounds the useful processes per node.
+    pub cores: usize,
+    /// DRAM in GiB (32).
+    pub dram_gib: usize,
+}
+
+impl Default for ClientSpec {
+    fn default() -> Self {
+        ClientSpec { cores: 32, dram_gib: 32 }
+    }
+}
+
+/// A whole deployment: servers, clients and the calibration to build
+/// them with.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of storage-server nodes.
+    pub servers: usize,
+    /// Number of benchmark-client nodes.
+    pub clients: usize,
+    /// Server hardware description.
+    pub server: ServerSpec,
+    /// Client hardware description.
+    pub client: ClientSpec,
+    /// Model constants.
+    pub cal: Calibration,
+}
+
+impl ClusterSpec {
+    /// A deployment with `servers` storage nodes and `clients` benchmark
+    /// nodes using the paper's hardware and default calibration.
+    pub fn new(servers: usize, clients: usize) -> Self {
+        ClusterSpec {
+            servers,
+            clients,
+            server: ServerSpec::default(),
+            client: ClientSpec::default(),
+            cal: Calibration::default(),
+        }
+    }
+
+    /// Replace the calibration (used by ablation experiments).
+    pub fn with_cal(mut self, cal: Calibration) -> Self {
+        self.cal = cal;
+        self
+    }
+
+    /// Instantiate the hardware as scheduler resources.
+    pub fn build(&self, sched: &mut Scheduler) -> Topology {
+        Topology::build(self, sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_vms() {
+        let s = ServerSpec::default();
+        assert_eq!((s.cores, s.dram_gib, s.nvme_devices), (36, 150, 16));
+        let c = ClientSpec::default();
+        assert_eq!((c.cores, c.dram_gib), (32, 32));
+    }
+
+    #[test]
+    fn build_produces_topology() {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(2, 3).build(&mut sched);
+        assert_eq!(topo.servers.len(), 2);
+        assert_eq!(topo.clients.len(), 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! Object payload storage: Key-Value maps and sparse byte Arrays.
+//!
+//! In **Full** data mode Arrays keep real bytes — erasure-coded objects
+//! keep their actual `k + p` cells so reconstruction after target loss
+//! runs the real Reed-Solomon decode.  In **Sized** mode only logical
+//! sizes are tracked, which is what the large bandwidth sweeps use.
+
+use crate::ec::ErasureCode;
+use cluster::payload::{Payload, ReadPayload};
+use std::collections::{BTreeMap, HashMap};
+
+/// Whether object payloads carry real bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataMode {
+    /// Real bytes, real parity, verifiable reads.
+    Full,
+    /// Sizes only; timing-identical, memory-light.
+    Sized,
+}
+
+/// Availability of the shard-group members backing one Array chunk.
+#[derive(Debug, Clone)]
+pub enum CellAvailability {
+    /// Every member up.
+    All,
+    /// Plain (unreplicated) shard whose target is down.
+    Unavailable,
+    /// Per-member availability mask (erasure-coded groups; length `k+p`).
+    Mask(Vec<bool>),
+}
+
+/// Errors surfaced by the data layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Data lives on down targets and cannot be reconstructed.
+    Unavailable,
+}
+
+// ---------------------------------------------------------------------------
+// Key-Value objects
+// ---------------------------------------------------------------------------
+
+/// A Key-Value object: ordered map from small keys to values.
+#[derive(Debug, Clone, Default)]
+pub struct KvData {
+    entries: BTreeMap<Vec<u8>, Payload>,
+}
+
+impl KvData {
+    /// Empty KV object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a value.
+    pub fn put(&mut self, key: &[u8], value: Payload) {
+        self.entries.insert(key.to_vec(), value);
+    }
+
+    /// Look up a value.
+    pub fn get(&self, key: &[u8]) -> Option<&Payload> {
+        self.entries.get(key)
+    }
+
+    /// Remove a key; true if it existed.
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys in order, optionally restricted to a prefix.
+    pub fn list(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        self.entries
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Array objects
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Chunk {
+    /// Sized-mode marker: the chunk has been written.
+    Sized,
+    /// Full-mode plain or replicated chunk (one logical copy).
+    Plain(Vec<u8>),
+    /// Full-mode erasure-coded chunk: `k` data cells then `p` parity.
+    Ec(Vec<Vec<u8>>),
+}
+
+/// A sparse one-dimensional byte array, chunked by `chunk_size`.
+#[derive(Debug, Clone)]
+pub struct ArrayData {
+    chunk_size: u64,
+    size: u64,
+    chunks: HashMap<u64, Chunk>,
+}
+
+impl ArrayData {
+    /// Empty array with the given chunk size (DAOS `cell_size = 1`,
+    /// `chunk_size` as in `daos_array_create`).
+    pub fn new(chunk_size: u64) -> Self {
+        assert!(chunk_size > 0);
+        ArrayData { chunk_size, size: 0, chunks: HashMap::new() }
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Highest written byte + 1 (what `daos_array_get_size` reports).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Chunk indices touched by `[offset, offset+len)`.
+    pub fn chunks_in_range(&self, offset: u64, len: u64) -> std::ops::Range<u64> {
+        if len == 0 {
+            return 0..0;
+        }
+        (offset / self.chunk_size)..((offset + len - 1) / self.chunk_size + 1)
+    }
+
+    /// Write `payload` at `offset`.  `ec` must be given for erasure-coded
+    /// objects in Full mode so cells and parity are materialised.
+    pub fn write(&mut self, offset: u64, payload: &Payload, mode: DataMode, ec: Option<&ErasureCode>) {
+        let len = payload.len();
+        if len == 0 {
+            return;
+        }
+        self.size = self.size.max(offset + len);
+        match (mode, payload.bytes()) {
+            (DataMode::Full, Some(bytes)) => self.write_bytes(offset, bytes, ec),
+            // Full mode with a sized payload: materialise zeros so byte
+            // chunks written earlier are not clobbered by markers.
+            (DataMode::Full, None) => {
+                let zeros = vec![0u8; len as usize];
+                self.write_bytes(offset, &zeros, ec);
+            }
+            // Sized mode: record chunk presence only.
+            (DataMode::Sized, _) => {
+                for c in self.chunks_in_range(offset, len) {
+                    self.chunks.insert(c, Chunk::Sized);
+                }
+            }
+        }
+    }
+
+    fn write_bytes(&mut self, offset: u64, bytes: &[u8], ec: Option<&ErasureCode>) {
+        let cs = self.chunk_size;
+        let mut cursor = 0usize;
+        let mut pos = offset;
+        let end = offset + bytes.len() as u64;
+        while pos < end {
+            let chunk_idx = pos / cs;
+            let within = (pos % cs) as usize;
+            let take = ((cs as usize - within) as u64).min(end - pos) as usize;
+            let seg = &bytes[cursor..cursor + take];
+            // Materialise the chunk's logical buffer, apply, re-store.
+            let mut buf = self.chunk_bytes_full(chunk_idx, ec);
+            buf[within..within + take].copy_from_slice(seg);
+            let chunk = match ec {
+                None => Chunk::Plain(buf),
+                Some(code) => Chunk::Ec(Self::encode_cells(&buf, code)),
+            };
+            self.chunks.insert(chunk_idx, chunk);
+            pos += take as u64;
+            cursor += take;
+        }
+    }
+
+    /// The logical bytes of a chunk (zeros if unwritten), assuming all
+    /// cells available.  Used for read-modify-write.
+    fn chunk_bytes_full(&self, idx: u64, ec: Option<&ErasureCode>) -> Vec<u8> {
+        match self.chunks.get(&idx) {
+            None | Some(Chunk::Sized) => vec![0u8; self.chunk_size as usize],
+            Some(Chunk::Plain(b)) => b.clone(),
+            Some(Chunk::Ec(cells)) => {
+                let code = ec.expect("EC chunk without code");
+                let k = code.data_cells();
+                let mut out = Vec::with_capacity(self.chunk_size as usize);
+                for cell in &cells[..k] {
+                    out.extend_from_slice(cell);
+                }
+                out.truncate(self.chunk_size as usize);
+                out
+            }
+        }
+    }
+
+    fn encode_cells(buf: &[u8], code: &ErasureCode) -> Vec<Vec<u8>> {
+        let k = code.data_cells();
+        let cell_len = buf.len().div_ceil(k);
+        let mut padded = buf.to_vec();
+        padded.resize(cell_len * k, 0);
+        let data: Vec<&[u8]> = padded.chunks(cell_len).collect();
+        let parity = code.encode(&data);
+        data.into_iter()
+            .map(|c| c.to_vec())
+            .chain(parity)
+            .collect()
+    }
+
+    /// Read `len` bytes at `offset`.  Holes read as zeros (sparse-array
+    /// semantics).  `avail` reports the health of the shard group backing
+    /// each chunk; erasure-coded chunks with missing cells are
+    /// reconstructed with the real decode.
+    pub fn read(
+        &self,
+        offset: u64,
+        len: u64,
+        mode: DataMode,
+        ec: Option<&ErasureCode>,
+        avail: &dyn Fn(u64) -> CellAvailability,
+    ) -> Result<ReadPayload, DataError> {
+        if mode == DataMode::Sized {
+            // Availability still gates the read.
+            for c in self.chunks_in_range(offset, len) {
+                match avail(c) {
+                    CellAvailability::All => {}
+                    CellAvailability::Unavailable => return Err(DataError::Unavailable),
+                    CellAvailability::Mask(mask) => {
+                        let code = ec.expect("EC availability without code");
+                        let alive = mask.iter().filter(|&&a| a).count();
+                        if alive < code.data_cells() {
+                            return Err(DataError::Unavailable);
+                        }
+                    }
+                }
+            }
+            return Ok(ReadPayload::Sized(len));
+        }
+        let mut out = vec![0u8; len as usize];
+        let cs = self.chunk_size;
+        let mut pos = offset;
+        let end = offset + len;
+        let mut cursor = 0usize;
+        while pos < end {
+            let chunk_idx = pos / cs;
+            let within = (pos % cs) as usize;
+            let take = ((cs as usize - within) as u64).min(end - pos) as usize;
+            let dst = &mut out[cursor..cursor + take];
+            match self.chunks.get(&chunk_idx) {
+                None => {} // hole: zeros
+                Some(Chunk::Sized) => {} // sized marker in full mode: zeros
+                Some(Chunk::Plain(b)) => match avail(chunk_idx) {
+                    CellAvailability::Unavailable => return Err(DataError::Unavailable),
+                    _ => dst.copy_from_slice(&b[within..within + take]),
+                },
+                Some(Chunk::Ec(cells)) => {
+                    let code = ec.expect("EC chunk without code");
+                    let masked: Vec<Option<Vec<u8>>> = match avail(chunk_idx) {
+                        CellAvailability::All => cells.iter().cloned().map(Some).collect(),
+                        CellAvailability::Unavailable => return Err(DataError::Unavailable),
+                        CellAvailability::Mask(mask) => {
+                            assert_eq!(mask.len(), cells.len());
+                            cells
+                                .iter()
+                                .zip(&mask)
+                                .map(|(c, &up)| up.then(|| c.clone()))
+                                .collect()
+                        }
+                    };
+                    let data = code.reconstruct(&masked).ok_or(DataError::Unavailable)?;
+                    let mut logical = Vec::with_capacity(cs as usize);
+                    for cell in &data {
+                        logical.extend_from_slice(cell);
+                    }
+                    logical.truncate(cs as usize);
+                    dst.copy_from_slice(&logical[within..within + take]);
+                }
+            }
+            pos += take as u64;
+            cursor += take;
+        }
+        Ok(ReadPayload::Bytes(out))
+    }
+
+    /// Whether a chunk has ever been written.
+    pub fn chunk_written(&self, idx: u64) -> bool {
+        self.chunks.contains_key(&idx)
+    }
+
+    /// Truncate/extend the array's logical size (`daos_array_set_size`).
+    pub fn set_size(&mut self, size: u64) {
+        if size < self.size {
+            let first_dead = size.div_ceil(self.chunk_size);
+            self.chunks.retain(|&c, _| c < first_dead);
+        }
+        self.size = size;
+    }
+}
+
+/// An object's payload: KV or Array.
+#[derive(Debug, Clone)]
+pub enum ObjData {
+    /// Key-Value object.
+    Kv(KvData),
+    /// Array object.
+    Array(ArrayData),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::payload::Payload;
+
+    fn all(_c: u64) -> CellAvailability {
+        CellAvailability::All
+    }
+
+    #[test]
+    fn kv_put_get_list_remove() {
+        let mut kv = KvData::new();
+        kv.put(b"step/0001", Payload::Bytes(vec![1, 2]));
+        kv.put(b"step/0002", Payload::Sized(100));
+        kv.put(b"other", Payload::Sized(1));
+        assert_eq!(kv.get(b"step/0001").unwrap().len(), 2);
+        assert_eq!(kv.list(b"step/").len(), 2);
+        assert_eq!(kv.len(), 3);
+        assert!(kv.remove(b"other"));
+        assert!(!kv.remove(b"other"));
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn array_write_read_round_trip() {
+        let mut a = ArrayData::new(64);
+        let data: Vec<u8> = (0..200u16).map(|i| i as u8).collect();
+        a.write(10, &Payload::Bytes(data.clone()), DataMode::Full, None);
+        assert_eq!(a.size(), 210);
+        let r = a.read(10, 200, DataMode::Full, None, &all).unwrap();
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut a = ArrayData::new(64);
+        a.write(128, &Payload::Bytes(vec![7; 64]), DataMode::Full, None);
+        let r = a.read(0, 192, DataMode::Full, None, &all).unwrap();
+        let b = r.bytes().unwrap();
+        assert!(b[..128].iter().all(|&x| x == 0));
+        assert!(b[128..].iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn overlapping_writes_last_wins() {
+        let mut a = ArrayData::new(32);
+        a.write(0, &Payload::Bytes(vec![1; 64]), DataMode::Full, None);
+        a.write(16, &Payload::Bytes(vec![2; 32]), DataMode::Full, None);
+        let b = a.read(0, 64, DataMode::Full, None, &all).unwrap();
+        let b = b.bytes().unwrap().to_vec();
+        assert!(b[..16].iter().all(|&x| x == 1));
+        assert!(b[16..48].iter().all(|&x| x == 2));
+        assert!(b[48..].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn sized_mode_tracks_size_only() {
+        let mut a = ArrayData::new(1024);
+        a.write(0, &Payload::Sized(4096), DataMode::Sized, None);
+        assert_eq!(a.size(), 4096);
+        let r = a.read(0, 4096, DataMode::Sized, None, &all).unwrap();
+        assert_eq!(r, ReadPayload::Sized(4096));
+    }
+
+    #[test]
+    fn ec_write_read_and_degraded_reconstruction() {
+        let code = ErasureCode::new(2, 1);
+        let mut a = ArrayData::new(128);
+        let mut rng = simkit::SplitMix64::new(9);
+        let mut data = vec![0u8; 256];
+        rng.fill_bytes(&mut data);
+        a.write(0, &Payload::Bytes(data.clone()), DataMode::Full, Some(&code));
+
+        // healthy read
+        let r = a.read(0, 256, DataMode::Full, Some(&code), &all).unwrap();
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+
+        // degraded read: first data cell of every chunk lost
+        let degraded = |_c: u64| CellAvailability::Mask(vec![false, true, true]);
+        let r = a
+            .read(0, 256, DataMode::Full, Some(&code), &degraded)
+            .unwrap();
+        assert_eq!(r.bytes().unwrap(), &data[..], "reconstructed from parity");
+
+        // two cells lost: unrecoverable
+        let dead = |_c: u64| CellAvailability::Mask(vec![false, false, true]);
+        assert_eq!(
+            a.read(0, 256, DataMode::Full, Some(&code), &dead),
+            Err(DataError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn ec_partial_chunk_rmw() {
+        let code = ErasureCode::new(2, 1);
+        let mut a = ArrayData::new(100); // not divisible by k: exercises padding
+        a.write(0, &Payload::Bytes(vec![3; 100]), DataMode::Full, Some(&code));
+        a.write(25, &Payload::Bytes(vec![9; 10]), DataMode::Full, Some(&code));
+        let degraded = |_c: u64| CellAvailability::Mask(vec![true, false, true]);
+        let r = a
+            .read(0, 100, DataMode::Full, Some(&code), &degraded)
+            .unwrap();
+        let b = r.bytes().unwrap();
+        assert!(b[..25].iter().all(|&x| x == 3));
+        assert!(b[25..35].iter().all(|&x| x == 9));
+        assert!(b[35..].iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn plain_chunk_unavailable() {
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Bytes(vec![1; 64]), DataMode::Full, None);
+        let down = |_c: u64| CellAvailability::Unavailable;
+        assert_eq!(
+            a.read(0, 64, DataMode::Full, None, &down),
+            Err(DataError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn sized_mode_respects_availability() {
+        let code = ErasureCode::new(2, 1);
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Sized(64), DataMode::Sized, Some(&code));
+        let dead = |_c: u64| CellAvailability::Mask(vec![false, false, true]);
+        assert!(a.read(0, 64, DataMode::Sized, Some(&code), &dead).is_err());
+    }
+
+    #[test]
+    fn set_size_truncates_chunks() {
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Bytes(vec![5; 256]), DataMode::Full, None);
+        a.set_size(100);
+        assert_eq!(a.size(), 100);
+        assert!(a.chunk_written(0));
+        assert!(a.chunk_written(1));
+        assert!(!a.chunk_written(3));
+        a.set_size(300);
+        assert_eq!(a.size(), 300);
+    }
+
+    #[test]
+    fn chunk_range_math() {
+        let a = ArrayData::new(100);
+        assert_eq!(a.chunks_in_range(0, 0), 0..0);
+        assert_eq!(a.chunks_in_range(0, 100), 0..1);
+        assert_eq!(a.chunks_in_range(0, 101), 0..2);
+        assert_eq!(a.chunks_in_range(99, 2), 0..2);
+        assert_eq!(a.chunks_in_range(250, 1), 2..3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Rebuild: restoring redundancy after target exclusions.
+//!
+//! When targets are excluded (`dmg pool exclude` in real DAOS), objects
+//! whose shard groups include a down target run *degraded* — replicated
+//! reads fail over and erasure-coded reads reconstruct — until a rebuild
+//! re-protects them.  [`crate::DaosSystem::rebuild`] scans every
+//! container, picks a healthy replacement target for each affected shard
+//! (from the object's own placement permutation, preserving fault-domain
+//! spread), updates the layout, and returns an op chain that models the
+//! server-to-server data movement: surviving data is read on its source
+//! targets and written to the replacements.
+//!
+//! Unprotected shards (plain `S*`/`SX` data on a dead target) cannot be
+//! rebuilt; they are reported as lost.
+
+use crate::pool::{PoolMap, TargetId};
+
+/// Outcome of a rebuild pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RebuildReport {
+    /// Objects examined across all containers.
+    pub objects_scanned: usize,
+    /// Shards moved to replacement targets.
+    pub shards_rebuilt: usize,
+    /// Logical bytes reconstructed and rewritten.
+    pub bytes_moved: f64,
+    /// Shards that had no surviving redundancy (data loss).
+    pub shards_lost: usize,
+}
+
+/// Pick a replacement target for a group: up, not already in the group,
+/// preferring servers not yet represented in the group (fault domains).
+pub(crate) fn pick_replacement(
+    pool: &PoolMap,
+    group: &[TargetId],
+    down: TargetId,
+) -> Option<TargetId> {
+    let candidates = pool.up_targets();
+    let in_group = |t: &TargetId| group.contains(t) && *t != down;
+    // prefer a server that the group does not already use
+    let used_servers: Vec<u16> = group
+        .iter()
+        .filter(|t| **t != down && pool.is_up(**t))
+        .map(|t| t.server)
+        .collect();
+    candidates
+        .iter()
+        .find(|t| !in_group(t) && !used_servers.contains(&t.server))
+        .or_else(|| candidates.iter().find(|t| !in_group(t)))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replacement_prefers_fresh_server() {
+        let mut pool = PoolMap::new(3, 4);
+        let down = TargetId { server: 0, target: 0 };
+        pool.exclude(down);
+        let group = vec![down, TargetId { server: 1, target: 2 }];
+        let r = pick_replacement(&pool, &group, down).unwrap();
+        assert_ne!(r.server, 1, "avoid the surviving replica's server");
+        assert!(pool.is_up(r));
+    }
+
+    #[test]
+    fn replacement_falls_back_when_servers_exhausted() {
+        let mut pool = PoolMap::new(2, 2);
+        let down = TargetId { server: 0, target: 0 };
+        pool.exclude(down);
+        // group uses both servers already
+        let group = vec![
+            down,
+            TargetId { server: 0, target: 1 },
+            TargetId { server: 1, target: 0 },
+        ];
+        let r = pick_replacement(&pool, &group, down).unwrap();
+        assert!(pool.is_up(r));
+        assert!(!group.contains(&r));
+    }
+
+    #[test]
+    fn no_replacement_when_pool_exhausted() {
+        let mut pool = PoolMap::new(1, 2);
+        let down = TargetId { server: 0, target: 0 };
+        pool.exclude(down);
+        let group = vec![down, TargetId { server: 0, target: 1 }];
+        assert_eq!(pick_replacement(&pool, &group, down), None);
+    }
+}

@@ -1,0 +1,1351 @@
+//! The deployed DAOS system: pool + engines + the libdaos-style API.
+//!
+//! [`DaosSystem`] couples three things:
+//!
+//! 1. **logical state** — containers, objects, their payloads
+//!    ([`crate::data`]), placement ([`crate::pool`]);
+//! 2. **service resources** — one RPC/data-processing pipe per engine and
+//!    one request-service per target, layered on the [`cluster`]
+//!    hardware, plus the pool's fixed-size metadata replica group;
+//! 3. **the API** — each operation mutates logical state immediately and
+//!    returns a [`Step`] op-chain whose execution models the operation's
+//!    time: client software overhead, a network round trip, per-target
+//!    request service, shared data movement through NIC/engine/NVMe, and
+//!    device latency.
+//!
+//! Benchmarks submit the returned steps to the scheduler; nothing in this
+//! crate talks to the engine directly, which keeps all semantics unit
+//! testable without simulation.
+
+use crate::class::ObjectClass;
+use crate::container::{Container, ContainerId, ContainerProps, ObjectEntry};
+use crate::data::{ArrayData, CellAvailability, DataError, DataMode, KvData, ObjData};
+use crate::ec::ErasureCode;
+use crate::oid::{Oid, FLAG_KV};
+use crate::pool::{PoolMap, TargetId};
+use crate::rebuild::{pick_replacement, RebuildReport};
+use cluster::payload::{Payload, ReadPayload};
+use cluster::{Calibration, Topology};
+use simkit::{ResourceId, Scheduler, Step};
+use std::collections::HashMap;
+
+/// Errors surfaced by the DAOS API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaosError {
+    /// Unknown container id.
+    NoSuchContainer,
+    /// Unknown object id.
+    NoSuchObject,
+    /// KV operation on an Array object (or vice versa).
+    WrongObjectType,
+    /// Object class not usable for this object kind (e.g. EC Key-Values).
+    InvalidClass,
+    /// Data lives on down targets and cannot be served.
+    Unavailable,
+    /// Key not found.
+    NoSuchKey,
+}
+
+impl From<DataError> for DaosError {
+    fn from(e: DataError) -> Self {
+        match e {
+            DataError::Unavailable => DaosError::Unavailable,
+        }
+    }
+}
+
+/// Per-engine service resources.
+#[derive(Debug, Clone)]
+struct ServerRes {
+    /// RPC/data processing pipe of the engine (bytes/s, both directions).
+    engine_xfer: ResourceId,
+    /// Per-target request service (ops/s).
+    tgt_svc: Vec<ResourceId>,
+}
+
+/// A deployed DAOS pool with its API.
+pub struct DaosSystem {
+    topo: Topology,
+    cal: Calibration,
+    pool: PoolMap,
+    mode: DataMode,
+    containers: Vec<Option<Container>>,
+    srv_res: Vec<ServerRes>,
+    /// The pool metadata / container service replica group: a fixed-size
+    /// service that does NOT scale with the server count.
+    pool_md_svc: ResourceId,
+    ec_cache: HashMap<(u8, u8), ErasureCode>,
+}
+
+impl DaosSystem {
+    /// Deploy a pool over the first `servers` nodes of `topo`, creating
+    /// the engine service resources in `sched`.
+    pub fn deploy(
+        topo: &Topology,
+        sched: &mut Scheduler,
+        servers: usize,
+        mode: DataMode,
+    ) -> DaosSystem {
+        assert!(servers >= 1 && servers <= topo.server_count());
+        let cal = topo.cal.clone();
+        let srv_res = (0..servers)
+            .map(|s| ServerRes {
+                engine_xfer: sched.add_resource(format!("daos{s}.engine"), cal.engine_xfer_bw),
+                tgt_svc: (0..cal.targets_per_server)
+                    .map(|t| sched.add_resource(format!("daos{s}.tgt{t}"), cal.target_svc_iops))
+                    .collect(),
+            })
+            .collect();
+        let pool_md_svc = sched.add_resource("daos.pool_md", cal.pool_md_iops);
+        DaosSystem {
+            topo: topo.clone(),
+            pool: PoolMap::new(servers, cal.targets_per_server),
+            cal,
+            mode,
+            containers: Vec::new(),
+            srv_res,
+            pool_md_svc,
+            ec_cache: HashMap::new(),
+        }
+    }
+
+    /// The pool map (health, placement).
+    pub fn pool(&self) -> &PoolMap {
+        &self.pool
+    }
+
+    /// The hardware topology the pool is deployed on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Data mode the system was deployed with.
+    pub fn data_mode(&self) -> DataMode {
+        self.mode
+    }
+
+    /// Calibration in effect.
+    pub fn cal(&self) -> &Calibration {
+        &self.cal
+    }
+
+    /// Number of engines (server nodes) in the pool.
+    pub fn server_count(&self) -> usize {
+        self.pool.server_count()
+    }
+
+    /// Exclude a target: new placements avoid it and reads of its shards
+    /// go degraded (replica fail-over / EC reconstruction).
+    pub fn exclude_target(&mut self, t: TargetId) {
+        self.pool.exclude(t);
+    }
+
+    /// Exclude every target of a server node.
+    pub fn exclude_server(&mut self, server: u16) {
+        self.pool.exclude_server(server);
+    }
+
+    /// Reintegrate a target.
+    pub fn reintegrate_target(&mut self, t: TargetId) {
+        self.pool.reintegrate(t);
+    }
+
+    // ---- cost-chain helpers ------------------------------------------------
+
+    fn client_overhead(&self) -> Step {
+        Step::delay(self.cal.libdaos_op_ns)
+    }
+
+    fn rtt(&self) -> Step {
+        Step::delay(self.cal.net_rtt_ns)
+    }
+
+    fn dev_for(&self, t: TargetId) -> usize {
+        t.target as usize % self.topo.servers[t.server as usize].nvme_w.len()
+    }
+
+    /// Request service + data movement + device latency for a write of
+    /// `bytes` from `client` to target `t`.
+    fn write_to_target(&self, client: usize, t: TargetId, bytes: f64) -> Step {
+        let srv = &self.topo.servers[t.server as usize];
+        let res = &self.srv_res[t.server as usize];
+        let cli = &self.topo.clients[client];
+        let dev = self.dev_for(t);
+        // small writes land in the engine's write-ahead log (DRAM-backed
+        // on these VMs) and skip the bulk device latency
+        let lat = if bytes >= self.cal.bulk_io_threshold {
+            self.cal.nvme_write_lat_ns
+        } else {
+            self.cal.small_write_lat_ns
+        };
+        Step::seq([
+            self.tgt_request_sized(t, bytes),
+            Step::transfer(
+                bytes,
+                [cli.nic_tx, srv.nic_rx, res.engine_xfer, srv.nvme_w[dev], srv.nvme_w_pool],
+            ),
+            Step::delay(lat),
+        ])
+    }
+
+    /// Request-service cost at a target.  Small operations contend on
+    /// the shared per-target service (the Fig. 2 IOPS ceilings); bulk
+    /// transfers, whose service time is negligible against their data
+    /// movement, pay it as a fixed delay — halving the simulator's event
+    /// count for bandwidth workloads without changing where they
+    /// saturate.
+    fn tgt_request_sized(&self, t: TargetId, bytes: f64) -> Step {
+        if bytes >= self.cal.bulk_io_threshold {
+            Step::delay((1e9 / self.cal.target_svc_iops) as u64)
+        } else {
+            Step::transfer(1.0, [self.srv_res[t.server as usize].tgt_svc[t.target as usize]])
+        }
+    }
+
+    /// Request service + data movement + device latency for a read of
+    /// `bytes` from target `t` to `client`.
+    fn read_from_target(&self, client: usize, t: TargetId, bytes: f64) -> Step {
+        let srv = &self.topo.servers[t.server as usize];
+        let res = &self.srv_res[t.server as usize];
+        let cli = &self.topo.clients[client];
+        let dev = self.dev_for(t);
+        Step::seq([
+            self.tgt_request_sized(t, bytes),
+            Step::delay(self.cal.nvme_read_lat_ns),
+            Step::transfer(
+                bytes,
+                [srv.nvme_r[dev], srv.nvme_r_pool, res.engine_xfer, srv.nic_tx, cli.nic_rx],
+            ),
+        ])
+    }
+
+    /// `n` operations against the pool metadata replica group.
+    pub fn pool_md_op(&self, n: f64) -> Step {
+        Step::seq([self.rtt(), Step::transfer(n, [self.pool_md_svc])])
+    }
+
+    // ---- containers ---------------------------------------------------------
+
+    /// Create a container.  A collective over all engines plus a pool
+    /// metadata transaction — the cost that makes container-per-process
+    /// designs expensive at scale.
+    pub fn cont_create(&mut self, _client: usize, props: ContainerProps) -> (ContainerId, Step) {
+        let id = ContainerId(self.containers.len() as u32);
+        self.containers.push(Some(Container::new(id, props)));
+        let collective =
+            self.cal.cont_collective_ns_per_server * self.pool.server_count() as u64;
+        let step = Step::seq([
+            self.client_overhead(),
+            self.pool_md_op(1.0),
+            Step::delay(collective),
+        ]);
+        (id, step)
+    }
+
+    /// Open an existing container (pool metadata transaction).
+    pub fn cont_open(&mut self, _client: usize, id: ContainerId) -> Result<Step, DaosError> {
+        let c = self.cont_mut(id)?;
+        c.open_handles += 1;
+        Ok(Step::seq([self.client_overhead(), self.pool_md_op(1.0)]))
+    }
+
+    /// Close a container handle.
+    pub fn cont_close(&mut self, _client: usize, id: ContainerId) -> Result<Step, DaosError> {
+        let c = self.cont_mut(id)?;
+        c.open_handles = c.open_handles.saturating_sub(1);
+        Ok(Step::seq([self.client_overhead(), self.rtt()]))
+    }
+
+    /// Destroy a container and all its objects.
+    pub fn cont_destroy(&mut self, _client: usize, id: ContainerId) -> Result<Step, DaosError> {
+        let slot = self
+            .containers
+            .get_mut(id.0 as usize)
+            .ok_or(DaosError::NoSuchContainer)?;
+        if slot.take().is_none() {
+            return Err(DaosError::NoSuchContainer);
+        }
+        Ok(Step::seq([self.client_overhead(), self.pool_md_op(1.0)]))
+    }
+
+    /// Take a container snapshot; returns its epoch.
+    pub fn snapshot_create(
+        &mut self,
+        _client: usize,
+        id: ContainerId,
+    ) -> Result<(u64, Step), DaosError> {
+        let step = Step::seq([self.client_overhead(), self.pool_md_op(1.0)]);
+        let c = self.cont_mut(id)?;
+        Ok((c.snapshot(), step))
+    }
+
+    /// Destroy a container snapshot.
+    pub fn snapshot_destroy(
+        &mut self,
+        _client: usize,
+        id: ContainerId,
+        epoch: u64,
+    ) -> Result<Step, DaosError> {
+        let step = Step::seq([self.client_overhead(), self.pool_md_op(1.0)]);
+        let c = self.cont_mut(id)?;
+        if c.snapshot_destroy(epoch) {
+            Ok(step)
+        } else {
+            Err(DaosError::NoSuchKey)
+        }
+    }
+
+    /// Snapshot epochs of a container.
+    pub fn snapshot_list(&self, id: ContainerId) -> Result<Vec<u64>, DaosError> {
+        Ok(self.cont(id)?.snapshots.clone())
+    }
+
+    fn cont(&self, id: ContainerId) -> Result<&Container, DaosError> {
+        self.containers
+            .get(id.0 as usize)
+            .and_then(|c| c.as_ref())
+            .ok_or(DaosError::NoSuchContainer)
+    }
+
+    fn cont_mut(&mut self, id: ContainerId) -> Result<&mut Container, DaosError> {
+        self.containers
+            .get_mut(id.0 as usize)
+            .and_then(|c| c.as_mut())
+            .ok_or(DaosError::NoSuchContainer)
+    }
+
+    fn ec_for(&mut self, class: ObjectClass) -> Option<ErasureCode> {
+        match class {
+            ObjectClass::ErasureCoded { k, p } => Some(
+                self.ec_cache
+                    .entry((k, p))
+                    .or_insert_with(|| ErasureCode::new(k as usize, p as usize))
+                    .clone(),
+            ),
+            _ => None,
+        }
+    }
+
+    // ---- objects --------------------------------------------------------------
+
+    /// Create an Array object.  Object creation is client-local in DAOS:
+    /// the OID is generated and the layout computed without any RPC.
+    pub fn array_create(
+        &mut self,
+        _client: usize,
+        cid: ContainerId,
+        class: ObjectClass,
+        chunk_size: u64,
+    ) -> Result<(Oid, Step), DaosError> {
+        let pool = self.pool.clone();
+        let c = self.cont_mut(cid)?;
+        let oid = c.alloc.next(class, 0);
+        let layout = pool.layout_salted(&oid, class, cid.0 as u64 + 1);
+        c.objects.insert(
+            oid,
+            ObjectEntry { layout, data: ObjData::Array(ArrayData::new(chunk_size)) },
+        );
+        Ok((oid, self.client_overhead()))
+    }
+
+    /// Create a Key-Value object.
+    pub fn kv_create(
+        &mut self,
+        _client: usize,
+        cid: ContainerId,
+        class: ObjectClass,
+    ) -> Result<(Oid, Step), DaosError> {
+        if !class.supports_kv() {
+            return Err(DaosError::InvalidClass);
+        }
+        let pool = self.pool.clone();
+        let c = self.cont_mut(cid)?;
+        let oid = c.alloc.next(class, FLAG_KV);
+        let layout = pool.layout_salted(&oid, class, cid.0 as u64 + 1);
+        c.objects
+            .insert(oid, ObjectEntry { layout, data: ObjData::Kv(KvData::new()) });
+        Ok((oid, self.client_overhead()))
+    }
+
+    /// Remove an object entirely (`daos_obj_punch`).
+    pub fn obj_punch(
+        &mut self,
+        _client: usize,
+        cid: ContainerId,
+        oid: Oid,
+    ) -> Result<Step, DaosError> {
+        let c = self.cont_mut(cid)?;
+        c.objects.remove(&oid).ok_or(DaosError::NoSuchObject)?;
+        Ok(Step::seq([self.client_overhead(), self.rtt()]))
+    }
+
+    /// Number of live objects in a container.
+    pub fn object_count(&self, cid: ContainerId) -> Result<usize, DaosError> {
+        Ok(self.cont(cid)?.object_count())
+    }
+
+    // ---- Key-Value API -----------------------------------------------------------
+
+    /// Insert/update a key.  The value lands on the dkey's shard group;
+    /// replicated classes write every replica in parallel.
+    pub fn kv_put(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+        value: Payload,
+    ) -> Result<Step, DaosError> {
+        let bytes = value.len() as f64;
+        let entry = self.obj_mut(cid, oid)?;
+        let group: Vec<TargetId> = entry.layout.group_for(dkey_hash(key)).to_vec();
+        match &mut entry.data {
+            ObjData::Kv(kv) => kv.put(key, value),
+            ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+        }
+        let writes = group
+            .iter()
+            .map(|&t| self.write_to_target(client, t, bytes.max(64.0)))
+            .collect::<Vec<_>>();
+        Ok(Step::seq([self.client_overhead(), self.rtt(), Step::par(writes)]))
+    }
+
+    /// Fetch a key's value.  Reads from the first up replica.
+    pub fn kv_get(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+    ) -> Result<(ReadPayload, Step), DaosError> {
+        let pool = self.pool.clone();
+        let entry = self.obj(cid, oid)?;
+        let group = entry.layout.group_for(dkey_hash(key));
+        let value = match &entry.data {
+            ObjData::Kv(kv) => kv.get(key).ok_or(DaosError::NoSuchKey)?,
+            ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+        };
+        let read = match value {
+            Payload::Bytes(b) => ReadPayload::Bytes(b.clone()),
+            Payload::Sized(n) => ReadPayload::Sized(*n),
+        };
+        let t = group
+            .iter()
+            .copied()
+            .find(|&t| pool.is_up(t))
+            .ok_or(DaosError::Unavailable)?;
+        let bytes = (read.len() as f64).max(64.0);
+        let step = Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            self.read_from_target(client, t, bytes),
+        ]);
+        Ok((read, step))
+    }
+
+    /// Remove a key.
+    pub fn kv_remove(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+    ) -> Result<Step, DaosError> {
+        let entry = self.obj_mut(cid, oid)?;
+        let group: Vec<TargetId> = entry.layout.group_for(dkey_hash(key)).to_vec();
+        let existed = match &mut entry.data {
+            ObjData::Kv(kv) => kv.remove(key),
+            ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+        };
+        if !existed {
+            return Err(DaosError::NoSuchKey);
+        }
+        let ops = group
+            .iter()
+            .map(|&t| self.write_to_target(client, t, 64.0))
+            .collect::<Vec<_>>();
+        Ok(Step::seq([self.client_overhead(), self.rtt(), Step::par(ops)]))
+    }
+
+    /// List keys with a prefix.  One round trip per shard group plus the
+    /// key bytes off one target of each group.
+    pub fn kv_list(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        prefix: &[u8],
+    ) -> Result<(Vec<Vec<u8>>, Step), DaosError> {
+        let pool = self.pool.clone();
+        let entry = self.obj(cid, oid)?;
+        let keys = match &entry.data {
+            ObjData::Kv(kv) => kv.list(prefix),
+            ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+        };
+        let key_bytes: f64 = keys.iter().map(|k| k.len() as f64).sum::<f64>().max(64.0);
+        let groups = entry.layout.groups.clone();
+        let per_group_bytes = key_bytes / groups.len() as f64;
+        let reads = groups
+            .iter()
+            .filter_map(|g| g.iter().copied().find(|&t| pool.is_up(t)))
+            .map(|t| self.read_from_target(client, t, per_group_bytes))
+            .collect::<Vec<_>>();
+        let step = Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)]);
+        Ok((keys, step))
+    }
+
+    // ---- Array API -------------------------------------------------------------
+
+    /// Write `payload` at `offset`.  Chunks map to shard groups by chunk
+    /// index; replication writes every replica, erasure coding writes
+    /// `k + p` cells of `chunk/k` bytes each (plus client-side encode
+    /// time) — the mechanics behind the paper's ½ and ⅔ redundancy
+    /// write bandwidths.
+    pub fn array_write(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        payload: Payload,
+    ) -> Result<Step, DaosError> {
+        let mode = self.mode;
+        let len = payload.len();
+        if len == 0 {
+            return Ok(Step::Noop);
+        }
+        let entry = self.obj(cid, oid)?;
+        let layout = entry.layout.clone();
+        let class = layout.class;
+        let ec = self.ec_for(class);
+        // group index -> bytes written to that group
+        let group_bytes = {
+            let entry = self.obj(cid, oid)?;
+            let arr = match &entry.data {
+                ObjData::Array(a) => a,
+                ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+            };
+            let cs = arr.chunk_size();
+            let mut gb: HashMap<usize, f64> = HashMap::new();
+            for chunk in arr.chunks_in_range(offset, len) {
+                let c_start = chunk * cs;
+                let c_end = c_start + cs;
+                let seg = (offset + len).min(c_end) - offset.max(c_start);
+                *gb.entry(layout.group_index(chunk_dkey_hash(chunk))).or_default() += seg as f64;
+            }
+            gb
+        };
+        // apply the mutation
+        {
+            let entry = self.obj_mut(cid, oid)?;
+            match &mut entry.data {
+                ObjData::Array(a) => a.write(offset, &payload, mode, ec.as_ref()),
+                ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+            }
+        }
+        // build the cost chain
+        let mut group_steps = Vec::with_capacity(group_bytes.len());
+        let mut encode_bytes = 0.0;
+        for (g, bytes) in group_bytes {
+            let group = &layout.groups[g];
+            match class {
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                    group_steps.push(self.write_to_target(client, group[0], bytes));
+                }
+                ObjectClass::Replicated { .. } => {
+                    let writes = group
+                        .iter()
+                        .map(|&t| self.write_to_target(client, t, bytes))
+                        .collect::<Vec<_>>();
+                    group_steps.push(Step::par(writes));
+                }
+                ObjectClass::ErasureCoded { k, .. } => {
+                    encode_bytes += bytes;
+                    let cell = bytes / k as f64;
+                    let writes = group
+                        .iter()
+                        .map(|&t| self.write_to_target(client, t, cell))
+                        .collect::<Vec<_>>();
+                    group_steps.push(Step::par(writes));
+                }
+            }
+        }
+        let encode = if encode_bytes > 0.0 {
+            Step::delay((encode_bytes / self.cal.ec_encode_bw * 1e9) as u64)
+        } else {
+            Step::Noop
+        };
+        Ok(Step::seq([
+            self.client_overhead(),
+            encode,
+            self.rtt(),
+            Step::par(group_steps),
+        ]))
+    }
+
+    /// Read `len` bytes at `offset`.  Replicated chunks fail over to an
+    /// up replica; erasure-coded chunks with lost cells read `k`
+    /// surviving cells and pay a reconstruction delay.
+    pub fn array_read(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), DaosError> {
+        if len == 0 {
+            return Ok((ReadPayload::Sized(0), Step::Noop));
+        }
+        let mode = self.mode;
+        let pool = self.pool.clone();
+        let entry = self.obj(cid, oid)?;
+        let layout = entry.layout.clone();
+        let class = layout.class;
+        let ec = self.ec_for(class);
+        let entry = self.obj(cid, oid)?;
+        let arr = match &entry.data {
+            ObjData::Array(a) => a,
+            ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+        };
+        let cs = arr.chunk_size();
+        // availability of a chunk's group, as the data layer sees it
+        let avail = |chunk: u64| -> CellAvailability {
+            let group = layout.group_for(chunk_dkey_hash(chunk));
+            match class {
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                    if pool.is_up(group[0]) {
+                        CellAvailability::All
+                    } else {
+                        CellAvailability::Unavailable
+                    }
+                }
+                ObjectClass::Replicated { .. } => {
+                    if group.iter().any(|&t| pool.is_up(t)) {
+                        CellAvailability::All
+                    } else {
+                        CellAvailability::Unavailable
+                    }
+                }
+                ObjectClass::ErasureCoded { .. } => {
+                    CellAvailability::Mask(group.iter().map(|&t| pool.is_up(t)).collect())
+                }
+            }
+        };
+        let data = arr.read(offset, len, mode, ec.as_ref(), &avail)?;
+        // cost: per touched group, read bytes from the serving target(s)
+        let mut gb: HashMap<usize, f64> = HashMap::new();
+        for chunk in arr.chunks_in_range(offset, len) {
+            let c_start = chunk * cs;
+            let c_end = c_start + cs;
+            let seg = (offset + len).min(c_end) - offset.max(c_start);
+            *gb.entry(layout.group_index(chunk)).or_default() += seg as f64;
+        }
+        let mut group_steps = Vec::with_capacity(gb.len());
+        let mut decode_bytes = 0.0;
+        for (g, bytes) in gb {
+            let group = &layout.groups[g];
+            match class {
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                    group_steps.push(self.read_from_target(client, group[0], bytes));
+                }
+                ObjectClass::Replicated { .. } => {
+                    let t = group
+                        .iter()
+                        .copied()
+                        .find(|&t| pool.is_up(t))
+                        .ok_or(DaosError::Unavailable)?;
+                    group_steps.push(self.read_from_target(client, t, bytes));
+                }
+                ObjectClass::ErasureCoded { k, .. } => {
+                    let k = k as usize;
+                    let data_targets = &group[..k];
+                    let healthy = data_targets.iter().all(|&t| pool.is_up(t));
+                    let cell = bytes / k as f64;
+                    if healthy {
+                        let reads = data_targets
+                            .iter()
+                            .map(|&t| self.read_from_target(client, t, cell))
+                            .collect::<Vec<_>>();
+                        group_steps.push(Step::par(reads));
+                    } else {
+                        // degraded: read k surviving cells, reconstruct
+                        let survivors: Vec<TargetId> = group
+                            .iter()
+                            .copied()
+                            .filter(|&t| pool.is_up(t))
+                            .take(k)
+                            .collect();
+                        if survivors.len() < k {
+                            return Err(DaosError::Unavailable);
+                        }
+                        decode_bytes += bytes;
+                        let reads = survivors
+                            .iter()
+                            .map(|&t| self.read_from_target(client, t, cell))
+                            .collect::<Vec<_>>();
+                        group_steps.push(Step::par(reads));
+                    }
+                }
+            }
+        }
+        let decode = if decode_bytes > 0.0 {
+            Step::delay((decode_bytes / self.cal.ec_encode_bw * 1e9) as u64)
+        } else {
+            Step::Noop
+        };
+        let step = Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            Step::par(group_steps),
+            decode,
+        ]);
+        Ok((data, step))
+    }
+
+    /// Query the array size (highest written byte + 1).  Costs a round
+    /// trip and a request-service op — exactly the per-read overhead
+    /// Field I/O pays and fdb-hammer avoids (§III-B).
+    pub fn array_get_size(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+    ) -> Result<(u64, Step), DaosError> {
+        let pool = self.pool.clone();
+        let entry = self.obj(cid, oid)?;
+        let size = match &entry.data {
+            ObjData::Array(a) => a.size(),
+            ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+        };
+        let t = entry
+            .layout
+            .groups
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .find(|&t| pool.is_up(t))
+            .ok_or(DaosError::Unavailable)?;
+        let step = Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            self.read_from_target(client, t, 64.0),
+        ]);
+        Ok((size, step))
+    }
+
+    /// Truncate/extend an array.
+    pub fn array_set_size(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+        oid: Oid,
+        size: u64,
+    ) -> Result<Step, DaosError> {
+        let entry = self.obj_mut(cid, oid)?;
+        let t = entry.layout.groups[0][0];
+        match &mut entry.data {
+            ObjData::Array(a) => a.set_size(size),
+            ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+        }
+        let step = Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            self.write_to_target(client, t, 64.0),
+        ]);
+        Ok(step)
+    }
+
+    // ---- container attributes -----------------------------------------------
+
+    /// Set a user attribute on a container (`daos cont set-attr`): one
+    /// pool-metadata transaction.
+    pub fn cont_set_attr(
+        &mut self,
+        _client: usize,
+        id: ContainerId,
+        name: &str,
+        value: &[u8],
+    ) -> Result<Step, DaosError> {
+        let step = Step::seq([self.client_overhead(), self.pool_md_op(1.0)]);
+        let c = self.cont_mut(id)?;
+        c.attrs.insert(name.to_string(), value.to_vec());
+        Ok(step)
+    }
+
+    /// Read a user attribute.
+    pub fn cont_get_attr(
+        &mut self,
+        _client: usize,
+        id: ContainerId,
+        name: &str,
+    ) -> Result<(Vec<u8>, Step), DaosError> {
+        let step = Step::seq([self.client_overhead(), self.pool_md_op(1.0)]);
+        let c = self.cont(id)?;
+        let v = c.attrs.get(name).cloned().ok_or(DaosError::NoSuchKey)?;
+        Ok((v, step))
+    }
+
+    /// List a container's user attribute names.
+    pub fn cont_list_attrs(
+        &mut self,
+        _client: usize,
+        id: ContainerId,
+    ) -> Result<(Vec<String>, Step), DaosError> {
+        let step = Step::seq([self.client_overhead(), self.pool_md_op(1.0)]);
+        let c = self.cont(id)?;
+        Ok((c.attrs.keys().cloned().collect(), step))
+    }
+
+    /// Enumerate a container's object ids (`daos cont list-objects`):
+    /// one request-service op per engine holding object metadata.
+    pub fn obj_list(
+        &mut self,
+        client: usize,
+        cid: ContainerId,
+    ) -> Result<(Vec<Oid>, Step), DaosError> {
+        let servers = self.pool.server_count();
+        let reads: Vec<Step> = (0..servers)
+            .map(|s| {
+                self.read_from_target(
+                    client,
+                    TargetId { server: s as u16, target: 0 },
+                    256.0,
+                )
+            })
+            .collect();
+        let c = self.cont(cid)?;
+        let mut oids: Vec<Oid> = c.objects.keys().copied().collect();
+        oids.sort();
+        Ok((oids, Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)])))
+    }
+
+    // ---- rebuild ---------------------------------------------------------------
+
+    /// Re-protect every object affected by excluded targets: degraded
+    /// shard-group members are remapped to healthy replacement targets
+    /// and the surviving data is copied/reconstructed onto them,
+    /// server-to-server.  Returns the report and the op chain modelling
+    /// the data movement (submit it to account for rebuild time; real
+    /// DAOS runs this in the background while serving degraded I/O).
+    pub fn rebuild(&mut self) -> (RebuildReport, Step) {
+        let pool = self.pool.clone();
+        let mut report = RebuildReport::default();
+        let mut moves: Vec<Step> = Vec::new();
+        // collect the per-shard plans first (borrow juggling: layout
+        // edits happen in the same pass, costs are built after)
+        struct Plan {
+            sources: Vec<TargetId>,
+            read_each: f64,
+            dst: TargetId,
+            write_bytes: f64,
+        }
+        let mut plans: Vec<Plan> = Vec::new();
+        for cont in self.containers.iter_mut().flatten() {
+            for entry in cont.objects.values_mut() {
+                report.objects_scanned += 1;
+                let class = entry.layout.class;
+                let ngroups = entry.layout.groups.len().max(1);
+                let obj_bytes = match &entry.data {
+                    ObjData::Array(a) => a.size() as f64,
+                    ObjData::Kv(kv) => kv.len() as f64 * 512.0,
+                };
+                let group_share = obj_bytes / ngroups as f64;
+                for group in entry.layout.groups.iter_mut() {
+                    for m in 0..group.len() {
+                        let t = group[m];
+                        if pool.is_up(t) {
+                            continue;
+                        }
+                        let survivors: Vec<TargetId> =
+                            group.iter().copied().filter(|&x| pool.is_up(x)).collect();
+                        let (needed, write_bytes, read_each) = match class {
+                            ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                                report.shards_lost += 1;
+                                continue;
+                            }
+                            ObjectClass::Replicated { .. } => (1usize, group_share, group_share),
+                            ObjectClass::ErasureCoded { k, .. } => {
+                                let k = k as usize;
+                                (k, group_share / k as f64, group_share / k as f64)
+                            }
+                        };
+                        if survivors.len() < needed {
+                            report.shards_lost += 1;
+                            continue;
+                        }
+                        let Some(dst) = pick_replacement(&pool, group, t) else {
+                            report.shards_lost += 1;
+                            continue;
+                        };
+                        group[m] = dst;
+                        report.shards_rebuilt += 1;
+                        report.bytes_moved += write_bytes;
+                        if write_bytes > 0.0 {
+                            plans.push(Plan {
+                                sources: survivors[..needed].to_vec(),
+                                read_each,
+                                dst,
+                                write_bytes,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for plan in plans {
+            moves.push(self.rebuild_move(&plan.sources, plan.read_each, plan.dst, plan.write_bytes));
+        }
+        // throttle the background traffic into waves so a mass rebuild
+        // does not model as one infinitely-wide burst
+        let step = Step::seq(
+            moves
+                .chunks(32)
+                .map(|wave| Step::par(wave.to_vec()))
+                .collect::<Vec<_>>(),
+        );
+        (report, step)
+    }
+
+    /// Server-to-server shard move: read the surviving cells/replica,
+    /// ship them to the destination server, write the rebuilt shard.
+    fn rebuild_move(
+        &self,
+        sources: &[TargetId],
+        read_each: f64,
+        dst: TargetId,
+        write_bytes: f64,
+    ) -> Step {
+        let dsts = &self.topo.servers[dst.server as usize];
+        let dres = &self.srv_res[dst.server as usize];
+        let ddev = self.dev_for(dst);
+        let reads = sources
+            .iter()
+            .map(|&src| {
+                let ssrv = &self.topo.servers[src.server as usize];
+                let sres = &self.srv_res[src.server as usize];
+                let sdev = self.dev_for(src);
+                Step::transfer(
+                    read_each,
+                    [
+                        ssrv.nvme_r[sdev],
+                        ssrv.nvme_r_pool,
+                        sres.engine_xfer,
+                        ssrv.nic_tx,
+                        dsts.nic_rx,
+                    ],
+                )
+            })
+            .collect::<Vec<_>>();
+        Step::seq([
+            Step::delay(self.cal.net_rtt_ns),
+            Step::par(reads),
+            Step::transfer(write_bytes, [dres.engine_xfer, dsts.nvme_w[ddev], dsts.nvme_w_pool]),
+            Step::delay(self.cal.nvme_write_lat_ns),
+        ])
+    }
+
+    // ---- space accounting -------------------------------------------------------
+
+    /// Pool usage summary (`dmg pool query`): logical bytes stored per
+    /// object kind and totals.
+    pub fn pool_query(&self) -> PoolInfo {
+        let mut info = PoolInfo {
+            servers: self.pool.server_count(),
+            targets_total: self.pool.total_targets(),
+            targets_up: self.pool.up_targets().len(),
+            containers: 0,
+            objects: 0,
+            array_bytes: 0.0,
+            kv_entries: 0,
+        };
+        for cont in self.containers.iter().flatten() {
+            info.containers += 1;
+            info.objects += cont.objects.len();
+            for entry in cont.objects.values() {
+                match &entry.data {
+                    ObjData::Array(a) => info.array_bytes += a.size() as f64,
+                    ObjData::Kv(kv) => info.kv_entries += kv.len(),
+                }
+            }
+        }
+        info
+    }
+
+    fn obj(&self, cid: ContainerId, oid: Oid) -> Result<&ObjectEntry, DaosError> {
+        self.cont(cid)?.objects.get(&oid).ok_or(DaosError::NoSuchObject)
+    }
+
+    fn obj_mut(&mut self, cid: ContainerId, oid: Oid) -> Result<&mut ObjectEntry, DaosError> {
+        self.cont_mut(cid)?
+            .objects
+            .get_mut(&oid)
+            .ok_or(DaosError::NoSuchObject)
+    }
+}
+
+/// Pool usage summary returned by [`DaosSystem::pool_query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolInfo {
+    /// Engines in the pool.
+    pub servers: usize,
+    /// Total targets.
+    pub targets_total: usize,
+    /// Targets currently serving I/O.
+    pub targets_up: usize,
+    /// Live containers.
+    pub containers: usize,
+    /// Live objects across all containers.
+    pub objects: usize,
+    /// Logical Array bytes stored.
+    pub array_bytes: f64,
+    /// Key-Value entries stored.
+    pub kv_entries: usize,
+}
+
+/// Array chunks use their index as dkey; DAOS hashes it before routing,
+/// which is what spreads a sequential writer's consecutive chunks
+/// non-contiguously over the targets.
+pub fn chunk_dkey_hash(chunk: u64) -> u64 {
+    let mut z = chunk ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Distribution key hash (DAOS hashes dkeys to route to shards).
+pub fn dkey_hash(key: &[u8]) -> u64 {
+    // FNV-1a, then a finaliser mix.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ClusterSpec;
+    use simkit::{run, OpId, SimTime, World};
+
+    struct Sink(SimTime);
+    impl World for Sink {
+        fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+            self.0 = sched.now();
+        }
+    }
+
+    fn system(servers: usize, clients: usize, mode: DataMode) -> (Scheduler, DaosSystem) {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(servers, clients).build(&mut sched);
+        let sys = DaosSystem::deploy(&topo, &mut sched, servers, mode);
+        (sched, sys)
+    }
+
+    fn exec(sched: &mut Scheduler, step: Step) -> f64 {
+        let t0 = sched.now();
+        sched.submit(step, OpId(0));
+        let mut w = Sink(SimTime::ZERO);
+        run(sched, &mut w);
+        w.0.secs_since(t0)
+    }
+
+    #[test]
+    fn kv_round_trip_full_mode() {
+        let (mut sched, mut sys) = system(2, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (kv, s) = sys.kv_create(0, cid, ObjectClass::S1).unwrap();
+        exec(&mut sched, s);
+        let s = sys.kv_put(0, cid, kv, b"key1", Payload::Bytes(vec![1, 2, 3])).unwrap();
+        exec(&mut sched, s);
+        let (v, s) = sys.kv_get(0, cid, kv, b"key1").unwrap();
+        exec(&mut sched, s);
+        assert_eq!(v.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(sys.kv_get(0, cid, kv, b"nope").unwrap_err(), DaosError::NoSuchKey);
+        let (keys, _) = sys.kv_list(0, cid, kv, b"key").unwrap();
+        assert_eq!(keys, vec![b"key1".to_vec()]);
+        let s = sys.kv_remove(0, cid, kv, b"key1").unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.kv_get(0, cid, kv, b"key1").unwrap_err(), DaosError::NoSuchKey);
+    }
+
+    #[test]
+    fn ec_kv_rejected() {
+        let (mut sched, mut sys) = system(2, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        assert_eq!(
+            sys.kv_create(0, cid, ObjectClass::EC_2P1).unwrap_err(),
+            DaosError::InvalidClass
+        );
+    }
+
+    #[test]
+    fn array_write_read_full_mode() {
+        let (mut sched, mut sys) = system(2, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::SX, 1 << 16).unwrap();
+        exec(&mut sched, s);
+        let mut rng = simkit::SplitMix64::new(1);
+        let mut data = vec![0u8; 200_000];
+        rng.fill_bytes(&mut data);
+        let s = sys.array_write(0, cid, oid, 1000, Payload::Bytes(data.clone())).unwrap();
+        exec(&mut sched, s);
+        let (r, s) = sys.array_read(0, cid, oid, 1000, 200_000).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+        let (size, _) = sys.array_get_size(0, cid, oid).unwrap();
+        assert_eq!(size, 201_000);
+    }
+
+    #[test]
+    fn single_process_write_bandwidth_is_sane() {
+        // One client streaming 1 MiB ops to a 1-server pool: bandwidth
+        // must be below the server's SSD aggregate and well above zero.
+        let (mut sched, mut sys) = system(1, 1, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::SX, 1 << 20).unwrap();
+        exec(&mut sched, s);
+        let n = 64u64;
+        let mib = 1u64 << 20;
+        let t0 = sched.now();
+        let mut total = 0.0;
+        for i in 0..n {
+            let s = sys
+                .array_write(0, cid, oid, i * mib, Payload::Sized(mib))
+                .unwrap();
+            total += exec(&mut sched, s);
+        }
+        let bw = (n * mib) as f64 / sched.now().secs_since(t0);
+        let _ = total;
+        // A sequential QD1 writer is bound by one NVMe device's burst
+        // bandwidth (sustained share × burst headroom) plus fixed per-op
+        // latencies.
+        let cal = cluster::Calibration::default();
+        let dev_bw = cal.nvme_dev_write_bw() * cal.nvme_dev_burst;
+        assert!(bw > 0.8 * dev_bw, "bw {} too low", bw / cluster::GIB);
+        assert!(bw <= dev_bw * 1.01, "bw {} exceeds device", bw / cluster::GIB);
+    }
+
+    #[test]
+    fn ec_write_amplification_visible_in_time() {
+        // Writing with EC_2P1 moves 1.5x the bytes: with everything else
+        // equal the sustained stream takes ~1.5x longer than S1 when the
+        // device is the bottleneck... but S1 uses ONE device while EC
+        // uses three; compare instead against monitor byte accounting.
+        let mut sched = Scheduler::with_monitor();
+        let topo = ClusterSpec::new(2, 1).build(&mut sched);
+        let mut sys = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::EC_2P1, 1 << 20).unwrap();
+        exec(&mut sched, s);
+        let s = sys
+            .array_write(0, cid, oid, 0, Payload::Sized(1 << 20))
+            .unwrap();
+        exec(&mut sched, s);
+        // total bytes through all NVMe write resources = 1.5 MiB
+        let total: f64 = topo
+            .servers
+            .iter()
+            .flat_map(|s| s.nvme_w.iter())
+            .map(|&r| sched.monitor().units(r))
+            .sum();
+        assert!(
+            (total - 1.5 * (1u64 << 20) as f64).abs() < 1.0,
+            "EC wrote {total} bytes"
+        );
+    }
+
+    #[test]
+    fn replication_failover_and_ec_reconstruction() {
+        let (mut sched, mut sys) = system(3, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        // replicated KV
+        let (kv, s) = sys.kv_create(0, cid, ObjectClass::RP_2).unwrap();
+        exec(&mut sched, s);
+        let s = sys.kv_put(0, cid, kv, b"k", Payload::Bytes(vec![9; 100])).unwrap();
+        exec(&mut sched, s);
+        // EC array
+        let (arr, s) = sys.array_create(0, cid, ObjectClass::EC_2P1, 4096).unwrap();
+        exec(&mut sched, s);
+        let mut rng = simkit::SplitMix64::new(2);
+        let mut data = vec![0u8; 8192];
+        rng.fill_bytes(&mut data);
+        let s = sys.array_write(0, cid, arr, 0, Payload::Bytes(data.clone())).unwrap();
+        exec(&mut sched, s);
+
+        // kill one entire server
+        sys.exclude_server(0);
+
+        let (v, s) = sys.kv_get(0, cid, kv, b"k").unwrap();
+        exec(&mut sched, s);
+        assert_eq!(v.len(), 100, "replica failover");
+        let (r, s) = sys.array_read(0, cid, arr, 0, 8192).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(r.bytes().unwrap(), &data[..], "EC reconstruction");
+    }
+
+    #[test]
+    fn unreplicated_data_unavailable_after_exclusion() {
+        let (mut sched, mut sys) = system(1, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::S1, 4096).unwrap();
+        exec(&mut sched, s);
+        let s = sys.array_write(0, cid, oid, 0, Payload::Bytes(vec![1; 4096])).unwrap();
+        exec(&mut sched, s);
+        let t = sys
+            .cont(cid)
+            .unwrap()
+            .objects
+            .values()
+            .next()
+            .unwrap()
+            .layout
+            .groups[0][0];
+        sys.exclude_target(t);
+        assert_eq!(
+            sys.array_read(0, cid, oid, 0, 4096).unwrap_err(),
+            DaosError::Unavailable
+        );
+    }
+
+    #[test]
+    fn snapshots_and_destroy() {
+        let (mut sched, mut sys) = system(1, 1, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (e1, s) = sys.snapshot_create(0, cid).unwrap();
+        exec(&mut sched, s);
+        let (e2, s) = sys.snapshot_create(0, cid).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.snapshot_list(cid).unwrap(), vec![e1, e2]);
+        let s = sys.snapshot_destroy(0, cid, e1).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.snapshot_list(cid).unwrap(), vec![e2]);
+        let s = sys.cont_destroy(0, cid).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.snapshot_list(cid).unwrap_err(), DaosError::NoSuchContainer);
+    }
+
+    #[test]
+    fn dkey_hash_spreads() {
+        let mut buckets = [0u32; 8];
+        for i in 0..8000u32 {
+            let k = format!("key/{i}");
+            buckets[(dkey_hash(k.as_bytes()) % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "{buckets:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_type_errors() {
+        let (mut sched, mut sys) = system(1, 1, DataMode::Full);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (kv, s) = sys.kv_create(0, cid, ObjectClass::S1).unwrap();
+        exec(&mut sched, s);
+        let (arr, s) = sys.array_create(0, cid, ObjectClass::S1, 4096).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(
+            sys.array_write(0, cid, kv, 0, Payload::Sized(10)).unwrap_err(),
+            DaosError::WrongObjectType
+        );
+        assert_eq!(
+            sys.kv_put(0, cid, arr, b"k", Payload::Sized(1)).unwrap_err(),
+            DaosError::WrongObjectType
+        );
+        assert_eq!(
+            sys.array_get_size(0, cid, kv).unwrap_err(),
+            DaosError::WrongObjectType
+        );
+    }
+
+    #[test]
+    fn punch_removes_object() {
+        let (mut sched, mut sys) = system(1, 1, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::S1, 4096).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.object_count(cid).unwrap(), 1);
+        let s = sys.obj_punch(0, cid, oid).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(sys.object_count(cid).unwrap(), 0);
+        assert!(sys.obj_punch(0, cid, oid).is_err());
+    }
+}
+
+#[cfg(test)]
+mod attr_tests {
+    use super::*;
+    use crate::container::ContainerProps;
+    use crate::data::DataMode;
+    use cluster::ClusterSpec;
+    use simkit::{run, OpId, World};
+
+    struct Sink;
+    impl World for Sink {
+        fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
+    }
+
+    fn exec(sched: &mut Scheduler, step: Step) {
+        sched.submit(step, OpId(0));
+        run(sched, &mut Sink);
+    }
+
+    #[test]
+    fn container_attributes_round_trip() {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(1, 1).build(&mut sched);
+        let mut sys = DaosSystem::deploy(&topo, &mut sched, 1, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let s = sys.cont_set_attr(0, cid, "owner", b"ecmwf").unwrap();
+        exec(&mut sched, s);
+        let s = sys.cont_set_attr(0, cid, "cycle", b"00z").unwrap();
+        exec(&mut sched, s);
+        let (v, s) = sys.cont_get_attr(0, cid, "owner").unwrap();
+        exec(&mut sched, s);
+        assert_eq!(v, b"ecmwf");
+        let (names, s) = sys.cont_list_attrs(0, cid).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(names, vec!["cycle", "owner"]);
+        assert_eq!(
+            sys.cont_get_attr(0, cid, "missing").unwrap_err(),
+            DaosError::NoSuchKey
+        );
+    }
+
+    #[test]
+    fn object_listing_enumerates_oids() {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(2, 1).build(&mut sched);
+        let mut sys = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let mut created = Vec::new();
+        for _ in 0..4 {
+            let (oid, s) = sys.array_create(0, cid, ObjectClass::S1, 1 << 20).unwrap();
+            exec(&mut sched, s);
+            created.push(oid);
+        }
+        let (kv, s) = sys.kv_create(0, cid, ObjectClass::S1).unwrap();
+        exec(&mut sched, s);
+        created.push(kv);
+        created.sort();
+        let (listed, s) = sys.obj_list(0, cid).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(listed, created);
+    }
+}

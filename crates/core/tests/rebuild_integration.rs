@@ -1,0 +1,153 @@
+//! Rebuild integration: exclusion → degraded I/O → rebuild → healthy
+//! I/O, including surviving a second failure after re-protection.
+
+use cluster::{ClusterSpec, Payload};
+use daos_core::{ContainerProps, DaosSystem, DataMode, ObjectClass};
+use simkit::{run, OpId, Scheduler, SimTime, SplitMix64, Step, World};
+
+struct Done(SimTime);
+impl World for Done {
+    fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+        self.0 = sched.now();
+    }
+}
+
+fn exec(sched: &mut Scheduler, step: Step) -> f64 {
+    let t0 = sched.now();
+    sched.submit(step, OpId(0));
+    let mut w = Done(SimTime::ZERO);
+    run(sched, &mut w);
+    w.0.secs_since(t0)
+}
+
+fn rand_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn fixture(servers: usize) -> (Scheduler, DaosSystem, daos_core::ContainerId) {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(servers, 1).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, servers, DataMode::Full);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Done(SimTime::ZERO));
+    (sched, daos, cid)
+}
+
+#[test]
+fn rebuild_restores_ec_health_and_survives_second_failure() {
+    let (mut sched, mut daos, cid) = fixture(4);
+    let (oid, s) = daos.array_create(0, cid, ObjectClass::EC_2P1, 1 << 18).unwrap();
+    exec(&mut sched, s);
+    let data = rand_bytes(1, 1 << 20);
+    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone())).unwrap());
+
+    // first failure: degraded but readable
+    daos.exclude_server(0);
+    let (got, s) = daos.array_read(0, cid, oid, 0, data.len() as u64).unwrap();
+    exec(&mut sched, s);
+    assert_eq!(got.bytes().unwrap(), &data[..]);
+
+    // rebuild moves the dead cells to healthy targets
+    let (report, step) = daos.rebuild();
+    assert!(report.shards_rebuilt > 0, "{report:?}");
+    assert_eq!(report.shards_lost, 0, "{report:?}");
+    assert!(report.bytes_moved > 0.0);
+    let secs = exec(&mut sched, step);
+    assert!(secs > 0.0, "rebuild data movement takes time");
+
+    // layouts no longer reference server 0
+    // (verified behaviourally: a SECOND server loss is survivable, which
+    // EC 2+1 could not tolerate without the rebuild)
+    daos.exclude_server(1);
+    let (got, s) = daos.array_read(0, cid, oid, 0, data.len() as u64).unwrap();
+    exec(&mut sched, s);
+    assert_eq!(got.bytes().unwrap(), &data[..], "survived two failures via rebuild");
+}
+
+#[test]
+fn rebuild_restores_replica_count() {
+    let (mut sched, mut daos, cid) = fixture(3);
+    let (kv, s) = daos.kv_create(0, cid, ObjectClass::RP_2).unwrap();
+    exec(&mut sched, s);
+    exec(&mut sched, daos.kv_put(0, cid, kv, b"key", Payload::Bytes(vec![7; 256])).unwrap());
+
+    daos.exclude_server(0);
+    let (report, step) = daos.rebuild();
+    exec(&mut sched, step);
+    // the KV had at most one group member on server 0
+    assert!(report.shards_rebuilt <= 2);
+    assert_eq!(report.shards_lost, 0);
+
+    daos.exclude_server(1);
+    // after rebuild the replicas live on servers 1/2 or 2 only — if the
+    // value survives this second loss, re-protection worked wherever it
+    // was needed
+    match daos.kv_get(0, cid, kv, b"key") {
+        Ok((v, s)) => {
+            exec(&mut sched, s);
+            assert_eq!(v.bytes().unwrap(), &[7u8; 256][..]);
+        }
+        Err(e) => {
+            // only acceptable if both replicas were legitimately placed
+            // on the two dead servers before any rebuild was possible —
+            // which rebuild prevents, so this is a failure
+            panic!("replica lost after rebuild: {e:?}");
+        }
+    }
+}
+
+#[test]
+fn unprotected_shards_report_lost() {
+    let (mut sched, mut daos, cid) = fixture(2);
+    let (oid, s) = daos.array_create(0, cid, ObjectClass::SX, 1 << 18).unwrap();
+    exec(&mut sched, s);
+    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(32 << 20)).unwrap());
+
+    daos.exclude_server(0);
+    let (report, step) = daos.rebuild();
+    exec(&mut sched, step);
+    assert!(report.shards_lost > 0, "unprotected SX shards cannot be rebuilt");
+    assert_eq!(report.shards_rebuilt, 0);
+}
+
+#[test]
+fn rebuild_noop_when_healthy() {
+    let (mut sched, mut daos, cid) = fixture(2);
+    let (oid, s) = daos.array_create(0, cid, ObjectClass::RP_2, 1 << 18).unwrap();
+    exec(&mut sched, s);
+    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(1 << 20)).unwrap());
+    let (report, step) = daos.rebuild();
+    assert_eq!(report.shards_rebuilt, 0);
+    assert_eq!(report.shards_lost, 0);
+    assert_eq!(report.bytes_moved, 0.0);
+    assert!(step.is_noop());
+    let _ = exec(&mut sched, step);
+}
+
+#[test]
+fn pool_query_counts_usage() {
+    let (mut sched, mut daos, cid) = fixture(2);
+    let (oid, s) = daos.array_create(0, cid, ObjectClass::SX, 1 << 20).unwrap();
+    exec(&mut sched, s);
+    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(8 << 20)).unwrap());
+    let (kv, s) = daos.kv_create(0, cid, ObjectClass::S1).unwrap();
+    exec(&mut sched, s);
+    for i in 0..5 {
+        let step = daos
+            .kv_put(0, cid, kv, format!("k{i}").as_bytes(), Payload::Sized(100))
+            .unwrap();
+        exec(&mut sched, step);
+    }
+    let info = daos.pool_query();
+    assert_eq!(info.servers, 2);
+    assert_eq!(info.targets_total, 32);
+    assert_eq!(info.targets_up, 32);
+    assert_eq!(info.containers, 1);
+    assert_eq!(info.objects, 2);
+    assert_eq!(info.array_bytes, (8u64 << 20) as f64);
+    assert_eq!(info.kv_entries, 5);
+}

@@ -1,0 +1,14 @@
+//! # daos-dfs — the libdfs-style POSIX namespace on DAOS objects
+//!
+//! Implements POSIX directories, regular files and symbolic links on top
+//! of [`daos_core`]: directories are Key-Value objects holding packed
+//! dirents, files are Array objects, symlinks live in their parent's
+//! dirent.  This mirrors libdfs, which the paper benchmarks directly
+//! (IOR "DFS" backend) and through DFUSE.
+//!
+//! [`Dfs`] implements [`cluster::posix::PosixFs`], the interface the
+//! POSIX-backend benchmarks program against.
+
+pub mod namespace;
+
+pub use namespace::{Dfs, DfsOpts, InodeId};

@@ -1,0 +1,143 @@
+//! Property test: the DFS namespace agrees with a trivial reference
+//! model under random operation sequences.
+
+use cluster::payload::Payload;
+use cluster::posix::{FsError, PosixFs};
+use cluster::ClusterSpec;
+use daos_core::{ContainerProps, DaosSystem, DataMode};
+use daos_dfs::{Dfs, DfsOpts};
+use proptest::prelude::*;
+use simkit::{run, OpId, Scheduler, Step, World};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+struct Sink;
+impl World for Sink {
+    fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
+}
+
+fn exec(sched: &mut Scheduler, step: Step) {
+    sched.submit(step, OpId(0));
+    run(sched, &mut Sink);
+}
+
+#[derive(Debug, Clone)]
+enum NsOp {
+    Mkdir(u8),
+    Create(u8, u8),
+    Unlink(u8, u8),
+    Write(u8, u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = NsOp> {
+    prop_oneof![
+        (0u8..4).prop_map(NsOp::Mkdir),
+        (0u8..4, 0u8..6).prop_map(|(d, f)| NsOp::Create(d, f)),
+        (0u8..4, 0u8..6).prop_map(|(d, f)| NsOp::Unlink(d, f)),
+        (0u8..4, 0u8..6, any::<u8>()).prop_map(|(d, f, b)| NsOp::Write(d, f, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn namespace_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(1, 1).build(&mut sched);
+        let mut daos = DaosSystem::deploy(&topo, &mut sched, 1, DataMode::Full);
+        let (cid, s) = daos.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let daos = Rc::new(RefCell::new(daos));
+        let (mut dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).unwrap();
+        exec(&mut sched, s);
+
+        // reference: dir -> file -> last written byte (None = exists, empty)
+        let mut model: BTreeMap<u8, BTreeMap<u8, Option<u8>>> = BTreeMap::new();
+
+        for op in &ops {
+            match *op {
+                NsOp::Mkdir(d) => {
+                    let r = dfs.mkdir(0, &format!("/d{d}"));
+                    match r {
+                        Ok(step) => {
+                            exec(&mut sched, step);
+                            prop_assert!(!model.contains_key(&d), "mkdir of existing dir succeeded");
+                            model.insert(d, BTreeMap::new());
+                        }
+                        Err(FsError::Exists) => prop_assert!(model.contains_key(&d)),
+                        Err(e) => prop_assert!(false, "unexpected mkdir error {e:?}"),
+                    }
+                }
+                NsOp::Create(d, f) => {
+                    let r = dfs.open(0, &format!("/d{d}/f{f}"), true);
+                    match r {
+                        Ok((h, step)) => {
+                            exec(&mut sched, step);
+                            exec(&mut sched, dfs.close(0, h).unwrap());
+                            prop_assert!(model.contains_key(&d), "create without parent succeeded");
+                            model.get_mut(&d).unwrap().entry(f).or_insert(None);
+                        }
+                        Err(FsError::NotFound) => prop_assert!(!model.contains_key(&d)),
+                        Err(e) => prop_assert!(false, "unexpected open error {e:?}"),
+                    }
+                }
+                NsOp::Unlink(d, f) => {
+                    let r = dfs.unlink(0, &format!("/d{d}/f{f}"));
+                    match r {
+                        Ok(step) => {
+                            exec(&mut sched, step);
+                            let existed =
+                                model.get_mut(&d).and_then(|m| m.remove(&f)).is_some();
+                            prop_assert!(existed, "unlink of missing entry succeeded");
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(
+                                model.get(&d).map_or(true, |m| !m.contains_key(&f)),
+                                "unlink failed for existing file"
+                            );
+                        }
+                        Err(e) => prop_assert!(false, "unexpected unlink error {e:?}"),
+                    }
+                }
+                NsOp::Write(d, f, b) => {
+                    let r = dfs.open(0, &format!("/d{d}/f{f}"), false);
+                    match r {
+                        Ok((h, step)) => {
+                            exec(&mut sched, step);
+                            exec(&mut sched, dfs.write(0, h, 0, Payload::Bytes(vec![b; 16])).unwrap());
+                            exec(&mut sched, dfs.close(0, h).unwrap());
+                            prop_assert!(
+                                model.get(&d).is_some_and(|m| m.contains_key(&f)),
+                                "open of missing file succeeded"
+                            );
+                            model.get_mut(&d).unwrap().insert(f, Some(b));
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(model.get(&d).map_or(true, |m| !m.contains_key(&f)));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected open error {e:?}"),
+                    }
+                }
+            }
+        }
+
+        // final agreement: listings and contents
+        for (d, files) in &model {
+            let (names, s) = dfs.readdir(0, &format!("/d{d}")).unwrap();
+            exec(&mut sched, s);
+            let expect: Vec<String> = files.keys().map(|f| format!("f{f}")).collect();
+            prop_assert_eq!(&names, &expect, "dir d{} listing", d);
+            for (f, byte) in files {
+                let (h, s) = dfs.open(0, &format!("/d{d}/f{f}"), false).unwrap();
+                exec(&mut sched, s);
+                if let Some(b) = byte {
+                    let (data, s) = dfs.read(0, h, 0, 16).unwrap();
+                    exec(&mut sched, s);
+                    prop_assert_eq!(data.bytes().unwrap(), &[*b; 16][..]);
+                }
+                exec(&mut sched, dfs.close(0, h).unwrap());
+            }
+        }
+    }
+}

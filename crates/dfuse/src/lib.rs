@@ -1,0 +1,13 @@
+//! # daos-dfuse — the DAOS FUSE daemon model and interception library
+//!
+//! Exposes a [`daos_dfs::Dfs`] namespace through a modelled kernel FUSE
+//! layer: per-syscall kernel crossings, a per-client-node request pump
+//! sized by the FUSE thread count, kernel↔user copy bandwidth, request
+//! fragmentation at `max_write`, and optional client-side data/metadata
+//! caching — the knobs the paper's DFUSE experiments turn.  With
+//! `interception` enabled, read/write bypass the kernel path entirely,
+//! modelling `libioil` (DFUSE+IL in the figures).
+
+pub mod mount;
+
+pub use mount::{DfuseMount, DfuseOpts};

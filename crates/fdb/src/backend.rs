@@ -1,0 +1,50 @@
+//! The FDB archive/retrieve interface and its three storage backends.
+
+use crate::key::{FieldKey, KeyQuery};
+use cluster::payload::{Payload, ReadPayload};
+use simkit::Step;
+
+/// Errors surfaced by FDB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdbError {
+    /// Requested field was never archived.
+    FieldNotFound,
+    /// The underlying store failed.
+    Backend(&'static str),
+}
+
+/// The FDB client interface: archive and retrieve weather fields by
+/// scientific key, with the storage system fully abstracted away —
+/// exactly the role FDB plays at ECMWF.
+pub trait Fdb {
+    /// Per-process preparation (create file pairs, index objects…);
+    /// benchmark harnesses run this outside the measured window.
+    fn setup_proc(&mut self, node: usize, proc: usize) -> Result<Step, FdbError> {
+        let _ = (node, proc);
+        Ok(Step::Noop)
+    }
+
+    /// Archive one field written by `proc` running on client `node`.
+    fn archive(
+        &mut self,
+        node: usize,
+        proc: usize,
+        key: &FieldKey,
+        data: Payload,
+    ) -> Result<Step, FdbError>;
+
+    /// Flush buffered state for `proc` (transactional commit).
+    fn flush(&mut self, node: usize, proc: usize) -> Result<Step, FdbError>;
+
+    /// Retrieve one field.
+    fn retrieve(
+        &mut self,
+        node: usize,
+        proc: usize,
+        key: &FieldKey,
+    ) -> Result<(ReadPayload, Step), FdbError>;
+
+    /// List archived fields matching a partial key (a MARS-style
+    /// request).  The returned step models the index traversal.
+    fn list(&mut self, node: usize, query: &KeyQuery) -> Result<(Vec<FieldKey>, Step), FdbError>;
+}

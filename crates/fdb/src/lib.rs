@@ -1,0 +1,24 @@
+//! # fdb-sim — ECMWF's FDB domain object store, re-implemented
+//!
+//! FDB archives and retrieves weather fields by scientific key, fully
+//! abstracting the storage system (§II-A4).  This crate provides the
+//! [`Fdb`] interface plus the three backends the paper exercises with
+//! fdb-hammer:
+//!
+//! * [`FdbPosix`] — per-writer index/data file pairs with client-side
+//!   write buffering and large sequential flushes (the Lustre runs);
+//! * [`FdbDaos`] — one S1 Array per field, S1 Key-Value indexing, ~10 KV
+//!   ops per field, no read-time size checks;
+//! * [`FdbCeph`] — one RADOS object per field plus index objects.
+
+pub mod backend;
+pub mod ceph;
+pub mod daos;
+pub mod key;
+pub mod posix;
+
+pub use backend::{Fdb, FdbError};
+pub use ceph::FdbCeph;
+pub use daos::FdbDaos;
+pub use key::{FieldKey, KeyQuery};
+pub use posix::FdbPosix;

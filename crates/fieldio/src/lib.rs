@@ -1,0 +1,309 @@
+//! # field-io — ECMWF's Field I/O benchmark (§II-A3)
+//!
+//! A standalone tool that measures what DAOS can provide for numerical
+//! weather prediction I/O without the full operational stack: a set of
+//! independent processes, each writing a sequence of weather fields as
+//! **S1 Arrays** (one Array per field) and indexing them through
+//! **SX Key-Values** — some exclusive to the process, some shared by all
+//! processes (~10 KV operations per field).
+//!
+//! In read mode the processes retrieve the same sequence by querying the
+//! Key-Values, then — unlike fdb-hammer — performing an
+//! **`array_get_size` check before every read**, the extra round trip
+//! the paper identifies as the cause of Field I/O's merely linear read
+//! scaling (§III-B).
+
+use cluster::payload::{Payload, ReadPayload};
+use daos_core::{ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid};
+use simkit::Step;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Errors surfaced by the benchmark library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldIoError {
+    /// Field index out of range / never written.
+    NoSuchField,
+    /// Underlying DAOS failure.
+    Daos(DaosError),
+}
+
+impl From<DaosError> for FieldIoError {
+    fn from(e: DaosError) -> Self {
+        FieldIoError::Daos(e)
+    }
+}
+
+/// Field I/O client state over one container.
+pub struct FieldIo {
+    daos: Rc<RefCell<DaosSystem>>,
+    cid: ContainerId,
+    array_class: ObjectClass,
+    kv_class: ObjectClass,
+    /// Shared SX Key-Values, updated by every process.
+    shared_kvs: Vec<Oid>,
+    /// Exclusive per-process Key-Values.
+    proc_kvs: HashMap<usize, Oid>,
+    fields: HashMap<(usize, usize), (Oid, u64)>,
+    kv_ops_per_field: u32,
+    kv_entry_bytes: f64,
+    /// Whether reads perform the size check (on by default, as in the
+    /// real tool; switchable for the ablation experiment).
+    pub size_check_on_read: bool,
+}
+
+/// Shared KV updates per field (the rest go to the exclusive KV).
+const SHARED_KV_OPS: u32 = 3;
+
+impl FieldIo {
+    /// Set up the benchmark in `cid`.  The paper's optimal classes:
+    /// `SX` for Key-Values, `S1` for Arrays.
+    pub fn new(
+        daos: Rc<RefCell<DaosSystem>>,
+        node: usize,
+        cid: ContainerId,
+    ) -> Result<(FieldIo, Step), FieldIoError> {
+        Self::with_classes(daos, node, cid, ObjectClass::S1, ObjectClass::SX)
+    }
+
+    /// Set up with explicit object classes — the §III-D redundancy runs
+    /// pair erasure-coded Arrays with replicated Key-Values.
+    pub fn with_classes(
+        daos: Rc<RefCell<DaosSystem>>,
+        node: usize,
+        cid: ContainerId,
+        array_class: ObjectClass,
+        kv_class: ObjectClass,
+    ) -> Result<(FieldIo, Step), FieldIoError> {
+        let (kv_ops_per_field, kv_entry_bytes) = {
+            let d = daos.borrow();
+            (d.cal().kv_ops_per_field, d.cal().kv_entry_bytes)
+        };
+        let mut steps = Vec::new();
+        let mut shared_kvs = Vec::new();
+        for _ in 0..2 {
+            let (kv, s) = daos.borrow_mut().kv_create(node, cid, kv_class)?;
+            shared_kvs.push(kv);
+            steps.push(s);
+        }
+        Ok((
+            FieldIo {
+                daos,
+                cid,
+                array_class,
+                kv_class,
+                shared_kvs,
+                proc_kvs: HashMap::new(),
+                fields: HashMap::new(),
+                kv_ops_per_field,
+                kv_entry_bytes,
+                size_check_on_read: true,
+            },
+            Step::seq(steps),
+        ))
+    }
+
+    /// Use a different Array object class (the redundancy experiments
+    /// switch to `EC_2P1`).
+    pub fn set_array_class(&mut self, class: ObjectClass) {
+        self.array_class = class;
+    }
+
+    /// The backing store.
+    pub fn daos(&self) -> &Rc<RefCell<DaosSystem>> {
+        &self.daos
+    }
+
+    /// The container the benchmark writes into.
+    pub fn container(&self) -> ContainerId {
+        self.cid
+    }
+
+    /// Per-process preparation: create the exclusive index Key-Value.
+    /// Benchmark harnesses run this outside the measured window.
+    pub fn setup_proc(&mut self, node: usize, proc: usize) -> Result<Step, FieldIoError> {
+        let (_, s) = self.proc_kv(node, proc)?;
+        Ok(s)
+    }
+
+    fn proc_kv(&mut self, node: usize, proc: usize) -> Result<(Oid, Step), FieldIoError> {
+        if let Some(&kv) = self.proc_kvs.get(&proc) {
+            return Ok((kv, Step::Noop));
+        }
+        let kv_class = self.kv_class;
+        let (kv, s) = self.daos.borrow_mut().kv_create(node, self.cid, kv_class)?;
+        self.proc_kvs.insert(proc, kv);
+        Ok((kv, s))
+    }
+
+    fn index_entry(&self, mode: DataMode) -> Payload {
+        match mode {
+            DataMode::Full => Payload::Bytes(vec![0xfe; self.kv_entry_bytes as usize]),
+            DataMode::Sized => Payload::Sized(self.kv_entry_bytes as u64),
+        }
+    }
+
+    /// Write field `idx` of process `proc`: one S1 Array plus the index
+    /// Key-Value updates.
+    pub fn write_field(
+        &mut self,
+        node: usize,
+        proc: usize,
+        idx: usize,
+        data: Payload,
+    ) -> Result<Step, FieldIoError> {
+        let len = data.len();
+        let (own_kv, setup) = self.proc_kv(node, proc)?;
+        let array_class = self.array_class;
+        let mut daos = self.daos.borrow_mut();
+        let (oid, s1) = daos.array_create(node, self.cid, array_class, 1 << 20)?;
+        let s2 = daos.array_write(node, self.cid, oid, 0, data)?;
+        let mode = daos.data_mode();
+        let mut kv_steps = Vec::new();
+        for i in 0..self.kv_ops_per_field {
+            let key = format!("f/{proc}/{idx}/{i}");
+            let value = self.index_entry(mode);
+            let target = if i < SHARED_KV_OPS {
+                self.shared_kvs[i as usize % self.shared_kvs.len()]
+            } else {
+                own_kv
+            };
+            kv_steps.push(daos.kv_put(node, self.cid, target, key.as_bytes(), value)?);
+        }
+        drop(daos);
+        self.fields.insert((proc, idx), (oid, len));
+        Ok(Step::seq([setup, s1, s2, Step::par(kv_steps)]))
+    }
+
+    /// Read field `idx` of process `proc`: index queries, then (in the
+    /// real tool's fashion) a size check, then the Array read.
+    pub fn read_field(
+        &mut self,
+        node: usize,
+        proc: usize,
+        idx: usize,
+    ) -> Result<(ReadPayload, Step), FieldIoError> {
+        let &(oid, len) = self.fields.get(&(proc, idx)).ok_or(FieldIoError::NoSuchField)?;
+        let own_kv = *self.proc_kvs.get(&proc).ok_or(FieldIoError::NoSuchField)?;
+        let mut daos = self.daos.borrow_mut();
+        // index lookups mirror the write-side distribution
+        let mut kv_steps = Vec::new();
+        for i in 0..self.kv_ops_per_field {
+            let key = format!("f/{proc}/{idx}/{i}");
+            let target = if i < SHARED_KV_OPS {
+                self.shared_kvs[i as usize % self.shared_kvs.len()]
+            } else {
+                own_kv
+            };
+            let (_, s) = daos.kv_get(node, self.cid, target, key.as_bytes())?;
+            kv_steps.push(s);
+        }
+        // the size check: a serial round trip before the data read
+        let size_step = if self.size_check_on_read {
+            let (size, s) = daos.array_get_size(node, self.cid, oid)?;
+            debug_assert_eq!(size, len);
+            s
+        } else {
+            Step::Noop
+        };
+        let (data, s_read) = daos.array_read(node, self.cid, oid, 0, len)?;
+        drop(daos);
+        Ok((data, Step::seq([Step::par(kv_steps), size_step, s_read])))
+    }
+
+    /// Number of fields stored.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::ClusterSpec;
+    use daos_core::ContainerProps;
+    use simkit::{run, OpId, Scheduler, SimTime, World};
+
+    struct Sink(SimTime);
+    impl World for Sink {
+        fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+            self.0 = sched.now();
+        }
+    }
+
+    fn exec(sched: &mut Scheduler, step: Step) -> f64 {
+        let t0 = sched.now();
+        sched.submit(step, OpId(0));
+        let mut w = Sink(SimTime::ZERO);
+        run(sched, &mut w);
+        w.0.secs_since(t0)
+    }
+
+    fn fixture(mode: DataMode) -> (Scheduler, FieldIo) {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(2, 1).build(&mut sched);
+        let mut daos = DaosSystem::deploy(&topo, &mut sched, 2, mode);
+        let (cid, s) = daos.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let daos = Rc::new(RefCell::new(daos));
+        let (fio, s) = FieldIo::new(daos, 0, cid).unwrap();
+        exec(&mut sched, s);
+        (sched, fio)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (mut sched, mut fio) = fixture(DataMode::Full);
+        let mut rng = simkit::SplitMix64::new(8);
+        let mut field = vec![0u8; 80_000];
+        rng.fill_bytes(&mut field);
+        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Bytes(field.clone())).unwrap());
+        let (data, s) = fio.read_field(0, 0, 0).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(data.bytes().unwrap(), &field[..]);
+        assert_eq!(fio.read_field(0, 0, 9).unwrap_err(), FieldIoError::NoSuchField);
+    }
+
+    #[test]
+    fn array_per_field_and_kv_objects() {
+        let (mut sched, mut fio) = fixture(DataMode::Sized);
+        for p in 0..2 {
+            for i in 0..5 {
+                exec(&mut sched, fio.write_field(0, p, i, Payload::Sized(1 << 20)).unwrap());
+            }
+        }
+        assert_eq!(fio.field_count(), 10);
+        // 10 arrays + 2 shared KVs + 2 proc KVs
+        let count = fio.daos().borrow().object_count(fio.container()).unwrap();
+        assert_eq!(count, 14);
+    }
+
+    #[test]
+    fn size_check_adds_a_round_trip() {
+        let (mut sched, mut fio) = fixture(DataMode::Sized);
+        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Sized(1 << 20)).unwrap());
+        let (_, with_check) = fio.read_field(0, 0, 0).unwrap();
+        let t_with = exec(&mut sched, with_check);
+        fio.size_check_on_read = false;
+        let (_, without) = fio.read_field(0, 0, 0).unwrap();
+        let t_without = exec(&mut sched, without);
+        assert!(
+            t_with > t_without,
+            "size check must cost time: {t_with} vs {t_without}"
+        );
+    }
+
+    #[test]
+    fn ec_arrays_supported() {
+        let (mut sched, mut fio) = fixture(DataMode::Full);
+        fio.set_array_class(ObjectClass::EC_2P1);
+        let mut rng = simkit::SplitMix64::new(9);
+        let mut field = vec![0u8; 40_000];
+        rng.fill_bytes(&mut field);
+        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Bytes(field.clone())).unwrap());
+        let (data, s) = fio.read_field(0, 0, 0).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(data.bytes().unwrap(), &field[..]);
+    }
+}

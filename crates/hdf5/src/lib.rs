@@ -1,0 +1,22 @@
+//! # hdf5-lite — a miniature hierarchical data format library
+//!
+//! Models the two HDF5 configurations the paper benchmarks through IOR:
+//!
+//! * **POSIX VFD** ([`H5PosixFile`]): one file per writer process holding
+//!   superblock, object headers, chunk index and data.  Dataset writes
+//!   fragment into chunk-sized POSIX writes and interleave small metadata
+//!   updates — the access pattern that makes HDF5-on-DFUSE slower than
+//!   plain IOR on the same mount.
+//! * **DAOS VOL connector** ([`H5DaosFile`]): one **container per file**
+//!   (hence per writer process, as the paper highlights), a metadata
+//!   Key-Value per file, and a separate DAOS Array object for every
+//!   dataset write.  Each dataset create/lookup is a container-metadata
+//!   transaction against the pool's fixed-size metadata service — the
+//!   mechanism behind the scaling collapse in Fig. 4/5.
+//!
+//! Both drivers share [`H5Runtime`], which models the HDF5 library's
+//! per-client-node processing ceiling.
+
+pub mod model;
+
+pub use model::{H5DaosFile, H5PosixFile, H5Runtime, Hdf5Error};

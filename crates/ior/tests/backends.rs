@@ -1,0 +1,133 @@
+//! IOR engine over every backend at toy scale, exercised directly
+//! (without the benchkit driver) to pin per-backend semantics.
+
+use cluster::bench::{Phase, ProcWorkload};
+use cluster::{ClusterSpec, GIB};
+use daos_core::{ContainerProps, DaosSystem, DataMode, ObjectClass};
+use daos_dfs::{Dfs, DfsOpts};
+use daos_dfuse::{DfuseMount, DfuseOpts};
+use hdf5_lite::H5Runtime;
+use ior_bench::{Ior, IorBackend, IorConfig};
+use lustre_sim::{LustreDataMode, LustreSystem, StripeOpts};
+use simkit::{run, OpId, Scheduler, SimTime, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Last(SimTime);
+impl World for Last {
+    fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+        self.0 = sched.now();
+    }
+}
+
+fn drive(sched: &mut Scheduler, ior: &mut Ior, procs: usize, ops: usize) -> f64 {
+    for p in 0..procs {
+        let s = ior.setup(p);
+        sched.submit(s, OpId(p as u64));
+    }
+    run(sched, &mut Last(SimTime::ZERO));
+    let t0 = sched.now();
+    for p in 0..procs {
+        for i in 0..ops {
+            let s = ior.op(p, i);
+            sched.submit(s, OpId(p as u64));
+            run(sched, &mut Last(SimTime::ZERO));
+        }
+    }
+    sched.now().secs_since(t0)
+}
+
+#[test]
+fn dfuse_backend_write_read() {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(2, 2).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Last(SimTime::ZERO));
+    let daos = Rc::new(RefCell::new(daos));
+    let (dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).unwrap();
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Last(SimTime::ZERO));
+    let mount = DfuseMount::mount(dfs, &mut sched, DfuseOpts::default());
+    let mut ior = Ior::new(IorConfig::new(4, 2, 6), IorBackend::Posix(Box::new(mount)));
+    let w = drive(&mut sched, &mut ior, 4, 6);
+    ior.set_phase(Phase::Read);
+    let r = drive(&mut sched, &mut ior, 4, 6);
+    assert!(w > 0.0 && r > 0.0);
+    let bw = (4.0 * 6.0 * (1u64 << 20) as f64) / w;
+    assert!(bw < 2.0 * 3.86 * GIB * 1.01, "within hardware bounds");
+}
+
+#[test]
+fn hdf5_posix_backend_round_trips_datasets() {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(2, 1).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Last(SimTime::ZERO));
+    let daos = Rc::new(RefCell::new(daos));
+    let (dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).unwrap();
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Last(SimTime::ZERO));
+    let rt = H5Runtime::new(&mut sched, 1, &topo.cal);
+    let mount = DfuseMount::mount(dfs, &mut sched, DfuseOpts::with_interception());
+    let mut ior = Ior::new(
+        IorConfig::new(2, 1, 5),
+        IorBackend::Hdf5Posix { rt, fs: Box::new(mount) },
+    );
+    let w = drive(&mut sched, &mut ior, 2, 5);
+    ior.set_phase(Phase::Read);
+    let r = drive(&mut sched, &mut ior, 2, 5);
+    assert!(w > 0.0 && r > 0.0, "both phases progressed");
+}
+
+#[test]
+fn lustre_backend_shared_file_mode() {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(2, 2).build(&mut sched);
+    let fs = LustreSystem::deploy(
+        &topo,
+        &mut sched,
+        2,
+        LustreDataMode::Sized,
+        StripeOpts { count: 8, size: 1 << 20 },
+    );
+    let mut cfg = IorConfig::new(4, 2, 6);
+    cfg.file_per_proc = false; // single shared file
+    let mut ior = Ior::new(cfg, IorBackend::Posix(Box::new(fs)));
+    let w = drive(&mut sched, &mut ior, 4, 6);
+    ior.set_phase(Phase::Read);
+    let r = drive(&mut sched, &mut ior, 4, 6);
+    assert!(w > 0.0 && r > 0.0);
+}
+
+#[test]
+fn daos_backend_respects_object_class() {
+    let mut sched = Scheduler::with_monitor();
+    let topo = ClusterSpec::new(2, 1).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Last(SimTime::ZERO));
+    let daos = Rc::new(RefCell::new(daos));
+    let mut ior = Ior::new(
+        IorConfig::new(1, 1, 8),
+        IorBackend::Daos { daos, cid, oclass: ObjectClass::EC_2P1 },
+    );
+    drive(&mut sched, &mut ior, 1, 8);
+    // EC 2+1 must have written 1.5x the logical bytes to the devices
+    let total: f64 = topo
+        .servers
+        .iter()
+        .flat_map(|s| s.nvme_w.iter())
+        .map(|&r| sched.monitor().units(r))
+        .sum();
+    let logical = 8.0 * (1u64 << 20) as f64;
+    assert!(
+        (total - 1.5 * logical).abs() < 1.0,
+        "EC amplification: {total} vs {}",
+        1.5 * logical
+    );
+}

@@ -1,0 +1,12 @@
+//! # lustre-sim — a Lustre-like distributed POSIX file system
+//!
+//! The baseline the paper deploys in §III-E: OSS nodes with one OST per
+//! NVMe device, file striping, client extent locks, and — crucially — a
+//! single centralised Metadata Service whose finite operation rate is
+//! what separates Lustre from DAOS under metadata-heavy workloads
+//! (Fig. 7).  Implements [`cluster::posix::PosixFs`] so the same
+//! benchmark code drives Lustre and DFUSE mounts.
+
+pub mod fs;
+
+pub use fs::{LustreDataMode, LustreSystem, StripeOpts};

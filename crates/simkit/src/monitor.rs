@@ -1,0 +1,131 @@
+//! Resource utilisation accounting.
+//!
+//! The engine credits every resource with `rate × dt` units whenever
+//! simulated time advances, giving exact busy integrals for the fluid
+//! model.  Utilisation reports are used by the benchmark harness to
+//! explain *which* resource bound each figure's plateau — the analysis
+//! the paper performs by comparing against raw hardware bandwidth.
+
+use crate::step::ResourceId;
+use crate::time::SimTime;
+
+/// Per-resource busy accounting.
+#[derive(Debug, Default, Clone)]
+pub struct Monitor {
+    /// Total units moved through each resource.
+    busy_units: Vec<f64>,
+    enabled: bool,
+}
+
+/// One row of a utilisation report.
+#[derive(Debug, Clone)]
+pub struct Utilisation {
+    /// Resource this row describes.
+    pub resource: ResourceId,
+    /// Units moved through the resource during the run.
+    pub units: f64,
+    /// Mean throughput over the interval, units/second.
+    pub mean_rate: f64,
+    /// Mean throughput as a fraction of capacity (0..=1).
+    pub fraction: f64,
+}
+
+impl Monitor {
+    /// A monitor that records nothing (zero overhead).
+    pub fn disabled() -> Self {
+        Monitor { busy_units: Vec::new(), enabled: false }
+    }
+
+    /// A recording monitor.
+    pub fn enabled() -> Self {
+        Monitor { busy_units: Vec::new(), enabled: true }
+    }
+
+    /// Whether accounting is active.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Credit `units` of work to `r`.
+    #[inline]
+    pub(crate) fn credit(&mut self, r: ResourceId, units: f64) {
+        if !self.enabled {
+            return;
+        }
+        let i = r.0 as usize;
+        if self.busy_units.len() <= i {
+            self.busy_units.resize(i + 1, 0.0);
+        }
+        self.busy_units[i] += units;
+    }
+
+    /// Units moved through `r` so far.
+    pub fn units(&self, r: ResourceId) -> f64 {
+        self.busy_units.get(r.0 as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot of all busy integrals, padded to `n` resources.
+    pub fn snapshot(&self, n: usize) -> Vec<f64> {
+        let mut v = self.busy_units.clone();
+        v.resize(n.max(v.len()), 0.0);
+        v
+    }
+
+    /// Utilisation report over `[t0, t1]` for resources with the given
+    /// capacities (indexed by resource id).
+    pub fn report(&self, caps: &[f64], t0: SimTime, t1: SimTime) -> Vec<Utilisation> {
+        let dt = t1.secs_since(t0);
+        (0..caps.len())
+            .map(|i| {
+                let units = self.busy_units.get(i).copied().unwrap_or(0.0);
+                let mean_rate = if dt > 0.0 { units / dt } else { 0.0 };
+                let fraction = if caps[i] > 0.0 { mean_rate / caps[i] } else { 0.0 };
+                Utilisation { resource: ResourceId(i as u32), units, mean_rate, fraction }
+            })
+            .collect()
+    }
+
+    /// Drop all accumulated accounting.
+    pub fn reset(&mut self) {
+        self.busy_units.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut m = Monitor::disabled();
+        m.credit(ResourceId(0), 5.0);
+        assert_eq!(m.units(ResourceId(0)), 0.0);
+    }
+
+    #[test]
+    fn credit_accumulates() {
+        let mut m = Monitor::enabled();
+        m.credit(ResourceId(2), 5.0);
+        m.credit(ResourceId(2), 2.5);
+        assert!((m.units(ResourceId(2)) - 7.5).abs() < 1e-12);
+        assert_eq!(m.units(ResourceId(0)), 0.0);
+    }
+
+    #[test]
+    fn report_computes_fractions() {
+        let mut m = Monitor::enabled();
+        m.credit(ResourceId(0), 50.0);
+        let rep = m.report(&[100.0], SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        assert!((rep[0].mean_rate - 50.0).abs() < 1e-9);
+        assert!((rep[0].fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Monitor::enabled();
+        m.credit(ResourceId(1), 9.0);
+        m.reset();
+        assert_eq!(m.units(ResourceId(1)), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Work descriptions: op chains built from delays and shared transfers.
+
+/// Identifier of a capacity resource registered with the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+/// One node of an op chain.
+///
+/// Storage clients translate logical operations ("write 1 MiB to Array
+/// shard on target 12") into `Step` trees; the engine only ever sees
+/// these trees, never storage semantics.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Completes immediately.  `Seq`/`Par` of nothing normalise to this.
+    Noop,
+    /// A fixed latency in nanoseconds (CPU overhead, RPC round trip,
+    /// device latency…).  Not subject to sharing.
+    Delay(u64),
+    /// Move `units` through every resource in `path` simultaneously at
+    /// the max-min fair rate.  Units are bytes for bandwidth resources
+    /// and operations for service resources.
+    Transfer { units: f64, path: Vec<ResourceId> },
+    /// Run sub-steps one after the other.
+    Seq(Vec<Step>),
+    /// Run sub-steps concurrently; completes when all complete.
+    Par(Vec<Step>),
+}
+
+impl Step {
+    /// A fixed delay of `ns` nanoseconds (no-op when zero).
+    #[inline]
+    pub fn delay(ns: u64) -> Step {
+        if ns == 0 {
+            Step::Noop
+        } else {
+            Step::Delay(ns)
+        }
+    }
+
+    /// A fixed delay given in microseconds.
+    #[inline]
+    pub fn delay_us(us: f64) -> Step {
+        Step::delay((us * 1_000.0).round() as u64)
+    }
+
+    /// A shared transfer of `units` through `path`.
+    ///
+    /// Degenerate transfers (no units, or an empty path) normalise to
+    /// [`Step::Noop`]: a zero-byte move takes no time, and a move that
+    /// touches no modelled resource is a modelling error we make harmless.
+    pub fn transfer(units: f64, path: impl IntoIterator<Item = ResourceId>) -> Step {
+        let path: Vec<ResourceId> = path.into_iter().collect();
+        if units <= 0.0 || path.is_empty() {
+            return Step::Noop;
+        }
+        debug_assert!(units.is_finite());
+        Step::Transfer { units, path }
+    }
+
+    /// Sequential composition, dropping no-ops and flattening singletons.
+    pub fn seq(steps: impl IntoIterator<Item = Step>) -> Step {
+        let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
+        match v.len() {
+            0 => Step::Noop,
+            1 => v.pop().unwrap(),
+            _ => Step::Seq(v),
+        }
+    }
+
+    /// Parallel composition, dropping no-ops and flattening singletons.
+    pub fn par(steps: impl IntoIterator<Item = Step>) -> Step {
+        let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
+        match v.len() {
+            0 => Step::Noop,
+            1 => v.pop().unwrap(),
+            _ => Step::Par(v),
+        }
+    }
+
+    /// Append `next` after `self`, reusing an existing `Seq` spine.
+    pub fn then(self, next: Step) -> Step {
+        match (self, next) {
+            (Step::Noop, n) => n,
+            (s, Step::Noop) => s,
+            (Step::Seq(mut v), Step::Seq(w)) => {
+                v.extend(w);
+                Step::Seq(v)
+            }
+            (Step::Seq(mut v), n) => {
+                v.push(n);
+                Step::Seq(v)
+            }
+            (s, Step::Seq(mut w)) => {
+                w.insert(0, s);
+                Step::Seq(w)
+            }
+            (s, n) => Step::Seq(vec![s, n]),
+        }
+    }
+
+    /// True for steps that complete instantly.
+    #[inline]
+    pub fn is_noop(&self) -> bool {
+        matches!(self, Step::Noop)
+    }
+
+    /// Sum of all transferred units in the tree (diagnostics/tests).
+    pub fn total_units(&self) -> f64 {
+        match self {
+            Step::Noop | Step::Delay(_) => 0.0,
+            Step::Transfer { units, .. } => *units,
+            Step::Seq(v) | Step::Par(v) => v.iter().map(Step::total_units).sum(),
+        }
+    }
+
+    /// Sum of all fixed delays when executed sequentially (`Par` counts
+    /// the maximum of its branches).  Diagnostics/tests only.
+    pub fn critical_delay_ns(&self) -> u64 {
+        match self {
+            Step::Noop | Step::Transfer { .. } => 0,
+            Step::Delay(ns) => *ns,
+            Step::Seq(v) => v.iter().map(Step::critical_delay_ns).sum(),
+            Step::Par(v) => v.iter().map(Step::critical_delay_ns).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> ResourceId {
+        ResourceId(n)
+    }
+
+    #[test]
+    fn degenerate_transfers_normalise() {
+        assert!(Step::transfer(0.0, [r(1)]).is_noop());
+        assert!(Step::transfer(10.0, []).is_noop());
+        assert!(!Step::transfer(10.0, [r(1)]).is_noop());
+    }
+
+    #[test]
+    fn seq_par_flatten() {
+        assert!(Step::seq([]).is_noop());
+        assert!(Step::par([Step::Noop, Step::Noop]).is_noop());
+        match Step::seq([Step::delay(5)]) {
+            Step::Delay(5) => {}
+            s => panic!("expected flattened delay, got {s:?}"),
+        }
+        match Step::seq([Step::delay(5), Step::Noop, Step::delay(6)]) {
+            Step::Seq(v) => assert_eq!(v.len(), 2),
+            s => panic!("expected Seq, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn then_builds_flat_sequences() {
+        let s = Step::delay(1).then(Step::delay(2)).then(Step::delay(3));
+        match &s {
+            Step::Seq(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flat Seq, got {other:?}"),
+        }
+        assert_eq!(s.critical_delay_ns(), 6);
+        assert!(Step::Noop.then(Step::Noop).is_noop());
+    }
+
+    #[test]
+    fn totals() {
+        let s = Step::seq([
+            Step::transfer(10.0, [r(0)]),
+            Step::par([Step::transfer(5.0, [r(1)]), Step::delay(100)]),
+        ]);
+        assert!((s.total_units() - 15.0).abs() < 1e-12);
+        assert_eq!(s.critical_delay_ns(), 100);
+    }
+
+    #[test]
+    fn delay_us_rounds() {
+        match Step::delay_us(1.5) {
+            Step::Delay(ns) => assert_eq!(ns, 1_500),
+            s => panic!("{s:?}"),
+        }
+        assert!(Step::delay_us(0.0).is_noop());
+    }
+}

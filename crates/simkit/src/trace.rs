@@ -1,0 +1,96 @@
+//! Optional event tracing: a bounded in-memory log of op completions
+//! for debugging cost models and inspecting schedules.
+//!
+//! Tracing is off by default (zero overhead beyond a branch); when
+//! enabled the scheduler records `(time, op)` pairs which can be dumped
+//! as a text timeline.
+
+use crate::engine::OpId;
+use crate::time::SimTime;
+
+/// A bounded completion log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    events: Vec<(SimTime, OpId)>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Disabled trace (the default).
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// Recording trace keeping at most `cap` events (older events are
+    /// kept; overflow is counted, not stored).
+    pub fn bounded(cap: usize) -> Trace {
+        Trace { enabled: true, cap, events: Vec::new(), dropped: 0 }
+    }
+
+    /// Whether events are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, at: SimTime, op: OpId) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.cap {
+            self.events.push((at, op));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded `(completion time, op)` pairs, in completion order.
+    pub fn events(&self) -> &[(SimTime, OpId)] {
+        &self.events
+    }
+
+    /// Completions that did not fit in the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render a text timeline (one line per completion).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (t, op) in &self.events {
+            let _ = writeln!(out, "{:>14}  op {}", t.to_string(), op.0);
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... and {} more completions (bound reached)", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::from_millis(1), OpId(1));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_keeps_prefix_and_counts_overflow() {
+        let mut t = Trace::bounded(2);
+        for i in 0..5u64 {
+            t.record(SimTime::from_millis(i), OpId(i));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let text = t.render();
+        assert!(text.contains("op 0"));
+        assert!(text.contains("3 more completions"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Metadata stress: the mdtest-style workload (file create / stat /
+//! remove storms) on DFUSE-over-DAOS versus Lustre — the "metadata and
+//! small I/O" half of the paper's conclusion C4.
+//!
+//! ```text
+//! cargo run --release --example metadata_stress
+//! ```
+
+use benchkit::run_phase;
+use cluster::{Calibration, ClusterSpec};
+use daos_core::{ContainerProps, DaosSystem, DataMode};
+use daos_dfs::{Dfs, DfsOpts};
+use daos_dfuse::{DfuseMount, DfuseOpts};
+use ior_bench::{MdPhase, Mdtest, MdtestConfig};
+use lustre_sim::{LustreDataMode, LustreSystem, StripeOpts};
+use simkit::{run, OpId, Scheduler, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Sink;
+impl World for Sink {
+    fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
+}
+
+fn create_rate(dfuse: bool, procs: usize, nodes: usize, cal: &Calibration) -> f64 {
+    let mut sched = Scheduler::new();
+    sched.set_coalescing(2_000);
+    let topo = ClusterSpec::new(8, nodes).with_cal(cal.clone()).build(&mut sched);
+    let fs: Box<dyn cluster::posix::PosixFs> = if dfuse {
+        let mut daos = DaosSystem::deploy(&topo, &mut sched, 8, DataMode::Sized);
+        let (cid, s) = daos.cont_create(0, ContainerProps::default());
+        sched.submit(s, OpId(0));
+        run(&mut sched, &mut Sink);
+        let daos = Rc::new(RefCell::new(daos));
+        let (dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).unwrap();
+        sched.submit(s, OpId(0));
+        run(&mut sched, &mut Sink);
+        // metadata caching on: lookups of the shared parent directories
+        // come from the kernel dentry cache, as in real mdtest runs
+        let opts = DfuseOpts { metadata_caching: true, ..Default::default() };
+        Box::new(DfuseMount::mount(dfs, &mut sched, opts))
+    } else {
+        Box::new(LustreSystem::deploy(
+            &topo,
+            &mut sched,
+            8,
+            LustreDataMode::Sized,
+            StripeOpts::default(),
+        ))
+    };
+    let mut md = Mdtest::new(MdtestConfig::new(procs, nodes, 48), fs);
+    let create = run_phase(&mut sched, &mut md);
+    // keep the other phases exercised too
+    md.set_phase(MdPhase::Stat);
+    let _ = run_phase(&mut sched, &mut md);
+    md.set_phase(MdPhase::Remove);
+    let _ = run_phase(&mut sched, &mut md);
+    create.iops()
+}
+
+fn main() {
+    let cal = Calibration::default();
+    println!("mdtest file creates/s, 8 storage servers, growing client load\n");
+    println!(
+        "{:>10} {:>18} {:>18} {:>10}",
+        "processes", "DFUSE (DAOS)", "Lustre", "ratio"
+    );
+    for (procs, nodes) in [(64usize, 4usize), (256, 16), (1024, 32)] {
+        let daos = create_rate(true, procs, nodes, &cal);
+        let lustre = create_rate(false, procs, nodes, &cal);
+        println!(
+            "{procs:>10} {:>14.1} k/s {:>14.1} k/s {:>10.2}",
+            daos / 1e3,
+            lustre / 1e3,
+            daos / lustre
+        );
+    }
+    println!(
+        "\nLustre's single MDS saturates and stays flat; DAOS's metadata is\n\
+         served by every engine, so the create rate keeps scaling with the\n\
+         client load — the paper's conclusion C4 in one table."
+    );
+}

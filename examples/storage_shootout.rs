@@ -1,0 +1,55 @@
+//! The Fig. 9 comparison in miniature: fdb-hammer against DAOS, Lustre
+//! and Ceph deployed on identical hardware.
+//!
+//! ```text
+//! cargo run --release --example storage_shootout
+//! ```
+
+use benchkit::scenarios::{run_scenario, RunSpec, Scenario};
+use cluster::{Calibration, GIB};
+
+fn main() {
+    let cal = Calibration::default();
+    let mut spec = RunSpec::new(8, 8, 16);
+    spec.ops_per_proc = 48;
+
+    println!(
+        "fdb-hammer, {} processes x {} x 1 MiB fields, 8 storage servers\n",
+        spec.procs(),
+        spec.ops_per_proc
+    );
+    println!("{:<22} {:>14} {:>14}", "store", "write GiB/s", "read GiB/s");
+    let mut results = Vec::new();
+    for (name, scen) in [
+        ("DAOS (libdaos)", Scenario::FdbDaos),
+        ("Lustre (POSIX)", Scenario::FdbLustre),
+        ("Ceph (librados)", Scenario::FdbCeph),
+    ] {
+        let r = run_scenario(&spec, scen, &cal);
+        println!(
+            "{name:<22} {:>14.2} {:>14.2}",
+            r.write.bandwidth() / GIB,
+            r.read.bandwidth() / GIB
+        );
+        results.push((name, r));
+    }
+    let daos_read = results[0].1.read.bandwidth();
+    let lustre_read = results[1].1.read.bandwidth();
+    let ceph_read = results[2].1.read.bandwidth();
+    println!();
+    if lustre_read < daos_read {
+        println!(
+            "Lustre reads trail DAOS by {:.1}x: every field retrieval opens and\n\
+             closes files against ONE metadata server.",
+            daos_read / lustre_read
+        );
+    }
+    if ceph_read < daos_read {
+        println!(
+            "Ceph reaches {:.0}% of DAOS: per-OSD processing and WAL write\n\
+             amplification cost bandwidth even with balanced placement groups.",
+            100.0 * ceph_read / daos_read
+        );
+    }
+    println!("\nThe full-scale version of this comparison is `repro fig9`.");
+}

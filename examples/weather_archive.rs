@@ -1,0 +1,87 @@
+//! A numerical-weather-prediction archive pipeline on FDB — the
+//! domain scenario that motivates the paper.
+//!
+//! Four "model writer" processes archive one forecast cycle (members ×
+//! params × levels) through FDB's DAOS backend; a "product generator"
+//! then retrieves a slice of the fields.  Everything round-trips with
+//! real bytes.
+//!
+//! ```text
+//! cargo run --release --example weather_archive
+//! ```
+
+use cluster::{ClusterSpec, Payload, GIB, MIB};
+use daos_core::{ContainerProps, DaosSystem, DataMode, ObjectClass};
+use fdb_sim::{Fdb, FdbDaos, FieldKey};
+use simkit::{run, OpId, Scheduler, SimTime, SplitMix64, Step, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Done(SimTime);
+impl World for Done {
+    fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+        self.0 = sched.now();
+    }
+}
+
+fn exec(sched: &mut Scheduler, step: Step) {
+    sched.submit(step, OpId(0));
+    run(sched, &mut Done(SimTime::ZERO));
+}
+
+fn main() {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(4, 2).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, 4, DataMode::Full);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    exec(&mut sched, s);
+    let daos = Rc::new(RefCell::new(daos));
+    let (mut fdb, s) = FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
+    exec(&mut sched, s);
+
+    // --- archive: 4 ensemble members, 8 params x 4 levels each ---------
+    let field_bytes = MIB as usize / 4;
+    let mut rng = SplitMix64::new(2026_0706);
+    let mut archived = Vec::new();
+    let t0 = sched.now();
+    for member in 0..4usize {
+        for i in 0..32usize {
+            let key = FieldKey::sequence(member, i);
+            let mut field = vec![0u8; field_bytes];
+            rng.fill_bytes(&mut field);
+            let step = fdb
+                .archive(member % 2, member, &key, Payload::Bytes(field.clone()))
+                .unwrap();
+            exec(&mut sched, step);
+            archived.push((key, field));
+        }
+        let step = fdb.flush(member % 2, member).unwrap();
+        exec(&mut sched, step);
+    }
+    let t_archive = sched.now().secs_since(t0);
+    let volume = archived.len() as f64 * field_bytes as f64;
+    println!(
+        "archived {} fields ({:.1} MiB) in {:.3}s simulated -> {:.2} GiB/s",
+        archived.len(),
+        volume / MIB,
+        t_archive,
+        volume / t_archive / GIB
+    );
+
+    // --- retrieve: the product generator pulls every 4th field ----------
+    let t0 = sched.now();
+    let mut checked = 0;
+    for (key, expect) in archived.iter().step_by(4) {
+        let (data, step) = fdb.retrieve(1, 99, key).unwrap();
+        exec(&mut sched, step);
+        assert_eq!(data.bytes().unwrap(), &expect[..], "field {key} corrupt");
+        checked += 1;
+    }
+    let t_retrieve = sched.now().secs_since(t0);
+    println!(
+        "retrieved and verified {checked} fields in {:.3}s simulated \
+         (every retrieval paid its ~10 Key-Value index lookups)",
+        t_retrieve
+    );
+    println!("total simulated time: {}", sched.now());
+}

@@ -1,0 +1,30 @@
+//! # daos-io-sim — reproduction of *Exploring DAOS Interfaces and
+//! Performance* (SC 2024)
+//!
+//! This facade crate re-exports the whole suite:
+//!
+//! * [`simkit`] — discrete-event, flow-level cluster simulator;
+//! * [`cluster`] — the paper's GCP NVMe test system as hardware models;
+//! * [`daos_core`] — the DAOS-like object store (pools, containers,
+//!   Key-Values, Arrays, object classes, replication, erasure coding);
+//! * [`daos_dfs`] / [`daos_dfuse`] — the POSIX interfaces (libdfs, DFUSE
+//!   and the interception library);
+//! * [`lustre_sim`] / [`ceph_sim`] — the baseline storage systems;
+//! * [`hdf5_lite`], [`fdb_sim`], [`ior_bench`], [`field_io`] — the
+//!   benchmark applications from the paper;
+//! * [`benchkit`] — sweeps, statistics and figure regeneration.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use benchkit;
+pub use ceph_sim;
+pub use cluster;
+pub use daos_core;
+pub use daos_dfs;
+pub use daos_dfuse;
+pub use fdb_sim;
+pub use field_io;
+pub use hdf5_lite;
+pub use ior_bench;
+pub use lustre_sim;
+pub use simkit;
