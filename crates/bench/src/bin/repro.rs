@@ -60,9 +60,17 @@ fn analyze(cal: &Calibration) {
             r.write.bandwidth() / GIB,
             r.read.bandwidth() / GIB
         );
-        println!("{:<24} {:>12} {:>12}", "resource", "write util", "read util");
+        println!(
+            "{:<24} {:>12} {:>12}",
+            "resource", "write util", "read util"
+        );
         for u in uses {
-            println!("{:<24} {:>11.1}% {:>11.1}%", u.name, u.write_frac * 100.0, u.read_frac * 100.0);
+            println!(
+                "{:<24} {:>11.1}% {:>11.1}%",
+                u.name,
+                u.write_frac * 100.0,
+                u.read_frac * 100.0
+            );
         }
     }
 }
@@ -91,8 +99,21 @@ fn main() {
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "hw", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig6-rf2", "fig7", "fig8",
-            "fig9", "lustre-ior", "ceph-ior", "ablations", "mdtest",
+            "hw",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig6-rf2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "lustre-ior",
+            "ceph-ior",
+            "ablations",
+            "mdtest",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -137,6 +158,10 @@ fn main() {
         println!("\n################ paper-claim verdicts ################");
         print!("{}", benchkit::verdict::render(&verdicts));
         let failed = verdicts.iter().filter(|v| !v.pass).count();
-        println!("\n{} of {} claims reproduced", verdicts.len() - failed, verdicts.len());
+        println!(
+            "\n{} of {} claims reproduced",
+            verdicts.len() - failed,
+            verdicts.len()
+        );
     }
 }

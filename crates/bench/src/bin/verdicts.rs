@@ -57,7 +57,11 @@ fn main() {
     let verdicts = benchkit::verdict::evaluate(&figs);
     print!("{}", benchkit::verdict::render(&verdicts));
     let failed = verdicts.iter().filter(|v| !v.pass).count();
-    println!("\n{} of {} claims reproduced", verdicts.len() - failed, verdicts.len());
+    println!(
+        "\n{} of {} claims reproduced",
+        verdicts.len() - failed,
+        verdicts.len()
+    );
     if failed > 0 {
         std::process::exit(1);
     }

@@ -139,6 +139,7 @@ pub fn run_phase<W: ProcWorkload>(sched: &mut Scheduler, wl: &mut W) -> PhaseRes
         t_end = sched.now();
     }
 
+    // simlint::allow(env-dependent-sim) — opt-in diagnostics printout; no effect on results
     if std::env::var_os("SIMKIT_DIAG").is_some() {
         eprintln!(
             "[diag] recomputes={} flow_visits={} fill_iters={} settle={:.1}s rebuild={:.1}s solve={:.1}s ({} procs x {} ops)",
@@ -201,13 +202,22 @@ mod tests {
     fn bandwidth_equals_capacity_when_saturated() {
         let mut sched = Scheduler::new();
         let res = sched.add_resource("r", 1000.0);
-        let mut wl = Uniform { procs: 4, ops: 25, bytes: 10.0, res };
+        let mut wl = Uniform {
+            procs: 4,
+            ops: 25,
+            bytes: 10.0,
+            res,
+        };
         let r = run_phase(&mut sched, &mut wl);
         assert_eq!(r.ops, 100);
         assert!((r.bytes - 1000.0).abs() < 1e-9);
         // 1000 bytes through 1000 B/s = 1 s, plus up to 2 ms of start
         // stagger
-        assert!(r.seconds >= 1.0 - 1e-6 && r.seconds < 1.003, "{}", r.seconds);
+        assert!(
+            r.seconds >= 1.0 - 1e-6 && r.seconds < 1.003,
+            "{}",
+            r.seconds
+        );
         assert!((r.bandwidth() - 1000.0).abs() < 5.0);
         assert!((r.iops() - 100.0).abs() < 0.5);
     }
@@ -251,7 +261,12 @@ mod tests {
     fn zero_ops_is_safe() {
         let mut sched = Scheduler::new();
         let res = sched.add_resource("r", 10.0);
-        let mut wl = Uniform { procs: 2, ops: 0, bytes: 1.0, res };
+        let mut wl = Uniform {
+            procs: 2,
+            ops: 0,
+            bytes: 1.0,
+            res,
+        };
         let r = run_phase(&mut sched, &mut wl);
         assert_eq!(r.ops, 0);
         assert_eq!(r.bandwidth(), 0.0);

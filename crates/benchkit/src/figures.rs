@@ -132,14 +132,22 @@ fn sweep_to_figure(
                 .iter()
                 .map(|(ppn, stats)| {
                     let (mean, std) = metric.extract(stats);
-                    Point { x: *ppn as f64, mean, std }
+                    Point {
+                        x: *ppn as f64,
+                        mean,
+                        std,
+                    }
                 })
                 .collect(),
         })
         .collect();
     Figure {
         id: id.to_string(),
-        title: format!("{} — {}, {servers} server nodes", scen.name(), metric.short()),
+        title: format!(
+            "{} — {}, {servers} server nodes",
+            scen.name(),
+            metric.short()
+        ),
         x_label: "processes per client node".into(),
         y_label: metric.label().into(),
         series,
@@ -181,7 +189,11 @@ pub fn hardware_table() -> Figure {
             .zip(t.iter())
             .map(|(n, m)| Series {
                 name: n.to_string(),
-                points: vec![Point { x: 0.0, mean: m.bandwidth() / GIB, std: 0.0 }],
+                points: vec![Point {
+                    x: 0.0,
+                    mean: m.bandwidth() / GIB,
+                    std: 0.0,
+                }],
             })
             .collect(),
     }
@@ -197,7 +209,14 @@ pub fn fig1(cal: &Calibration) -> Vec<Figure> {
     ];
     apis.iter()
         .flat_map(|(ids, scen)| {
-            opt_pair(*ids, *scen, 16, (Metric::WriteBw, Metric::ReadBw), cal, |_| {})
+            opt_pair(
+                *ids,
+                *scen,
+                16,
+                (Metric::WriteBw, Metric::ReadBw),
+                cal,
+                |_| {},
+            )
         })
         .collect()
 }
@@ -211,11 +230,18 @@ pub fn fig2(cal: &Calibration) -> Vec<Figure> {
     cases
         .iter()
         .flat_map(|(ids, scen)| {
-            opt_pair(*ids, *scen, 16, (Metric::WriteIops, Metric::ReadIops), cal, |spec| {
-                spec.transfer = 1 << 10;
-                // small ops are cheap: run more of them per process
-                spec.ops_per_proc = (spec.ops_per_proc * 4).min(1024);
-            })
+            opt_pair(
+                *ids,
+                *scen,
+                16,
+                (Metric::WriteIops, Metric::ReadIops),
+                cal,
+                |spec| {
+                    spec.transfer = 1 << 10;
+                    // small ops are cheap: run more of them per process
+                    spec.ops_per_proc = (spec.ops_per_proc * 4).min(1024);
+                },
+            )
         })
         .collect()
 }
@@ -231,7 +257,14 @@ pub fn fig3(cal: &Calibration) -> Vec<Figure> {
     cases
         .iter()
         .flat_map(|(ids, scen)| {
-            opt_pair(*ids, *scen, 16, (Metric::WriteBw, Metric::ReadBw), cal, |_| {})
+            opt_pair(
+                *ids,
+                *scen,
+                16,
+                (Metric::WriteBw, Metric::ReadBw),
+                cal,
+                |_| {},
+            )
         })
         .collect()
 }
@@ -245,7 +278,14 @@ pub fn fig4(cal: &Calibration) -> Vec<Figure> {
     cases
         .iter()
         .flat_map(|(ids, scen)| {
-            opt_pair(*ids, *scen, 4, (Metric::WriteBw, Metric::ReadBw), cal, |_| {})
+            opt_pair(
+                *ids,
+                *scen,
+                4,
+                (Metric::WriteBw, Metric::ReadBw),
+                cal,
+                |_| {},
+            )
         })
         .collect()
 }
@@ -291,7 +331,11 @@ pub fn fig5(cal: &Calibration) -> Vec<Figure> {
                         .iter()
                         .map(|(srv, stats)| {
                             let (mean, std) = metric.extract(stats);
-                            Point { x: *srv as f64, mean, std }
+                            Point {
+                                x: *srv as f64,
+                                mean,
+                                std,
+                            }
                         })
                         .collect(),
                 })
@@ -323,10 +367,17 @@ pub fn fig6(cal: &Calibration, rf2: bool) -> Vec<Figure> {
     cases
         .iter()
         .flat_map(|(ids, scen)| {
-            opt_pair(*ids, *scen, 16, (Metric::WriteBw, Metric::ReadBw), cal, |spec| {
-                spec.data_class = data_class;
-                spec.meta_class = ObjectClass::RP_2;
-            })
+            opt_pair(
+                *ids,
+                *scen,
+                16,
+                (Metric::WriteBw, Metric::ReadBw),
+                cal,
+                |spec| {
+                    spec.data_class = data_class;
+                    spec.meta_class = ObjectClass::RP_2;
+                },
+            )
         })
         .map(|mut f| {
             f.title = format!("{} ({label})", f.title);
@@ -387,7 +438,11 @@ pub fn fig9(cal: &Calibration) -> Vec<Figure> {
                         .iter()
                         .map(|(ppn, stats)| {
                             let (mean, std) = metric.extract(stats);
-                            Point { x: *ppn as f64, mean, std }
+                            Point {
+                                x: *ppn as f64,
+                                mean,
+                                std,
+                            }
                         })
                         .collect(),
                 })
@@ -409,13 +464,23 @@ pub fn fig9(cal: &Calibration) -> Vec<Figure> {
 /// §III-E text result: IOR POSIX on Lustre approaches the hardware
 /// optimum for file-per-process I/O.
 pub fn ior_lustre_table(cal: &Calibration) -> Figure {
-    sweep_table("ior-lustre", "IOR POSIX on Lustre (§III-E)", Scenario::IorLustre, cal)
+    sweep_table(
+        "ior-lustre",
+        "IOR POSIX on Lustre (§III-E)",
+        Scenario::IorLustre,
+        cal,
+    )
 }
 
 /// §III-F text result: IOR on librados only reaches about half of the
 /// DAOS/Lustre bandwidth.
 pub fn ior_ceph_table(cal: &Calibration) -> Figure {
-    sweep_table("ior-ceph", "IOR on librados against Ceph (§III-F)", Scenario::IorCeph, cal)
+    sweep_table(
+        "ior-ceph",
+        "IOR on librados against Ceph (§III-F)",
+        Scenario::IorCeph,
+        cal,
+    )
 }
 
 fn sweep_table(id: &str, title: &str, scen: Scenario, cal: &Calibration) -> Figure {
@@ -492,13 +557,29 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
                     name,
                     points: if iops {
                         vec![
-                            Point { x: 0.0, mean: p.write_iops.mean / 1e3, std: p.write_iops.std / 1e3 },
-                            Point { x: 1.0, mean: p.read_iops.mean / 1e3, std: p.read_iops.std / 1e3 },
+                            Point {
+                                x: 0.0,
+                                mean: p.write_iops.mean / 1e3,
+                                std: p.write_iops.std / 1e3,
+                            },
+                            Point {
+                                x: 1.0,
+                                mean: p.read_iops.mean / 1e3,
+                                std: p.read_iops.std / 1e3,
+                            },
                         ]
                     } else {
                         vec![
-                            Point { x: 0.0, mean: p.write_bw.mean / GIB, std: p.write_bw.std / GIB },
-                            Point { x: 1.0, mean: p.read_bw.mean / GIB, std: p.read_bw.std / GIB },
+                            Point {
+                                x: 0.0,
+                                mean: p.write_bw.mean / GIB,
+                                std: p.write_bw.std / GIB,
+                            },
+                            Point {
+                                x: 1.0,
+                                mean: p.read_bw.mean / GIB,
+                                std: p.read_bw.std / GIB,
+                            },
                         ]
                     },
                 })
@@ -517,7 +598,10 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
             spec.transfer = 1 << 10;
             spec.ops_per_proc = 256;
             spec.fuse_threads = Some(t);
-            (format!("{t} FUSE threads"), run_reps(&spec, Scenario::IorDfuse, cal, REPS))
+            (
+                format!("{t} FUSE threads"),
+                run_reps(&spec, Scenario::IorDfuse, cal, REPS),
+            )
         })
         .collect();
     figs.push(variant_fig(
@@ -536,7 +620,11 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
             spec.ops_per_proc = 48;
             spec.dfuse_caching = on;
             (
-                if on { "caching on".into() } else { "caching off".into() },
+                if on {
+                    "caching on".into()
+                } else {
+                    "caching off".into()
+                },
                 run_reps(&spec, Scenario::IorDfuse, cal, REPS),
             )
         })
@@ -550,15 +638,19 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
     ));
 
     // A3: object class S1 vs SX for IOR Arrays (the paper found SX best)
-    let classes: Vec<(String, PointStats)> = [ObjectClass::S1, ObjectClass::Sharded(4), ObjectClass::SX]
-        .par_iter()
-        .map(|&c| {
-            let mut spec = RunSpec::new(8, 8, 16);
-            spec.ops_per_proc = 48;
-            spec.data_class = c;
-            (format!("{c}"), run_reps(&spec, Scenario::IorDaos, cal, REPS))
-        })
-        .collect();
+    let classes: Vec<(String, PointStats)> =
+        [ObjectClass::S1, ObjectClass::Sharded(4), ObjectClass::SX]
+            .par_iter()
+            .map(|&c| {
+                let mut spec = RunSpec::new(8, 8, 16);
+                spec.ops_per_proc = 48;
+                spec.data_class = c;
+                (
+                    format!("{c}"),
+                    run_reps(&spec, Scenario::IorDaos, cal, REPS),
+                )
+            })
+            .collect();
     figs.push(variant_fig(
         "abl-object-class",
         "Ablation: Array object class, IOR on libdaos",
@@ -574,7 +666,10 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
             let mut spec = RunSpec::new(8, 8, 16);
             spec.ops_per_proc = 48;
             spec.pg_num = pg;
-            (format!("{pg} PGs"), run_reps(&spec, Scenario::FdbCeph, cal, REPS))
+            (
+                format!("{pg} PGs"),
+                run_reps(&spec, Scenario::FdbCeph, cal, REPS),
+            )
         })
         .collect();
     figs.push(variant_fig(
@@ -597,7 +692,10 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
         spec.ops_per_proc = 48;
         spec.data_class = *c;
         spec.meta_class = ObjectClass::RP_2;
-        (name.to_string(), run_reps(&spec, Scenario::IorDaos, cal, REPS))
+        (
+            name.to_string(),
+            run_reps(&spec, Scenario::IorDaos, cal, REPS),
+        )
     })
     .collect();
     figs.push(variant_fig(
@@ -616,7 +714,10 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
             let mut spec = RunSpec::new(8, 2, 2);
             spec.ops_per_proc = 96;
             spec.queue_depth = qd;
-            (format!("QD {qd}"), run_reps(&spec, Scenario::IorDaos, cal, REPS))
+            (
+                format!("QD {qd}"),
+                run_reps(&spec, Scenario::IorDaos, cal, REPS),
+            )
         })
         .collect();
     figs.push(variant_fig(
@@ -636,7 +737,11 @@ pub fn ablations(cal: &Calibration) -> Vec<Figure> {
             spec.ops_per_proc = 48;
             spec.fieldio_size_check = on;
             (
-                if on { "size check (Field I/O)".into() } else { "no check (fdb-style)".into() },
+                if on {
+                    "size check (Field I/O)".into()
+                } else {
+                    "no check (fdb-style)".into()
+                },
                 run_reps(&spec, Scenario::FieldIo, cal, REPS),
             )
         })
@@ -659,20 +764,27 @@ pub fn mdtest_table(cal: &Calibration) -> Figure {
     use crate::scenarios::{run_mdtest, MdStore};
     let mut spec = RunSpec::new(16, 16, 16);
     spec.ops_per_proc = 48;
-    let series: Vec<Series> = [(MdStore::Dfuse, "DFUSE (DAOS)"), (MdStore::Lustre, "Lustre")]
-        .par_iter()
-        .map(|&(store, name)| {
-            let phases = run_mdtest(&spec, store, cal);
-            Series {
-                name: name.to_string(),
-                points: phases
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| Point { x: i as f64, mean: p.iops() / 1e3, std: 0.0 })
-                    .collect(),
-            }
-        })
-        .collect();
+    let series: Vec<Series> = [
+        (MdStore::Dfuse, "DFUSE (DAOS)"),
+        (MdStore::Lustre, "Lustre"),
+    ]
+    .par_iter()
+    .map(|&(store, name)| {
+        let phases = run_mdtest(&spec, store, cal);
+        Series {
+            name: name.to_string(),
+            points: phases
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Point {
+                    x: i as f64,
+                    mean: p.iops() / 1e3,
+                    std: 0.0,
+                })
+                .collect(),
+        }
+    })
+    .collect();
     Figure {
         id: "mdtest".into(),
         title: "mdtest metadata rates — DAOS vs Lustre (conclusion C4)".into(),

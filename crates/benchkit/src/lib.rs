@@ -9,10 +9,13 @@
 //! * [`workloads`] — Field I/O and fdb-hammer process adapters;
 //! * [`scenarios`] — builders for every benchmark × interface × store
 //!   combination, with three-repetition statistics;
+//! * [`determinism`] — the replay harness: every scenario twice from
+//!   fresh state, asserting identical digests and bandwidths;
 //! * [`figures`] — the per-figure sweeps (Fig. 1–9 plus the §III-A
 //!   hardware table and the §III-E/F IOR text results);
 //! * [`report`] — rendering to aligned text tables and CSV.
 
+pub mod determinism;
 pub mod driver;
 pub mod figures;
 pub mod report;
@@ -21,11 +24,12 @@ pub mod stats;
 pub mod verdict;
 pub mod workloads;
 
+pub use determinism::{replay_all, replay_scenario, ScenarioReplay};
 pub use driver::{run_phase, PhaseResult};
 pub use figures::{Figure, Point, Series};
 pub use scenarios::{
-    analyze_scenario, auto_ops, run_reps, run_scenario, PointStats, ResourceUse, RunResult,
-    RunSpec, Scenario,
+    analyze_scenario, auto_ops, run_reps, run_scenario, run_scenario_digest, PointStats,
+    ResourceUse, RunResult, RunSpec, Scenario,
 };
 pub use stats::Stats;
 pub use verdict::{evaluate, Verdict};

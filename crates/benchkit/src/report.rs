@@ -48,7 +48,14 @@ pub fn render_csv(fig: &Figure) -> String {
     let mut out = String::from("series,x,mean,std\n");
     for s in &fig.series {
         for p in &s.points {
-            let _ = writeln!(out, "{},{},{:.6},{:.6}", s.name.replace(',', ";"), p.x, p.mean, p.std);
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6}",
+                s.name.replace(',', ";"),
+                p.x,
+                p.mean,
+                p.std
+            );
         }
     }
     out
@@ -75,13 +82,25 @@ mod tests {
                 Series {
                     name: "a".into(),
                     points: vec![
-                        Point { x: 1.0, mean: 2.5, std: 0.1 },
-                        Point { x: 2.0, mean: 5.0, std: 0.2 },
+                        Point {
+                            x: 1.0,
+                            mean: 2.5,
+                            std: 0.1,
+                        },
+                        Point {
+                            x: 2.0,
+                            mean: 5.0,
+                            std: 0.2,
+                        },
                     ],
                 },
                 Series {
                     name: "b".into(),
-                    points: vec![Point { x: 1.0, mean: 1.0, std: 0.0 }],
+                    points: vec![Point {
+                        x: 1.0,
+                        mean: 1.0,
+                        std: 0.0,
+                    }],
                 },
             ],
         }
@@ -135,13 +154,19 @@ pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
     if xs.is_empty() {
         return String::new();
     }
-    let (xmin, xmax) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
     let ymax = ys.iter().fold(0.0f64, |a, &v| a.max(v)).max(1e-12);
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in fig.series.iter().enumerate() {
         let g = glyphs[si % glyphs.len()];
         for p in &s.points {
-            let xf = if xmax > xmin { (p.x - xmin) / (xmax - xmin) } else { 0.0 };
+            let xf = if xmax > xmin {
+                (p.x - xmin) / (xmax - xmin)
+            } else {
+                0.0
+            };
             let yf = (p.mean / ymax).clamp(0.0, 1.0);
             let col = (xf * (width - 1) as f64).round() as usize;
             let row = height - 1 - (yf * (height - 1) as f64).round() as usize;
@@ -150,7 +175,7 @@ pub fn render_chart(fig: &Figure, width: usize, height: usize) -> String {
     }
     let mut out = String::new();
     let _ = writeln!(out, "{} [{}]", fig.title, fig.id);
-    let _ = writeln!(out, "{:>8.1} ┤{}", ymax, "".to_string());
+    let _ = writeln!(out, "{ymax:>8.1} ┤");
     for row in &grid {
         let line: String = row.iter().collect();
         let _ = writeln!(out, "         │{line}");
@@ -178,8 +203,16 @@ mod chart_tests {
             series: vec![Series {
                 name: "s".into(),
                 points: vec![
-                    Point { x: 1.0, mean: 0.0, std: 0.0 },
-                    Point { x: 32.0, mean: 100.0, std: 0.0 },
+                    Point {
+                        x: 1.0,
+                        mean: 0.0,
+                        std: 0.0,
+                    },
+                    Point {
+                        x: 32.0,
+                        mean: 100.0,
+                        std: 0.0,
+                    },
                 ],
             }],
         };

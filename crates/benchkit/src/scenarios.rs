@@ -117,6 +117,22 @@ pub enum Scenario {
 }
 
 impl Scenario {
+    /// Every paper scenario, in presentation order.
+    pub const ALL: [Scenario; 12] = [
+        Scenario::IorDaos,
+        Scenario::IorDfs,
+        Scenario::IorDfuse,
+        Scenario::IorDfuseIl,
+        Scenario::IorHdf5DfuseIl,
+        Scenario::IorHdf5Daos,
+        Scenario::FieldIo,
+        Scenario::FdbDaos,
+        Scenario::IorLustre,
+        Scenario::FdbLustre,
+        Scenario::IorCeph,
+        Scenario::FdbCeph,
+    ];
+
     /// Display name matching the paper's legends.
     pub fn name(&self) -> &'static str {
         match self {
@@ -173,7 +189,11 @@ fn make_sched(spec: &RunSpec, with_monitor: bool) -> Scheduler {
     // completions (the quantum is far below any modelled latency but
     // merges whole waves of op completions into one fair-share solve),
     // and allow 2% slack in bottleneck selection.
-    sched.set_coalescing(if spec.transfer >= (256 << 10) { 100_000 } else { 2_000 });
+    sched.set_coalescing(if spec.transfer >= (256 << 10) {
+        100_000
+    } else {
+        2_000
+    });
     sched.set_fairshare_tolerance(0.02);
     sched
 }
@@ -182,6 +202,18 @@ fn make_sched(spec: &RunSpec, with_monitor: bool) -> Scheduler {
 pub fn run_scenario(spec: &RunSpec, scen: Scenario, cal: &Calibration) -> RunResult {
     let mut sched = make_sched(spec, false);
     run_scenario_on(&mut sched, spec, scen, cal).0
+}
+
+/// Like [`run_scenario`], but also returns the scheduler's replay digest
+/// (see [`simkit::trace::ReplayDigest`]): an order-sensitive hash of the
+/// full `(time, op)` completion stream, including deployment and setup
+/// traffic.  Two calls with equal arguments must return bit-identical
+/// results *and* digests — the property the determinism harness checks
+/// for every scenario (see [`crate::determinism`]).
+pub fn run_scenario_digest(spec: &RunSpec, scen: Scenario, cal: &Calibration) -> (RunResult, u64) {
+    let mut sched = make_sched(spec, false);
+    let (result, _) = run_scenario_on(&mut sched, spec, scen, cal);
+    (result, sched.digest())
 }
 
 /// Like [`run_scenario`], but with per-resource utilisation analysis:
@@ -204,7 +236,9 @@ pub fn analyze_scenario(
             let w_units = mid.get(i).copied().unwrap_or(0.0);
             let r_units = end[i] - w_units;
             ResourceUse {
-                name: sched.resource_name(simkit::ResourceId(i as u32)).to_string(),
+                name: sched
+                    .resource_name(simkit::ResourceId(i as u32))
+                    .to_string(),
                 write_frac: if result.write.seconds > 0.0 {
                     w_units / (caps[i] * result.write.seconds)
                 } else {
@@ -303,13 +337,19 @@ fn run_scenario_on(
                     let (dfs, s) = Dfs::format(daos.clone(), 0, cid, dfs_opts).expect("dfs");
                     exec(sched, s);
                     let rt = H5Runtime::new(sched, spec.client_nodes, cal);
-                    let mount =
-                        DfuseMount::mount(dfs, sched, DfuseOpts::with_interception());
-                    IorBackend::Hdf5Posix { rt, fs: Box::new(mount) }
+                    let mount = DfuseMount::mount(dfs, sched, DfuseOpts::with_interception());
+                    IorBackend::Hdf5Posix {
+                        rt,
+                        fs: Box::new(mount),
+                    }
                 }
                 Scenario::IorHdf5Daos => {
                     let rt = H5Runtime::new(sched, spec.client_nodes, cal);
-                    IorBackend::Hdf5Daos { rt, daos: daos.clone(), oclass: spec.data_class }
+                    IorBackend::Hdf5Daos {
+                        rt,
+                        daos: daos.clone(),
+                        oclass: spec.data_class,
+                    }
                 }
                 _ => unreachable!(),
             };
@@ -353,7 +393,10 @@ fn run_scenario_on(
                 sched,
                 spec.servers,
                 LustreDataMode::Sized,
-                StripeOpts { count: 8, size: 1 << 20 },
+                StripeOpts {
+                    count: 8,
+                    size: 1 << 20,
+                },
             );
             let mut ior = Ior::new(ior_cfg(spec.ops_per_proc), IorBackend::Posix(Box::new(fs)));
             two_phase(sched, &mut ior, |w| w.set_phase(Phase::Read))
@@ -365,7 +408,10 @@ fn run_scenario_on(
                 spec.servers,
                 LustreDataMode::Sized,
                 // the paper's fdb runs: stripe over 8 OSTs, 8 MiB stripes
-                StripeOpts { count: 8, size: 8 << 20 },
+                StripeOpts {
+                    count: 8,
+                    size: 8 << 20,
+                },
             );
             let fdb = FdbPosix::new(fs, cal.fdb_flush_bytes).expect("fdb");
             run_fdb(sched, fdb, spec)
@@ -376,7 +422,11 @@ fn run_scenario_on(
                 sched,
                 spec.servers,
                 CephDataMode::Sized,
-                CephPoolOpts { pg_num: spec.pg_num, replicas: 1, ec: None },
+                CephPoolOpts {
+                    pg_num: spec.pg_num,
+                    replicas: 1,
+                    ec: None,
+                },
             )
             .expect("ceph");
             // per-process objects are capped at 132 MiB: the paper runs
@@ -391,7 +441,11 @@ fn run_scenario_on(
                 sched,
                 spec.servers,
                 CephDataMode::Sized,
-                CephPoolOpts { pg_num: spec.pg_num, replicas: 1, ec: None },
+                CephPoolOpts {
+                    pg_num: spec.pg_num,
+                    replicas: 1,
+                    ec: None,
+                },
             )
             .expect("ceph");
             let fdb = FdbCeph::new(ceph);
@@ -423,7 +477,11 @@ fn two_phase<W: cluster::bench::ProcWorkload>(
     (RunResult { write, read }, mid)
 }
 
-fn run_fdb<B: fdb_sim::Fdb>(sched: &mut Scheduler, fdb: B, spec: &RunSpec) -> (RunResult, Vec<f64>) {
+fn run_fdb<B: fdb_sim::Fdb>(
+    sched: &mut Scheduler,
+    fdb: B,
+    spec: &RunSpec,
+) -> (RunResult, Vec<f64>) {
     let mut wl = FdbWorkload::new(
         fdb,
         spec.procs(),
@@ -501,7 +559,11 @@ mod tests {
         let p = run_reps(&spec, Scenario::IorDaos, &Calibration::default(), 3);
         assert_eq!(p.write_bw.n, 3);
         assert!(p.write_bw.mean > 0.0);
-        assert!(p.write_bw.rel_std() < 0.2, "spread {}", p.write_bw.rel_std());
+        assert!(
+            p.write_bw.rel_std() < 0.2,
+            "spread {}",
+            p.write_bw.rel_std()
+        );
         assert!(p.write_bw.std > 0.0, "perturbation must create spread");
     }
 }
@@ -534,7 +596,10 @@ pub fn run_mdtest(spec: &RunSpec, store: MdStore, cal: &Calibration) -> [PhaseRe
             let (dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).expect("dfs");
             exec(&mut sched, s);
             // mdtest runs use the kernel dentry cache (IO500 practice)
-            let opts = DfuseOpts { metadata_caching: true, ..Default::default() };
+            let opts = DfuseOpts {
+                metadata_caching: true,
+                ..Default::default()
+            };
             Box::new(DfuseMount::mount(dfs, &mut sched, opts))
         }
         MdStore::Lustre => Box::new(LustreSystem::deploy(

@@ -17,11 +17,19 @@ impl Stats {
     pub fn from(samples: &[f64]) -> Stats {
         let n = samples.len();
         if n == 0 {
-            return Stats { mean: 0.0, std: 0.0, n: 0 };
+            return Stats {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
-        Stats { mean, std: var.sqrt(), n }
+        Stats {
+            mean,
+            std: var.sqrt(),
+            n,
+        }
     }
 
     /// Relative standard deviation (coefficient of variation).

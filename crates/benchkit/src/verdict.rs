@@ -49,87 +49,208 @@ fn check(
 pub fn evaluate(figs: &[Figure]) -> Vec<Verdict> {
     let mut v = Vec::new();
 
-    check(&mut v, "C1-write", "IOR/libdaos write approaches the 61.76 GiB/s optimum at 16 servers",
-        figs, &["fig1a"], |f| {
+    check(
+        &mut v,
+        "C1-write",
+        "IOR/libdaos write approaches the 61.76 GiB/s optimum at 16 servers",
+        figs,
+        &["fig1a"],
+        |f| {
             let p = peak(f[0]);
             (p > 50.0 && p < 64.0, format!("peak {p:.1} GiB/s"))
-        });
-    check(&mut v, "C1-read", "IOR/libdaos read approaches ~90 GiB/s at 16 servers",
-        figs, &["fig1b"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C1-read",
+        "IOR/libdaos read approaches ~90 GiB/s at 16 servers",
+        figs,
+        &["fig1b"],
+        |f| {
             let p = peak(f[0]);
             (p > 75.0 && p < 100.0, format!("peak {p:.1} GiB/s"))
-        });
-    check(&mut v, "C1-apis", "all four APIs converge for 1 MiB transfers (within 15%)",
-        figs, &["fig1a", "fig1c", "fig1e", "fig1g"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C1-apis",
+        "all four APIs converge for 1 MiB transfers (within 15%)",
+        figs,
+        &["fig1a", "fig1c", "fig1e", "fig1g"],
+        |f| {
             let peaks: Vec<f64> = f.iter().map(|x| peak(x)).collect();
             let max = peaks.iter().cloned().fold(0.0f64, f64::max);
             let min = peaks.iter().cloned().fold(f64::MAX, f64::min);
             (min > max * 0.85, format!("peaks {peaks:.1?} GiB/s"))
-        });
-    check(&mut v, "Fig2-IL", "interception library beats DFUSE clearly at 1 KiB",
-        figs, &["fig2a", "fig2c"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "Fig2-IL",
+        "interception library beats DFUSE clearly at 1 KiB",
+        figs,
+        &["fig2a", "fig2c"],
+        |f| {
             let (dfuse, il) = (peak(f[0]), peak(f[1]));
-            (il > dfuse * 2.0, format!("DFUSE {dfuse:.0} vs IL {il:.0} KIOPS"))
-        });
-    check(&mut v, "C2-apps", "Field I/O and fdb-hammer reach IOR-class write bandwidth",
-        figs, &["fig3e", "fig3g", "fig1a"], |f| {
+            (
+                il > dfuse * 2.0,
+                format!("DFUSE {dfuse:.0} vs IL {il:.0} KIOPS"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "C2-apps",
+        "Field I/O and fdb-hammer reach IOR-class write bandwidth",
+        figs,
+        &["fig3e", "fig3g", "fig1a"],
+        |f| {
             let (fio, fdb, ior) = (peak(f[0]), peak(f[1]), peak(f[2]));
-            (fio > ior * 0.8 && fdb > ior * 0.85,
-             format!("FieldIO {fio:.1}, fdb {fdb:.1}, IOR {ior:.1} GiB/s"))
-        });
-    check(&mut v, "C2-fieldio-read", "Field I/O reads trail fdb-hammer's (size checks)",
-        figs, &["fig3f", "fig3h"], |f| {
+            (
+                fio > ior * 0.8 && fdb > ior * 0.85,
+                format!("FieldIO {fio:.1}, fdb {fdb:.1}, IOR {ior:.1} GiB/s"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "C2-fieldio-read",
+        "Field I/O reads trail fdb-hammer's (size checks)",
+        figs,
+        &["fig3f", "fig3h"],
+        |f| {
             let (fio, fdb) = (peak(f[0]), peak(f[1]));
             (fio < fdb, format!("FieldIO {fio:.1} vs fdb {fdb:.1} GiB/s"))
-        });
-    check(&mut v, "C2-hdf5", "HDF5 runs are inferior; HDF5/libdaos worst",
-        figs, &["fig3a", "fig3c", "fig1a"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C2-hdf5",
+        "HDF5 runs are inferior; HDF5/libdaos worst",
+        figs,
+        &["fig3a", "fig3c", "fig1a"],
+        |f| {
             let (dfuse, vol, ior) = (peak(f[0]), peak(f[1]), peak(f[2]));
-            (dfuse < ior * 0.75 && vol < dfuse,
-             format!("HDF5/IL {dfuse:.1}, HDF5/VOL {vol:.1}, IOR {ior:.1} GiB/s"))
-        });
-    check(&mut v, "Fig4-hdf5-small", "HDF5/libdaos keeps up with IOR at 4 servers",
-        figs, &["fig4a", "fig4c"], |f| {
+            (
+                dfuse < ior * 0.75 && vol < dfuse,
+                format!("HDF5/IL {dfuse:.1}, HDF5/VOL {vol:.1}, IOR {ior:.1} GiB/s"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "Fig4-hdf5-small",
+        "HDF5/libdaos keeps up with IOR at 4 servers",
+        figs,
+        &["fig4a", "fig4c"],
+        |f| {
             let (ior, vol) = (peak(f[0]), peak(f[1]));
-            (vol > ior * 0.8, format!("IOR {ior:.1} vs HDF5 {vol:.1} GiB/s"))
-        });
-    check(&mut v, "Fig5-scaling", "IOR scales ~linearly from 16 to 24 servers",
-        figs, &["fig5a"], |f| {
-            let s = f[0].series.iter().find(|s| s.name.contains("libdaos")).unwrap();
-            let y16 = s.points.iter().find(|p| p.x == 16.0).map(|p| p.mean).unwrap_or(0.0);
-            let y24 = s.points.iter().find(|p| p.x == 24.0).map(|p| p.mean).unwrap_or(0.0);
+            (
+                vol > ior * 0.8,
+                format!("IOR {ior:.1} vs HDF5 {vol:.1} GiB/s"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "Fig5-scaling",
+        "IOR scales ~linearly from 16 to 24 servers",
+        figs,
+        &["fig5a"],
+        |f| {
+            let s = f[0]
+                .series
+                .iter()
+                .find(|s| s.name.contains("libdaos"))
+                .unwrap();
+            let y16 = s
+                .points
+                .iter()
+                .find(|p| p.x == 16.0)
+                .map(|p| p.mean)
+                .unwrap_or(0.0);
+            let y24 = s
+                .points
+                .iter()
+                .find(|p| p.x == 24.0)
+                .map(|p| p.mean)
+                .unwrap_or(0.0);
             let ratio = y24 / y16.max(1e-9);
-            ((1.3..1.65).contains(&ratio), format!("16→24 servers: {y16:.1} → {y24:.1} ({ratio:.2}x)"))
-        });
-    check(&mut v, "C3-ec-write", "EC 2+1 write lands near 2/3 of the unprotected rate (~40 GiB/s)",
-        figs, &["fig6a", "fig1a"], |f| {
+            (
+                (1.3..1.65).contains(&ratio),
+                format!("16→24 servers: {y16:.1} → {y24:.1} ({ratio:.2}x)"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "C3-ec-write",
+        "EC 2+1 write lands near 2/3 of the unprotected rate (~40 GiB/s)",
+        figs,
+        &["fig6a", "fig1a"],
+        |f| {
             let (ec, plain) = (peak(f[0]), peak(f[1]));
             let ratio = ec / plain.max(1e-9);
-            ((0.55..0.8).contains(&ratio), format!("EC {ec:.1} vs plain {plain:.1} ({ratio:.2})"))
-        });
-    check(&mut v, "C3-ec-read", "EC 2+1 read is unharmed",
-        figs, &["fig6b", "fig1b"], |f| {
+            (
+                (0.55..0.8).contains(&ratio),
+                format!("EC {ec:.1} vs plain {plain:.1} ({ratio:.2})"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "C3-ec-read",
+        "EC 2+1 read is unharmed",
+        figs,
+        &["fig6b", "fig1b"],
+        |f| {
             let ratio = peak(f[0]) / peak(f[1]).max(1e-9);
             ((0.85..1.15).contains(&ratio), format!("ratio {ratio:.2}"))
-        });
-    check(&mut v, "C4-lustre-read", "fdb-hammer reads on Lustre cap near 40 GiB/s (MDS)",
-        figs, &["fig7b"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C4-lustre-read",
+        "fdb-hammer reads on Lustre cap near 40 GiB/s (MDS)",
+        figs,
+        &["fig7b"],
+        |f| {
             let p = peak(f[0]);
             ((30.0..50.0).contains(&p), format!("peak {p:.1} GiB/s"))
-        });
-    check(&mut v, "C4-lustre-write", "fdb-hammer writes on Lustre reach IOR-class bandwidth",
-        figs, &["fig7a", "fig1a"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C4-lustre-write",
+        "fdb-hammer writes on Lustre reach IOR-class bandwidth",
+        figs,
+        &["fig7a", "fig1a"],
+        |f| {
             let ratio = peak(f[0]) / peak(f[1]).max(1e-9);
             (ratio > 0.75, format!("ratio {ratio:.2}"))
-        });
-    check(&mut v, "C4-ceph", "fdb-hammer on Ceph: ~40 write / ~70 read GiB/s",
-        figs, &["fig8a", "fig8b"], |f| {
+        },
+    );
+    check(
+        &mut v,
+        "C4-ceph",
+        "fdb-hammer on Ceph: ~40 write / ~70 read GiB/s",
+        figs,
+        &["fig8a", "fig8b"],
+        |f| {
             let (w, r) = (peak(f[0]), peak(f[1]));
-            ((30.0..48.0).contains(&w) && (55.0..85.0).contains(&r),
-             format!("write {w:.1}, read {r:.1} GiB/s"))
-        });
-    check(&mut v, "C4-ordering", "only DAOS is fast for both bulk and small/metadata I/O",
-        figs, &["fig9a", "fig9b"], |f| {
+            (
+                (30.0..48.0).contains(&w) && (55.0..85.0).contains(&r),
+                format!("write {w:.1}, read {r:.1} GiB/s"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "C4-ordering",
+        "only DAOS is fast for both bulk and small/metadata I/O",
+        figs,
+        &["fig9a", "fig9b"],
+        |f| {
             let top = |fig: &Figure, name: &str| {
                 fig.series
                     .iter()
@@ -143,26 +264,55 @@ pub fn evaluate(figs: &[Figure]) -> Vec<Verdict> {
             let dr = top(f[1], "libdaos");
             let lr = top(f[1], "Lustre");
             let cr = top(f[1], "librados");
-            (dw >= lw * 0.95 && dw > cw && dr > lr && dr > cr && lr < dr * 0.75,
-             format!("write D/L/C {dw:.1}/{lw:.1}/{cw:.1}; read {dr:.1}/{lr:.1}/{cr:.1}"))
-        });
-    check(&mut v, "T-ior-ceph", "IOR on Ceph reaches roughly half of DAOS",
-        figs, &["ior-ceph", "fig1a", "fig1b"], |f| {
-            let w = f[0].series.iter().find(|s| s.name == "write")
-                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max)).unwrap_or(0.0);
-            let r = f[0].series.iter().find(|s| s.name == "read")
-                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max)).unwrap_or(0.0);
+            (
+                dw >= lw * 0.95 && dw > cw && dr > lr && dr > cr && lr < dr * 0.75,
+                format!("write D/L/C {dw:.1}/{lw:.1}/{cw:.1}; read {dr:.1}/{lr:.1}/{cr:.1}"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "T-ior-ceph",
+        "IOR on Ceph reaches roughly half of DAOS",
+        figs,
+        &["ior-ceph", "fig1a", "fig1b"],
+        |f| {
+            let w = f[0]
+                .series
+                .iter()
+                .find(|s| s.name == "write")
+                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max))
+                .unwrap_or(0.0);
+            let r = f[0]
+                .series
+                .iter()
+                .find(|s| s.name == "read")
+                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max))
+                .unwrap_or(0.0);
             let (dw, dr) = (peak(f[1]), peak(f[2]));
-            (w < dw * 0.65 && r < dr * 0.65,
-             format!("Ceph {w:.1}/{r:.1} vs DAOS {dw:.1}/{dr:.1} GiB/s"))
-        });
-    check(&mut v, "T-ior-lustre", "IOR on Lustre performs like IOR on DAOS",
-        figs, &["ior-lustre", "fig1a"], |f| {
-            let w = f[0].series.iter().find(|s| s.name == "write")
-                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max)).unwrap_or(0.0);
+            (
+                w < dw * 0.65 && r < dr * 0.65,
+                format!("Ceph {w:.1}/{r:.1} vs DAOS {dw:.1}/{dr:.1} GiB/s"),
+            )
+        },
+    );
+    check(
+        &mut v,
+        "T-ior-lustre",
+        "IOR on Lustre performs like IOR on DAOS",
+        figs,
+        &["ior-lustre", "fig1a"],
+        |f| {
+            let w = f[0]
+                .series
+                .iter()
+                .find(|s| s.name == "write")
+                .map(|s| s.points.iter().map(|p| p.mean).fold(0.0f64, f64::max))
+                .unwrap_or(0.0);
             let ratio = w / peak(f[1]).max(1e-9);
             (ratio > 0.8, format!("ratio {ratio:.2}"))
-        });
+        },
+    );
 
     v
 }
@@ -171,7 +321,7 @@ pub fn evaluate(figs: &[Figure]) -> Vec<Verdict> {
 pub fn render(verdicts: &[Verdict]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:<6} {}", "claim", "result", "evidence");
+    let _ = writeln!(out, "{:<18} {:<6} evidence", "claim", "result");
     for v in verdicts {
         let _ = writeln!(
             out,
@@ -198,7 +348,11 @@ mod tests {
             y_label: "y".into(),
             series: vec![Series {
                 name: "IOR/libdaos".into(),
-                points: vec![Point { x: 16.0, mean: peak_val, std: 0.0 }],
+                points: vec![Point {
+                    x: 16.0,
+                    mean: peak_val,
+                    std: 0.0,
+                }],
             }],
         }
     }

@@ -63,7 +63,12 @@ impl ProcWorkload for FieldIoWorkload {
                 .fio
                 .write_field(node, proc, idx, Payload::Sized(self.bytes))
                 .expect("field-io write"),
-            Phase::Read => self.fio.read_field(node, proc, idx).expect("field-io read").1,
+            Phase::Read => {
+                self.fio
+                    .read_field(node, proc, idx)
+                    .expect("field-io read")
+                    .1
+            }
         }
     }
 }

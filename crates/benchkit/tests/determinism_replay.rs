@@ -1,0 +1,52 @@
+//! End-to-end determinism check: every paper scenario, executed twice
+//! from fresh state, must produce identical replay digests and
+//! bit-identical bandwidths.  This is the runtime counterpart of the
+//! `simlint` static pass — if simulation state regresses to hash-ordered
+//! iteration (or sim logic starts reading clocks/environment), this test
+//! is what catches it.
+
+use benchkit::{replay_all, RunSpec, Scenario};
+use cluster::Calibration;
+
+#[test]
+fn every_scenario_replays_identically() {
+    // Small but non-trivial: multiple processes on multiple nodes so
+    // completions genuinely interleave, and enough ops per process to
+    // exercise setup, steady state and drain in both phases.
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 12;
+    let reports = replay_all(&spec, &Calibration::default());
+    assert_eq!(reports.len(), Scenario::ALL.len());
+    let mut failures = Vec::new();
+    for r in &reports {
+        if !r.deterministic() {
+            failures.push(format!(
+                "{}: digests {:#018x} vs {:#018x}, bandwidths {:?} vs {:?}",
+                r.scenario.name(),
+                r.digests[0],
+                r.digests[1],
+                r.bandwidths[0],
+                r.bandwidths[1],
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "nondeterministic scenarios:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn digest_distinguishes_workload_shape() {
+    // Changing the workload must change the digest: the digest reflects
+    // the schedule, not just "a run happened".
+    let cal = Calibration::default();
+    let mut a = RunSpec::new(1, 1, 2);
+    a.ops_per_proc = 8;
+    let mut b = a.clone();
+    b.ops_per_proc = 9;
+    let ra = benchkit::run_scenario_digest(&a, Scenario::IorDaos, &cal).1;
+    let rb = benchkit::run_scenario_digest(&b, Scenario::IorDaos, &cal).1;
+    assert_ne!(ra, rb);
+}

@@ -2,8 +2,8 @@
 //! protocol.
 
 use benchkit::scenarios::{run_scenario, RunSpec, Scenario};
-use benchkit::{run_phase, Stats};
 use benchkit::workloads::{FdbWorkload, FieldIoWorkload};
+use benchkit::{run_phase, Stats};
 use cluster::bench::{Phase, ProcWorkload};
 use cluster::{Calibration, ClusterSpec, GIB};
 use daos_core::{ContainerProps, DaosSystem, DataMode, ObjectClass};
@@ -18,7 +18,10 @@ impl World for Sink {
     fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
 }
 
-fn daos_fixture(servers: usize, clients: usize) -> (Scheduler, Rc<RefCell<DaosSystem>>, daos_core::ContainerId) {
+fn daos_fixture(
+    servers: usize,
+    clients: usize,
+) -> (Scheduler, Rc<RefCell<DaosSystem>>, daos_core::ContainerId) {
     let mut sched = Scheduler::new();
     let topo = ClusterSpec::new(servers, clients).build(&mut sched);
     let mut daos = DaosSystem::deploy(&topo, &mut sched, servers, DataMode::Sized);
@@ -37,7 +40,11 @@ fn fieldio_workload_write_then_read_phases() {
     let mut wl = FieldIoWorkload::new(fio, 8, 2, 12, 1 << 20);
     let w = run_phase(&mut sched, &mut wl);
     assert_eq!(w.ops, 96);
-    assert!(w.bandwidth() > 0.1 * GIB, "write bw {}", w.bandwidth() / GIB);
+    assert!(
+        w.bandwidth() > 0.1 * GIB,
+        "write bw {}",
+        w.bandwidth() / GIB
+    );
     wl.phase = Phase::Read;
     let r = run_phase(&mut sched, &mut wl);
     assert_eq!(r.ops, 96);
@@ -51,7 +58,10 @@ fn fdb_workload_counts_buffered_finalize_in_window() {
     sched.submit(s, OpId(0));
     run(&mut sched, &mut Sink);
     let mut wl = FdbWorkload::new(fdb, 4, 2, 10, 1 << 20);
-    assert!(wl.finalize_in_window(), "write phase flushes inside the window");
+    assert!(
+        wl.finalize_in_window(),
+        "write phase flushes inside the window"
+    );
     let w = run_phase(&mut sched, &mut wl);
     assert_eq!(w.ops, 40);
     wl.phase = Phase::Read;

@@ -21,7 +21,7 @@
 use cluster::payload::{Payload, ReadPayload};
 use cluster::Topology;
 use simkit::{ResourceId, Scheduler, Step};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Data-mode mirror of the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,14 +73,22 @@ pub struct CephPoolOpts {
 
 impl Default for CephPoolOpts {
     fn default() -> Self {
-        CephPoolOpts { pg_num: 1024, replicas: 1, ec: None }
+        CephPoolOpts {
+            pg_num: 1024,
+            replicas: 1,
+            ec: None,
+        }
     }
 }
 
 impl CephPoolOpts {
     /// An erasure-coded pool profile.
     pub fn erasure(k: u8, m: u8) -> Self {
-        CephPoolOpts { pg_num: 1024, replicas: 1, ec: Some((k, m)) }
+        CephPoolOpts {
+            pg_num: 1024,
+            replicas: 1,
+            ec: Some((k, m)),
+        }
     }
 
     /// OSDs every PG maps to (replicas, or `k + m` for EC pools).
@@ -106,7 +114,7 @@ pub struct CephSystem {
     osd_wbw: Vec<ResourceId>,
     /// Per-OSD read-path processing bandwidth.
     osd_rbw: Vec<ResourceId>,
-    objects: HashMap<String, RadosObject>,
+    objects: BTreeMap<String, RadosObject>,
     wal_factor: f64,
     max_object: f64,
     op_ns: u64,
@@ -189,7 +197,7 @@ impl CephSystem {
             osd_svc,
             osd_wbw,
             osd_rbw,
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             wal_factor: cal.osd_wal_factor,
             max_object: cal.rados_max_object_bytes,
             op_ns: cal.rados_op_ns,
@@ -262,7 +270,13 @@ impl CephSystem {
             Step::delay(self.topo.cal.nvme_read_lat_ns),
             Step::transfer(
                 bytes,
-                [dev, srv.nvme_r_pool, self.osd_rbw[osd as usize], srv.nic_tx, cli.nic_rx],
+                [
+                    dev,
+                    srv.nvme_r_pool,
+                    self.osd_rbw[osd as usize],
+                    srv.nic_tx,
+                    cli.nic_rx,
+                ],
             ),
         ])
     }
@@ -405,7 +419,11 @@ impl CephSystem {
             .iter()
             .map(|&o| self.osd_write_step(client, o, 64.0))
             .collect::<Vec<_>>();
-        Ok(Step::seq([Step::delay(self.op_ns), Step::delay(self.rtt_ns), Step::par(ops)]))
+        Ok(Step::seq([
+            Step::delay(self.op_ns),
+            Step::delay(self.rtt_ns),
+            Step::par(ops),
+        ]))
     }
 
     /// Number of stored objects.
@@ -456,7 +474,11 @@ mod tests {
     fn object_round_trip() {
         let (mut sched, mut ceph) = system(2, 1, CephPoolOpts::default());
         let data: Vec<u8> = (0..255u8).collect();
-        exec(&mut sched, ceph.write(0, "obj.1", 0, Payload::Bytes(data.clone())).unwrap());
+        exec(
+            &mut sched,
+            ceph.write(0, "obj.1", 0, Payload::Bytes(data.clone()))
+                .unwrap(),
+        );
         let (r, s) = ceph.read(0, "obj.1", 0, 255).unwrap();
         exec(&mut sched, s);
         assert_eq!(r.bytes().unwrap(), &data[..]);
@@ -464,14 +486,23 @@ mod tests {
         exec(&mut sched, s);
         assert_eq!(size, 255);
         exec(&mut sched, ceph.remove(0, "obj.1").unwrap());
-        assert_eq!(ceph.read(0, "obj.1", 0, 1).unwrap_err(), RadosError::NoSuchObject);
+        assert_eq!(
+            ceph.read(0, "obj.1", 0, 1).unwrap_err(),
+            RadosError::NoSuchObject
+        );
     }
 
     #[test]
     fn append_extends() {
         let (mut sched, mut ceph) = system(1, 1, CephPoolOpts::default());
-        exec(&mut sched, ceph.append(0, "o", Payload::Bytes(vec![1; 10])).unwrap());
-        exec(&mut sched, ceph.append(0, "o", Payload::Bytes(vec![2; 10])).unwrap());
+        exec(
+            &mut sched,
+            ceph.append(0, "o", Payload::Bytes(vec![1; 10])).unwrap(),
+        );
+        exec(
+            &mut sched,
+            ceph.append(0, "o", Payload::Bytes(vec![2; 10])).unwrap(),
+        );
         let (r, s) = ceph.read(0, "o", 0, 20).unwrap();
         exec(&mut sched, s);
         let b = r.bytes().unwrap();
@@ -484,7 +515,8 @@ mod tests {
         let (_sched, mut ceph) = system(1, 1, CephPoolOpts::default());
         let too_big = (132.0 * MIB) as u64 + 1;
         assert_eq!(
-            ceph.write(0, "big", 0, Payload::Sized(too_big)).unwrap_err(),
+            ceph.write(0, "big", 0, Payload::Sized(too_big))
+                .unwrap_err(),
             RadosError::ObjectTooLarge
         );
         assert!(ceph.write(0, "ok", 0, Payload::Sized(too_big - 1)).is_ok());
@@ -494,17 +526,28 @@ mod tests {
     fn wal_amplification_hits_device() {
         let mut sched = Scheduler::with_monitor();
         let topo = ClusterSpec::new(1, 1).build(&mut sched);
-        let mut ceph =
-            CephSystem::deploy(&topo, &mut sched, 1, CephDataMode::Sized, CephPoolOpts::default())
-                .unwrap();
-        exec(&mut sched, ceph.write(0, "o", 0, Payload::Sized(1 << 20)).unwrap());
+        let mut ceph = CephSystem::deploy(
+            &topo,
+            &mut sched,
+            1,
+            CephDataMode::Sized,
+            CephPoolOpts::default(),
+        )
+        .unwrap();
+        exec(
+            &mut sched,
+            ceph.write(0, "o", 0, Payload::Sized(1 << 20)).unwrap(),
+        );
         let dev_bytes: f64 = topo.servers[0]
             .nvme_w
             .iter()
             .map(|&r| sched.monitor().units(r))
             .sum();
         let expect = (1u64 << 20) as f64 * topo.cal.osd_wal_factor;
-        assert!((dev_bytes - expect).abs() < 1.0, "dev {dev_bytes} vs {expect}");
+        assert!(
+            (dev_bytes - expect).abs() < 1.0,
+            "dev {dev_bytes} vs {expect}"
+        );
     }
 
     #[test]
@@ -516,10 +559,17 @@ mod tests {
             &mut sched,
             2,
             CephDataMode::Sized,
-            CephPoolOpts { pg_num: 64, replicas: 3, ec: None },
+            CephPoolOpts {
+                pg_num: 64,
+                replicas: 3,
+                ec: None,
+            },
         )
         .unwrap();
-        exec(&mut sched, ceph.write(0, "o", 0, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            ceph.write(0, "o", 0, Payload::Sized(1 << 20)).unwrap(),
+        );
         let dev_bytes: f64 = topo
             .servers
             .iter()
@@ -527,7 +577,10 @@ mod tests {
             .map(|&r| sched.monitor().units(r))
             .sum();
         let expect = 3.0 * (1u64 << 20) as f64 * topo.cal.osd_wal_factor;
-        assert!((dev_bytes - expect).abs() < 1.0, "dev {dev_bytes} vs {expect}");
+        assert!(
+            (dev_bytes - expect).abs() < 1.0,
+            "dev {dev_bytes} vs {expect}"
+        );
     }
 
     #[test]
@@ -536,20 +589,50 @@ mod tests {
         // is coverage: fewer PGs than OSDs leaves OSDs without any
         // primaries at all
         let coverage = |pg_num: usize| {
-            let (_s, ceph) = system(4, 1, CephPoolOpts { pg_num, replicas: 1, ec: None });
-            ceph.primary_pgs_per_osd().iter().filter(|&&c| c > 0).count()
+            let (_s, ceph) = system(
+                4,
+                1,
+                CephPoolOpts {
+                    pg_num,
+                    replicas: 1,
+                    ec: None,
+                },
+            );
+            ceph.primary_pgs_per_osd()
+                .iter()
+                .filter(|&&c| c > 0)
+                .count()
         };
         assert_eq!(coverage(24), 24, "24 PGs engage 24 of 64 OSDs");
         assert_eq!(coverage(1024), 64, "plenty of PGs engage every OSD");
         // and counts are near-even when PGs are plentiful
-        let (_s, ceph) = system(4, 1, CephPoolOpts { pg_num: 1024, replicas: 1, ec: None });
+        let (_s, ceph) = system(
+            4,
+            1,
+            CephPoolOpts {
+                pg_num: 1024,
+                replicas: 1,
+                ec: None,
+            },
+        );
         let counts = ceph.primary_pgs_per_osd();
-        assert!(counts.iter().all(|&c| c == 16), "1024/64 = 16 each: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == 16),
+            "1024/64 = 16 each: {counts:?}"
+        );
     }
 
     #[test]
     fn pg_mapping_is_stable_and_replicas_distinct() {
-        let (_s, ceph) = system(2, 1, CephPoolOpts { pg_num: 128, replicas: 3, ec: None });
+        let (_s, ceph) = system(
+            2,
+            1,
+            CephPoolOpts {
+                pg_num: 128,
+                replicas: 3,
+                ec: None,
+            },
+        );
         assert_eq!(ceph.pg_of("x"), ceph.pg_of("x"));
         for pg in 0..128u32 {
             let osds = ceph.osds_of_pg(pg);
@@ -566,10 +649,18 @@ mod tests {
         // sharding means the other 15 devices stay idle.
         let mut sched = Scheduler::with_monitor();
         let topo = ClusterSpec::new(1, 1).build(&mut sched);
-        let mut ceph =
-            CephSystem::deploy(&topo, &mut sched, 1, CephDataMode::Sized, CephPoolOpts::default())
-                .unwrap();
-        exec(&mut sched, ceph.write(0, "o", 0, Payload::Sized(100 << 20)).unwrap());
+        let mut ceph = CephSystem::deploy(
+            &topo,
+            &mut sched,
+            1,
+            CephDataMode::Sized,
+            CephPoolOpts::default(),
+        )
+        .unwrap();
+        exec(
+            &mut sched,
+            ceph.write(0, "o", 0, Payload::Sized(100 << 20)).unwrap(),
+        );
         let active_devs = topo.servers[0]
             .nvme_w
             .iter()
@@ -624,7 +715,11 @@ mod ec_pool_tests {
             CephPoolOpts::erasure(4, 2),
         )
         .unwrap();
-        exec(&mut sched, ceph.write(0, "striped", 0, Payload::Sized(64 << 20)).unwrap());
+        exec(
+            &mut sched,
+            ceph.write(0, "striped", 0, Payload::Sized(64 << 20))
+                .unwrap(),
+        );
         let active: usize = topo
             .servers
             .iter()
@@ -652,7 +747,10 @@ mod ec_pool_tests {
             let topo = ClusterSpec::new(2, 1).build(&mut sched);
             let mut ceph =
                 CephSystem::deploy(&topo, &mut sched, 2, CephDataMode::Sized, opts).unwrap();
-            exec(&mut sched, ceph.write(0, "big", 0, Payload::Sized(100 << 20)).unwrap())
+            exec(
+                &mut sched,
+                ceph.write(0, "big", 0, Payload::Sized(100 << 20)).unwrap(),
+            )
         };
         let plain = run_one(CephPoolOpts::default());
         let ec = run_one(CephPoolOpts::erasure(4, 2));
@@ -678,7 +776,10 @@ mod ec_pool_tests {
         let mut rng = simkit::SplitMix64::new(3);
         let mut data = vec![0u8; 100_000];
         rng.fill_bytes(&mut data);
-        exec(&mut sched, ceph.write(0, "o", 0, Payload::Bytes(data.clone())).unwrap());
+        exec(
+            &mut sched,
+            ceph.write(0, "o", 0, Payload::Bytes(data.clone())).unwrap(),
+        );
         let (got, s) = ceph.read(0, "o", 0, data.len() as u64).unwrap();
         exec(&mut sched, s);
         assert_eq!(got.bytes().unwrap(), &data[..]);
@@ -688,7 +789,11 @@ mod ec_pool_tests {
     fn ec_with_replicas_rejected() {
         let mut sched = Scheduler::new();
         let topo = ClusterSpec::new(1, 1).build(&mut sched);
-        let opts = CephPoolOpts { pg_num: 64, replicas: 2, ec: Some((2, 1)) };
+        let opts = CephPoolOpts {
+            pg_num: 64,
+            replicas: 2,
+            ec: Some((2, 1)),
+        };
         match CephSystem::deploy(&topo, &mut sched, 1, CephDataMode::Sized, opts) {
             Err(RadosError::BadPoolConfig) => {}
             Err(e) => panic!("wrong error {e:?}"),

@@ -57,7 +57,10 @@ pub fn dd_all_devices(blocks: u64, block_bytes: f64, write: bool) -> MicroResult
     }
     let mut w = LastDone(SimTime::ZERO);
     run(&mut sched, &mut w);
-    MicroResult { bytes: total * devs.len() as f64, seconds: w.0.as_secs_f64() }
+    MicroResult {
+        bytes: total * devs.len() as f64,
+        seconds: w.0.as_secs_f64(),
+    }
 }
 
 /// `iperf`-equivalent: one bulk stream between a client and a server.
@@ -73,7 +76,10 @@ pub fn iperf(bytes: f64, client_to_server: bool) -> MicroResult {
     sched.submit(Step::transfer(bytes, path), OpId(0));
     let mut w = LastDone(SimTime::ZERO);
     run(&mut sched, &mut w);
-    MicroResult { bytes, seconds: w.0.as_secs_f64() }
+    MicroResult {
+        bytes,
+        seconds: w.0.as_secs_f64(),
+    }
 }
 
 /// The full §III-A hardware table: (dd write, dd read, iperf up, iperf
@@ -95,9 +101,17 @@ mod tests {
     #[test]
     fn dd_matches_paper_aggregates() {
         let w = dd_all_devices(100, 100.0 * MIB, true);
-        assert!((w.bandwidth() / GIB - 3.86).abs() < 0.01, "{}", w.bandwidth() / GIB);
+        assert!(
+            (w.bandwidth() / GIB - 3.86).abs() < 0.01,
+            "{}",
+            w.bandwidth() / GIB
+        );
         let r = dd_all_devices(100, 100.0 * MIB, false);
-        assert!((r.bandwidth() / GIB - 7.0).abs() < 0.01, "{}", r.bandwidth() / GIB);
+        assert!(
+            (r.bandwidth() / GIB - 7.0).abs() < 0.01,
+            "{}",
+            r.bandwidth() / GIB
+        );
     }
 
     #[test]
@@ -111,7 +125,13 @@ mod tests {
     #[test]
     fn hardware_table_is_consistent() {
         let t = hardware_table();
-        assert!(t[0].bandwidth() < t[1].bandwidth(), "write slower than read");
-        assert!((t[2].bandwidth() - t[3].bandwidth()).abs() < 1.0, "symmetric net");
+        assert!(
+            t[0].bandwidth() < t[1].bandwidth(),
+            "write slower than read"
+        );
+        assert!(
+            (t[2].bandwidth() - t[3].bandwidth()).abs() < 1.0,
+            "symmetric net"
+        );
     }
 }

@@ -57,8 +57,13 @@ pub trait PosixFs {
     fn open(&mut self, client: usize, path: &str, create: bool) -> Result<(FileId, Step), FsError>;
 
     /// Write at an offset.
-    fn write(&mut self, client: usize, f: FileId, offset: u64, data: Payload)
-        -> Result<Step, FsError>;
+    fn write(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, FsError>;
 
     /// Read from an offset.
     fn read(
@@ -87,7 +92,9 @@ pub trait PosixFs {
 
 /// Split a path into components, ignoring empty segments.
 pub fn components(path: &str) -> Vec<&str> {
-    path.split('/').filter(|c| !c.is_empty() && *c != ".").collect()
+    path.split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect()
 }
 
 #[cfg(test)]

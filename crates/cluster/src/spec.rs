@@ -18,7 +18,11 @@ pub struct ServerSpec {
 
 impl Default for ServerSpec {
     fn default() -> Self {
-        ServerSpec { cores: 36, dram_gib: 150, nvme_devices: 16 }
+        ServerSpec {
+            cores: 36,
+            dram_gib: 150,
+            nvme_devices: 16,
+        }
     }
 }
 
@@ -33,7 +37,10 @@ pub struct ClientSpec {
 
 impl Default for ClientSpec {
     fn default() -> Self {
-        ClientSpec { cores: 32, dram_gib: 32 }
+        ClientSpec {
+            cores: 32,
+            dram_gib: 32,
+        }
     }
 }
 

@@ -71,7 +71,11 @@ impl Topology {
                 nic_rx: sched.add_resource(format!("cli{c}.nic_rx"), cal.nic_bw),
             })
             .collect();
-        Topology { servers, clients, cal: cal.clone() }
+        Topology {
+            servers,
+            clients,
+            cal: cal.clone(),
+        }
     }
 
     /// Network path for client `c` sending to server `s` (a write's data

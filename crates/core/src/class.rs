@@ -41,9 +41,15 @@ impl ObjectClass {
     /// Max-sharded class `SX`.
     pub const SX: ObjectClass = ObjectClass::ShardedMax;
     /// Two-way replication, `RP_2`.
-    pub const RP_2: ObjectClass = ObjectClass::Replicated { replicas: 2, shards: Some(1) };
+    pub const RP_2: ObjectClass = ObjectClass::Replicated {
+        replicas: 2,
+        shards: Some(1),
+    };
     /// Three-way replication, `RP_3`.
-    pub const RP_3: ObjectClass = ObjectClass::Replicated { replicas: 3, shards: Some(1) };
+    pub const RP_3: ObjectClass = ObjectClass::Replicated {
+        replicas: 3,
+        shards: Some(1),
+    };
     /// 2 + 1 erasure coding, `EC_2P1`.
     pub const EC_2P1: ObjectClass = ObjectClass::ErasureCoded { k: 2, p: 1 };
     /// 4 + 2 erasure coding, `EC_4P2`.
@@ -51,7 +57,10 @@ impl ObjectClass {
 
     /// Replication factor `r` with all-target sharding (`RP_<r>GX`).
     pub fn rp_gx(replicas: u8) -> ObjectClass {
-        ObjectClass::Replicated { replicas, shards: None }
+        ObjectClass::Replicated {
+            replicas,
+            shards: None,
+        }
     }
 
     /// Number of shard groups given the pool's target count.
@@ -145,9 +154,18 @@ impl fmt::Display for ObjectClass {
         match self {
             ObjectClass::Sharded(n) => write!(f, "S{n}"),
             ObjectClass::ShardedMax => write!(f, "SX"),
-            ObjectClass::Replicated { replicas, shards: Some(1) } => write!(f, "RP_{replicas}"),
-            ObjectClass::Replicated { replicas, shards: None } => write!(f, "RP_{replicas}GX"),
-            ObjectClass::Replicated { replicas, shards: Some(s) } => {
+            ObjectClass::Replicated {
+                replicas,
+                shards: Some(1),
+            } => write!(f, "RP_{replicas}"),
+            ObjectClass::Replicated {
+                replicas,
+                shards: None,
+            } => write!(f, "RP_{replicas}GX"),
+            ObjectClass::Replicated {
+                replicas,
+                shards: Some(s),
+            } => {
                 write!(f, "RP_{replicas}G{s}")
             }
             ObjectClass::ErasureCoded { k, p } => write!(f, "EC_{k}P{p}"),

@@ -4,7 +4,7 @@ use crate::class::ObjectClass;
 use crate::data::ObjData;
 use crate::oid::{Oid, OidAllocator};
 use crate::pool::Layout;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Handle to a container within a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,7 +53,7 @@ pub struct Container {
     /// Creation properties.
     pub props: ContainerProps,
     /// Live objects.
-    pub objects: HashMap<Oid, ObjectEntry>,
+    pub objects: BTreeMap<Oid, ObjectEntry>,
     /// Snapshot epochs, ascending.
     pub snapshots: Vec<u64>,
     /// Epoch counter (advances on snapshot).
@@ -71,7 +71,7 @@ impl Container {
             id,
             props,
             attrs: std::collections::BTreeMap::new(),
-            objects: HashMap::new(),
+            objects: BTreeMap::new(),
             snapshots: Vec::new(),
             next_epoch: 1,
             open_handles: 0,

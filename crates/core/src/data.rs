@@ -7,7 +7,7 @@
 
 use crate::ec::ErasureCode;
 use cluster::payload::{Payload, ReadPayload};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Whether object payloads carry real bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +106,7 @@ enum Chunk {
 pub struct ArrayData {
     chunk_size: u64,
     size: u64,
-    chunks: HashMap<u64, Chunk>,
+    chunks: BTreeMap<u64, Chunk>,
 }
 
 impl ArrayData {
@@ -114,7 +114,11 @@ impl ArrayData {
     /// `chunk_size` as in `daos_array_create`).
     pub fn new(chunk_size: u64) -> Self {
         assert!(chunk_size > 0);
-        ArrayData { chunk_size, size: 0, chunks: HashMap::new() }
+        ArrayData {
+            chunk_size,
+            size: 0,
+            chunks: BTreeMap::new(),
+        }
     }
 
     /// Chunk size in bytes.
@@ -137,7 +141,13 @@ impl ArrayData {
 
     /// Write `payload` at `offset`.  `ec` must be given for erasure-coded
     /// objects in Full mode so cells and parity are materialised.
-    pub fn write(&mut self, offset: u64, payload: &Payload, mode: DataMode, ec: Option<&ErasureCode>) {
+    pub fn write(
+        &mut self,
+        offset: u64,
+        payload: &Payload,
+        mode: DataMode,
+        ec: Option<&ErasureCode>,
+    ) {
         let len = payload.len();
         if len == 0 {
             return;
@@ -209,10 +219,7 @@ impl ArrayData {
         padded.resize(cell_len * k, 0);
         let data: Vec<&[u8]> = padded.chunks(cell_len).collect();
         let parity = code.encode(&data);
-        data.into_iter()
-            .map(|c| c.to_vec())
-            .chain(parity)
-            .collect()
+        data.into_iter().map(|c| c.to_vec()).chain(parity).collect()
     }
 
     /// Read `len` bytes at `offset`.  Holes read as zeros (sparse-array
@@ -255,7 +262,7 @@ impl ArrayData {
             let take = ((cs as usize - within) as u64).min(end - pos) as usize;
             let dst = &mut out[cursor..cursor + take];
             match self.chunks.get(&chunk_idx) {
-                None => {} // hole: zeros
+                None => {}               // hole: zeros
                 Some(Chunk::Sized) => {} // sized marker in full mode: zeros
                 Some(Chunk::Plain(b)) => match avail(chunk_idx) {
                     CellAvailability::Unavailable => return Err(DataError::Unavailable),
@@ -385,7 +392,12 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(9);
         let mut data = vec![0u8; 256];
         rng.fill_bytes(&mut data);
-        a.write(0, &Payload::Bytes(data.clone()), DataMode::Full, Some(&code));
+        a.write(
+            0,
+            &Payload::Bytes(data.clone()),
+            DataMode::Full,
+            Some(&code),
+        );
 
         // healthy read
         let r = a.read(0, 256, DataMode::Full, Some(&code), &all).unwrap();
@@ -410,8 +422,18 @@ mod tests {
     fn ec_partial_chunk_rmw() {
         let code = ErasureCode::new(2, 1);
         let mut a = ArrayData::new(100); // not divisible by k: exercises padding
-        a.write(0, &Payload::Bytes(vec![3; 100]), DataMode::Full, Some(&code));
-        a.write(25, &Payload::Bytes(vec![9; 10]), DataMode::Full, Some(&code));
+        a.write(
+            0,
+            &Payload::Bytes(vec![3; 100]),
+            DataMode::Full,
+            Some(&code),
+        );
+        a.write(
+            25,
+            &Payload::Bytes(vec![9; 10]),
+            DataMode::Full,
+            Some(&code),
+        );
         let degraded = |_c: u64| CellAvailability::Mask(vec![true, false, true]);
         let r = a
             .read(0, 100, DataMode::Full, Some(&code), &degraded)

@@ -115,7 +115,11 @@ impl ErasureCode {
                 debug_assert_eq!(c, u8::from(i == j), "systematic form violated");
             }
         }
-        ErasureCode { k, p, parity_rows: v[k..].to_vec() }
+        ErasureCode {
+            k,
+            p,
+            parity_rows: v[k..].to_vec(),
+        }
     }
 
     /// Data cells per stripe.
@@ -132,7 +136,10 @@ impl ErasureCode {
     pub fn encode(&self, data: &[&[u8]]) -> Vec<Vec<u8>> {
         assert_eq!(data.len(), self.k, "expected {} data cells", self.k);
         let len = data[0].len();
-        assert!(data.iter().all(|c| c.len() == len), "cells must be equal-sized");
+        assert!(
+            data.iter().all(|c| c.len() == len),
+            "cells must be equal-sized"
+        );
         self.parity_rows
             .iter()
             .map(|row| {
@@ -268,8 +275,11 @@ mod tests {
         let data = stripe(2, 64, 1);
         let parity = ec.encode(&[&data[0], &data[1]]);
         for lost in 0..3 {
-            let mut cells: Vec<Option<Vec<u8>>> =
-                vec![Some(data[0].clone()), Some(data[1].clone()), Some(parity[0].clone())];
+            let mut cells: Vec<Option<Vec<u8>>> = vec![
+                Some(data[0].clone()),
+                Some(data[1].clone()),
+                Some(parity[0].clone()),
+            ];
             cells[lost] = None;
             let rec = ec.reconstruct(&cells).expect("recoverable");
             assert_eq!(rec, data, "loss of cell {lost}");
@@ -324,7 +334,12 @@ mod tests {
             })
             .collect();
         assert_eq!(parity[0], manual);
-        let cells = vec![None, Some(data[1].clone()), Some(data[2].clone()), Some(parity[0].clone())];
+        let cells = vec![
+            None,
+            Some(data[1].clone()),
+            Some(data[2].clone()),
+            Some(parity[0].clone()),
+        ];
         assert_eq!(ec.reconstruct(&cells).unwrap()[0], data[0]);
     }
 

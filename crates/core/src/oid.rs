@@ -33,10 +33,12 @@ impl Oid {
     pub fn encode(user: u128, class: ObjectClass, flags: u16) -> Oid {
         assert!(user >> 96 == 0, "user id must fit in 96 bits");
         let user_hi = ((user >> 64) as u64) & USER_HI_MASK;
-        let hi = ((class.encode() as u64) << CLASS_SHIFT)
-            | ((flags as u64) << FLAGS_SHIFT)
-            | user_hi;
-        Oid { hi, lo: user as u64 }
+        let hi =
+            ((class.encode() as u64) << CLASS_SHIFT) | ((flags as u64) << FLAGS_SHIFT) | user_hi;
+        Oid {
+            hi,
+            lo: user as u64,
+        }
     }
 
     /// The object class encoded in the reserved bits.

@@ -166,8 +166,9 @@ impl PoolMap {
         );
         let groups_n = class.shard_groups(up.len());
         // seeded Fisher-Yates shuffle
-        let mut rng =
-            simkit::SplitMix64::new(oid.placement_hash() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = simkit::SplitMix64::new(
+            oid.placement_hash() ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
         for i in (1..up.len()).rev() {
             let j = rng.next_below(i as u64 + 1) as usize;
             up.swap(i, j);
@@ -221,7 +222,10 @@ mod tests {
     #[test]
     fn exclusion_and_reintegration() {
         let mut pm = PoolMap::new(2, 4);
-        let t = TargetId { server: 1, target: 2 };
+        let t = TargetId {
+            server: 1,
+            target: 2,
+        };
         assert!(pm.is_up(t));
         pm.exclude(t);
         assert!(!pm.is_up(t));
@@ -282,7 +286,11 @@ mod tests {
             assert_eq!(l1, l2, "deterministic");
             starts.insert(l1.groups[0][0]);
         }
-        assert!(starts.len() > 32, "S1 objects spread over targets: {}", starts.len());
+        assert!(
+            starts.len() > 32,
+            "S1 objects spread over targets: {}",
+            starts.len()
+        );
     }
 
     #[test]
@@ -307,7 +315,7 @@ mod tests {
         let mut alloc = OidAllocator::new();
         let oid = alloc.next(ObjectClass::SX, 0);
         let l = pm.layout(&oid, ObjectClass::SX);
-        assert_eq!(l.group_for(5), l.group_for(5 + 16 * l.groups.len() as u64 * 0));
+        assert_eq!(l.group_for(5), l.group_for(5 + 16 * l.groups.len() as u64));
         assert_eq!(l.group_index(3), 3 % l.groups.len());
     }
 }

@@ -57,9 +57,18 @@ mod tests {
     #[test]
     fn replacement_prefers_fresh_server() {
         let mut pool = PoolMap::new(3, 4);
-        let down = TargetId { server: 0, target: 0 };
+        let down = TargetId {
+            server: 0,
+            target: 0,
+        };
         pool.exclude(down);
-        let group = vec![down, TargetId { server: 1, target: 2 }];
+        let group = vec![
+            down,
+            TargetId {
+                server: 1,
+                target: 2,
+            },
+        ];
         let r = pick_replacement(&pool, &group, down).unwrap();
         assert_ne!(r.server, 1, "avoid the surviving replica's server");
         assert!(pool.is_up(r));
@@ -68,13 +77,22 @@ mod tests {
     #[test]
     fn replacement_falls_back_when_servers_exhausted() {
         let mut pool = PoolMap::new(2, 2);
-        let down = TargetId { server: 0, target: 0 };
+        let down = TargetId {
+            server: 0,
+            target: 0,
+        };
         pool.exclude(down);
         // group uses both servers already
         let group = vec![
             down,
-            TargetId { server: 0, target: 1 },
-            TargetId { server: 1, target: 0 },
+            TargetId {
+                server: 0,
+                target: 1,
+            },
+            TargetId {
+                server: 1,
+                target: 0,
+            },
         ];
         let r = pick_replacement(&pool, &group, down).unwrap();
         assert!(pool.is_up(r));
@@ -84,9 +102,18 @@ mod tests {
     #[test]
     fn no_replacement_when_pool_exhausted() {
         let mut pool = PoolMap::new(1, 2);
-        let down = TargetId { server: 0, target: 0 };
+        let down = TargetId {
+            server: 0,
+            target: 0,
+        };
         pool.exclude(down);
-        let group = vec![down, TargetId { server: 0, target: 1 }];
+        let group = vec![
+            down,
+            TargetId {
+                server: 0,
+                target: 1,
+            },
+        ];
         assert_eq!(pick_replacement(&pool, &group, down), None);
     }
 }

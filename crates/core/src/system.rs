@@ -27,7 +27,7 @@ use crate::rebuild::{pick_replacement, RebuildReport};
 use cluster::payload::{Payload, ReadPayload};
 use cluster::{Calibration, Topology};
 use simkit::{ResourceId, Scheduler, Step};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors surfaced by the DAOS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +74,7 @@ pub struct DaosSystem {
     /// The pool metadata / container service replica group: a fixed-size
     /// service that does NOT scale with the server count.
     pool_md_svc: ResourceId,
-    ec_cache: HashMap<(u8, u8), ErasureCode>,
+    ec_cache: BTreeMap<(u8, u8), ErasureCode>,
 }
 
 impl DaosSystem {
@@ -105,7 +105,7 @@ impl DaosSystem {
             containers: Vec::new(),
             srv_res,
             pool_md_svc,
-            ec_cache: HashMap::new(),
+            ec_cache: BTreeMap::new(),
         }
     }
 
@@ -182,7 +182,13 @@ impl DaosSystem {
             self.tgt_request_sized(t, bytes),
             Step::transfer(
                 bytes,
-                [cli.nic_tx, srv.nic_rx, res.engine_xfer, srv.nvme_w[dev], srv.nvme_w_pool],
+                [
+                    cli.nic_tx,
+                    srv.nic_rx,
+                    res.engine_xfer,
+                    srv.nvme_w[dev],
+                    srv.nvme_w_pool,
+                ],
             ),
             Step::delay(lat),
         ])
@@ -198,7 +204,10 @@ impl DaosSystem {
         if bytes >= self.cal.bulk_io_threshold {
             Step::delay((1e9 / self.cal.target_svc_iops) as u64)
         } else {
-            Step::transfer(1.0, [self.srv_res[t.server as usize].tgt_svc[t.target as usize]])
+            Step::transfer(
+                1.0,
+                [self.srv_res[t.server as usize].tgt_svc[t.target as usize]],
+            )
         }
     }
 
@@ -214,7 +223,13 @@ impl DaosSystem {
             Step::delay(self.cal.nvme_read_lat_ns),
             Step::transfer(
                 bytes,
-                [srv.nvme_r[dev], srv.nvme_r_pool, res.engine_xfer, srv.nic_tx, cli.nic_rx],
+                [
+                    srv.nvme_r[dev],
+                    srv.nvme_r_pool,
+                    res.engine_xfer,
+                    srv.nic_tx,
+                    cli.nic_rx,
+                ],
             ),
         ])
     }
@@ -232,8 +247,7 @@ impl DaosSystem {
     pub fn cont_create(&mut self, _client: usize, props: ContainerProps) -> (ContainerId, Step) {
         let id = ContainerId(self.containers.len() as u32);
         self.containers.push(Some(Container::new(id, props)));
-        let collective =
-            self.cal.cont_collective_ns_per_server * self.pool.server_count() as u64;
+        let collective = self.cal.cont_collective_ns_per_server * self.pool.server_count() as u64;
         let step = Step::seq([
             self.client_overhead(),
             self.pool_md_op(1.0),
@@ -343,7 +357,10 @@ impl DaosSystem {
         let layout = pool.layout_salted(&oid, class, cid.0 as u64 + 1);
         c.objects.insert(
             oid,
-            ObjectEntry { layout, data: ObjData::Array(ArrayData::new(chunk_size)) },
+            ObjectEntry {
+                layout,
+                data: ObjData::Array(ArrayData::new(chunk_size)),
+            },
         );
         Ok((oid, self.client_overhead()))
     }
@@ -362,8 +379,13 @@ impl DaosSystem {
         let c = self.cont_mut(cid)?;
         let oid = c.alloc.next(class, FLAG_KV);
         let layout = pool.layout_salted(&oid, class, cid.0 as u64 + 1);
-        c.objects
-            .insert(oid, ObjectEntry { layout, data: ObjData::Kv(KvData::new()) });
+        c.objects.insert(
+            oid,
+            ObjectEntry {
+                layout,
+                data: ObjData::Kv(KvData::new()),
+            },
+        );
         Ok((oid, self.client_overhead()))
     }
 
@@ -407,7 +429,11 @@ impl DaosSystem {
             .iter()
             .map(|&t| self.write_to_target(client, t, bytes.max(64.0)))
             .collect::<Vec<_>>();
-        Ok(Step::seq([self.client_overhead(), self.rtt(), Step::par(writes)]))
+        Ok(Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            Step::par(writes),
+        ]))
     }
 
     /// Fetch a key's value.  Reads from the first up replica.
@@ -464,7 +490,11 @@ impl DaosSystem {
             .iter()
             .map(|&t| self.write_to_target(client, t, 64.0))
             .collect::<Vec<_>>();
-        Ok(Step::seq([self.client_overhead(), self.rtt(), Step::par(ops)]))
+        Ok(Step::seq([
+            self.client_overhead(),
+            self.rtt(),
+            Step::par(ops),
+        ]))
     }
 
     /// List keys with a prefix.  One round trip per shard group plus the
@@ -526,12 +556,13 @@ impl DaosSystem {
                 ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
             };
             let cs = arr.chunk_size();
-            let mut gb: HashMap<usize, f64> = HashMap::new();
+            let mut gb: BTreeMap<usize, f64> = BTreeMap::new();
             for chunk in arr.chunks_in_range(offset, len) {
                 let c_start = chunk * cs;
                 let c_end = c_start + cs;
                 let seg = (offset + len).min(c_end) - offset.max(c_start);
-                *gb.entry(layout.group_index(chunk_dkey_hash(chunk))).or_default() += seg as f64;
+                *gb.entry(layout.group_index(chunk_dkey_hash(chunk)))
+                    .or_default() += seg as f64;
             }
             gb
         };
@@ -634,7 +665,7 @@ impl DaosSystem {
         };
         let data = arr.read(offset, len, mode, ec.as_ref(), &avail)?;
         // cost: per touched group, read bytes from the serving target(s)
-        let mut gb: HashMap<usize, f64> = HashMap::new();
+        let mut gb: BTreeMap<usize, f64> = BTreeMap::new();
         for chunk in arr.chunks_in_range(offset, len) {
             let c_start = chunk * cs;
             let c_end = c_start + cs;
@@ -808,7 +839,10 @@ impl DaosSystem {
             .map(|s| {
                 self.read_from_target(
                     client,
-                    TargetId { server: s as u16, target: 0 },
+                    TargetId {
+                        server: s as u16,
+                        target: 0,
+                    },
                     256.0,
                 )
             })
@@ -816,7 +850,10 @@ impl DaosSystem {
         let c = self.cont(cid)?;
         let mut oids: Vec<Oid> = c.objects.keys().copied().collect();
         oids.sort();
-        Ok((oids, Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)])))
+        Ok((
+            oids,
+            Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)]),
+        ))
     }
 
     // ---- rebuild ---------------------------------------------------------------
@@ -893,7 +930,12 @@ impl DaosSystem {
             }
         }
         for plan in plans {
-            moves.push(self.rebuild_move(&plan.sources, plan.read_each, plan.dst, plan.write_bytes));
+            moves.push(self.rebuild_move(
+                &plan.sources,
+                plan.read_each,
+                plan.dst,
+                plan.write_bytes,
+            ));
         }
         // throttle the background traffic into waves so a mass rebuild
         // does not model as one infinitely-wide burst
@@ -939,7 +981,10 @@ impl DaosSystem {
         Step::seq([
             Step::delay(self.cal.net_rtt_ns),
             Step::par(reads),
-            Step::transfer(write_bytes, [dres.engine_xfer, dsts.nvme_w[ddev], dsts.nvme_w_pool]),
+            Step::transfer(
+                write_bytes,
+                [dres.engine_xfer, dsts.nvme_w[ddev], dsts.nvme_w_pool],
+            ),
             Step::delay(self.cal.nvme_write_lat_ns),
         ])
     }
@@ -972,7 +1017,10 @@ impl DaosSystem {
     }
 
     fn obj(&self, cid: ContainerId, oid: Oid) -> Result<&ObjectEntry, DaosError> {
-        self.cont(cid)?.objects.get(&oid).ok_or(DaosError::NoSuchObject)
+        self.cont(cid)?
+            .objects
+            .get(&oid)
+            .ok_or(DaosError::NoSuchObject)
     }
 
     fn obj_mut(&mut self, cid: ContainerId, oid: Oid) -> Result<&mut ObjectEntry, DaosError> {
@@ -1060,17 +1108,25 @@ mod tests {
         exec(&mut sched, s);
         let (kv, s) = sys.kv_create(0, cid, ObjectClass::S1).unwrap();
         exec(&mut sched, s);
-        let s = sys.kv_put(0, cid, kv, b"key1", Payload::Bytes(vec![1, 2, 3])).unwrap();
+        let s = sys
+            .kv_put(0, cid, kv, b"key1", Payload::Bytes(vec![1, 2, 3]))
+            .unwrap();
         exec(&mut sched, s);
         let (v, s) = sys.kv_get(0, cid, kv, b"key1").unwrap();
         exec(&mut sched, s);
         assert_eq!(v.bytes().unwrap(), &[1, 2, 3]);
-        assert_eq!(sys.kv_get(0, cid, kv, b"nope").unwrap_err(), DaosError::NoSuchKey);
+        assert_eq!(
+            sys.kv_get(0, cid, kv, b"nope").unwrap_err(),
+            DaosError::NoSuchKey
+        );
         let (keys, _) = sys.kv_list(0, cid, kv, b"key").unwrap();
         assert_eq!(keys, vec![b"key1".to_vec()]);
         let s = sys.kv_remove(0, cid, kv, b"key1").unwrap();
         exec(&mut sched, s);
-        assert_eq!(sys.kv_get(0, cid, kv, b"key1").unwrap_err(), DaosError::NoSuchKey);
+        assert_eq!(
+            sys.kv_get(0, cid, kv, b"key1").unwrap_err(),
+            DaosError::NoSuchKey
+        );
     }
 
     #[test]
@@ -1094,7 +1150,9 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(1);
         let mut data = vec![0u8; 200_000];
         rng.fill_bytes(&mut data);
-        let s = sys.array_write(0, cid, oid, 1000, Payload::Bytes(data.clone())).unwrap();
+        let s = sys
+            .array_write(0, cid, oid, 1000, Payload::Bytes(data.clone()))
+            .unwrap();
         exec(&mut sched, s);
         let (r, s) = sys.array_read(0, cid, oid, 1000, 200_000).unwrap();
         exec(&mut sched, s);
@@ -1130,7 +1188,11 @@ mod tests {
         let cal = cluster::Calibration::default();
         let dev_bw = cal.nvme_dev_write_bw() * cal.nvme_dev_burst;
         assert!(bw > 0.8 * dev_bw, "bw {} too low", bw / cluster::GIB);
-        assert!(bw <= dev_bw * 1.01, "bw {} exceeds device", bw / cluster::GIB);
+        assert!(
+            bw <= dev_bw * 1.01,
+            "bw {} exceeds device",
+            bw / cluster::GIB
+        );
     }
 
     #[test]
@@ -1144,7 +1206,9 @@ mod tests {
         let mut sys = DaosSystem::deploy(&topo, &mut sched, 2, DataMode::Sized);
         let (cid, s) = sys.cont_create(0, ContainerProps::default());
         exec(&mut sched, s);
-        let (oid, s) = sys.array_create(0, cid, ObjectClass::EC_2P1, 1 << 20).unwrap();
+        let (oid, s) = sys
+            .array_create(0, cid, ObjectClass::EC_2P1, 1 << 20)
+            .unwrap();
         exec(&mut sched, s);
         let s = sys
             .array_write(0, cid, oid, 0, Payload::Sized(1 << 20))
@@ -1171,7 +1235,9 @@ mod tests {
         // replicated KV
         let (kv, s) = sys.kv_create(0, cid, ObjectClass::RP_2).unwrap();
         exec(&mut sched, s);
-        let s = sys.kv_put(0, cid, kv, b"k", Payload::Bytes(vec![9; 100])).unwrap();
+        let s = sys
+            .kv_put(0, cid, kv, b"k", Payload::Bytes(vec![9; 100]))
+            .unwrap();
         exec(&mut sched, s);
         // EC array
         let (arr, s) = sys.array_create(0, cid, ObjectClass::EC_2P1, 4096).unwrap();
@@ -1179,7 +1245,9 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(2);
         let mut data = vec![0u8; 8192];
         rng.fill_bytes(&mut data);
-        let s = sys.array_write(0, cid, arr, 0, Payload::Bytes(data.clone())).unwrap();
+        let s = sys
+            .array_write(0, cid, arr, 0, Payload::Bytes(data.clone()))
+            .unwrap();
         exec(&mut sched, s);
 
         // kill one entire server
@@ -1200,7 +1268,9 @@ mod tests {
         exec(&mut sched, s);
         let (oid, s) = sys.array_create(0, cid, ObjectClass::S1, 4096).unwrap();
         exec(&mut sched, s);
-        let s = sys.array_write(0, cid, oid, 0, Payload::Bytes(vec![1; 4096])).unwrap();
+        let s = sys
+            .array_write(0, cid, oid, 0, Payload::Bytes(vec![1; 4096]))
+            .unwrap();
         exec(&mut sched, s);
         let t = sys
             .cont(cid)
@@ -1233,7 +1303,10 @@ mod tests {
         assert_eq!(sys.snapshot_list(cid).unwrap(), vec![e2]);
         let s = sys.cont_destroy(0, cid).unwrap();
         exec(&mut sched, s);
-        assert_eq!(sys.snapshot_list(cid).unwrap_err(), DaosError::NoSuchContainer);
+        assert_eq!(
+            sys.snapshot_list(cid).unwrap_err(),
+            DaosError::NoSuchContainer
+        );
     }
 
     #[test]
@@ -1258,11 +1331,13 @@ mod tests {
         let (arr, s) = sys.array_create(0, cid, ObjectClass::S1, 4096).unwrap();
         exec(&mut sched, s);
         assert_eq!(
-            sys.array_write(0, cid, kv, 0, Payload::Sized(10)).unwrap_err(),
+            sys.array_write(0, cid, kv, 0, Payload::Sized(10))
+                .unwrap_err(),
             DaosError::WrongObjectType
         );
         assert_eq!(
-            sys.kv_put(0, cid, arr, b"k", Payload::Sized(1)).unwrap_err(),
+            sys.kv_put(0, cid, arr, b"k", Payload::Sized(1))
+                .unwrap_err(),
             DaosError::WrongObjectType
         );
         assert_eq!(

@@ -40,10 +40,16 @@ fn fixture(servers: usize) -> (Scheduler, DaosSystem, daos_core::ContainerId) {
 #[test]
 fn rebuild_restores_ec_health_and_survives_second_failure() {
     let (mut sched, mut daos, cid) = fixture(4);
-    let (oid, s) = daos.array_create(0, cid, ObjectClass::EC_2P1, 1 << 18).unwrap();
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::EC_2P1, 1 << 18)
+        .unwrap();
     exec(&mut sched, s);
     let data = rand_bytes(1, 1 << 20);
-    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone())).unwrap());
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap(),
+    );
 
     // first failure: degraded but readable
     daos.exclude_server(0);
@@ -65,7 +71,11 @@ fn rebuild_restores_ec_health_and_survives_second_failure() {
     daos.exclude_server(1);
     let (got, s) = daos.array_read(0, cid, oid, 0, data.len() as u64).unwrap();
     exec(&mut sched, s);
-    assert_eq!(got.bytes().unwrap(), &data[..], "survived two failures via rebuild");
+    assert_eq!(
+        got.bytes().unwrap(),
+        &data[..],
+        "survived two failures via rebuild"
+    );
 }
 
 #[test]
@@ -73,7 +83,11 @@ fn rebuild_restores_replica_count() {
     let (mut sched, mut daos, cid) = fixture(3);
     let (kv, s) = daos.kv_create(0, cid, ObjectClass::RP_2).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, daos.kv_put(0, cid, kv, b"key", Payload::Bytes(vec![7; 256])).unwrap());
+    exec(
+        &mut sched,
+        daos.kv_put(0, cid, kv, b"key", Payload::Bytes(vec![7; 256]))
+            .unwrap(),
+    );
 
     daos.exclude_server(0);
     let (report, step) = daos.rebuild();
@@ -105,21 +119,34 @@ fn unprotected_shards_report_lost() {
     let (mut sched, mut daos, cid) = fixture(2);
     let (oid, s) = daos.array_create(0, cid, ObjectClass::SX, 1 << 18).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(32 << 20)).unwrap());
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Sized(32 << 20))
+            .unwrap(),
+    );
 
     daos.exclude_server(0);
     let (report, step) = daos.rebuild();
     exec(&mut sched, step);
-    assert!(report.shards_lost > 0, "unprotected SX shards cannot be rebuilt");
+    assert!(
+        report.shards_lost > 0,
+        "unprotected SX shards cannot be rebuilt"
+    );
     assert_eq!(report.shards_rebuilt, 0);
 }
 
 #[test]
 fn rebuild_noop_when_healthy() {
     let (mut sched, mut daos, cid) = fixture(2);
-    let (oid, s) = daos.array_create(0, cid, ObjectClass::RP_2, 1 << 18).unwrap();
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::RP_2, 1 << 18)
+        .unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(1 << 20)).unwrap());
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Sized(1 << 20))
+            .unwrap(),
+    );
     let (report, step) = daos.rebuild();
     assert_eq!(report.shards_rebuilt, 0);
     assert_eq!(report.shards_lost, 0);
@@ -133,7 +160,11 @@ fn pool_query_counts_usage() {
     let (mut sched, mut daos, cid) = fixture(2);
     let (oid, s) = daos.array_create(0, cid, ObjectClass::SX, 1 << 20).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Sized(8 << 20)).unwrap());
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Sized(8 << 20))
+            .unwrap(),
+    );
     let (kv, s) = daos.kv_create(0, cid, ObjectClass::S1).unwrap();
     exec(&mut sched, s);
     for i in 0..5 {

@@ -18,7 +18,7 @@ use cluster::posix::{components, FileId, FileStat, FsError, PosixFs};
 use daos_core::{ContainerId, DaosError, DaosSystem, ObjectClass, Oid};
 use simkit::Step;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Mount options.
@@ -49,9 +49,16 @@ pub struct InodeId(pub u32);
 
 #[derive(Debug)]
 enum InodeKind {
-    Dir { kv: Oid, entries: BTreeMap<String, InodeId> },
-    File { arr: Oid },
-    Symlink { target: String },
+    Dir {
+        kv: Oid,
+        entries: BTreeMap<String, InodeId>,
+    },
+    File {
+        arr: Oid,
+    },
+    Symlink {
+        target: String,
+    },
 }
 
 #[derive(Debug)]
@@ -66,7 +73,7 @@ pub struct Dfs {
     cid: ContainerId,
     opts: DfsOpts,
     inodes: Vec<Inode>,
-    handles: HashMap<u64, InodeId>,
+    handles: BTreeMap<u64, InodeId>,
     next_handle: u64,
     op_overhead_ns: u64,
 }
@@ -102,10 +109,13 @@ impl Dfs {
             cid,
             opts,
             inodes: vec![Inode {
-                kind: InodeKind::Dir { kv: root_kv, entries: BTreeMap::new() },
+                kind: InodeKind::Dir {
+                    kv: root_kv,
+                    entries: BTreeMap::new(),
+                },
                 nlink: 1,
             }],
-            handles: HashMap::new(),
+            handles: BTreeMap::new(),
             next_handle: 1,
             op_overhead_ns,
         };
@@ -145,13 +155,20 @@ impl Dfs {
     /// Walk `path` from the root.  `follow_last` resolves a trailing
     /// symlink.  Returns the inode and the lookup cost (one KV get per
     /// component, exactly libdfs's `dfs_lookup`).
-    pub fn resolve(&mut self, client: usize, path: &str, follow_last: bool)
-        -> Result<(InodeId, Step), FsError>
-    {
+    pub fn resolve(
+        &mut self,
+        client: usize,
+        path: &str,
+        follow_last: bool,
+    ) -> Result<(InodeId, Step), FsError> {
         let mut hops = 0u32;
         let mut step = self.overhead();
         let mut cur = self.root();
-        let mut stack: Vec<String> = components(path).iter().rev().map(|s| s.to_string()).collect();
+        let mut stack: Vec<String> = components(path)
+            .iter()
+            .rev()
+            .map(|s| s.to_string())
+            .collect();
         while let Some(name) = stack.pop() {
             let (kv, next) = match &self.inode(cur).kind {
                 InodeKind::Dir { kv, entries } => {
@@ -268,7 +285,10 @@ impl Dfs {
                     .array_create(client, self.cid, file_class, chunk)
                     .map_err(map_daos)?;
                 let id = InodeId(self.inodes.len() as u32);
-                self.inodes.push(Inode { kind: InodeKind::File { arr }, nlink: 1 });
+                self.inodes.push(Inode {
+                    kind: InodeKind::File { arr },
+                    nlink: 1,
+                });
                 let s2 = self.insert_dirent(client, parent, name, id, arr, 0, "")?;
                 let h = self.next_handle;
                 self.next_handle += 1;
@@ -287,7 +307,9 @@ impl Dfs {
         }
         let id = InodeId(self.inodes.len() as u32);
         self.inodes.push(Inode {
-            kind: InodeKind::Symlink { target: target.to_string() },
+            kind: InodeKind::Symlink {
+                target: target.to_string(),
+            },
             nlink: 1,
         });
         // symlinks need no object of their own; the dirent carries the target
@@ -308,7 +330,9 @@ impl Dfs {
     /// Rename an entry (same-directory or cross-directory).
     pub fn rename(&mut self, client: usize, from: &str, to: &str) -> Result<Step, FsError> {
         let (from_pid, from_name, s1) = self.resolve_parent(client, from)?;
-        let child = self.child_of(from_pid, from_name).ok_or(FsError::NotFound)?;
+        let child = self
+            .child_of(from_pid, from_name)
+            .ok_or(FsError::NotFound)?;
         let (to_pid, to_name, s2) = self.resolve_parent(client, to)?;
         // remove source dirent
         let from_kv = self.dir_kv(from_pid)?;
@@ -333,7 +357,15 @@ impl Dfs {
             }
         }
         let oid = self.inode_oid(child);
-        let s4 = self.insert_dirent(client, to_pid, to_name, child, oid, self.kind_byte(child), "")?;
+        let s4 = self.insert_dirent(
+            client,
+            to_pid,
+            to_name,
+            child,
+            oid,
+            self.kind_byte(child),
+            "",
+        )?;
         Ok(Step::seq([s1, s2, s3, s4]))
     }
 
@@ -407,7 +439,13 @@ impl PosixFs for Dfs {
             .kv_create(client, self.cid, dir_class)
             .map_err(map_daos)?;
         let id = InodeId(self.inodes.len() as u32);
-        self.inodes.push(Inode { kind: InodeKind::Dir { kv, entries: BTreeMap::new() }, nlink: 1 });
+        self.inodes.push(Inode {
+            kind: InodeKind::Dir {
+                kv,
+                entries: BTreeMap::new(),
+            },
+            nlink: 1,
+        });
         let s3 = self.insert_dirent(client, pid, name, id, kv, 1, "")?;
         Ok(Step::seq([s1, s2, s3]))
     }
@@ -430,7 +468,10 @@ impl PosixFs for Dfs {
                     .array_create(client, self.cid, file_class, chunk)
                     .map_err(map_daos)?;
                 let id = InodeId(self.inodes.len() as u32);
-                self.inodes.push(Inode { kind: InodeKind::File { arr }, nlink: 1 });
+                self.inodes.push(Inode {
+                    kind: InodeKind::File { arr },
+                    nlink: 1,
+                });
                 let s3 = self.insert_dirent(client, pid, name, id, arr, 0, "")?;
                 (id, Step::seq([s1, s2, s3]))
             }
@@ -442,9 +483,13 @@ impl PosixFs for Dfs {
         Ok((FileId(h), step))
     }
 
-    fn write(&mut self, client: usize, f: FileId, offset: u64, data: Payload)
-        -> Result<Step, FsError>
-    {
+    fn write(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, FsError> {
         let arr = self.file_object(f)?;
         let s = self
             .daos
@@ -454,9 +499,13 @@ impl PosixFs for Dfs {
         Ok(self.overhead().then(s))
     }
 
-    fn read(&mut self, client: usize, f: FileId, offset: u64, len: u64)
-        -> Result<(ReadPayload, Step), FsError>
-    {
+    fn read(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), FsError> {
         let arr = self.file_object(f)?;
         let (data, s) = self
             .daos
@@ -473,13 +522,25 @@ impl PosixFs for Dfs {
             .borrow_mut()
             .array_get_size(client, self.cid, arr)
             .map_err(map_daos)?;
-        Ok((FileStat { size, is_dir: false }, self.overhead().then(s)))
+        Ok((
+            FileStat {
+                size,
+                is_dir: false,
+            },
+            self.overhead().then(s),
+        ))
     }
 
     fn stat(&mut self, client: usize, path: &str) -> Result<(FileStat, Step), FsError> {
         let (id, s1) = self.resolve(client, path, true)?;
         match &self.inode(id).kind {
-            InodeKind::Dir { .. } => Ok((FileStat { size: 0, is_dir: true }, s1)),
+            InodeKind::Dir { .. } => Ok((
+                FileStat {
+                    size: 0,
+                    is_dir: true,
+                },
+                s1,
+            )),
             InodeKind::File { arr } => {
                 let arr = *arr;
                 let (size, s2) = self
@@ -487,9 +548,21 @@ impl PosixFs for Dfs {
                     .borrow_mut()
                     .array_get_size(client, self.cid, arr)
                     .map_err(map_daos)?;
-                Ok((FileStat { size, is_dir: false }, s1.then(s2)))
+                Ok((
+                    FileStat {
+                        size,
+                        is_dir: false,
+                    },
+                    s1.then(s2),
+                ))
             }
-            InodeKind::Symlink { .. } => Ok((FileStat { size: 0, is_dir: false }, s1)),
+            InodeKind::Symlink { .. } => Ok((
+                FileStat {
+                    size: 0,
+                    is_dir: false,
+                },
+                s1,
+            )),
         }
     }
 
@@ -596,8 +669,15 @@ mod tests {
     #[test]
     fn namespace_errors() {
         let (mut sched, mut dfs) = mount(DataMode::Full);
-        assert_eq!(dfs.open(0, "/missing", false).unwrap_err(), FsError::NotFound);
-        assert_eq!(dfs.mkdir(0, "/a/b").unwrap_err(), FsError::NotFound, "parent missing");
+        assert_eq!(
+            dfs.open(0, "/missing", false).unwrap_err(),
+            FsError::NotFound
+        );
+        assert_eq!(
+            dfs.mkdir(0, "/a/b").unwrap_err(),
+            FsError::NotFound,
+            "parent missing"
+        );
         exec(&mut sched, dfs.mkdir(0, "/a").unwrap());
         assert_eq!(dfs.mkdir(0, "/a").unwrap_err(), FsError::Exists);
         let (f, s) = dfs.open(0, "/a/f", true).unwrap();
@@ -642,7 +722,10 @@ mod tests {
         exec(&mut sched, dfs.mkdir(0, "/real").unwrap());
         let (f, s) = dfs.open(0, "/real/data", true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, dfs.write(0, f, 0, Payload::Bytes(vec![7; 10])).unwrap());
+        exec(
+            &mut sched,
+            dfs.write(0, f, 0, Payload::Bytes(vec![7; 10])).unwrap(),
+        );
         exec(&mut sched, dfs.close(0, f).unwrap());
         exec(&mut sched, dfs.symlink(0, "/real", "/link").unwrap());
         let (f2, s) = dfs.open(0, "/link/data", false).unwrap();
@@ -655,7 +738,10 @@ mod tests {
         // loop
         exec(&mut sched, dfs.symlink(0, "/loop2", "/loop1").unwrap());
         exec(&mut sched, dfs.symlink(0, "/loop1", "/loop2").unwrap());
-        assert_eq!(dfs.open(0, "/loop1/x", false).unwrap_err(), FsError::SymlinkLoop);
+        assert_eq!(
+            dfs.open(0, "/loop1/x", false).unwrap_err(),
+            FsError::SymlinkLoop
+        );
     }
 
     #[test]
@@ -665,7 +751,10 @@ mod tests {
         exec(&mut sched, dfs.mkdir(0, "/dst").unwrap());
         let (f, s) = dfs.open(0, "/src/f", true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, dfs.write(0, f, 0, Payload::Bytes(vec![1, 2, 3])).unwrap());
+        exec(
+            &mut sched,
+            dfs.write(0, f, 0, Payload::Bytes(vec![1, 2, 3])).unwrap(),
+        );
         exec(&mut sched, dfs.close(0, f).unwrap());
         exec(&mut sched, dfs.rename(0, "/src/f", "/dst/g").unwrap());
         assert_eq!(dfs.open(0, "/src/f", false).unwrap_err(), FsError::NotFound);
@@ -682,7 +771,10 @@ mod tests {
         let (mut sched, mut dfs) = mount(DataMode::Full);
         let (f, s) = dfs.open(0, "/shared", true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, dfs.write(0, f, 0, Payload::Bytes(vec![0xab; 64])).unwrap());
+        exec(
+            &mut sched,
+            dfs.write(0, f, 0, Payload::Bytes(vec![0xab; 64])).unwrap(),
+        );
         let oid = dfs.file_object(f).unwrap();
         let cid = dfs.container();
         let (data, s) = dfs

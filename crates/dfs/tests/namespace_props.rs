@@ -93,7 +93,7 @@ proptest! {
                         }
                         Err(FsError::NotFound) => {
                             prop_assert!(
-                                model.get(&d).map_or(true, |m| !m.contains_key(&f)),
+                                model.get(&d).is_none_or(|m| !m.contains_key(&f)),
                                 "unlink failed for existing file"
                             );
                         }
@@ -114,7 +114,7 @@ proptest! {
                             model.get_mut(&d).unwrap().insert(f, Some(b));
                         }
                         Err(FsError::NotFound) => {
-                            prop_assert!(model.get(&d).map_or(true, |m| !m.contains_key(&f)));
+                            prop_assert!(model.get(&d).is_none_or(|m| !m.contains_key(&f)));
                         }
                         Err(e) => prop_assert!(false, "unexpected open error {e:?}"),
                     }

@@ -24,7 +24,7 @@ use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{FileId, FileStat, FsError, PosixFs};
 use daos_dfs::Dfs;
 use simkit::{ResourceId, Scheduler, Step};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Mount options (a subset of `dfuse` command-line options).
 #[derive(Debug, Clone)]
@@ -61,7 +61,10 @@ impl Default for DfuseOpts {
 impl DfuseOpts {
     /// The paper's DFUSE+IL configuration.
     pub fn with_interception() -> Self {
-        DfuseOpts { interception: true, ..Default::default() }
+        DfuseOpts {
+            interception: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -77,15 +80,15 @@ pub struct DfuseMount {
     il_op_ns: u64,
     max_req: f64,
     /// `(node, path-hash)` lookup cache entries (metadata caching).
-    attr_cache: HashSet<(usize, u64)>,
+    attr_cache: BTreeSet<(usize, u64)>,
     /// `(node, dir-path-hash)` -> resolved directory inode: the kernel
     /// dentry cache, which turns creates under a warm directory into
     /// parent-relative opens.
-    dentry_cache: std::collections::HashMap<(usize, u64), daos_dfs::InodeId>,
+    dentry_cache: std::collections::BTreeMap<(usize, u64), daos_dfs::InodeId>,
     /// `(node, handle)` fully-cached files (data caching).
-    data_cache: HashSet<(usize, u64)>,
+    data_cache: BTreeSet<(usize, u64)>,
     /// `(node, handle)` -> next expected offset (readahead detection).
-    read_cursor: std::collections::HashMap<(usize, u64), u64>,
+    read_cursor: std::collections::BTreeMap<(usize, u64), u64>,
 }
 
 fn path_key(path: &str) -> u64 {
@@ -118,10 +121,10 @@ impl DfuseMount {
             il_op_ns: cal.il_op_ns,
             max_req: cal.fuse_max_req_bytes,
             opts,
-            attr_cache: HashSet::new(),
-            dentry_cache: std::collections::HashMap::new(),
-            data_cache: HashSet::new(),
-            read_cursor: std::collections::HashMap::new(),
+            attr_cache: BTreeSet::new(),
+            dentry_cache: std::collections::BTreeMap::new(),
+            data_cache: BTreeSet::new(),
+            read_cursor: std::collections::BTreeMap::new(),
         }
     }
 
@@ -195,9 +198,13 @@ impl PosixFs for DfuseMount {
         Ok((f, self.fuse_wrap(client, 0.0, inner)))
     }
 
-    fn write(&mut self, client: usize, f: FileId, offset: u64, data: Payload)
-        -> Result<Step, FsError>
-    {
+    fn write(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, FsError> {
         let bytes = data.len() as f64;
         let inner = self.dfs.write(client, f, offset, data)?;
         if self.opts.data_caching {
@@ -210,11 +217,14 @@ impl PosixFs for DfuseMount {
         }
     }
 
-    fn read(&mut self, client: usize, f: FileId, offset: u64, len: u64)
-        -> Result<(ReadPayload, Step), FsError>
-    {
-        let served_from_cache =
-            self.opts.data_caching && self.data_cache.contains(&(client, f.0));
+    fn read(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), FsError> {
+        let served_from_cache = self.opts.data_caching && self.data_cache.contains(&(client, f.0));
         // readahead: a sequential read was already prefetched by the
         // kernel, so the application-side crossing latency is hidden
         let sequential = self
@@ -255,8 +265,8 @@ impl PosixFs for DfuseMount {
     }
 
     fn stat(&mut self, client: usize, path: &str) -> Result<(FileStat, Step), FsError> {
-        let cached = self.opts.metadata_caching
-            && self.attr_cache.contains(&(client, path_key(path)));
+        let cached =
+            self.opts.metadata_caching && self.attr_cache.contains(&(client, path_key(path)));
         let (st, inner) = self.dfs.stat(client, path)?;
         if self.opts.metadata_caching {
             self.attr_cache.insert((client, path_key(path)));
@@ -330,7 +340,10 @@ mod tests {
         exec(&mut sched, m.mkdir(0, "/d").unwrap());
         let (f, s) = m.open(0, "/d/file", true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, m.write(0, f, 0, Payload::Bytes(vec![5; 4096])).unwrap());
+        exec(
+            &mut sched,
+            m.write(0, f, 0, Payload::Bytes(vec![5; 4096])).unwrap(),
+        );
         let (r, s) = m.read(0, f, 0, 4096).unwrap();
         exec(&mut sched, s);
         assert_eq!(r.bytes().unwrap(), &[5u8; 4096][..]);
@@ -349,7 +362,11 @@ mod tests {
             exec(&mut sched, s);
             let mut t = 0.0;
             for i in 0..32u64 {
-                t += exec(&mut sched, m.write(0, f, i * 1024, Payload::Bytes(vec![1; 1024])).unwrap());
+                t += exec(
+                    &mut sched,
+                    m.write(0, f, i * 1024, Payload::Bytes(vec![1; 1024]))
+                        .unwrap(),
+                );
             }
             t
         };
@@ -359,7 +376,11 @@ mod tests {
             exec(&mut sched, s);
             let mut t = 0.0;
             for i in 0..32u64 {
-                t += exec(&mut sched, m.write(0, f, i * 1024, Payload::Bytes(vec![1; 1024])).unwrap());
+                t += exec(
+                    &mut sched,
+                    m.write(0, f, i * 1024, Payload::Bytes(vec![1; 1024]))
+                        .unwrap(),
+                );
             }
             t
         };
@@ -390,7 +411,10 @@ mod tests {
 
     #[test]
     fn metadata_cache_skips_lookup_cost() {
-        let opts = DfuseOpts { metadata_caching: true, ..Default::default() };
+        let opts = DfuseOpts {
+            metadata_caching: true,
+            ..Default::default()
+        };
         let (mut sched, mut m) = mounted(opts);
         exec(&mut sched, m.mkdir(0, "/a").unwrap());
         exec(&mut sched, m.mkdir(0, "/a/b").unwrap());
@@ -400,16 +424,25 @@ mod tests {
         let t_first = exec(&mut sched, s1);
         let (_, s2) = m.stat(0, "/a/b").unwrap();
         let t_cached = exec(&mut sched, s2);
-        assert!(t_cached < t_first * 0.5, "cached {t_cached} vs first {t_first}");
+        assert!(
+            t_cached < t_first * 0.5,
+            "cached {t_cached} vs first {t_first}"
+        );
     }
 
     #[test]
     fn data_cache_serves_reread() {
-        let opts = DfuseOpts { data_caching: true, ..Default::default() };
+        let opts = DfuseOpts {
+            data_caching: true,
+            ..Default::default()
+        };
         let (mut sched, mut m) = mounted(opts);
         let (f, s) = m.open(0, "/f", true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, m.write(0, f, 0, Payload::Bytes(vec![9; 1 << 20])).unwrap());
+        exec(
+            &mut sched,
+            m.write(0, f, 0, Payload::Bytes(vec![9; 1 << 20])).unwrap(),
+        );
         let (r1, s) = m.read(0, f, 0, 1 << 20).unwrap();
         let t_cached = exec(&mut sched, s);
         assert_eq!(r1.len(), 1 << 20);
@@ -417,10 +450,17 @@ mod tests {
         let (mut sched2, mut m2) = mounted(DfuseOpts::default());
         let (f2, s) = m2.open(0, "/f", true).unwrap();
         exec(&mut sched2, s);
-        exec(&mut sched2, m2.write(0, f2, 0, Payload::Bytes(vec![9; 1 << 20])).unwrap());
+        exec(
+            &mut sched2,
+            m2.write(0, f2, 0, Payload::Bytes(vec![9; 1 << 20]))
+                .unwrap(),
+        );
         let (_, s) = m2.read(0, f2, 0, 1 << 20).unwrap();
         let t_uncached = exec(&mut sched2, s);
-        assert!(t_cached < t_uncached * 0.8, "cached {t_cached} vs {t_uncached}");
+        assert!(
+            t_cached < t_uncached * 0.8,
+            "cached {t_cached} vs {t_uncached}"
+        );
     }
 
     #[test]
@@ -466,13 +506,19 @@ mod readahead_tests {
         let daos = Rc::new(RefCell::new(daos));
         let (dfs, s) = Dfs::format(daos, 0, cid, DfsOpts::default()).unwrap();
         exec(&mut sched, s);
-        let opts = DfuseOpts { readahead, ..Default::default() };
+        let opts = DfuseOpts {
+            readahead,
+            ..Default::default()
+        };
         let mut m = DfuseMount::mount(dfs, &mut sched, opts);
         let (f, s) = m.open(0, "/ra", true).unwrap();
         exec(&mut sched, s);
         let n = 32u64;
         let blk = 64u64 << 10;
-        exec(&mut sched, m.write(0, f, 0, Payload::Sized(n * blk)).unwrap());
+        exec(
+            &mut sched,
+            m.write(0, f, 0, Payload::Sized(n * blk)).unwrap(),
+        );
         let mut total = 0.0;
         for i in 0..n {
             let off = if sequential {

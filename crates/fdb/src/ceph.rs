@@ -11,7 +11,7 @@ use crate::key::{FieldKey, KeyQuery};
 use ceph_sim::{CephSystem, RadosError};
 use cluster::payload::{Payload, ReadPayload};
 use simkit::Step;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of one packed index entry.
 const INDEX_ENTRY_BYTES: u64 = 512;
@@ -19,7 +19,7 @@ const INDEX_ENTRY_BYTES: u64 = 512;
 /// FDB over librados.
 pub struct FdbCeph {
     ceph: CephSystem,
-    toc: HashMap<FieldKey, u64>,
+    toc: BTreeMap<FieldKey, u64>,
 }
 
 fn map_rados(e: RadosError) -> FdbError {
@@ -32,7 +32,10 @@ fn map_rados(e: RadosError) -> FdbError {
 impl FdbCeph {
     /// Create the backend over a deployed Ceph cluster.
     pub fn new(ceph: CephSystem) -> FdbCeph {
-        FdbCeph { ceph, toc: HashMap::new() }
+        FdbCeph {
+            ceph,
+            toc: BTreeMap::new(),
+        }
     }
 
     /// The wrapped cluster.
@@ -64,7 +67,11 @@ impl Fdb for FdbCeph {
             .map_err(map_rados)?;
         let s2 = self
             .ceph
-            .append(node, &Self::index_object(key), Payload::Sized(INDEX_ENTRY_BYTES))
+            .append(
+                node,
+                &Self::index_object(key),
+                Payload::Sized(INDEX_ENTRY_BYTES),
+            )
             .map_err(map_rados)?;
         self.toc.insert(*key, len);
         Ok(Step::seq([s1, s2]))
@@ -80,16 +87,24 @@ impl Fdb for FdbCeph {
             .toc
             .keys()
             .filter(|k| query.matches(k))
-            .map(|k| Self::index_object(k))
+            .map(Self::index_object)
             .collect();
         groups.sort();
         groups.dedup();
         let mut steps = Vec::new();
         for g in groups {
-            let (_, s) = self.ceph.read(node, &g, 0, INDEX_ENTRY_BYTES).map_err(map_rados)?;
+            let (_, s) = self
+                .ceph
+                .read(node, &g, 0, INDEX_ENTRY_BYTES)
+                .map_err(map_rados)?;
             steps.push(s);
         }
-        let mut keys: Vec<FieldKey> = self.toc.keys().filter(|k| query.matches(k)).copied().collect();
+        let mut keys: Vec<FieldKey> = self
+            .toc
+            .keys()
+            .filter(|k| query.matches(k))
+            .copied()
+            .collect();
         keys.sort();
         Ok((keys, Step::par(steps)))
     }
@@ -135,9 +150,14 @@ mod tests {
     fn fixture() -> (Scheduler, FdbCeph) {
         let mut sched = Scheduler::new();
         let topo = ClusterSpec::new(2, 1).build(&mut sched);
-        let ceph =
-            CephSystem::deploy(&topo, &mut sched, 2, CephDataMode::Full, CephPoolOpts::default())
-                .unwrap();
+        let ceph = CephSystem::deploy(
+            &topo,
+            &mut sched,
+            2,
+            CephDataMode::Full,
+            CephPoolOpts::default(),
+        )
+        .unwrap();
         (sched, FdbCeph::new(ceph))
     }
 
@@ -148,7 +168,11 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(7);
         let mut field = vec![0u8; 50_000];
         rng.fill_bytes(&mut field);
-        exec(&mut sched, fdb.archive(0, 0, &k, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &k, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (data, s) = fdb.retrieve(0, 0, &k).unwrap();
         exec(&mut sched, s);
         assert_eq!(data.bytes().unwrap(), &field[..]);
@@ -159,7 +183,10 @@ mod tests {
         let (mut sched, mut fdb) = fixture();
         for i in 0..8 {
             let k = FieldKey::sequence(0, i);
-            exec(&mut sched, fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap());
+            exec(
+                &mut sched,
+                fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap(),
+            );
         }
         // 8 field objects + 1 shared index-group object (same member)
         assert_eq!(fdb.ceph.object_count(), 9);

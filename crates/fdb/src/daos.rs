@@ -14,7 +14,7 @@ use cluster::payload::{Payload, ReadPayload};
 use daos_core::{ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid};
 use simkit::Step;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// How often a shared-catalogue KV update accompanies an archive (the
@@ -37,8 +37,8 @@ pub struct FdbDaos {
     kv_class: ObjectClass,
     kv_ops_per_field: u32,
     kv_entry_bytes: f64,
-    procs: HashMap<usize, ProcState>,
-    toc: HashMap<FieldKey, (Oid, u64)>,
+    procs: BTreeMap<usize, ProcState>,
+    toc: BTreeMap<FieldKey, (Oid, u64)>,
 }
 
 impl FdbDaos {
@@ -74,8 +74,8 @@ impl FdbDaos {
                 kv_class,
                 kv_ops_per_field,
                 kv_entry_bytes,
-                procs: HashMap::new(),
-                toc: HashMap::new(),
+                procs: BTreeMap::new(),
+                toc: BTreeMap::new(),
             },
             Step::seq(steps),
         ))
@@ -90,7 +90,13 @@ impl FdbDaos {
             .borrow_mut()
             .kv_create(node, self.cid, self.kv_class)
             .map_err(map_daos)?;
-        self.procs.insert(proc, ProcState { index_kv: kv, archived: 0 });
+        self.procs.insert(
+            proc,
+            ProcState {
+                index_kv: kv,
+                archived: 0,
+            },
+        );
         Ok((kv, s))
     }
 
@@ -130,7 +136,9 @@ impl Fdb for FdbDaos {
         let (oid, s1) = daos
             .array_create(node, self.cid, self.array_class, 1 << 20)
             .map_err(map_daos)?;
-        let s2 = daos.array_write(node, self.cid, oid, 0, data).map_err(map_daos)?;
+        let s2 = daos
+            .array_write(node, self.cid, oid, 0, data)
+            .map_err(map_daos)?;
         drop(daos);
         self.toc.insert(*key, (oid, len));
         // index updates: the key entry plus axis/metadata puts, all on
@@ -200,7 +208,12 @@ impl Fdb for FdbDaos {
                 .map_err(map_daos)?;
             steps.push(s);
         }
-        let mut keys: Vec<FieldKey> = self.toc.keys().filter(|k| query.matches(k)).copied().collect();
+        let mut keys: Vec<FieldKey> = self
+            .toc
+            .keys()
+            .filter(|k| query.matches(k))
+            .copied()
+            .collect();
         keys.sort();
         Ok((keys, Step::par(steps)))
     }
@@ -235,7 +248,9 @@ impl Fdb for FdbDaos {
                 .map_err(map_daos)?;
             gets.push(s);
         }
-        let (data, s2) = daos.array_read(node, self.cid, oid, 0, len).map_err(map_daos)?;
+        let (data, s2) = daos
+            .array_read(node, self.cid, oid, 0, len)
+            .map_err(map_daos)?;
         drop(daos);
         let mut par = vec![s2];
         par.extend(gets);
@@ -269,8 +284,7 @@ mod tests {
         let (cid, s) = daos.cont_create(0, ContainerProps::default());
         exec(&mut sched, s);
         let daos = Rc::new(RefCell::new(daos));
-        let (fdb, s) =
-            FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
+        let (fdb, s) = FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
         exec(&mut sched, s);
         (sched, fdb)
     }
@@ -282,7 +296,11 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(6);
         let mut field = vec![0u8; 100_000];
         rng.fill_bytes(&mut field);
-        exec(&mut sched, fdb.archive(0, 0, &k, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &k, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (data, s) = fdb.retrieve(0, 0, &k).unwrap();
         exec(&mut sched, s);
         assert_eq!(data.bytes().unwrap(), &field[..]);
@@ -297,7 +315,10 @@ mod tests {
         let (mut sched, mut fdb) = fixture(DataMode::Sized);
         for i in 0..10 {
             let k = FieldKey::sequence(0, i);
-            exec(&mut sched, fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap());
+            exec(
+                &mut sched,
+                fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap(),
+            );
         }
         // 10 field arrays + 1 proc index KV + 2 catalogue KVs
         let count = fdb.daos.borrow().object_count(fdb.cid).unwrap();
@@ -330,7 +351,10 @@ mod tests {
         // fdb-hammer's key property: no get-size round trip on read.
         let (mut sched, mut fdb) = fixture(DataMode::Sized);
         let k = FieldKey::sequence(0, 0);
-        exec(&mut sched, fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap(),
+        );
         let (data, s) = fdb.retrieve(0, 0, &k).unwrap();
         assert_eq!(data.len(), 1 << 20);
         exec(&mut sched, s);
@@ -367,7 +391,10 @@ mod list_tests {
         for member in 0..3usize {
             for i in 0..6usize {
                 let k = FieldKey::sequence(member, i);
-                exec(&mut sched, fdb.archive(0, member, &k, Payload::Sized(1024)).unwrap());
+                exec(
+                    &mut sched,
+                    fdb.archive(0, member, &k, Payload::Sized(1024)).unwrap(),
+                );
             }
         }
         let (all, s) = fdb.list(0, &KeyQuery::all()).unwrap();
@@ -378,7 +405,11 @@ mod list_tests {
         assert_eq!(one.len(), 6);
         assert!(one.iter().all(|k| k.member == 1));
         // compound query
-        let q = KeyQuery { member: Some(2), param: Some(one[0].param), ..Default::default() };
+        let q = KeyQuery {
+            member: Some(2),
+            param: Some(one[0].param),
+            ..Default::default()
+        };
         let (few, s) = fdb.list(0, &q).unwrap();
         exec(&mut sched, s);
         assert!(!few.is_empty() && few.len() < 6);

@@ -62,7 +62,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for proc in 0..4 {
             for i in 0..500 {
-                assert!(seen.insert(FieldKey::sequence(proc, i)), "dup at {proc}/{i}");
+                assert!(
+                    seen.insert(FieldKey::sequence(proc, i)),
+                    "dup at {proc}/{i}"
+                );
             }
         }
     }
@@ -109,7 +112,10 @@ impl KeyQuery {
 
     /// Restrict to one ensemble member.
     pub fn member(member: u16) -> KeyQuery {
-        KeyQuery { member: Some(member), ..Default::default() }
+        KeyQuery {
+            member: Some(member),
+            ..Default::default()
+        }
     }
 
     /// Whether `key` satisfies the query.
@@ -144,9 +150,17 @@ mod query_tests {
     #[test]
     fn compound_query() {
         let k = FieldKey::sequence(2, 9);
-        let q = KeyQuery { member: Some(2), param: Some(k.param), ..Default::default() };
+        let q = KeyQuery {
+            member: Some(2),
+            param: Some(k.param),
+            ..Default::default()
+        };
         assert!(q.matches(&k));
-        let q2 = KeyQuery { member: Some(2), param: Some(k.param + 1), ..Default::default() };
+        let q2 = KeyQuery {
+            member: Some(2),
+            param: Some(k.param + 1),
+            ..Default::default()
+        };
         assert!(!q2.matches(&k));
     }
 }

@@ -13,7 +13,7 @@ use crate::key::{FieldKey, KeyQuery};
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{FsError, PosixFs};
 use simkit::Step;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Size of one packed index entry on disk.
 const INDEX_ENTRY_BYTES: u64 = 512;
@@ -46,8 +46,8 @@ struct WriterState {
 pub struct FdbPosix<P: PosixFs> {
     fs: P,
     flush_bytes: f64,
-    writers: HashMap<usize, WriterState>,
-    toc: HashMap<FieldKey, TocEntry>,
+    writers: BTreeMap<usize, WriterState>,
+    toc: BTreeMap<FieldKey, TocEntry>,
 }
 
 impl<P: PosixFs> FdbPosix<P> {
@@ -55,7 +55,12 @@ impl<P: PosixFs> FdbPosix<P> {
     /// the client-side buffer size (the calibration default is 64 MiB).
     pub fn new(mut fs: P, flush_bytes: f64) -> Result<FdbPosix<P>, FdbError> {
         fs.mkdir(0, "/fdb").map_err(map_fs)?;
-        Ok(FdbPosix { fs, flush_bytes, writers: HashMap::new(), toc: HashMap::new() })
+        Ok(FdbPosix {
+            fs,
+            flush_bytes,
+            writers: BTreeMap::new(),
+            toc: BTreeMap::new(),
+        })
     }
 
     /// The wrapped file system.
@@ -202,7 +207,7 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
             .writers
             .keys()
             .copied()
-            .filter(|o| !query.member.is_some_and(|m| m as usize != *o))
+            .filter(|o| query.member.is_none_or(|m| m as usize == *o))
             .collect();
         let mut steps = Vec::new();
         for owner in owners {
@@ -218,7 +223,12 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
             let s3 = self.fs.close(node, fi).map_err(map_fs)?;
             steps.push(Step::seq([s1, s2, s3]));
         }
-        let mut keys: Vec<FieldKey> = self.toc.keys().filter(|k| query.matches(k)).copied().collect();
+        let mut keys: Vec<FieldKey> = self
+            .toc
+            .keys()
+            .filter(|k| query.matches(k))
+            .copied()
+            .collect();
         keys.sort();
         Ok((keys, Step::par(steps)))
     }
@@ -231,7 +241,10 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
     ) -> Result<(ReadPayload, Step), FdbError> {
         let entry = *self.toc.get(key).ok_or(FdbError::FieldNotFound)?;
         let (index_path, data_path) = {
-            let w = self.writers.get(&entry.owner).ok_or(FdbError::FieldNotFound)?;
+            let w = self
+                .writers
+                .get(&entry.owner)
+                .ok_or(FdbError::FieldNotFound)?;
             (w.index_path.clone(), w.data_path.clone())
         };
         // exactly the paper's reader pattern: open index, read the
@@ -239,11 +252,19 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
         let (fi, s1) = self.fs.open(node, &index_path, false).map_err(map_fs)?;
         let (_, s2) = self
             .fs
-            .read(node, fi, entry.index_slot * INDEX_ENTRY_BYTES, INDEX_ENTRY_BYTES)
+            .read(
+                node,
+                fi,
+                entry.index_slot * INDEX_ENTRY_BYTES,
+                INDEX_ENTRY_BYTES,
+            )
             .map_err(map_fs)?;
         let s3 = self.fs.close(node, fi).map_err(map_fs)?;
         let (fd, s4) = self.fs.open(node, &data_path, false).map_err(map_fs)?;
-        let (data, s5) = self.fs.read(node, fd, entry.offset, entry.len).map_err(map_fs)?;
+        let (data, s5) = self
+            .fs
+            .read(node, fd, entry.offset, entry.len)
+            .map_err(map_fs)?;
         let s6 = self.fs.close(node, fd).map_err(map_fs)?;
         Ok((data, Step::seq([s1, s2, s3, s4, s5, s6])))
     }
@@ -279,7 +300,10 @@ mod tests {
             &mut sched,
             2,
             LustreDataMode::Sized,
-            StripeOpts { count: 8, size: 8 << 20 },
+            StripeOpts {
+                count: 8,
+                size: 8 << 20,
+            },
         );
         let fdb = FdbPosix::new(fs, 4.0 * 1024.0 * 1024.0).unwrap();
         (sched, fdb)
@@ -310,20 +334,29 @@ mod tests {
     fn retrieve_round_trip_and_missing() {
         let (mut sched, mut fdb) = lustre_fdb();
         let k = FieldKey::sequence(0, 0);
-        exec(&mut sched, fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap(),
+        );
         exec(&mut sched, fdb.flush(0, 0).unwrap());
         let (data, s) = fdb.retrieve(0, 0, &k).unwrap();
         exec(&mut sched, s);
         assert_eq!(data.len(), 1 << 20);
         let missing = FieldKey::sequence(9, 9);
-        assert_eq!(fdb.retrieve(0, 0, &missing).unwrap_err(), FdbError::FieldNotFound);
+        assert_eq!(
+            fdb.retrieve(0, 0, &missing).unwrap_err(),
+            FdbError::FieldNotFound
+        );
     }
 
     #[test]
     fn cross_process_retrieval() {
         let (mut sched, mut fdb) = lustre_fdb();
         let k = FieldKey::sequence(3, 7);
-        exec(&mut sched, fdb.archive(0, 3, &k, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 3, &k, Payload::Sized(1 << 20)).unwrap(),
+        );
         exec(&mut sched, fdb.flush(0, 3).unwrap());
         // another process reads it
         let (data, s) = fdb.retrieve(0, 11, &k).unwrap();
@@ -337,7 +370,10 @@ mod tests {
         // closes); verify the chain touches the MDS that many times.
         let (mut sched, mut fdb) = lustre_fdb();
         let k = FieldKey::sequence(0, 0);
-        exec(&mut sched, fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &k, Payload::Sized(1 << 20)).unwrap(),
+        );
         exec(&mut sched, fdb.flush(0, 0).unwrap());
         let (_, step) = fdb.retrieve(0, 0, &k).unwrap();
         let mds_cap = 180_000.0;

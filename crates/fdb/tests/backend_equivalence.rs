@@ -62,8 +62,7 @@ fn all_backends_agree() {
         let (cid, s) = daos.cont_create(0, ContainerProps::default());
         exec(&mut sched, s);
         let daos = Rc::new(RefCell::new(daos));
-        let (mut fdb, s) =
-            FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
+        let (mut fdb, s) = FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
         exec(&mut sched, s);
         session(&mut sched, &mut fdb)
     };
@@ -76,7 +75,10 @@ fn all_backends_agree() {
             &mut sched,
             2,
             LustreDataMode::Full,
-            StripeOpts { count: 4, size: 1 << 20 },
+            StripeOpts {
+                count: 4,
+                size: 1 << 20,
+            },
         );
         let mut fdb = FdbPosix::new(fs, (4u64 << 20) as f64).unwrap();
         session(&mut sched, &mut fdb)
@@ -97,9 +99,18 @@ fn all_backends_agree() {
         session(&mut sched, &mut fdb)
     };
 
-    assert_eq!(daos_result.0, lustre_result.0, "listings agree (daos vs lustre)");
-    assert_eq!(daos_result.0, ceph_result.0, "listings agree (daos vs ceph)");
-    assert_eq!(daos_result.1, lustre_result.1, "bytes agree (daos vs lustre)");
+    assert_eq!(
+        daos_result.0, lustre_result.0,
+        "listings agree (daos vs lustre)"
+    );
+    assert_eq!(
+        daos_result.0, ceph_result.0,
+        "listings agree (daos vs ceph)"
+    );
+    assert_eq!(
+        daos_result.1, lustre_result.1,
+        "bytes agree (daos vs lustre)"
+    );
     assert_eq!(daos_result.1, ceph_result.1, "bytes agree (daos vs ceph)");
     assert_eq!(daos_result.0.len(), 5, "five fields for member 1");
 }

@@ -17,7 +17,7 @@ use cluster::payload::{Payload, ReadPayload};
 use daos_core::{ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid};
 use simkit::Step;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Errors surfaced by the benchmark library.
@@ -44,8 +44,8 @@ pub struct FieldIo {
     /// Shared SX Key-Values, updated by every process.
     shared_kvs: Vec<Oid>,
     /// Exclusive per-process Key-Values.
-    proc_kvs: HashMap<usize, Oid>,
-    fields: HashMap<(usize, usize), (Oid, u64)>,
+    proc_kvs: BTreeMap<usize, Oid>,
+    fields: BTreeMap<(usize, usize), (Oid, u64)>,
     kv_ops_per_field: u32,
     kv_entry_bytes: f64,
     /// Whether reads perform the size check (on by default, as in the
@@ -94,8 +94,8 @@ impl FieldIo {
                 array_class,
                 kv_class,
                 shared_kvs,
-                proc_kvs: HashMap::new(),
-                fields: HashMap::new(),
+                proc_kvs: BTreeMap::new(),
+                fields: BTreeMap::new(),
                 kv_ops_per_field,
                 kv_entry_bytes,
                 size_check_on_read: true,
@@ -184,7 +184,10 @@ impl FieldIo {
         proc: usize,
         idx: usize,
     ) -> Result<(ReadPayload, Step), FieldIoError> {
-        let &(oid, len) = self.fields.get(&(proc, idx)).ok_or(FieldIoError::NoSuchField)?;
+        let &(oid, len) = self
+            .fields
+            .get(&(proc, idx))
+            .ok_or(FieldIoError::NoSuchField)?;
         let own_kv = *self.proc_kvs.get(&proc).ok_or(FieldIoError::NoSuchField)?;
         let mut daos = self.daos.borrow_mut();
         // index lookups mirror the write-side distribution
@@ -258,11 +261,18 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(8);
         let mut field = vec![0u8; 80_000];
         rng.fill_bytes(&mut field);
-        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fio.write_field(0, 0, 0, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (data, s) = fio.read_field(0, 0, 0).unwrap();
         exec(&mut sched, s);
         assert_eq!(data.bytes().unwrap(), &field[..]);
-        assert_eq!(fio.read_field(0, 0, 9).unwrap_err(), FieldIoError::NoSuchField);
+        assert_eq!(
+            fio.read_field(0, 0, 9).unwrap_err(),
+            FieldIoError::NoSuchField
+        );
     }
 
     #[test]
@@ -270,7 +280,10 @@ mod tests {
         let (mut sched, mut fio) = fixture(DataMode::Sized);
         for p in 0..2 {
             for i in 0..5 {
-                exec(&mut sched, fio.write_field(0, p, i, Payload::Sized(1 << 20)).unwrap());
+                exec(
+                    &mut sched,
+                    fio.write_field(0, p, i, Payload::Sized(1 << 20)).unwrap(),
+                );
             }
         }
         assert_eq!(fio.field_count(), 10);
@@ -282,7 +295,10 @@ mod tests {
     #[test]
     fn size_check_adds_a_round_trip() {
         let (mut sched, mut fio) = fixture(DataMode::Sized);
-        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Sized(1 << 20)).unwrap());
+        exec(
+            &mut sched,
+            fio.write_field(0, 0, 0, Payload::Sized(1 << 20)).unwrap(),
+        );
         let (_, with_check) = fio.read_field(0, 0, 0).unwrap();
         let t_with = exec(&mut sched, with_check);
         fio.size_check_on_read = false;
@@ -301,7 +317,11 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(9);
         let mut field = vec![0u8; 40_000];
         rng.fill_bytes(&mut field);
-        exec(&mut sched, fio.write_field(0, 0, 0, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fio.write_field(0, 0, 0, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (data, s) = fio.read_field(0, 0, 0).unwrap();
         exec(&mut sched, s);
         assert_eq!(data.bytes().unwrap(), &field[..]);

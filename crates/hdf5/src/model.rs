@@ -6,7 +6,7 @@ use cluster::Calibration;
 use daos_core::{ContainerId, ContainerProps, DaosError, DaosSystem, ObjectClass, Oid};
 use simkit::{ResourceId, Scheduler, Step};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Errors surfaced by the HDF5 layer.
@@ -43,7 +43,10 @@ impl H5Runtime {
         let node_bw = (0..client_nodes)
             .map(|c| sched.add_resource(format!("hdf5.cli{c}"), cal.hdf5_client_bw))
             .collect();
-        H5Runtime { node_bw, cal: cal.clone() }
+        H5Runtime {
+            node_bw,
+            cal: cal.clone(),
+        }
     }
 
     /// Library-side processing of `bytes` on a node.
@@ -69,7 +72,10 @@ const H5_INDEX_NAME_MAX: usize = 38;
 
 fn pack_index_entry(name: &str, off: u64, len: u64) -> Vec<u8> {
     let name = name.as_bytes();
-    assert!(name.len() <= H5_INDEX_NAME_MAX, "dataset name too long for index");
+    assert!(
+        name.len() <= H5_INDEX_NAME_MAX,
+        "dataset name too long for index"
+    );
     let mut v = vec![0u8; H5_INDEX_ENTRY as usize];
     v[0..2].copy_from_slice(&(name.len() as u16).to_le_bytes());
     v[2..2 + name.len()].copy_from_slice(name);
@@ -98,7 +104,7 @@ pub struct H5PosixFile {
     node: usize,
     heap_end: u64,
     /// dataset name -> (offset, len)
-    index: HashMap<String, (u64, u64)>,
+    index: BTreeMap<String, (u64, u64)>,
 }
 
 impl H5PosixFile {
@@ -113,7 +119,12 @@ impl H5PosixFile {
         let (handle, s1) = fs.open(node, path, true)?;
         let s2 = fs.write(node, handle, 0, Payload::Sized(H5_HEADER_BYTES))?;
         Ok((
-            H5PosixFile { handle, node, heap_end: H5_HEADER_BYTES, index: HashMap::new() },
+            H5PosixFile {
+                handle,
+                node,
+                heap_end: H5_HEADER_BYTES,
+                index: BTreeMap::new(),
+            },
             Step::seq([s1, s2]),
         ))
     }
@@ -130,7 +141,7 @@ impl H5PosixFile {
         // index records are parsed back into the dataset index
         let (header, s2) = fs.read(node, handle, 0, H5_HEADER_BYTES)?;
         let _ = rt;
-        let mut index = HashMap::new();
+        let mut index = BTreeMap::new();
         let mut heap_end = H5_HEADER_BYTES;
         if let Some(bytes) = header.bytes() {
             let mut off = H5_INDEX_BASE as usize;
@@ -144,7 +155,15 @@ impl H5PosixFile {
                 off += H5_INDEX_ENTRY as usize;
             }
         }
-        Ok((H5PosixFile { handle, node, heap_end, index }, Step::seq([s1, s2])))
+        Ok((
+            H5PosixFile {
+                handle,
+                node,
+                heap_end,
+                index,
+            },
+            Step::seq([s1, s2]),
+        ))
     }
 
     /// Write one dataset: data fragments into chunk-sized POSIX writes,
@@ -170,7 +189,12 @@ impl H5PosixFile {
                 while pos < len {
                     let take = frag.min(len - pos) as usize;
                     let chunk = bytes[pos as usize..pos as usize + take].to_vec();
-                    steps.push(fs.write(self.node, self.handle, off + pos, Payload::Bytes(chunk))?);
+                    steps.push(fs.write(
+                        self.node,
+                        self.handle,
+                        off + pos,
+                        Payload::Bytes(chunk),
+                    )?);
                     pos += take as u64;
                 }
             }
@@ -178,7 +202,12 @@ impl H5PosixFile {
                 let mut pos = 0u64;
                 while pos < len {
                     let take = frag.min(len - pos);
-                    steps.push(fs.write(self.node, self.handle, off + pos, Payload::Sized(take))?);
+                    steps.push(fs.write(
+                        self.node,
+                        self.handle,
+                        off + pos,
+                        Payload::Sized(take),
+                    )?);
                     pos += take;
                 }
             }
@@ -186,14 +215,17 @@ impl H5PosixFile {
         // metadata updates: a persisted index record plus the object
         // header/chunk-index touches (all inside the header region)
         let slot = self.index.len() as u64 - 1;
-        let rec_off = H5_INDEX_BASE + (slot % ((H5_HEADER_BYTES - H5_INDEX_BASE) / H5_INDEX_ENTRY)) * H5_INDEX_ENTRY;
+        let rec_off = H5_INDEX_BASE
+            + (slot % ((H5_HEADER_BYTES - H5_INDEX_BASE) / H5_INDEX_ENTRY)) * H5_INDEX_ENTRY;
         steps.push(fs.write(
             self.node,
             self.handle,
             rec_off,
             Payload::Bytes(pack_index_entry(name, off, len)),
         )?);
-        let md_span = H5_INDEX_BASE.saturating_sub(rt.cal.hdf5_md_bytes as u64).max(1);
+        let md_span = H5_INDEX_BASE
+            .saturating_sub(rt.cal.hdf5_md_bytes as u64)
+            .max(1);
         for i in 1..rt.cal.hdf5_md_ops_per_write {
             let md_off = (self.index.len() as u64 * 64 + i as u64 * 8) % md_span;
             steps.push(fs.write(
@@ -247,12 +279,13 @@ impl H5PosixFile {
     }
 
     /// `H5Fclose`: flush metadata and close.
-    pub fn close<P: PosixFs + ?Sized>(
-        self,
-        rt: &H5Runtime,
-        fs: &mut P,
-    ) -> Result<Step, Hdf5Error> {
-        let s1 = fs.write(self.node, self.handle, 0, Payload::Sized(rt.cal.hdf5_md_bytes as u64))?;
+    pub fn close<P: PosixFs + ?Sized>(self, rt: &H5Runtime, fs: &mut P) -> Result<Step, Hdf5Error> {
+        let s1 = fs.write(
+            self.node,
+            self.handle,
+            0,
+            Payload::Sized(rt.cal.hdf5_md_bytes as u64),
+        )?;
         let s2 = fs.close(self.node, self.handle)?;
         Ok(Step::seq([s1, s2]))
     }
@@ -269,7 +302,7 @@ pub struct H5DaosFile {
     node: usize,
     cid: ContainerId,
     md_kv: Oid,
-    index: HashMap<String, (Oid, u64)>,
+    index: BTreeMap<String, (Oid, u64)>,
     oclass: ObjectClass,
 }
 
@@ -283,7 +316,9 @@ impl H5DaosFile {
         oclass: ObjectClass,
     ) -> Result<(H5DaosFile, Step), Hdf5Error> {
         let _ = rt;
-        let (cid, s1) = daos.borrow_mut().cont_create(node, ContainerProps::default());
+        let (cid, s1) = daos
+            .borrow_mut()
+            .cont_create(node, ContainerProps::default());
         let (md_kv, s2) = daos.borrow_mut().kv_create(node, cid, ObjectClass::S1)?;
         Ok((
             H5DaosFile {
@@ -291,7 +326,7 @@ impl H5DaosFile {
                 node,
                 cid,
                 md_kv,
-                index: HashMap::new(),
+                index: BTreeMap::new(),
                 oclass,
             },
             Step::seq([s1, s2]),
@@ -331,7 +366,13 @@ impl H5DaosFile {
         let s4 = daos.pool_md_op(1.0);
         drop(daos);
         self.index.insert(name.to_string(), (oid, len));
-        Ok(Step::seq([rt.lib_step(self.node, len as f64), s1, s2, s3, s4]))
+        Ok(Step::seq([
+            rt.lib_step(self.node, len as f64),
+            s1,
+            s2,
+            s3,
+            s4,
+        ]))
     }
 
     /// Read one dataset: container-metadata lookup, KV index fetch, then
@@ -347,7 +388,10 @@ impl H5DaosFile {
         let (_, s1) = daos.kv_get(self.node, self.cid, self.md_kv, name.as_bytes())?;
         let (data, s2) = daos.array_read(self.node, self.cid, oid, 0, len)?;
         drop(daos);
-        Ok((data, Step::seq([rt.lib_step(self.node, len as f64), s0, s1, s2])))
+        Ok((
+            data,
+            Step::seq([rt.lib_step(self.node, len as f64), s0, s1, s2]),
+        ))
     }
 
     /// Names of stored datasets.
@@ -443,7 +487,10 @@ mod tests {
                 _ => 0,
             }
         }
-        assert!(count_seqs(&step) >= 7, "lib step + 4 fragments + 2 md: {step:?}");
+        assert!(
+            count_seqs(&step) >= 7,
+            "lib step + 4 fragments + 2 md: {step:?}"
+        );
         exec(&mut sched, step);
     }
 
@@ -455,7 +502,9 @@ mod tests {
         let mut rng = simkit::SplitMix64::new(5);
         let mut data = vec![0u8; 300_000];
         rng.fill_bytes(&mut data);
-        let s = h5.dataset_write(&rt, "press_850", Payload::Bytes(data.clone())).unwrap();
+        let s = h5
+            .dataset_write(&rt, "press_850", Payload::Bytes(data.clone()))
+            .unwrap();
         exec(&mut sched, s);
         let (r, s) = h5.dataset_read(&rt, "press_850").unwrap();
         exec(&mut sched, s);
@@ -503,7 +552,10 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(has_cap(&step, &sched, md_cap), "dataset write must hit pool md");
+        assert!(
+            has_cap(&step, &sched, md_cap),
+            "dataset write must hit pool md"
+        );
         exec(&mut sched, step);
     }
 }
@@ -549,7 +601,12 @@ mod reopen_tests {
                 let mut data = vec![0u8; 50_000 + i * 1000];
                 rng.fill_bytes(&mut data);
                 let s = h5
-                    .dataset_write(&rt, &mut dfs, &format!("var{i}"), Payload::Bytes(data.clone()))
+                    .dataset_write(
+                        &rt,
+                        &mut dfs,
+                        &format!("var{i}"),
+                        Payload::Bytes(data.clone()),
+                    )
                     .unwrap();
                 exec(&mut sched, s);
                 payloads.push(data);

@@ -24,7 +24,6 @@ pub mod mdtest;
 
 pub use mdtest::{MdPhase, Mdtest, MdtestConfig};
 
-
 use ceph_sim::CephSystem;
 use cluster::bench::{pin_round_robin, Phase, ProcWorkload};
 use cluster::payload::Payload;
@@ -160,7 +159,13 @@ impl Ior {
                 })
                 .collect(),
         };
-        Ior { cfg, backend, pins, state, shuffles }
+        Ior {
+            cfg,
+            backend,
+            pins,
+            state,
+            shuffles,
+        }
     }
 
     /// Switch phase (the paper always writes first, then reads).
@@ -366,7 +371,11 @@ mod tests {
         cfg.file_per_proc = false;
         let (_s2, backend2) = daos_backend();
         let ior2 = Ior::new(cfg, backend2);
-        assert_eq!(ior2.op_offset(3, 5), (3 * 10 + 5) << 20, "shared file segments");
+        assert_eq!(
+            ior2.op_offset(3, 5),
+            (3 * 10 + 5) << 20,
+            "shared file segments"
+        );
     }
 
     #[test]
@@ -438,7 +447,11 @@ mod tests {
         )));
         let mut ior = Ior::new(
             IorConfig::new(3, 1, 2),
-            IorBackend::Hdf5Daos { rt, daos: daos.clone(), oclass: ObjectClass::SX },
+            IorBackend::Hdf5Daos {
+                rt,
+                daos: daos.clone(),
+                oclass: ObjectClass::SX,
+            },
         );
         for p in 0..3 {
             exec(&mut sched, ior.setup(p));

@@ -42,7 +42,12 @@ pub struct MdtestConfig {
 impl MdtestConfig {
     /// A standard configuration.
     pub fn new(procs: usize, client_nodes: usize, files_per_proc: usize) -> Self {
-        MdtestConfig { procs, client_nodes, files_per_proc, write_bytes: 3901 }
+        MdtestConfig {
+            procs,
+            client_nodes,
+            files_per_proc,
+            write_bytes: 3901,
+        }
     }
 }
 
@@ -58,7 +63,12 @@ impl Mdtest {
     /// Create the run; per-process directories are made during setup.
     pub fn new(cfg: MdtestConfig, fs: Box<dyn PosixFs>) -> Mdtest {
         let pins = pin_round_robin(cfg.procs, cfg.client_nodes);
-        Mdtest { cfg, fs, pins, phase: MdPhase::Create }
+        Mdtest {
+            cfg,
+            fs,
+            pins,
+            phase: MdPhase::Create,
+        }
     }
 
     /// Switch to the next phase (the harness runs Create → Stat → Remove).

@@ -75,7 +75,10 @@ fn hdf5_posix_backend_round_trips_datasets() {
     let mount = DfuseMount::mount(dfs, &mut sched, DfuseOpts::with_interception());
     let mut ior = Ior::new(
         IorConfig::new(2, 1, 5),
-        IorBackend::Hdf5Posix { rt, fs: Box::new(mount) },
+        IorBackend::Hdf5Posix {
+            rt,
+            fs: Box::new(mount),
+        },
     );
     let w = drive(&mut sched, &mut ior, 2, 5);
     ior.set_phase(Phase::Read);
@@ -92,7 +95,10 @@ fn lustre_backend_shared_file_mode() {
         &mut sched,
         2,
         LustreDataMode::Sized,
-        StripeOpts { count: 8, size: 1 << 20 },
+        StripeOpts {
+            count: 8,
+            size: 1 << 20,
+        },
     );
     let mut cfg = IorConfig::new(4, 2, 6);
     cfg.file_per_proc = false; // single shared file
@@ -114,7 +120,11 @@ fn daos_backend_respects_object_class() {
     let daos = Rc::new(RefCell::new(daos));
     let mut ior = Ior::new(
         IorConfig::new(1, 1, 8),
-        IorBackend::Daos { daos, cid, oclass: ObjectClass::EC_2P1 },
+        IorBackend::Daos {
+            daos,
+            cid,
+            oclass: ObjectClass::EC_2P1,
+        },
     );
     drive(&mut sched, &mut ior, 1, 8);
     // EC 2+1 must have written 1.5x the logical bytes to the devices

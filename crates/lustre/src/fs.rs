@@ -17,7 +17,7 @@ use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{components, FileId, FileStat, FsError, PosixFs};
 use cluster::Topology;
 use simkit::{ResourceId, Scheduler, Step};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Data-mode mirror of the store (bytes or sizes only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +39,14 @@ pub struct StripeOpts {
 
 impl Default for StripeOpts {
     fn default() -> Self {
-        StripeOpts { count: 1, size: 1 << 20 }
+        StripeOpts {
+            count: 1,
+            size: 1 << 20,
+        }
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct OstId {
     server: u16,
     ost: u16,
@@ -79,10 +82,10 @@ pub struct LustreSystem {
     mds_svc: ResourceId,
     ost_svc: Vec<Vec<ResourceId>>,
     nodes: Vec<Node>,
-    handles: HashMap<u64, u32>,
+    handles: BTreeMap<u64, u32>,
     next_handle: u64,
     /// Granted extent locks: (file node, ost index, client node).
-    locks: HashSet<(u32, usize, usize)>,
+    locks: BTreeSet<(u32, usize, usize)>,
     /// Round-robin allocator for stripe starting OSTs.
     next_ost: usize,
     op_ns: u64,
@@ -118,9 +121,9 @@ impl LustreSystem {
             mds_svc,
             ost_svc,
             nodes: vec![Node::Dir(BTreeMap::new())],
-            handles: HashMap::new(),
+            handles: BTreeMap::new(),
             next_handle: 1,
-            locks: HashSet::new(),
+            locks: BTreeSet::new(),
             next_ost: 0,
             op_ns: cal.lustre_op_ns,
             rtt_ns: cal.net_rtt_ns,
@@ -193,7 +196,10 @@ impl LustreSystem {
         let dev = ost.ost as usize % srv.nvme_w.len();
         Step::seq([
             Step::transfer(1.0, [self.ost_svc[ost.server as usize][ost.ost as usize]]),
-            Step::transfer(bytes, [cli.nic_tx, srv.nic_rx, srv.nvme_w[dev], srv.nvme_w_pool]),
+            Step::transfer(
+                bytes,
+                [cli.nic_tx, srv.nic_rx, srv.nvme_w[dev], srv.nvme_w_pool],
+            ),
             Step::delay(self.topo.cal.nvme_write_lat_ns),
         ])
     }
@@ -205,7 +211,10 @@ impl LustreSystem {
         Step::seq([
             Step::transfer(1.0, [self.ost_svc[ost.server as usize][ost.ost as usize]]),
             Step::delay(self.topo.cal.nvme_read_lat_ns),
-            Step::transfer(bytes, [srv.nvme_r[dev], srv.nvme_r_pool, srv.nic_tx, cli.nic_rx]),
+            Step::transfer(
+                bytes,
+                [srv.nvme_r[dev], srv.nvme_r_pool, srv.nic_tx, cli.nic_rx],
+            ),
         ])
     }
 
@@ -298,7 +307,7 @@ impl FileNode {
 
     /// Bytes touching each OST of the layout for `[off, off+len)`.
     fn stripe_bytes(&self, off: u64, len: u64) -> Vec<(usize, f64)> {
-        let mut per: HashMap<usize, f64> = HashMap::new();
+        let mut per: BTreeMap<usize, f64> = BTreeMap::new();
         let ss = self.stripe_size;
         let mut pos = off;
         let end = off + len;
@@ -374,9 +383,13 @@ impl PosixFs for LustreSystem {
         Ok((FileId(h), self.mds_op(ops)))
     }
 
-    fn write(&mut self, client: usize, f: FileId, offset: u64, data: Payload)
-        -> Result<Step, FsError>
-    {
+    fn write(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, FsError> {
         let mode = self.mode;
         let (id, _) = self.file_mut(f)?;
         let locks = self.lock_cost(client, id, offset, data.len());
@@ -396,9 +409,13 @@ impl PosixFs for LustreSystem {
         ]))
     }
 
-    fn read(&mut self, client: usize, f: FileId, offset: u64, len: u64)
-        -> Result<(ReadPayload, Step), FsError>
-    {
+    fn read(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), FsError> {
         let (id, _) = self.file_mut(f)?;
         let locks = self.lock_cost(client, id, offset, len);
         let (_, fnode) = self.file_mut(f)?;
@@ -432,7 +449,10 @@ impl PosixFs for LustreSystem {
             .collect::<Vec<_>>();
         let _ = nstripes;
         Ok((
-            FileStat { size, is_dir: false },
+            FileStat {
+                size,
+                is_dir: false,
+            },
             Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
         ))
     }
@@ -440,7 +460,13 @@ impl PosixFs for LustreSystem {
     fn stat(&mut self, client: usize, path: &str) -> Result<(FileStat, Step), FsError> {
         let id = self.resolve(path)?;
         match &self.nodes[id as usize] {
-            Node::Dir(_) => Ok((FileStat { size: 0, is_dir: true }, self.mds_op(1.0))),
+            Node::Dir(_) => Ok((
+                FileStat {
+                    size: 0,
+                    is_dir: true,
+                },
+                self.mds_op(1.0),
+            )),
             Node::File(fnode) => {
                 let size = fnode.size;
                 let layout = fnode.layout.clone();
@@ -449,7 +475,10 @@ impl PosixFs for LustreSystem {
                     .map(|&o| self.ost_read(client, o, 64.0))
                     .collect::<Vec<_>>();
                 Ok((
-                    FileStat { size, is_dir: false },
+                    FileStat {
+                        size,
+                        is_dir: false,
+                    },
                     Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
                 ))
             }
@@ -525,7 +554,10 @@ mod tests {
         let (f, s) = fs.open(0, "/d/file", true).unwrap();
         exec(&mut sched, s);
         let data: Vec<u8> = (0..200u8).collect();
-        exec(&mut sched, fs.write(0, f, 50, Payload::Bytes(data.clone())).unwrap());
+        exec(
+            &mut sched,
+            fs.write(0, f, 50, Payload::Bytes(data.clone())).unwrap(),
+        );
         let (r, s) = fs.read(0, f, 50, 200).unwrap();
         exec(&mut sched, s);
         assert_eq!(r.bytes().unwrap(), &data[..]);
@@ -539,7 +571,14 @@ mod tests {
 
     #[test]
     fn striping_spreads_bytes_over_osts() {
-        let (mut sched, mut fs) = system(2, 1, StripeOpts { count: 8, size: 1 << 20 });
+        let (mut sched, mut fs) = system(
+            2,
+            1,
+            StripeOpts {
+                count: 8,
+                size: 1 << 20,
+            },
+        );
         let (f, s) = fs.open(0, "/f", true).unwrap();
         exec(&mut sched, s);
         let step = fs.write(0, f, 0, Payload::Sized(8 << 20)).unwrap();
@@ -564,8 +603,15 @@ mod tests {
 
     #[test]
     fn files_spread_over_osts() {
-        let (mut sched, mut fs) = system(1, 1, StripeOpts { count: 1, size: 1 << 20 });
-        let mut osts = HashSet::new();
+        let (mut sched, mut fs) = system(
+            1,
+            1,
+            StripeOpts {
+                count: 1,
+                size: 1 << 20,
+            },
+        );
+        let mut osts = BTreeSet::new();
         for i in 0..64 {
             let (f, s) = fs.open(0, &format!("/f{i}"), true).unwrap();
             exec(&mut sched, s);
@@ -582,7 +628,14 @@ mod tests {
 
     #[test]
     fn extent_locks_granted_once_per_client() {
-        let (mut sched, mut fs) = system(1, 2, StripeOpts { count: 1, size: 1 << 20 });
+        let (mut sched, mut fs) = system(
+            1,
+            2,
+            StripeOpts {
+                count: 1,
+                size: 1 << 20,
+            },
+        );
         let (f, s) = fs.open(0, "/f", true).unwrap();
         exec(&mut sched, s);
         let s1 = fs.write(0, f, 0, Payload::Sized(1024)).unwrap();
@@ -603,7 +656,14 @@ mod tests {
     fn bulk_write_approaches_hardware() {
         // 32 writers × 16 files on a 1-server system: aggregate must
         // approach the node's 3.86 GiB/s NVMe write bandwidth.
-        let (mut sched, mut fs) = system(1, 8, StripeOpts { count: 1, size: 1 << 20 });
+        let (mut sched, mut fs) = system(
+            1,
+            8,
+            StripeOpts {
+                count: 1,
+                size: 1 << 20,
+            },
+        );
         let mut handles = Vec::new();
         for i in 0..32 {
             let (f, s) = fs.open(0, &format!("/f{i}"), true).unwrap();
@@ -615,7 +675,10 @@ mod tests {
         let mut steps = Vec::new();
         for (i, &f) in handles.iter().enumerate() {
             for j in 0..8u64 {
-                steps.push(fs.write(i % 8, f, j * (1 << 20), Payload::Sized(1 << 20)).unwrap());
+                steps.push(
+                    fs.write(i % 8, f, j * (1 << 20), Payload::Sized(1 << 20))
+                        .unwrap(),
+                );
             }
         }
         for (i, s) in steps.into_iter().enumerate() {
@@ -628,7 +691,11 @@ mod tests {
         // random single-stripe placement of 32 short-lived files leaves
         // some OSTs idle during the drain; the node pool still bounds it
         assert!(bw > 2.2 * GIB, "aggregate {} GiB/s", bw / GIB);
-        assert!(bw <= 3.87 * GIB, "aggregate {} GiB/s exceeds node pool", bw / GIB);
+        assert!(
+            bw <= 3.87 * GIB,
+            "aggregate {} GiB/s exceeds node pool",
+            bw / GIB
+        );
     }
 
     #[test]
@@ -640,8 +707,13 @@ mod tests {
             let mut spec = ClusterSpec::new(1, 4);
             spec.cal.mds_iops = iops;
             let topo = spec.build(&mut sched);
-            let mut fs =
-                LustreSystem::deploy(&topo, &mut sched, 1, LustreDataMode::Sized, StripeOpts::default());
+            let mut fs = LustreSystem::deploy(
+                &topo,
+                &mut sched,
+                1,
+                LustreDataMode::Sized,
+                StripeOpts::default(),
+            );
             let t0 = sched.now();
             let mut ops = Vec::new();
             for i in 0..200 {

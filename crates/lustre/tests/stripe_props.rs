@@ -11,12 +11,12 @@ use simkit::{ResourceId, Scheduler, Step};
 /// data movements; service ops run on "lustre.*" resources).
 fn data_bytes(s: &Step, sched: &Scheduler) -> f64 {
     match s {
-        Step::Transfer { units, path } => {
-            if path.iter().any(|&r| sched.resource_name(r).contains("nvme")) {
-                *units
-            } else {
-                0.0
-            }
+        Step::Transfer { units, path }
+            if path
+                .iter()
+                .any(|&r| sched.resource_name(r).contains("nvme")) =>
+        {
+            *units
         }
         Step::Seq(v) | Step::Par(v) => v.iter().map(|s| data_bytes(s, sched)).sum(),
         _ => 0.0,
@@ -28,7 +28,9 @@ fn touched_devices(s: &Step, out: &mut std::collections::HashSet<ResourceId>, sc
     match s {
         Step::Transfer { path, .. } => {
             for &r in path {
-                if sched.resource_name(r).contains("nvme") && !sched.resource_name(r).contains("pool") {
+                if sched.resource_name(r).contains("nvme")
+                    && !sched.resource_name(r).contains("pool")
+                {
                     out.insert(r);
                 }
             }

@@ -1,0 +1,53 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//!
+//! The build container has no registry access, so this shim provides
+//! the `par_iter()` entry points the workspace uses and runs them as
+//! **ordered sequential** iteration.  Result order is identical to real
+//! rayon (whose `collect` is order-preserving), so swapping the real
+//! crate back in changes wall-time only, never results — which is the
+//! property the determinism harness in `benchkit` asserts.
+
+/// The common imports (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `par_iter()` on anything whose reference iterates (slices, arrays,
+/// `Vec`, …).  Sequential fallback: the returned iterator is the plain
+/// `(&self).into_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (`&'data T` for slice-backed collections).
+    type Item: 'data;
+
+    /// Iterate "in parallel" (sequentially, in order, in this shim).
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_ordered() {
+        let xs = [3usize, 1, 4, 1, 5];
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let v: Vec<i32> = vec![7, 8];
+        assert_eq!(v.par_iter().copied().collect::<Vec<_>>(), vec![7, 8]);
+    }
+}

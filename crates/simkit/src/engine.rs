@@ -165,7 +165,10 @@ impl Scheduler {
 
     /// Register a capacity resource (units/second) and return its id.
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
-        assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be finite and >= 0");
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "capacity must be finite and >= 0"
+        );
         let id = ResourceId(self.caps.len() as u32);
         self.caps.push(capacity);
         self.names.push(name.into());
@@ -230,6 +233,14 @@ impl Scheduler {
         &self.trace
     }
 
+    /// Order-sensitive FNV-1a digest of the `(time, op)` completion stream
+    /// so far.  Always maintained (even with tracing disabled); two runs
+    /// of identical workloads must report identical digests — see
+    /// [`run_digest`].
+    pub fn digest(&self) -> u64 {
+        self.trace.digest()
+    }
+
     /// Capacities indexed by resource id, for [`Monitor::report`].
     pub fn capacities(&self) -> &[f64] {
         &self.caps
@@ -264,7 +275,11 @@ impl Scheduler {
             Step::Delay(ns) => {
                 let seq = self.timer_seq;
                 self.timer_seq += 1;
-                self.timers.push(Reverse(Timer { at: self.now + ns, seq, parent }));
+                self.timers.push(Reverse(Timer {
+                    at: self.now + ns,
+                    seq,
+                    parent,
+                }));
             }
             Step::Transfer { units, path } => {
                 debug_assert!(units > 0.0 && !path.is_empty());
@@ -284,7 +299,10 @@ impl Scheduler {
                 match steps.pop() {
                     None => self.complete_parent(parent),
                     Some(first) => {
-                        let cid = self.conts.insert(Cont::Seq { stack: steps, parent });
+                        let cid = self.conts.insert(Cont::Seq {
+                            stack: steps,
+                            parent,
+                        });
                         self.exec(first, Parent::Cont(cid));
                     }
                 }
@@ -294,7 +312,10 @@ impl Scheduler {
                     self.complete_parent(parent);
                     return;
                 }
-                let cid = self.conts.insert(Cont::Join { remaining: steps.len(), parent });
+                let cid = self.conts.insert(Cont::Join {
+                    remaining: steps.len(),
+                    parent,
+                });
                 for s in steps {
                     self.exec(s, Parent::Cont(cid));
                 }
@@ -373,17 +394,21 @@ impl Scheduler {
 
     /// Recompute max-min fair rates and flow deadlines.
     fn recompute_rates(&mut self) {
+        // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t0 = std::time::Instant::now();
         self.settle_to(self.now);
+        // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t1 = std::time::Instant::now();
         self.fair.begin(self.caps.len());
         for (key, f) in self.flows.iter() {
             self.fair.add_flow(key, &f.path);
         }
+        // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t2 = std::time::Instant::now();
         self.stat_recomputes += 1;
         self.stat_flow_visits += self.flows.len() as u64;
         self.stat_fill_iters += self.fair.solve(&self.caps) as u64;
+        // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t3 = std::time::Instant::now();
         self.stat_ns[0] += (t1 - t0).as_nanos() as u64;
         self.stat_ns[1] += (t2 - t1).as_nanos() as u64;
@@ -421,6 +446,7 @@ impl Scheduler {
 
     /// Fire everything scheduled at exactly `t` (flows and timers).
     fn fire_events_at(&mut self, t: SimTime) {
+        // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let te = std::time::Instant::now();
         self.stat_ns[3] = self.stat_ns[3].wrapping_add(te.elapsed().as_nanos() as u64);
         self.settle_to(t);
@@ -464,6 +490,15 @@ pub fn run<W: World>(sched: &mut Scheduler, world: &mut W) {
         ),
         RunOutcome::TimeLimit => unreachable!("NEVER limit reached"),
     }
+}
+
+/// Run until no work remains (like [`run`]) and return the replay digest
+/// of the full completion stream.  The determinism contract in one call:
+/// two invocations on freshly-built, identically-configured scheduler and
+/// world values must return the same digest.
+pub fn run_digest<W: World>(sched: &mut Scheduler, world: &mut W) -> u64 {
+    run(sched, world);
+    sched.digest()
 }
 
 /// Run until no work remains or simulated time would pass `limit`.
@@ -644,7 +679,11 @@ mod tests {
         }
         let mut s = Scheduler::new();
         let r = s.add_resource("r", 10.0);
-        let mut p = Proc { left: 4, r, done_at: SimTime::ZERO };
+        let mut p = Proc {
+            left: 4,
+            r,
+            done_at: SimTime::ZERO,
+        };
         s.submit(Step::transfer(10.0, [r]), OpId(0));
         run(&mut s, &mut p);
         assert!((secs(p.done_at) - 5.0).abs() < 1e-6);
@@ -674,7 +713,10 @@ mod tests {
         let mut w = Recorder::default();
         assert_eq!(run_for(&mut s, &mut w, SimTime::NEVER), RunOutcome::Stalled);
         s.set_capacity(r, 10.0);
-        assert_eq!(run_for(&mut s, &mut w, SimTime::NEVER), RunOutcome::Completed);
+        assert_eq!(
+            run_for(&mut s, &mut w, SimTime::NEVER),
+            RunOutcome::Completed
+        );
         assert_eq!(w.completed.len(), 1);
     }
 

@@ -64,7 +64,10 @@ impl FairShare {
 
     /// Register one flow (identified by an arbitrary `key`) with its path.
     pub fn add_flow(&mut self, key: u32, path: &[ResourceId]) {
-        debug_assert!(!path.is_empty(), "flows must traverse at least one resource");
+        debug_assert!(
+            !path.is_empty(),
+            "flows must traverse at least one resource"
+        );
         let fi = self.keys.len() as u32;
         self.keys.push(key);
         self.path_start.push(self.paths.len() as u32);
@@ -207,7 +210,10 @@ mod tests {
         // f1 is bottlenecked at 3 by r1, f0 takes the slack: 7.
         let rates = solve(&[10.0, 3.0], &[&[0], &[0, 1]]);
         assert!((rates[1] - 3.0).abs() < 1e-12, "f1 pinned at narrow link");
-        assert!((rates[0] - 7.0).abs() < 1e-12, "f0 takes remaining capacity");
+        assert!(
+            (rates[0] - 7.0).abs() < 1e-12,
+            "f0 takes remaining capacity"
+        );
     }
 
     #[test]

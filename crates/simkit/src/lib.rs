@@ -54,9 +54,9 @@ pub mod step;
 pub mod time;
 pub mod trace;
 
-pub use engine::{run, run_for, OpId, RunOutcome, Scheduler, World};
+pub use engine::{run, run_digest, run_for, OpId, RunOutcome, Scheduler, World};
 pub use monitor::Monitor;
 pub use rng::SplitMix64;
 pub use step::{ResourceId, Step};
 pub use time::SimTime;
-pub use trace::Trace;
+pub use trace::{ReplayDigest, Trace};

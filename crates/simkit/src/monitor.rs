@@ -33,12 +33,18 @@ pub struct Utilisation {
 impl Monitor {
     /// A monitor that records nothing (zero overhead).
     pub fn disabled() -> Self {
-        Monitor { busy_units: Vec::new(), enabled: false }
+        Monitor {
+            busy_units: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// A recording monitor.
     pub fn enabled() -> Self {
-        Monitor { busy_units: Vec::new(), enabled: true }
+        Monitor {
+            busy_units: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Whether accounting is active.
@@ -80,8 +86,17 @@ impl Monitor {
             .map(|i| {
                 let units = self.busy_units.get(i).copied().unwrap_or(0.0);
                 let mean_rate = if dt > 0.0 { units / dt } else { 0.0 };
-                let fraction = if caps[i] > 0.0 { mean_rate / caps[i] } else { 0.0 };
-                Utilisation { resource: ResourceId(i as u32), units, mean_rate, fraction }
+                let fraction = if caps[i] > 0.0 {
+                    mean_rate / caps[i]
+                } else {
+                    0.0
+                };
+                Utilisation {
+                    resource: ResourceId(i as u32),
+                    units,
+                    mean_rate,
+                    fraction,
+                }
             })
             .collect()
     }

@@ -26,7 +26,11 @@ impl<T> Default for Slab<T> {
 impl<T> Slab<T> {
     /// Empty slab.
     pub fn new() -> Self {
-        Slab { entries: Vec::new(), free_head: None, len: 0 }
+        Slab {
+            entries: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
     }
 
     /// Number of live entries.
@@ -65,7 +69,12 @@ impl<T> Slab<T> {
     /// engine bug, never a recoverable condition.
     pub fn remove(&mut self, key: u32) -> T {
         let slot = &mut self.entries[key as usize];
-        match std::mem::replace(slot, Entry::Vacant { next_free: self.free_head }) {
+        match std::mem::replace(
+            slot,
+            Entry::Vacant {
+                next_free: self.free_head,
+            },
+        ) {
             Entry::Occupied(v) => {
                 self.free_head = Some(key);
                 self.len -= 1;
@@ -96,18 +105,24 @@ impl<T> Slab<T> {
 
     /// Iterate `(key, &value)` over live entries.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
-        self.entries.iter().enumerate().filter_map(|(i, e)| match e {
-            Entry::Occupied(v) => Some((i as u32, v)),
-            Entry::Vacant { .. } => None,
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i as u32, v)),
+                Entry::Vacant { .. } => None,
+            })
     }
 
     /// Iterate `(key, &mut value)` over live entries.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (u32, &mut T)> {
-        self.entries.iter_mut().enumerate().filter_map(|(i, e)| match e {
-            Entry::Occupied(v) => Some((i as u32, v)),
-            Entry::Vacant { .. } => None,
-        })
+        self.entries
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, e)| match e {
+                Entry::Occupied(v) => Some((i as u32, v)),
+                Entry::Vacant { .. } => None,
+            })
     }
 
     /// Remove every entry.

@@ -1,12 +1,60 @@
 //! Optional event tracing: a bounded in-memory log of op completions
-//! for debugging cost models and inspecting schedules.
+//! for debugging cost models and inspecting schedules, plus an always-on
+//! **replay digest** for determinism enforcement.
 //!
 //! Tracing is off by default (zero overhead beyond a branch); when
 //! enabled the scheduler records `(time, op)` pairs which can be dumped
 //! as a text timeline.
+//!
+//! The digest is independent of the `enabled` flag: every completion is
+//! folded into an order-sensitive FNV-1a hash of the `(time, op)` stream
+//! regardless of whether events are stored.  Two runs of the same
+//! workload must produce the same digest; any divergence — a reordered
+//! completion, a shifted timestamp — changes it.  This is the runtime
+//! counterpart of the `simlint` static pass: the lint forbids sources of
+//! nondeterminism, the digest catches whatever slips through.
 
 use crate::engine::OpId;
 use crate::time::SimTime;
+
+/// Order-sensitive FNV-1a (64-bit) accumulator over `(time, op)` pairs.
+///
+/// FNV-1a folds each byte into the running state before multiplying by
+/// the prime, so the digest depends on the exact byte *sequence*:
+/// swapping two completions, or moving one in time, yields a different
+/// value.  Not cryptographic — it guards against accidents, not
+/// adversaries — but 64 bits is plenty to make silent schedule drift
+/// visible in CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayDigest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for ReplayDigest {
+    fn default() -> Self {
+        ReplayDigest(FNV_OFFSET)
+    }
+}
+
+impl ReplayDigest {
+    /// Fresh digest (FNV offset basis).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one completion event into the digest.
+    pub fn update(&mut self, at: SimTime, op: OpId) {
+        for b in at.0.to_le_bytes().into_iter().chain(op.0.to_le_bytes()) {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
 
 /// A bounded completion log.
 #[derive(Debug, Default)]
@@ -15,6 +63,7 @@ pub struct Trace {
     cap: usize,
     events: Vec<(SimTime, OpId)>,
     dropped: u64,
+    digest: ReplayDigest,
 }
 
 impl Trace {
@@ -26,7 +75,11 @@ impl Trace {
     /// Recording trace keeping at most `cap` events (older events are
     /// kept; overflow is counted, not stored).
     pub fn bounded(cap: usize) -> Trace {
-        Trace { enabled: true, cap, events: Vec::new(), dropped: 0 }
+        Trace {
+            enabled: true,
+            cap,
+            ..Trace::default()
+        }
     }
 
     /// Whether events are recorded.
@@ -35,6 +88,9 @@ impl Trace {
     }
 
     pub(crate) fn record(&mut self, at: SimTime, op: OpId) {
+        // The replay digest is always on: it covers every completion
+        // since this Trace was installed, stored or not.
+        self.digest.update(at, op);
         if !self.enabled {
             return;
         }
@@ -43,6 +99,12 @@ impl Trace {
         } else {
             self.dropped += 1;
         }
+    }
+
+    /// Order-sensitive FNV-1a digest of every `(time, op)` completion seen
+    /// by this trace (independent of the storage bound and `enabled`).
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
     }
 
     /// Recorded `(completion time, op)` pairs, in completion order.
@@ -63,7 +125,11 @@ impl Trace {
             let _ = writeln!(out, "{:>14}  op {}", t.to_string(), op.0);
         }
         if self.dropped > 0 {
-            let _ = writeln!(out, "... and {} more completions (bound reached)", self.dropped);
+            let _ = writeln!(
+                out,
+                "... and {} more completions (bound reached)",
+                self.dropped
+            );
         }
         out
     }
@@ -79,6 +145,65 @@ mod tests {
         t.record(SimTime::from_millis(1), OpId(1));
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let (a, b) = (
+            (SimTime::from_millis(1), OpId(1)),
+            (SimTime::from_millis(2), OpId(2)),
+        );
+        let mut fwd = ReplayDigest::new();
+        fwd.update(a.0, a.1);
+        fwd.update(b.0, b.1);
+        let mut rev = ReplayDigest::new();
+        rev.update(b.0, b.1);
+        rev.update(a.0, a.1);
+        assert_ne!(
+            fwd.value(),
+            rev.value(),
+            "swapped completions must change the digest"
+        );
+        // Shifting a timestamp changes it too.
+        let mut shifted = ReplayDigest::new();
+        shifted.update(SimTime::from_millis(3), a.1);
+        shifted.update(b.0, b.1);
+        assert_ne!(fwd.value(), shifted.value());
+    }
+
+    #[test]
+    fn digest_is_stable_across_runs() {
+        let run = || {
+            let mut d = ReplayDigest::new();
+            for i in 0..1000u64 {
+                d.update(SimTime::from_millis(i * 7), OpId(i));
+            }
+            d.value()
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "identical event streams must hash identically"
+        );
+        assert_ne!(run(), ReplayDigest::new().value());
+    }
+
+    #[test]
+    fn digest_active_even_when_trace_disabled() {
+        let mut off = Trace::disabled();
+        let mut on = Trace::bounded(16);
+        for i in 0..4u64 {
+            off.record(SimTime::from_millis(i), OpId(i));
+            on.record(SimTime::from_millis(i), OpId(i));
+        }
+        assert!(off.events().is_empty());
+        assert_eq!(off.digest(), on.digest());
+        // The storage bound does not affect the digest either.
+        let mut tiny = Trace::bounded(1);
+        for i in 0..4u64 {
+            tiny.record(SimTime::from_millis(i), OpId(i));
+        }
+        assert_eq!(tiny.digest(), on.digest());
     }
 
     #[test]

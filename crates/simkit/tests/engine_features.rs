@@ -30,8 +30,13 @@ fn staggered_makespan(quantum_ns: u64, tol: f64) -> f64 {
     let mut sched = Scheduler::new();
     sched.set_coalescing(quantum_ns);
     sched.set_fairshare_tolerance(tol);
-    let res: Vec<_> = (0..8).map(|i| sched.add_resource(format!("r{i}"), 100.0)).collect();
-    let mut w = Loop { res: res.clone(), left: vec![20; 64] };
+    let res: Vec<_> = (0..8)
+        .map(|i| sched.add_resource(format!("r{i}"), 100.0))
+        .collect();
+    let mut w = Loop {
+        res: res.clone(),
+        left: vec![20; 64],
+    };
     for p in 0..64usize {
         let r = w.res[(p * 7 + 20) % w.res.len()];
         sched.submit_after(p as u64 * 1_000, Step::transfer(10.0, [r]), OpId(p as u64));
@@ -129,7 +134,9 @@ fn many_independent_resources_scale() {
     // one transfer time
     let mut sched = Scheduler::new();
     sched.set_coalescing(1_000);
-    let res: Vec<_> = (0..256).map(|i| sched.add_resource(format!("d{i}"), 100.0)).collect();
+    let res: Vec<_> = (0..256)
+        .map(|i| sched.add_resource(format!("d{i}"), 100.0))
+        .collect();
     for (i, &r) in res.iter().enumerate() {
         sched.submit(Step::transfer(100.0, [r]), OpId(i as u64));
     }

@@ -25,7 +25,9 @@ impl World for Sink {
 fn create_rate(dfuse: bool, procs: usize, nodes: usize, cal: &Calibration) -> f64 {
     let mut sched = Scheduler::new();
     sched.set_coalescing(2_000);
-    let topo = ClusterSpec::new(8, nodes).with_cal(cal.clone()).build(&mut sched);
+    let topo = ClusterSpec::new(8, nodes)
+        .with_cal(cal.clone())
+        .build(&mut sched);
     let fs: Box<dyn cluster::posix::PosixFs> = if dfuse {
         let mut daos = DaosSystem::deploy(&topo, &mut sched, 8, DataMode::Sized);
         let (cid, s) = daos.cont_create(0, ContainerProps::default());
@@ -37,7 +39,10 @@ fn create_rate(dfuse: bool, procs: usize, nodes: usize, cal: &Calibration) -> f6
         run(&mut sched, &mut Sink);
         // metadata caching on: lookups of the shared parent directories
         // come from the kernel dentry cache, as in real mdtest runs
-        let opts = DfuseOpts { metadata_caching: true, ..Default::default() };
+        let opts = DfuseOpts {
+            metadata_caching: true,
+            ..Default::default()
+        };
         Box::new(DfuseMount::mount(dfs, &mut sched, opts))
     } else {
         Box::new(LustreSystem::deploy(

@@ -39,7 +39,13 @@ fn main() {
     let (kv, step) = daos.kv_create(0, cid, ObjectClass::S1).unwrap();
     exec(&mut sched, step);
     let step = daos
-        .kv_put(0, cid, kv, b"experiment/name", Payload::from(&b"quickstart"[..]))
+        .kv_put(
+            0,
+            cid,
+            kv,
+            b"experiment/name",
+            Payload::from(&b"quickstart"[..]),
+        )
         .unwrap();
     exec(&mut sched, step);
 
@@ -52,7 +58,8 @@ fn main() {
     rng.fill_bytes(&mut payload);
     let secs = exec(
         &mut sched,
-        daos.array_write(0, cid, arr, 0, Payload::Bytes(payload.clone())).unwrap(),
+        daos.array_write(0, cid, arr, 0, Payload::Bytes(payload.clone()))
+            .unwrap(),
     );
     let bw = (8u64 << 20) as f64 / secs / GIB;
     println!("wrote 8 MiB through the SX array in {secs:.4}s of simulated time ({bw:.2} GiB/s)");

@@ -39,9 +39,13 @@ fn main() {
     // --- write the same data under three protection schemes -------------
     let (plain, s) = daos.array_create(0, cid, ObjectClass::SX, 1 << 20).unwrap();
     exec(&mut sched, s);
-    let (mirrored, s) = daos.array_create(0, cid, ObjectClass::RP_2, 1 << 20).unwrap();
+    let (mirrored, s) = daos
+        .array_create(0, cid, ObjectClass::RP_2, 1 << 20)
+        .unwrap();
     exec(&mut sched, s);
-    let (coded, s) = daos.array_create(0, cid, ObjectClass::EC_2P1, 1 << 20).unwrap();
+    let (coded, s) = daos
+        .array_create(0, cid, ObjectClass::EC_2P1, 1 << 20)
+        .unwrap();
     exec(&mut sched, s);
 
     println!("writing 2 MiB under three object classes:");
@@ -52,7 +56,8 @@ fn main() {
     ] {
         let secs = exec(
             &mut sched,
-            daos.array_write(0, cid, oid, 0, Payload::Bytes(field.clone())).unwrap(),
+            daos.array_write(0, cid, oid, 0, Payload::Bytes(field.clone()))
+                .unwrap(),
         );
         println!(
             "  {name:<12} {secs:.4}s  ({amp}x bytes on devices -> the paper's \
@@ -72,22 +77,31 @@ fn main() {
     }
 
     // replicated data fails over
-    let (data, s) = daos.array_read(0, cid, mirrored, 0, field.len() as u64).unwrap();
+    let (data, s) = daos
+        .array_read(0, cid, mirrored, 0, field.len() as u64)
+        .unwrap();
     exec(&mut sched, s);
     assert_eq!(data.bytes().unwrap(), &field[..]);
     println!("  RP_2   : served from the surviving replica, verified");
 
     // erasure-coded data reconstructs through real Reed-Solomon decode
-    let (data, s) = daos.array_read(0, cid, coded, 0, field.len() as u64).unwrap();
+    let (data, s) = daos
+        .array_read(0, cid, coded, 0, field.len() as u64)
+        .unwrap();
     let secs = exec(&mut sched, s);
     assert_eq!(data.bytes().unwrap(), &field[..]);
     println!("  EC_2P1 : reconstructed from surviving cells + parity in {secs:.4}s, verified");
 
     // --- reintegrate and confirm reads go clean again ---------------------
     for t in 0..16 {
-        daos.reintegrate_target(daos_core::TargetId { server: 0, target: t });
+        daos.reintegrate_target(daos_core::TargetId {
+            server: 0,
+            target: t,
+        });
     }
-    let (data, s) = daos.array_read(0, cid, coded, 0, field.len() as u64).unwrap();
+    let (data, s) = daos
+        .array_read(0, cid, coded, 0, field.len() as u64)
+        .unwrap();
     exec(&mut sched, s);
     assert_eq!(data.bytes().unwrap(), &field[..]);
     println!("\nserver 0 reintegrated; EC reads healthy again");

@@ -47,10 +47,16 @@ fn dfuse_write_visible_through_libdaos() {
     let data = rand_bytes(1, 300_000);
     let (f, s) = mount.open(0, "/through-the-stack", true).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, mount.write(0, f, 0, Payload::Bytes(data.clone())).unwrap());
+    exec(
+        &mut sched,
+        mount.write(0, f, 0, Payload::Bytes(data.clone())).unwrap(),
+    );
 
     let oid = mount.dfs().file_object(f).unwrap();
-    let (raw, s) = daos.borrow_mut().array_read(0, cid, oid, 0, data.len() as u64).unwrap();
+    let (raw, s) = daos
+        .borrow_mut()
+        .array_read(0, cid, oid, 0, data.len() as u64)
+        .unwrap();
     exec(&mut sched, s);
     assert_eq!(raw.bytes().unwrap(), &data[..]);
 }
@@ -98,10 +104,13 @@ fn fdb_round_trips_on_all_three_stores() {
         let (cid, s) = daos.cont_create(0, ContainerProps::default());
         exec(&mut sched, s);
         let daos = Rc::new(RefCell::new(daos));
-        let (mut fdb, s) =
-            FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
+        let (mut fdb, s) = FdbDaos::new(daos, 0, cid, ObjectClass::S1, ObjectClass::S1).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, fdb.archive(0, 0, &key, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &key, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (got, s) = fdb.retrieve(0, 0, &key).unwrap();
         exec(&mut sched, s);
         assert_eq!(got.bytes().unwrap(), &field[..], "daos backend");
@@ -116,10 +125,17 @@ fn fdb_round_trips_on_all_three_stores() {
             &mut sched,
             2,
             lustre_sim::LustreDataMode::Full,
-            lustre_sim::StripeOpts { count: 4, size: 1 << 20 },
+            lustre_sim::StripeOpts {
+                count: 4,
+                size: 1 << 20,
+            },
         );
         let mut fdb = FdbPosix::new(fs, (1u64 << 20) as f64).unwrap();
-        exec(&mut sched, fdb.archive(0, 0, &key, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &key, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         exec(&mut sched, fdb.flush(0, 0).unwrap());
         let (got, s) = fdb.retrieve(0, 0, &key).unwrap();
         exec(&mut sched, s);
@@ -141,7 +157,11 @@ fn fdb_round_trips_on_all_three_stores() {
         )
         .unwrap();
         let mut fdb = FdbCeph::new(ceph);
-        exec(&mut sched, fdb.archive(0, 0, &key, Payload::Bytes(field.clone())).unwrap());
+        exec(
+            &mut sched,
+            fdb.archive(0, 0, &key, Payload::Bytes(field.clone()))
+                .unwrap(),
+        );
         let (got, s) = fdb.retrieve(0, 0, &key).unwrap();
         exec(&mut sched, s);
         assert_eq!(got.bytes().unwrap(), &field[..], "ceph backend");
@@ -189,7 +209,11 @@ fn dfs_namespace_survives_heavy_mutation() {
     for i in 0..20 {
         let (f, s) = dfs.open(0, &format!("/a/b/f{i}"), true).unwrap();
         exec(&mut sched, s);
-        exec(&mut sched, dfs.write(0, f, 0, Payload::Bytes(vec![i as u8; 100])).unwrap());
+        exec(
+            &mut sched,
+            dfs.write(0, f, 0, Payload::Bytes(vec![i as u8; 100]))
+                .unwrap(),
+        );
         exec(&mut sched, dfs.close(0, f).unwrap());
     }
     // delete every other file, rename the rest
@@ -199,7 +223,8 @@ fn dfs_namespace_survives_heavy_mutation() {
     for i in (1..20).step_by(2) {
         exec(
             &mut sched,
-            dfs.rename(0, &format!("/a/b/f{i}"), &format!("/a/g{i}")).unwrap(),
+            dfs.rename(0, &format!("/a/b/f{i}"), &format!("/a/g{i}"))
+                .unwrap(),
         );
     }
     let (names, s) = dfs.readdir(0, "/a/b").unwrap();

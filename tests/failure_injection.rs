@@ -51,7 +51,10 @@ fn dfs_file_on_ec_survives_server_loss() {
     exec(&mut sched, dfs.mkdir(0, "/protected").unwrap());
     let (f, s) = dfs.open(0, "/protected/data", true).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, dfs.write(0, f, 0, Payload::Bytes(data.clone())).unwrap());
+    exec(
+        &mut sched,
+        dfs.write(0, f, 0, Payload::Bytes(data.clone())).unwrap(),
+    );
 
     // lose a whole server: the EC_2P1 file and RP_2 directories survive
     daos.borrow_mut().exclude_server(2);
@@ -72,10 +75,16 @@ fn degraded_reads_cost_more_than_healthy_ones() {
     let mut daos = DaosSystem::deploy(&topo, &mut sched, 4, DataMode::Full);
     let (cid, s) = daos.cont_create(0, ContainerProps::default());
     exec(&mut sched, s);
-    let (oid, s) = daos.array_create(0, cid, ObjectClass::EC_2P1, 1 << 20).unwrap();
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::EC_2P1, 1 << 20)
+        .unwrap();
     exec(&mut sched, s);
     let data = rand_bytes(11, 4 << 20);
-    exec(&mut sched, daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone())).unwrap());
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap(),
+    );
 
     let (_, s) = daos.array_read(0, cid, oid, 0, 4 << 20).unwrap();
     let healthy = exec(&mut sched, s);
@@ -108,7 +117,10 @@ fn exclusion_then_reintegration_restores_placement() {
     assert_eq!(daos.pool().up_targets().len(), 16);
 
     for t in 0..16 {
-        daos.reintegrate_target(TargetId { server: 0, target: t });
+        daos.reintegrate_target(TargetId {
+            server: 0,
+            target: t,
+        });
     }
     assert_eq!(daos.pool().up_targets().len(), 32);
 }
@@ -122,7 +134,10 @@ fn writes_to_fully_down_groups_fail() {
     exec(&mut sched, s);
     let (kv, s) = daos.kv_create(0, cid, ObjectClass::S1).unwrap();
     exec(&mut sched, s);
-    exec(&mut sched, daos.kv_put(0, cid, kv, b"k", Payload::Sized(64)).unwrap());
+    exec(
+        &mut sched,
+        daos.kv_put(0, cid, kv, b"k", Payload::Sized(64)).unwrap(),
+    );
     daos.exclude_server(0);
     assert_eq!(
         daos.kv_get(0, cid, kv, b"k").unwrap_err(),
@@ -148,7 +163,10 @@ fn engine_reports_stall_and_recovers_on_capacity_restore() {
     sched.set_capacity(r, 50.0);
     let out = run_for(&mut sched, &mut w, SimTime::NEVER);
     assert_eq!(out, RunOutcome::Completed);
-    assert!((w.0.as_secs_f64() - 1.5).abs() < 1e-6, "0.5s at 100 + 1.0s at 50");
+    assert!(
+        (w.0.as_secs_f64() - 1.5).abs() < 1e-6,
+        "0.5s at 100 + 1.0s at 50"
+    );
 }
 
 #[test]
@@ -170,10 +188,18 @@ fn fieldio_ec_fields_survive_target_loss() {
     .unwrap();
     exec(&mut sched, s);
     let field = rand_bytes(12, 300_000);
-    exec(&mut sched, fio.write_field(0, 0, 0, Payload::Bytes(field.clone())).unwrap());
+    exec(
+        &mut sched,
+        fio.write_field(0, 0, 0, Payload::Bytes(field.clone()))
+            .unwrap(),
+    );
 
     daos.borrow_mut().exclude_server(3);
     let (got, s) = fio.read_field(0, 0, 0).unwrap();
     exec(&mut sched, s);
-    assert_eq!(got.bytes().unwrap(), &field[..], "weather field reconstructed");
+    assert_eq!(
+        got.bytes().unwrap(),
+        &field[..],
+        "weather field reconstructed"
+    );
 }

@@ -67,7 +67,10 @@ fn interception_beats_dfuse_at_small_io() {
     let dfuse = run_scenario(&s, Scenario::IorDfuse, &cal);
     let il = run_scenario(&s, Scenario::IorDfuseIl, &cal);
     let ratio = il.write.iops() / dfuse.write.iops();
-    assert!(ratio > 2.0, "IL/DFUSE write IOPS ratio {ratio:.2}, expected >2");
+    assert!(
+        ratio > 2.0,
+        "IL/DFUSE write IOPS ratio {ratio:.2}, expected >2"
+    );
     let ratio_r = il.read.iops() / dfuse.read.iops();
     assert!(ratio_r > 1.3, "IL/DFUSE read IOPS ratio {ratio_r:.2}");
 }
@@ -94,7 +97,10 @@ fn lustre_fdb_reads_mds_bound() {
     // 4-server miniature of the 16-server experiment: scale the MDS the
     // same way the hardware scaled (4x fewer data servers -> exercise
     // the ceiling at 1/4 the op rate)
-    let cal = Calibration { mds_iops: 45_000.0, ..Calibration::default() };
+    let cal = Calibration {
+        mds_iops: 45_000.0,
+        ..Calibration::default()
+    };
     let s = spec(4, 8, 16, 32);
     let daos = run_scenario(&s, Scenario::FdbDaos, &cal);
     let lustre = run_scenario(&s, Scenario::FdbLustre, &cal);
@@ -141,7 +147,10 @@ fn ior_on_ceph_underperforms() {
     let daos = run_scenario(&s, Scenario::IorDaos, &cal);
     let ceph = run_scenario(&s, Scenario::IorCeph, &cal);
     let w_ratio = ceph.write.bandwidth() / daos.write.bandwidth();
-    assert!(w_ratio < 0.7, "IOR-Ceph/DAOS write ratio {w_ratio:.2}, expected ~1/2");
+    assert!(
+        w_ratio < 0.7,
+        "IOR-Ceph/DAOS write ratio {w_ratio:.2}, expected ~1/2"
+    );
 }
 
 /// Fig. 4 vs Fig. 3: HDF5 on libdaos keeps up at small server counts but
