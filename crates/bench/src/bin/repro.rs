@@ -11,6 +11,7 @@
 //! output directory (default `results/`).  `quick` runs a reduced set
 //! used for smoke testing.
 
+use benchkit::faulted::{self, FaultedScenario};
 use benchkit::figures::{self, Figure};
 use benchkit::report;
 use benchkit::scenarios::{analyze_scenario, RunSpec, Scenario};
@@ -28,6 +29,48 @@ fn emit(figs: Vec<Figure>, out: &Path, all: &mut Vec<Figure>) {
             eprintln!("warning: could not save {}.csv: {e}", f.id);
         }
         all.push(f);
+    }
+}
+
+/// Bandwidth under failure: run every faulted scenario twice (replay
+/// check), print the comparison and save the JSON artifact.
+fn run_faulted_family(cal: &Calibration, out: &Path) {
+    let spec = faulted::default_faulted_spec();
+    let mut reports = Vec::new();
+    let mut all_ok = true;
+    println!(
+        "{:<24} {:>10} {:>10} {:>8} {:>8} {:>12} {:>8}",
+        "scenario", "write GiB/s", "read GiB/s", "retries", "rebuilt", "restored ms", "replay"
+    );
+    for scen in FaultedScenario::ALL {
+        let rep = faulted::replay_faulted(&spec, scen, cal);
+        let ok = rep.deterministic();
+        all_ok &= ok;
+        let r = &rep.runs[0];
+        let rb = r.rebuild.clone().unwrap_or_default();
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>8} {:>8} {:>12} {:>8}",
+            scen.name(),
+            r.write.bandwidth() / GIB,
+            r.read.bandwidth() / GIB,
+            r.retry.retries,
+            rb.shards_rebuilt,
+            r.redundancy_restored_secs
+                .map_or("-".to_string(), |v| format!("{:.2}", v * 1e3)),
+            if ok { "ok" } else { "DIVERGED" },
+        );
+        reports.push(rep.runs[0].clone());
+    }
+    let json = faulted::render_json(&reports);
+    let path = out.join("faulted.json");
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("saved {}", path.display());
+    }
+    if !all_ok {
+        eprintln!("faulted replay diverged: determinism regression");
+        std::process::exit(1);
     }
 }
 
@@ -87,7 +130,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|ablations|mdtest|analyze|all|quick]* [--out DIR]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|ablations|mdtest|analyze|all|quick]* [--out DIR]"
                 );
                 return;
             }
@@ -112,6 +155,7 @@ fn main() {
             "fig9",
             "lustre-ior",
             "ceph-ior",
+            "faulted",
             "ablations",
             "mdtest",
         ]
@@ -139,6 +183,7 @@ fn main() {
             "fig9" => emit(figures::fig9(&cal), &out, &mut collected),
             "lustre-ior" => emit(vec![figures::ior_lustre_table(&cal)], &out, &mut collected),
             "ceph-ior" => emit(vec![figures::ior_ceph_table(&cal)], &out, &mut collected),
+            "faulted" => run_faulted_family(&cal, &out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
             "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),
             "analyze" => analyze(&cal),

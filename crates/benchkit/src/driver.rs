@@ -157,7 +157,7 @@ pub fn run_phase<W: ProcWorkload>(sched: &mut Scheduler, wl: &mut W) -> PhaseRes
 }
 
 /// Deterministic per-process start jitter, uniform in [0, 2 ms).
-fn start_stagger_ns(proc: usize) -> u64 {
+pub(crate) fn start_stagger_ns(proc: usize) -> u64 {
     let mut z = proc as u64 ^ 0x9e37_79b9_7f4a_7c15;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

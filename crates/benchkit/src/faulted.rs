@@ -1,0 +1,563 @@
+//! Faulted scenarios: bandwidth under failure.
+//!
+//! Each scenario runs a healthy write phase, installs a deterministic
+//! [`FaultPlan`] relative to the phase boundary, then drives the read
+//! phase through a fault-aware driver that maps engine fault events onto
+//! DAOS state:
+//!
+//! * [`FaultAction::TargetCrash`] → [`DaosSystem::crash_target`], plus an
+//!   *online rebuild*: after a short detection delay the pool rebuilds
+//!   while client reads continue (degraded replica fail-over for `RP_2`,
+//!   reconstruction for `EC_2P1`), and the time from crash to the end of
+//!   the rebuild data movement is reported as time-to-redundancy-restored;
+//! * [`FaultAction::TargetRestart`] → [`DaosSystem::restart_target`];
+//! * [`FaultAction::DelayedCompletion`] → [`DaosSystem::set_extra_delay`]
+//!   keyed by server rank;
+//! * [`FaultAction::SlowDisk`] / [`FaultAction::NicBrownout`] are applied
+//!   by the engine itself as capacity scaling.
+//!
+//! The client side absorbs the injected `TargetDown` detections through
+//! the shared [`RetryPolicy`] machinery configured on the *topmost*
+//! interface layer, so the reported [`RetryStats`] count real retries,
+//! timeout charges and (never, in a healthy policy) given-up operations.
+//!
+//! Everything — bandwidths, retry counters, the [`RebuildReport`], the
+//! restore latency and the replay digest (which folds in every fired
+//! fault) — must be bit-identical across replays; [`replay_faulted`]
+//! checks exactly that.
+
+use crate::driver::{run_phase, start_stagger_ns, PhaseResult};
+use crate::scenarios::{exec, make_sched, RunSpec};
+use cluster::bench::{Phase, ProcWorkload};
+use cluster::{Calibration, ClusterSpec, Topology};
+use daos_core::{
+    ContainerProps, DaosSystem, DataMode, ObjectClass, RebuildReport, RetryPolicy, RetryStats,
+    TargetId,
+};
+use field_io::FieldIo;
+use ior_bench::{AccessOrder, Ior, IorBackend, IorConfig};
+use simkit::{run, FaultAction, FaultEvent, FaultPlan, OpId, Scheduler, SimTime, Step, World};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One millisecond in nanoseconds (plan-building readability).
+const MS: u64 = 1_000_000;
+
+/// Delay between a crash firing and the rebuild kicking off (RAS event
+/// propagation + pool-map revision distribution).  Until it elapses,
+/// reads touching the dead targets run degraded: the first op from each
+/// client node fails with `TargetDown` and its retry takes the
+/// fail-over/reconstruction path.
+const REBUILD_DETECT_NS: u64 = 2_000_000;
+
+/// Marker op ids for the rebuild chain, far above any process index.
+const OP_REBUILD_TRIGGER: OpId = OpId(1 << 40);
+const OP_REBUILD_DONE: OpId = OpId((1 << 40) + 1);
+
+/// The failure-injection benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultedScenario {
+    /// IOR easy (file-per-process, sequential) on `RP_2` Arrays: a
+    /// target crash plus a transient slow disk during the read phase;
+    /// reads fail over to the surviving replica.
+    IorEasyRp2,
+    /// IOR hard (shared file, random offsets) on `EC_2P1` Arrays: a
+    /// target crash plus a delayed-completion brownout; reads
+    /// reconstruct from data + parity.
+    IorHardEc2p1,
+    /// Field I/O on `EC_2P1` Arrays with a crash and a NIC brownout.
+    FieldIoFaulted,
+}
+
+impl FaultedScenario {
+    /// Every faulted scenario, in presentation order.
+    pub const ALL: [FaultedScenario; 3] = [
+        FaultedScenario::IorEasyRp2,
+        FaultedScenario::IorHardEc2p1,
+        FaultedScenario::FieldIoFaulted,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultedScenario::IorEasyRp2 => "IOR-easy/RP_2+crash",
+            FaultedScenario::IorHardEc2p1 => "IOR-hard/EC_2P1+crash",
+            FaultedScenario::FieldIoFaulted => "FieldIO/EC_2P1+crash",
+        }
+    }
+}
+
+/// The sweep point the faulted family runs at: enough servers for
+/// redundancy groups to spread over distinct engines, few enough ops to
+/// keep the fault window inside the read phase.
+pub fn default_faulted_spec() -> RunSpec {
+    let mut spec = RunSpec::new(4, 2, 4);
+    spec.ops_per_proc = 48;
+    spec
+}
+
+/// Result of one faulted run.
+#[derive(Debug, Clone)]
+pub struct FaultedReport {
+    /// Which scenario ran.
+    pub scenario: FaultedScenario,
+    /// Healthy write phase.
+    pub write: PhaseResult,
+    /// Read phase under failure.
+    pub read: PhaseResult,
+    /// Client-side retry counters (topmost interface layer).
+    pub retry: RetryStats,
+    /// Rebuild outcome, if a crash fired.
+    pub rebuild: Option<RebuildReport>,
+    /// Seconds from the crash firing to the rebuild movement draining.
+    pub redundancy_restored_secs: Option<f64>,
+    /// Replay digest over completions *and* fired faults.
+    pub digest: u64,
+}
+
+/// The two-run comparison for one faulted scenario.
+#[derive(Debug, Clone)]
+pub struct FaultedReplay {
+    /// Both runs, from fresh state each.
+    pub runs: [FaultedReport; 2],
+}
+
+impl FaultedReplay {
+    /// Bit-identical digests, bandwidths, retry counters, rebuild
+    /// reports and restore latencies across both runs.
+    pub fn deterministic(&self) -> bool {
+        let [a, b] = &self.runs;
+        a.digest == b.digest
+            && a.write.bandwidth() == b.write.bandwidth()
+            && a.read.bandwidth() == b.read.bandwidth()
+            && a.retry == b.retry
+            && a.rebuild == b.rebuild
+            && a.redundancy_restored_secs == b.redundancy_restored_secs
+    }
+}
+
+/// Run `scen` twice from fresh state and report both runs.
+pub fn replay_faulted(spec: &RunSpec, scen: FaultedScenario, cal: &Calibration) -> FaultedReplay {
+    FaultedReplay {
+        runs: [run_faulted(spec, scen, cal), run_faulted(spec, scen, cal)],
+    }
+}
+
+/// What the fault-aware driver observed during the faulted phase.
+struct FaultOutcome {
+    rebuild: Option<RebuildReport>,
+    crash_at: Option<SimTime>,
+    restored_at: Option<SimTime>,
+}
+
+/// The fault-aware phase world: the op-chaining logic of the standard
+/// driver plus the mapping from fired fault events onto DAOS state and
+/// the crash → detect → rebuild → restored chain.
+struct FaultedWorld<'a, W: ProcWorkload> {
+    wl: &'a mut W,
+    daos: &'a Rc<RefCell<DaosSystem>>,
+    next_idx: Vec<usize>,
+    inflight: Vec<usize>,
+    ops_per_proc: usize,
+    remaining: usize,
+    last_end: SimTime,
+    out: FaultOutcome,
+}
+
+impl<W: ProcWorkload> World for FaultedWorld<'_, W> {
+    fn on_op_complete(&mut self, op: OpId, sched: &mut Scheduler) {
+        if op == OP_REBUILD_TRIGGER {
+            // detection delay elapsed: rescan + start the data movement
+            let (report, movement) = self.daos.borrow_mut().rebuild();
+            self.out.rebuild = Some(report);
+            sched.submit(movement, OP_REBUILD_DONE);
+            return;
+        }
+        if op == OP_REBUILD_DONE {
+            self.out.restored_at = Some(sched.now());
+            return;
+        }
+        let proc = op.0 as usize;
+        self.last_end = sched.now();
+        self.inflight[proc] -= 1;
+        let idx = self.next_idx[proc];
+        if idx < self.ops_per_proc {
+            self.next_idx[proc] += 1;
+            self.inflight[proc] += 1;
+            let step = self.wl.op(proc, idx);
+            sched.submit(step, OpId(proc as u64));
+        } else if self.inflight[proc] == 0 {
+            self.remaining -= 1;
+        }
+    }
+
+    fn on_fault(&mut self, event: &FaultEvent, sched: &mut Scheduler) {
+        match event.action {
+            FaultAction::TargetCrash(payload) => {
+                self.daos
+                    .borrow_mut()
+                    .crash_target(TargetId::unpack(payload));
+                if self.out.crash_at.is_none() {
+                    self.out.crash_at = Some(sched.now());
+                    sched.submit(Step::delay(REBUILD_DETECT_NS), OP_REBUILD_TRIGGER);
+                }
+            }
+            FaultAction::TargetRestart(payload) => {
+                self.daos
+                    .borrow_mut()
+                    .restart_target(TargetId::unpack(payload));
+            }
+            FaultAction::DelayedCompletion { payload, extra_ns } => {
+                self.daos
+                    .borrow_mut()
+                    .set_extra_delay(payload as u16, extra_ns);
+            }
+            // capacity scaling is applied by the engine before dispatch
+            FaultAction::SlowDisk { .. } | FaultAction::NicBrownout { .. } => {}
+        }
+    }
+}
+
+/// Like [`crate::driver::run_phase`], but fault-aware: setup barrier,
+/// measured op phase with the installed fault plan live, no finalize
+/// (the faulted family's workloads are unbuffered).
+fn run_faulted_phase<W: ProcWorkload>(
+    sched: &mut Scheduler,
+    wl: &mut W,
+    daos: &Rc<RefCell<DaosSystem>>,
+) -> (PhaseResult, FaultOutcome) {
+    struct Barrier {
+        remaining: usize,
+    }
+    impl World for Barrier {
+        fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {
+            self.remaining -= 1;
+        }
+    }
+    let procs = wl.procs();
+    let ops_per_proc = wl.ops_per_proc();
+    let mut setup = Barrier { remaining: procs };
+    for p in 0..procs {
+        let step = wl.setup(p);
+        sched.submit(step, OpId(p as u64));
+    }
+    run(sched, &mut setup);
+    assert_eq!(setup.remaining, 0, "setup completions");
+
+    let t0 = sched.now();
+    let qd = wl.queue_depth().max(1);
+    let initial = qd.min(ops_per_proc);
+    let mut world = FaultedWorld {
+        wl,
+        daos,
+        next_idx: vec![initial; procs],
+        inflight: vec![initial; procs],
+        ops_per_proc,
+        remaining: procs,
+        last_end: t0,
+        out: FaultOutcome {
+            rebuild: None,
+            crash_at: None,
+            restored_at: None,
+        },
+    };
+    for p in 0..procs {
+        let stagger = start_stagger_ns(p);
+        for i in 0..initial {
+            let step = world.wl.op(p, i);
+            sched.submit_after(stagger, step, OpId(p as u64));
+        }
+    }
+    run(sched, &mut world);
+    assert_eq!(world.remaining, 0, "all processes finished");
+    let t_end = world.last_end;
+    let total_ops = procs * ops_per_proc;
+    (
+        PhaseResult {
+            bytes: total_ops as f64 * world.wl.bytes_per_op(),
+            seconds: t_end.secs_since(t0),
+            ops: total_ops,
+        },
+        world.out,
+    )
+}
+
+/// The failure schedule for a scenario, anchored at `t0` (the boundary
+/// between the healthy write phase and the faulted read phase).
+fn fault_plan(scen: FaultedScenario, t0: SimTime, topo: &Topology) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    // an engine (whole server) crash: every target of server 1 goes down
+    // at once, so a large fraction of shard groups run degraded until
+    // the rebuild re-protects them
+    let crash_server = |plan: &mut FaultPlan, at: SimTime| {
+        for t in 0..topo.cal.targets_per_server as u16 {
+            plan.at(
+                at,
+                FaultAction::TargetCrash(
+                    TargetId {
+                        server: 1,
+                        target: t,
+                    }
+                    .pack(),
+                ),
+            );
+        }
+    };
+    match scen {
+        FaultedScenario::IorEasyRp2 => {
+            // transient slow disk on a *different* server, then a crash,
+            // then the disk recovers
+            let disk = topo.servers[0].nvme_r[0];
+            plan.at(
+                t0 + MS,
+                FaultAction::SlowDisk {
+                    resource: disk,
+                    scale: 0.4,
+                },
+            );
+            crash_server(&mut plan, t0 + 2 * MS);
+            plan.at(
+                t0 + 8 * MS,
+                FaultAction::SlowDisk {
+                    resource: disk,
+                    scale: 1.0,
+                },
+            );
+        }
+        FaultedScenario::IorHardEc2p1 => {
+            // server 0 completions slow down, target on server 1 dies,
+            // the slowdown clears
+            plan.at(
+                t0 + MS,
+                FaultAction::DelayedCompletion {
+                    payload: 0,
+                    extra_ns: 200_000,
+                },
+            );
+            crash_server(&mut plan, t0 + 2 * MS);
+            plan.at(
+                t0 + 10 * MS,
+                FaultAction::DelayedCompletion {
+                    payload: 0,
+                    extra_ns: 0,
+                },
+            );
+        }
+        FaultedScenario::FieldIoFaulted => {
+            let nic = topo.servers[0].nic_tx;
+            plan.at(
+                t0 + MS,
+                FaultAction::NicBrownout {
+                    resource: nic,
+                    scale: 0.3,
+                },
+            );
+            crash_server(&mut plan, t0 + 2 * MS);
+            plan.at(
+                t0 + 6 * MS,
+                FaultAction::NicBrownout {
+                    resource: nic,
+                    scale: 1.0,
+                },
+            );
+        }
+    }
+    plan
+}
+
+/// Execute one faulted scenario: healthy write phase, install the fault
+/// plan at the phase boundary, faulted read phase, collect the report.
+pub fn run_faulted(spec: &RunSpec, scen: FaultedScenario, cal: &Calibration) -> FaultedReport {
+    let mut sched = make_sched(spec, false);
+    let cspec = ClusterSpec::new(spec.servers, spec.client_nodes).with_cal(cal.clone());
+    let topo = cspec.build(&mut sched);
+    let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, DataMode::Sized);
+    let (cid, s) = daos_sys.cont_create(0, ContainerProps::default());
+    exec(&mut sched, s);
+    let daos = Rc::new(RefCell::new(daos_sys));
+
+    let (write, read, retry, out) = match scen {
+        FaultedScenario::IorEasyRp2 | FaultedScenario::IorHardEc2p1 => {
+            let mut cfg = IorConfig::new(spec.procs(), spec.client_nodes, spec.ops_per_proc);
+            cfg.transfer_size = spec.transfer;
+            cfg.queue_depth = spec.queue_depth;
+            let oclass = if scen == FaultedScenario::IorEasyRp2 {
+                ObjectClass::RP_2
+            } else {
+                cfg.file_per_proc = false;
+                cfg.access = AccessOrder::Random;
+                ObjectClass::EC_2P1
+            };
+            let backend = IorBackend::Daos {
+                daos: daos.clone(),
+                cid,
+                oclass,
+            };
+            let mut ior = Ior::new(cfg, backend);
+            ior.set_retry_policy(RetryPolicy::default(), spec.seed);
+            let write = run_phase(&mut sched, &mut ior);
+            sched.install_faults(fault_plan(scen, sched.now(), &topo));
+            ior.set_phase(Phase::Read);
+            let (read, out) = run_faulted_phase(&mut sched, &mut ior, &daos);
+            (write, read, ior.retry_stats(), out)
+        }
+        FaultedScenario::FieldIoFaulted => {
+            // EC_2P1 data, RP_2 index: an unprotected (SX) TOC shard on
+            // the crashed server would be unrecoverable data loss
+            let (mut fio, s) =
+                FieldIo::with_classes(daos.clone(), 0, cid, ObjectClass::EC_2P1, ObjectClass::RP_2)
+                    .expect("fieldio");
+            exec(&mut sched, s);
+            fio.set_retry_policy(RetryPolicy::default(), spec.seed);
+            let mut wl = crate::workloads::FieldIoWorkload::new(
+                fio,
+                spec.procs(),
+                spec.client_nodes,
+                spec.ops_per_proc,
+                spec.transfer,
+            );
+            let write = run_phase(&mut sched, &mut wl);
+            sched.install_faults(fault_plan(scen, sched.now(), &topo));
+            wl.phase = Phase::Read;
+            let (read, out) = run_faulted_phase(&mut sched, &mut wl, &daos);
+            (write, read, wl.fio.retry_stats(), out)
+        }
+    };
+
+    let redundancy_restored_secs = match (out.crash_at, out.restored_at) {
+        (Some(c), Some(r)) => Some(r.secs_since(c)),
+        _ => None,
+    };
+    FaultedReport {
+        scenario: scen,
+        write,
+        read,
+        retry,
+        rebuild: out.rebuild,
+        redundancy_restored_secs,
+        digest: sched.digest(),
+    }
+}
+
+/// Render faulted reports as a JSON array (hand-rolled: stable field
+/// order, no external dependencies) — the bandwidth-under-failure
+/// artifact CI uploads.
+pub fn render_json(reports: &[FaultedReport]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        let rb = r.rebuild.clone().unwrap_or_default();
+        s.push_str(&format!(
+            concat!(
+                "  {{\"scenario\": \"{}\", \"write_bw_gib\": {:.3}, ",
+                "\"read_bw_gib\": {:.3}, \"attempts\": {}, \"retries\": {}, ",
+                "\"timeouts\": {}, \"gave_up\": {}, \"shards_rebuilt\": {}, ",
+                "\"shards_lost\": {}, \"redundancy_restored_ms\": {}, ",
+                "\"digest\": \"{:#018x}\"}}{}\n"
+            ),
+            r.scenario.name(),
+            r.write.bandwidth() / cluster::GIB,
+            r.read.bandwidth() / cluster::GIB,
+            r.retry.attempts,
+            r.retry.retries,
+            r.retry.timeouts,
+            r.retry.gave_up,
+            rb.shards_rebuilt,
+            rb.shards_lost,
+            r.redundancy_restored_secs
+                .map_or("null".to_string(), |v| format!("{:.3}", v * 1e3)),
+            r.digest,
+            if i + 1 < reports.len() { "," } else { "" },
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> RunSpec {
+        let mut spec = default_faulted_spec();
+        spec.ops_per_proc = 32;
+        spec
+    }
+
+    #[test]
+    fn rp2_failover_under_crash() {
+        let r = run_faulted(
+            &small_spec(),
+            FaultedScenario::IorEasyRp2,
+            &Calibration::default(),
+        );
+        // the crash was detected and absorbed by retries, not failures
+        assert!(r.retry.retries >= 1, "{:?}", r.retry);
+        assert_eq!(r.retry.gave_up, 0, "{:?}", r.retry);
+        // bounded by the configured policy: every op (both phases) got
+        // at most max_attempts tries
+        let policy = RetryPolicy::default();
+        let total_ops = (r.write.ops + r.read.ops) as u64;
+        assert!(r.retry.attempts <= total_ops * policy.max_attempts as u64);
+        assert!(r.retry.attempts >= total_ops);
+        // the rebuild re-protected the crashed target's replicas
+        let rb = r.rebuild.expect("rebuild ran");
+        assert!(rb.shards_rebuilt > 0, "{rb:?}");
+        assert_eq!(rb.shards_lost, 0, "RP_2 survives one crash: {rb:?}");
+        let restored = r.redundancy_restored_secs.expect("restore time");
+        assert!(restored > 0.0 && restored < r.read.seconds + 1.0);
+        // bandwidth under failure is still real bandwidth
+        assert!(r.read.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn ec2p1_reconstruction_under_crash() {
+        let r = run_faulted(
+            &small_spec(),
+            FaultedScenario::IorHardEc2p1,
+            &Calibration::default(),
+        );
+        assert!(r.retry.retries >= 1, "{:?}", r.retry);
+        assert_eq!(r.retry.gave_up, 0, "{:?}", r.retry);
+        let rb = r.rebuild.expect("rebuild ran");
+        assert!(rb.shards_rebuilt > 0, "{rb:?}");
+        assert_eq!(rb.shards_lost, 0, "EC_2P1 survives one crash: {rb:?}");
+        assert!(r.redundancy_restored_secs.is_some());
+    }
+
+    #[test]
+    fn fieldio_faulted_replays_identically() {
+        let rep = replay_faulted(
+            &small_spec(),
+            FaultedScenario::FieldIoFaulted,
+            &Calibration::default(),
+        );
+        assert!(rep.deterministic(), "{rep:?}");
+        assert!(rep.runs[0].retry.retries >= 1);
+    }
+
+    #[test]
+    fn faulted_digest_differs_from_plan_change() {
+        // same scenario, but the digest folds in the fired faults: a
+        // faulted run can never collide with its healthy twin
+        let spec = small_spec();
+        let cal = Calibration::default();
+        let a = run_faulted(&spec, FaultedScenario::IorEasyRp2, &cal);
+        let b = run_faulted(&spec, FaultedScenario::IorEasyRp2, &cal);
+        assert_eq!(a.digest, b.digest, "replays agree");
+        let c = run_faulted(&spec, FaultedScenario::IorHardEc2p1, &cal);
+        assert_ne!(a.digest, c.digest, "different plans diverge");
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed() {
+        let r = run_faulted(
+            &small_spec(),
+            FaultedScenario::IorEasyRp2,
+            &Calibration::default(),
+        );
+        let json = render_json(&[r]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"scenario\""));
+        assert!(json.contains("\"redundancy_restored_ms\""));
+    }
+}

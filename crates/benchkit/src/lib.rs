@@ -17,6 +17,7 @@
 
 pub mod determinism;
 pub mod driver;
+pub mod faulted;
 pub mod figures;
 pub mod report;
 pub mod scenarios;
@@ -26,6 +27,10 @@ pub mod workloads;
 
 pub use determinism::{replay_all, replay_scenario, ScenarioReplay};
 pub use driver::{run_phase, PhaseResult};
+pub use faulted::{
+    default_faulted_spec, replay_faulted, run_faulted, FaultedReplay, FaultedReport,
+    FaultedScenario,
+};
 pub use figures::{Figure, Point, Series};
 pub use scenarios::{
     analyze_scenario, auto_ops, run_reps, run_scenario, run_scenario_digest, PointStats,

@@ -174,12 +174,12 @@ impl World for Sink {
     fn on_op_complete(&mut self, _op: OpId, _sched: &mut Scheduler) {}
 }
 
-fn exec(sched: &mut Scheduler, step: simkit::Step) {
+pub(crate) fn exec(sched: &mut Scheduler, step: simkit::Step) {
     sched.submit(step, OpId(u64::MAX));
     run(sched, &mut Sink);
 }
 
-fn make_sched(spec: &RunSpec, with_monitor: bool) -> Scheduler {
+pub(crate) fn make_sched(spec: &RunSpec, with_monitor: bool) -> Scheduler {
     let mut sched = if with_monitor {
         Scheduler::with_monitor()
     } else {

@@ -20,6 +20,7 @@
 
 use cluster::payload::{Payload, ReadPayload};
 use cluster::Topology;
+use daos_core::{Retriable, RetryExec, RetryPolicy, RetryStats};
 use simkit::{ResourceId, Scheduler, Step};
 use std::collections::BTreeMap;
 
@@ -41,6 +42,16 @@ pub enum RadosError {
     ObjectTooLarge,
     /// Replica count exceeds available OSDs.
     BadPoolConfig,
+}
+
+impl Retriable for RadosError {
+    /// The simulated RADOS surface has no transient failure mode today:
+    /// every error is a hard precondition violation.  The classification
+    /// exists so callers can wrap librados ops in the same `RetryExec`
+    /// machinery as every other interface layer.
+    fn is_retriable(&self) -> bool {
+        false
+    }
 }
 
 #[derive(Debug)]
@@ -119,6 +130,8 @@ pub struct CephSystem {
     max_object: f64,
     op_ns: u64,
     rtt_ns: u64,
+    /// Retry machinery around the data path (off by default).
+    retry: RetryExec,
 }
 
 fn mix(mut z: u64) -> u64 {
@@ -202,7 +215,19 @@ impl CephSystem {
             max_object: cal.rados_max_object_bytes,
             op_ns: cal.rados_op_ns,
             rtt_ns: cal.net_rtt_ns,
+            retry: RetryExec::disabled(),
         })
+    }
+
+    /// Configure retry/timeout/backoff on the data path (`seed` drives
+    /// the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     /// OSD nodes in the deployment.
@@ -289,6 +314,20 @@ impl CephSystem {
         offset: u64,
         data: Payload,
     ) -> Result<Step, RadosError> {
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run_step(|| self.write_inner(client, name, offset, data.clone()));
+        self.retry = retry;
+        r
+    }
+
+    fn write_inner(
+        &mut self,
+        client: usize,
+        name: &str,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, RadosError> {
         let len = data.len();
         let new_size = offset + len;
         if new_size as f64 > self.max_object {
@@ -357,6 +396,19 @@ impl CephSystem {
 
     /// Read `len` bytes at `offset` from the PG's primary OSD.
     pub fn read(
+        &mut self,
+        client: usize,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), RadosError> {
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.read_inner(client, name, offset, len));
+        self.retry = retry;
+        r
+    }
+
+    fn read_inner(
         &mut self,
         client: usize,
         name: &str,

@@ -14,19 +14,29 @@
 //! immediately and returns a [`simkit::Step`] describing the operation's
 //! cost, which callers submit to the simulation scheduler.
 //!
+//! Fallible calls return [`DaosError`]; the transient variants
+//! ([`DaosError::Timeout`], [`DaosError::TargetDown`],
+//! [`DaosError::Retriable`]) are what a [`RetryExec`] retries with
+//! deterministic backoff — propagate them with `?` rather than
+//! unwrapping:
+//!
 //! ```
 //! use cluster::{ClusterSpec, Payload};
-//! use daos_core::{DaosSystem, DataMode, ObjectClass, ContainerProps};
+//! use daos_core::{DaosError, DaosSystem, DataMode, ObjectClass, ContainerProps};
 //! use simkit::Scheduler;
 //!
-//! let mut sched = Scheduler::new();
-//! let topo = ClusterSpec::new(4, 1).build(&mut sched);
-//! let mut daos = DaosSystem::deploy(&topo, &mut sched, 4, DataMode::Full);
-//! let (cid, _step) = daos.cont_create(0, ContainerProps::default());
-//! let (oid, _step) = daos.array_create(0, cid, ObjectClass::SX, 1 << 20).unwrap();
-//! let _step = daos.array_write(0, cid, oid, 0, Payload::Bytes(vec![42; 1024])).unwrap();
-//! let (data, _step) = daos.array_read(0, cid, oid, 0, 1024).unwrap();
-//! assert_eq!(data.bytes().unwrap()[0], 42);
+//! fn demo() -> Result<(), DaosError> {
+//!     let mut sched = Scheduler::new();
+//!     let topo = ClusterSpec::new(4, 1).build(&mut sched);
+//!     let mut daos = DaosSystem::deploy(&topo, &mut sched, 4, DataMode::Full);
+//!     let (cid, _step) = daos.cont_create(0, ContainerProps::default());
+//!     let (oid, _step) = daos.array_create(0, cid, ObjectClass::SX, 1 << 20)?;
+//!     let _step = daos.array_write(0, cid, oid, 0, Payload::Bytes(vec![42; 1024]))?;
+//!     let (data, _step) = daos.array_read(0, cid, oid, 0, 1024)?;
+//!     assert_eq!(data.bytes().ok_or(DaosError::Unavailable)?[0], 42);
+//!     Ok(())
+//! }
+//! demo().expect("healthy pool serves the round trip");
 //! ```
 
 pub mod class;
@@ -36,6 +46,7 @@ pub mod ec;
 pub mod oid;
 pub mod pool;
 pub mod rebuild;
+pub mod retry;
 pub mod system;
 
 pub use class::ObjectClass;
@@ -45,4 +56,5 @@ pub use ec::ErasureCode;
 pub use oid::{Oid, OidAllocator, FLAG_KV};
 pub use pool::{Layout, PoolMap, TargetId, TargetState};
 pub use rebuild::RebuildReport;
+pub use retry::{Retriable, RetryExec, RetryPolicy, RetryStats};
 pub use system::{dkey_hash, DaosError, DaosSystem, PoolInfo};

@@ -18,6 +18,22 @@ pub struct TargetId {
     pub target: u16,
 }
 
+impl TargetId {
+    /// Pack into the opaque `u64` payload carried by
+    /// [`simkit::FaultAction`] crash/restart events.
+    pub fn pack(self) -> u64 {
+        (self.server as u64) << 16 | self.target as u64
+    }
+
+    /// Inverse of [`TargetId::pack`].
+    pub fn unpack(v: u64) -> TargetId {
+        TargetId {
+            server: (v >> 16) as u16,
+            target: (v & 0xffff) as u16,
+        }
+    }
+}
+
 /// Health of a target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetState {

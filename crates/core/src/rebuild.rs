@@ -14,6 +14,7 @@
 //! rebuilt; they are reported as lost.
 
 use crate::pool::{PoolMap, TargetId};
+use std::collections::BTreeSet;
 
 /// Outcome of a rebuild pass.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -36,17 +37,21 @@ pub(crate) fn pick_replacement(
     down: TargetId,
 ) -> Option<TargetId> {
     let candidates = pool.up_targets();
-    let in_group = |t: &TargetId| group.contains(t) && *t != down;
+    // Set lookups instead of `contains` scans inside the candidate loop:
+    // the scan is O(candidates) with O(log width) membership tests
+    // rather than O(candidates × width).  `down`'s own slot stays
+    // re-pickable (it is being replaced), matching the original scan.
+    let in_group: BTreeSet<TargetId> = group.iter().copied().filter(|&t| t != down).collect();
     // prefer a server that the group does not already use
-    let used_servers: Vec<u16> = group
+    let used_servers: BTreeSet<u16> = group
         .iter()
         .filter(|t| **t != down && pool.is_up(**t))
         .map(|t| t.server)
         .collect();
     candidates
         .iter()
-        .find(|t| !in_group(t) && !used_servers.contains(&t.server))
-        .or_else(|| candidates.iter().find(|t| !in_group(t)))
+        .find(|t| !in_group.contains(t) && !used_servers.contains(&t.server))
+        .or_else(|| candidates.iter().find(|t| !in_group.contains(t)))
         .copied()
 }
 
@@ -97,6 +102,63 @@ mod tests {
         let r = pick_replacement(&pool, &group, down).unwrap();
         assert!(pool.is_up(r));
         assert!(!group.contains(&r));
+    }
+
+    /// The original O(candidates × width) implementation, kept as the
+    /// oracle for the set-based rewrite.
+    fn pick_replacement_reference(
+        pool: &PoolMap,
+        group: &[TargetId],
+        down: TargetId,
+    ) -> Option<TargetId> {
+        let candidates = pool.up_targets();
+        let in_group = |t: &TargetId| group.contains(t) && *t != down;
+        let used_servers: Vec<u16> = group
+            .iter()
+            .filter(|t| **t != down && pool.is_up(**t))
+            .map(|t| t.server)
+            .collect();
+        candidates
+            .iter()
+            .find(|t| !in_group(t) && !used_servers.contains(&t.server))
+            .or_else(|| candidates.iter().find(|t| !in_group(t)))
+            .copied()
+    }
+
+    #[test]
+    fn set_based_scan_matches_reference_on_large_pool() {
+        // 16 servers × 96 targets, a mix of exclusions, and shard groups
+        // drawn from real layouts: the optimised scan must pick exactly
+        // the replacements the original scan picked.
+        use crate::class::ObjectClass;
+        use crate::oid::OidAllocator;
+        let mut pool = PoolMap::new(16, 96);
+        pool.exclude_server(3);
+        for i in 0..40u16 {
+            pool.exclude(TargetId {
+                server: (i * 7) % 16,
+                target: (i * 13) % 96,
+            });
+        }
+        let mut alloc = OidAllocator::new();
+        let mut checked = 0;
+        for class in [ObjectClass::RP_2, ObjectClass::RP_3, ObjectClass::EC_4P2] {
+            for _ in 0..32 {
+                let oid = alloc.next(class, 0);
+                let layout = pool.layout(&oid, class);
+                for group in &layout.groups {
+                    // treat each member in turn as the down shard
+                    // (as rebuild does after further exclusions)
+                    for &down in group {
+                        let got = pick_replacement(&pool, group, down);
+                        let want = pick_replacement_reference(&pool, group, down);
+                        assert_eq!(got, want, "group {group:?} down {down:?}");
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 1000, "exercised {checked} cases");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::rebuild::{pick_replacement, RebuildReport};
 use cluster::payload::{Payload, ReadPayload};
 use cluster::{Calibration, Topology};
 use simkit::{ResourceId, Scheduler, Step};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors surfaced by the DAOS API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +44,15 @@ pub enum DaosError {
     Unavailable,
     /// Key not found.
     NoSuchKey,
+    /// The operation exceeded its per-op timeout budget (transient:
+    /// retry with backoff).
+    Timeout,
+    /// The addressed target crashed and this client had not yet observed
+    /// the failure; the pool map is refreshed and a retry takes the
+    /// degraded path (replica fail-over / EC reconstruction).
+    TargetDown,
+    /// Generic injected transient failure (fault plans).
+    Retriable,
 }
 
 impl From<DataError> for DaosError {
@@ -75,6 +84,18 @@ pub struct DaosSystem {
     /// service that does NOT scale with the server count.
     pool_md_svc: ResourceId,
     ec_cache: BTreeMap<(u8, u8), ErasureCode>,
+    /// Crashed targets ([`DaosSystem::crash_target`]) mapped to the
+    /// client nodes that have already observed the failure.  The first
+    /// data-path op from each client node touching such a target fails
+    /// with [`DaosError::TargetDown`] — modelling the RPC timeout and
+    /// pool-map refresh — after which that client uses degraded paths.
+    /// Administrative exclusion ([`DaosSystem::exclude_target`]) is
+    /// already propagated through the pool map and triggers no error.
+    undetected: BTreeMap<TargetId, BTreeSet<usize>>,
+    /// Per-server extra completion latency (ns) injected by
+    /// delayed-completion faults; applied to every data-path op chain
+    /// touching the server's targets.
+    extra_delay: BTreeMap<u16, u64>,
 }
 
 impl DaosSystem {
@@ -106,6 +127,8 @@ impl DaosSystem {
             srv_res,
             pool_md_svc,
             ec_cache: BTreeMap::new(),
+            undetected: BTreeMap::new(),
+            extra_delay: BTreeMap::new(),
         }
     }
 
@@ -150,6 +173,54 @@ impl DaosSystem {
         self.pool.reintegrate(t);
     }
 
+    /// A target crashes *mid-run* (fault injection): excluded like
+    /// [`DaosSystem::exclude_target`], but the failure is initially
+    /// **undetected** — the first data-path operation from each client
+    /// node that touches the target fails with
+    /// [`DaosError::TargetDown`], and only the retry (against the
+    /// refreshed pool map) takes the degraded path.
+    pub fn crash_target(&mut self, t: TargetId) {
+        self.pool.exclude(t);
+        self.undetected.entry(t).or_default();
+    }
+
+    /// A crashed target returns: reintegrated and no longer reported as
+    /// newly-down to any client.
+    pub fn restart_target(&mut self, t: TargetId) {
+        self.pool.reintegrate(t);
+        self.undetected.remove(&t);
+    }
+
+    /// Inject (or with `extra_ns == 0` clear) a per-server completion
+    /// delay: every data-path op chain touching one of the server's
+    /// targets pays `extra_ns` on top of its modelled cost.  Backs the
+    /// delayed-completion fault action.
+    pub fn set_extra_delay(&mut self, server: u16, extra_ns: u64) {
+        if extra_ns == 0 {
+            self.extra_delay.remove(&server);
+        } else {
+            self.extra_delay.insert(server, extra_ns);
+        }
+    }
+
+    /// Observe crashes: the first op from each client node touching a
+    /// crashed-but-undetected target fails once with
+    /// [`DaosError::TargetDown`].  Called by every data-path operation
+    /// *before* any state mutation, so a retried op re-executes cleanly.
+    fn check_detection(&mut self, client: usize, group: &[TargetId]) -> Result<(), DaosError> {
+        if self.undetected.is_empty() {
+            return Ok(());
+        }
+        for t in group {
+            if let Some(seen) = self.undetected.get_mut(t) {
+                if seen.insert(client) {
+                    return Err(DaosError::TargetDown);
+                }
+            }
+        }
+        Ok(())
+    }
+
     // ---- cost-chain helpers ------------------------------------------------
 
     fn client_overhead(&self) -> Step {
@@ -178,6 +249,7 @@ impl DaosSystem {
         } else {
             self.cal.small_write_lat_ns
         };
+        let lat = lat + self.extra_delay.get(&t.server).copied().unwrap_or(0);
         Step::seq([
             self.tgt_request_sized(t, bytes),
             Step::transfer(
@@ -218,9 +290,10 @@ impl DaosSystem {
         let res = &self.srv_res[t.server as usize];
         let cli = &self.topo.clients[client];
         let dev = self.dev_for(t);
+        let extra = self.extra_delay.get(&t.server).copied().unwrap_or(0);
         Step::seq([
             self.tgt_request_sized(t, bytes),
-            Step::delay(self.cal.nvme_read_lat_ns),
+            Step::delay(self.cal.nvme_read_lat_ns + extra),
             Step::transfer(
                 bytes,
                 [
@@ -419,13 +492,28 @@ impl DaosSystem {
         value: Payload,
     ) -> Result<Step, DaosError> {
         let bytes = value.len() as f64;
+        let group: Vec<TargetId> = self
+            .obj(cid, oid)?
+            .layout
+            .group_for(dkey_hash(key))
+            .to_vec();
+        self.check_detection(client, &group)?;
+        // degraded writes land on the up members only; a fully-down
+        // group cannot accept the update
+        let up: Vec<TargetId> = group
+            .iter()
+            .copied()
+            .filter(|&t| self.pool.is_up(t))
+            .collect();
+        if up.is_empty() {
+            return Err(DaosError::Unavailable);
+        }
         let entry = self.obj_mut(cid, oid)?;
-        let group: Vec<TargetId> = entry.layout.group_for(dkey_hash(key)).to_vec();
         match &mut entry.data {
             ObjData::Kv(kv) => kv.put(key, value),
             ObjData::Array(_) => return Err(DaosError::WrongObjectType),
         }
-        let writes = group
+        let writes = up
             .iter()
             .map(|&t| self.write_to_target(client, t, bytes.max(64.0)))
             .collect::<Vec<_>>();
@@ -445,8 +533,13 @@ impl DaosSystem {
         key: &[u8],
     ) -> Result<(ReadPayload, Step), DaosError> {
         let pool = self.pool.clone();
+        let group: Vec<TargetId> = self
+            .obj(cid, oid)?
+            .layout
+            .group_for(dkey_hash(key))
+            .to_vec();
+        self.check_detection(client, &group)?;
         let entry = self.obj(cid, oid)?;
-        let group = entry.layout.group_for(dkey_hash(key));
         let value = match &entry.data {
             ObjData::Kv(kv) => kv.get(key).ok_or(DaosError::NoSuchKey)?,
             ObjData::Array(_) => return Err(DaosError::WrongObjectType),
@@ -477,8 +570,21 @@ impl DaosSystem {
         oid: Oid,
         key: &[u8],
     ) -> Result<Step, DaosError> {
+        let group: Vec<TargetId> = self
+            .obj(cid, oid)?
+            .layout
+            .group_for(dkey_hash(key))
+            .to_vec();
+        self.check_detection(client, &group)?;
+        let up: Vec<TargetId> = group
+            .iter()
+            .copied()
+            .filter(|&t| self.pool.is_up(t))
+            .collect();
+        if up.is_empty() {
+            return Err(DaosError::Unavailable);
+        }
         let entry = self.obj_mut(cid, oid)?;
-        let group: Vec<TargetId> = entry.layout.group_for(dkey_hash(key)).to_vec();
         let existed = match &mut entry.data {
             ObjData::Kv(kv) => kv.remove(key),
             ObjData::Array(_) => return Err(DaosError::WrongObjectType),
@@ -486,7 +592,7 @@ impl DaosSystem {
         if !existed {
             return Err(DaosError::NoSuchKey);
         }
-        let ops = group
+        let ops = up
             .iter()
             .map(|&t| self.write_to_target(client, t, 64.0))
             .collect::<Vec<_>>();
@@ -566,6 +672,24 @@ impl DaosSystem {
             }
             gb
         };
+        // fault detection and write availability, before the mutation:
+        // a failing write must leave the store untouched so a retry
+        // re-executes cleanly
+        for &g in group_bytes.keys() {
+            self.check_detection(client, &layout.groups[g])?;
+        }
+        for &g in group_bytes.keys() {
+            let group = &layout.groups[g];
+            let up = group.iter().filter(|&&t| self.pool.is_up(t)).count();
+            let writable = match class {
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => self.pool.is_up(group[0]),
+                ObjectClass::Replicated { .. } => up >= 1,
+                ObjectClass::ErasureCoded { k, .. } => up >= k as usize,
+            };
+            if !writable {
+                return Err(DaosError::Unavailable);
+            }
+        }
         // apply the mutation
         {
             let entry = self.obj_mut(cid, oid)?;
@@ -584,8 +708,11 @@ impl DaosSystem {
                     group_steps.push(self.write_to_target(client, group[0], bytes));
                 }
                 ObjectClass::Replicated { .. } => {
+                    // degraded mode: down replicas receive nothing until
+                    // rebuild re-protects the group
                     let writes = group
                         .iter()
+                        .filter(|&&t| self.pool.is_up(t))
                         .map(|&t| self.write_to_target(client, t, bytes))
                         .collect::<Vec<_>>();
                     group_steps.push(Step::par(writes));
@@ -595,6 +722,7 @@ impl DaosSystem {
                     let cell = bytes / k as f64;
                     let writes = group
                         .iter()
+                        .filter(|&&t| self.pool.is_up(t))
                         .map(|&t| self.write_to_target(client, t, cell))
                         .collect::<Vec<_>>();
                     group_steps.push(Step::par(writes));
@@ -627,6 +755,23 @@ impl DaosSystem {
     ) -> Result<(ReadPayload, Step), DaosError> {
         if len == 0 {
             return Ok((ReadPayload::Sized(0), Step::Noop));
+        }
+        // fault detection: observe crashes on every group this range
+        // touches before serving anything
+        if !self.undetected.is_empty() {
+            let touched: Vec<Vec<TargetId>> = {
+                let entry = self.obj(cid, oid)?;
+                match &entry.data {
+                    ObjData::Array(a) => a
+                        .chunks_in_range(offset, len)
+                        .map(|c| entry.layout.group_for(chunk_dkey_hash(c)).to_vec())
+                        .collect(),
+                    ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+                }
+            };
+            for g in &touched {
+                self.check_detection(client, g)?;
+            }
         }
         let mode = self.mode;
         let pool = self.pool.clone();

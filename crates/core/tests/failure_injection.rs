@@ -1,0 +1,220 @@
+//! Failure-injection edge cases: what happens when redundancy is
+//! exhausted — every replica of an RP_2 group down, two of three
+//! EC_2P1 cells lost, and a second crash landing in the middle of an
+//! ongoing rebuild.  Also pins the determinism of an entire
+//! crash → degraded read → rebuild sequence via the scheduler digest.
+
+use cluster::{ClusterSpec, Payload};
+use daos_core::{ContainerProps, DaosError, DaosSystem, DataMode, ObjectClass, TargetId};
+use simkit::{run, OpId, Scheduler, SimTime, SplitMix64, Step, World};
+
+struct Done(SimTime);
+impl World for Done {
+    fn on_op_complete(&mut self, _op: OpId, sched: &mut Scheduler) {
+        self.0 = sched.now();
+    }
+}
+
+fn exec(sched: &mut Scheduler, step: Step) -> f64 {
+    let t0 = sched.now();
+    sched.submit(step, OpId(0));
+    let mut w = Done(SimTime::ZERO);
+    run(sched, &mut w);
+    w.0.secs_since(t0)
+}
+
+fn rand_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn fixture(servers: usize) -> (Scheduler, DaosSystem, daos_core::ContainerId) {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(servers, 1).build(&mut sched);
+    let mut daos = DaosSystem::deploy(&topo, &mut sched, servers, DataMode::Full);
+    let (cid, s) = daos.cont_create(0, ContainerProps::default());
+    sched.submit(s, OpId(0));
+    run(&mut sched, &mut Done(SimTime::ZERO));
+    (sched, daos, cid)
+}
+
+/// Crash every target of one server — the engine-failure model the
+/// faulted benchmark scenarios use.
+fn crash_server(daos: &mut DaosSystem, targets_per_server: usize, server: u16) {
+    for t in 0..targets_per_server as u16 {
+        daos.crash_target(TargetId { server, target: t });
+    }
+}
+
+#[test]
+fn all_rp2_replicas_down_is_reported_as_loss() {
+    // Two servers: every RP_2 group has one replica on each, so losing
+    // both servers strands every group with no surviving copy.
+    let (mut sched, mut daos, cid) = fixture(2);
+    let tps = daos.pool_query().targets_total / 2;
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::RP_2, 1 << 18)
+        .unwrap();
+    exec(&mut sched, s);
+    let data = rand_bytes(3, 4 << 20);
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap(),
+    );
+
+    crash_server(&mut daos, tps, 0);
+    crash_server(&mut daos, tps, 1);
+    let (report, step) = daos.rebuild();
+    let _ = exec(&mut sched, step);
+    assert!(report.objects_scanned >= 1);
+    assert!(
+        report.shards_lost > 0,
+        "both replicas down must be reported as data loss: {report:?}"
+    );
+    assert_eq!(
+        report.shards_rebuilt, 0,
+        "nothing can be rebuilt with no survivors: {report:?}"
+    );
+
+    // the loss is terminal: the read must fail, not hang or fabricate
+    let err = daos
+        .array_read(0, cid, oid, 0, data.len() as u64)
+        .expect_err("read of fully lost data must fail");
+    assert!(
+        matches!(err, DaosError::Unavailable | DaosError::TargetDown),
+        "expected a hard unavailability error, got {err:?}"
+    );
+}
+
+#[test]
+fn ec2p1_with_two_cells_lost_cannot_reconstruct() {
+    // Three servers: each EC 2+1 group spans all three, so losing any
+    // two servers takes two of the three cells — beyond the single
+    // parity's ability to reconstruct.
+    let (mut sched, mut daos, cid) = fixture(3);
+    let tps = daos.pool_query().targets_total / 3;
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::EC_2P1, 1 << 18)
+        .unwrap();
+    exec(&mut sched, s);
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Bytes(rand_bytes(4, 4 << 20)))
+            .unwrap(),
+    );
+
+    crash_server(&mut daos, tps, 0);
+    crash_server(&mut daos, tps, 1);
+    let (report, step) = daos.rebuild();
+    let _ = exec(&mut sched, step);
+    assert!(
+        report.shards_lost > 0,
+        "EC 2+1 minus two cells is unrecoverable: {report:?}"
+    );
+
+    let err = daos
+        .array_read(0, cid, oid, 0, 4 << 20)
+        .expect_err("read past the erasure-code tolerance must fail");
+    assert!(
+        matches!(err, DaosError::Unavailable | DaosError::TargetDown),
+        "expected a hard unavailability error, got {err:?}"
+    );
+}
+
+#[test]
+fn crash_mid_rebuild_is_recovered_by_second_pass() {
+    // Four servers, RP_2 data.  Server 0 dies; rebuild re-protects the
+    // layouts immediately and returns the data-movement step.  Before
+    // that movement completes, server 1 dies too.  A second rebuild
+    // pass must recover whatever the first pass re-homed — no group
+    // ever had both replicas down at once, so nothing may be lost.
+    let (mut sched, mut daos, cid) = fixture(4);
+    let tps = daos.pool_query().targets_total / 4;
+    let (oid, s) = daos
+        .array_create(0, cid, ObjectClass::RP_2, 1 << 18)
+        .unwrap();
+    exec(&mut sched, s);
+    let data = rand_bytes(5, 8 << 20);
+    exec(
+        &mut sched,
+        daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap(),
+    );
+
+    crash_server(&mut daos, tps, 0);
+    let (first, movement) = daos.rebuild();
+    assert_eq!(first.shards_lost, 0, "{first:?}");
+    // the movement is still in flight when the second server dies
+    sched.submit(movement, OpId(0));
+    crash_server(&mut daos, tps, 1);
+    let (second, movement2) = daos.rebuild();
+    assert_eq!(
+        second.shards_lost, 0,
+        "second crash mid-rebuild must not lose re-protected data: {second:?}"
+    );
+    sched.submit(movement2, OpId(1));
+    run(&mut sched, &mut Done(SimTime::ZERO));
+
+    let (got, s) = daos.array_read(0, cid, oid, 0, data.len() as u64).unwrap();
+    exec(&mut sched, s);
+    assert_eq!(
+        got.bytes().unwrap(),
+        &data[..],
+        "data intact after a crash during rebuild"
+    );
+}
+
+#[test]
+fn crash_rebuild_sequence_digest_is_stable() {
+    // The whole injected-fault sequence — write, engine crash, degraded
+    // read, rebuild, healthy read — must fold to the same scheduler
+    // digest on every run, or the faulted benchmark scenarios cannot be
+    // replayed.
+    fn one_run() -> (u64, Vec<u8>) {
+        let (mut sched, mut daos, cid) = fixture(4);
+        let tps = daos.pool_query().targets_total / 4;
+        let (oid, s) = daos
+            .array_create(0, cid, ObjectClass::EC_2P1, 1 << 18)
+            .unwrap();
+        exec(&mut sched, s);
+        let data = rand_bytes(6, 4 << 20);
+        exec(
+            &mut sched,
+            daos.array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+                .unwrap(),
+        );
+        crash_server(&mut daos, tps, 2);
+        // each crashed target surfaces `TargetDown` once on first touch;
+        // a bounded retry loop rides through detection until the
+        // degraded (reconstructing) read goes through
+        let mut detected = 0usize;
+        let got = loop {
+            match daos.array_read(0, cid, oid, 0, data.len() as u64) {
+                Ok((got, s)) => {
+                    exec(&mut sched, s);
+                    break got;
+                }
+                Err(DaosError::TargetDown) => {
+                    detected += 1;
+                    assert!(detected <= tps, "more detections than crashed targets");
+                }
+                Err(e) => panic!("unexpected degraded-read error: {e:?}"),
+            }
+        };
+        assert!(detected >= 1, "crash must be detected on the data path");
+        assert_eq!(got.bytes().unwrap(), &data[..]);
+        let (report, step) = daos.rebuild();
+        assert_eq!(report.shards_lost, 0, "{report:?}");
+        exec(&mut sched, step);
+        let (got, s) = daos.array_read(0, cid, oid, 0, data.len() as u64).unwrap();
+        exec(&mut sched, s);
+        (sched.digest(), got.bytes().unwrap().to_vec())
+    }
+    let (d1, b1) = one_run();
+    let (d2, b2) = one_run();
+    assert_eq!(d1, d2, "fault sequence digest must replay bit-identically");
+    assert_eq!(b1, b2);
+}

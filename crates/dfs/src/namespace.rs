@@ -15,7 +15,9 @@
 
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{components, FileId, FileStat, FsError, PosixFs};
-use daos_core::{ContainerId, DaosError, DaosSystem, ObjectClass, Oid};
+use daos_core::{
+    ContainerId, DaosError, DaosSystem, ObjectClass, Oid, RetryExec, RetryPolicy, RetryStats,
+};
 use simkit::Step;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -76,6 +78,8 @@ pub struct Dfs {
     handles: BTreeMap<u64, InodeId>,
     next_handle: u64,
     op_overhead_ns: u64,
+    /// Retry machinery for the data path (off by default).
+    retry: RetryExec,
 }
 
 /// Maximum symlink traversals before `SymlinkLoop`.
@@ -118,6 +122,7 @@ impl Dfs {
             handles: BTreeMap::new(),
             next_handle: 1,
             op_overhead_ns,
+            retry: RetryExec::disabled(),
         };
         Ok((dfs, Step::delay(op_overhead_ns).then(step)))
     }
@@ -135,6 +140,17 @@ impl Dfs {
     /// The container this namespace lives in.
     pub fn container(&self) -> ContainerId {
         self.cid
+    }
+
+    /// Configure retry/timeout/backoff on the data path (`seed` drives
+    /// the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     fn overhead(&self) -> Step {
@@ -418,7 +434,12 @@ impl Dfs {
 
 fn map_daos(e: DaosError) -> FsError {
     match e {
-        DaosError::Unavailable => FsError::Unavailable,
+        // Transient DAOS failures surface as `Unavailable`, the POSIX
+        // layer's retriable error (see `daos_core::retry::Retriable`).
+        DaosError::Unavailable
+        | DaosError::Timeout
+        | DaosError::TargetDown
+        | DaosError::Retriable => FsError::Unavailable,
         DaosError::NoSuchKey | DaosError::NoSuchObject => FsError::NotFound,
         DaosError::NoSuchContainer => FsError::Other("container gone"),
         DaosError::WrongObjectType => FsError::Other("object type mismatch"),
@@ -491,11 +512,14 @@ impl PosixFs for Dfs {
         data: Payload,
     ) -> Result<Step, FsError> {
         let arr = self.file_object(f)?;
-        let s = self
-            .daos
-            .borrow_mut()
-            .array_write(client, self.cid, arr, offset, data)
-            .map_err(map_daos)?;
+        let cid = self.cid;
+        let retry = &mut self.retry;
+        let daos = &self.daos;
+        let s = retry.run_step(|| {
+            daos.borrow_mut()
+                .array_write(client, cid, arr, offset, data.clone())
+                .map_err(map_daos)
+        })?;
         Ok(self.overhead().then(s))
     }
 
@@ -507,11 +531,14 @@ impl PosixFs for Dfs {
         len: u64,
     ) -> Result<(ReadPayload, Step), FsError> {
         let arr = self.file_object(f)?;
-        let (data, s) = self
-            .daos
-            .borrow_mut()
-            .array_read(client, self.cid, arr, offset, len)
-            .map_err(map_daos)?;
+        let cid = self.cid;
+        let retry = &mut self.retry;
+        let daos = &self.daos;
+        let (data, s) = retry.run(|| {
+            daos.borrow_mut()
+                .array_read(client, cid, arr, offset, len)
+                .map_err(map_daos)
+        })?;
         Ok((data, self.overhead().then(s)))
     }
 

@@ -22,6 +22,7 @@
 
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{FileId, FileStat, FsError, PosixFs};
+use daos_core::{RetryExec, RetryPolicy, RetryStats};
 use daos_dfs::Dfs;
 use simkit::{ResourceId, Scheduler, Step};
 use std::collections::BTreeSet;
@@ -89,6 +90,8 @@ pub struct DfuseMount {
     data_cache: BTreeSet<(usize, u64)>,
     /// `(node, handle)` -> next expected offset (readahead detection).
     read_cursor: std::collections::BTreeMap<(usize, u64), u64>,
+    /// Retry machinery around the DFS data path (off by default).
+    retry: RetryExec,
 }
 
 fn path_key(path: &str) -> u64 {
@@ -125,7 +128,19 @@ impl DfuseMount {
             dentry_cache: std::collections::BTreeMap::new(),
             data_cache: BTreeSet::new(),
             read_cursor: std::collections::BTreeMap::new(),
+            retry: RetryExec::disabled(),
         }
+    }
+
+    /// Configure retry/timeout/backoff on the FUSE data path (`seed`
+    /// drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     /// The wrapped DFS namespace.
@@ -206,7 +221,11 @@ impl PosixFs for DfuseMount {
         data: Payload,
     ) -> Result<Step, FsError> {
         let bytes = data.len() as f64;
-        let inner = self.dfs.write(client, f, offset, data)?;
+        let inner = {
+            let retry = &mut self.retry;
+            let dfs = &mut self.dfs;
+            retry.run_step(|| dfs.write(client, f, offset, data.clone()))?
+        };
         if self.opts.data_caching {
             self.data_cache.insert((client, f.0));
         }
@@ -233,7 +252,11 @@ impl PosixFs for DfuseMount {
             .is_some_and(|&next| next == offset);
         self.read_cursor.insert((client, f.0), offset + len);
         let prefetched = self.opts.readahead && sequential;
-        let (data, inner) = self.dfs.read(client, f, offset, len)?;
+        let (data, inner) = {
+            let retry = &mut self.retry;
+            let dfs = &mut self.dfs;
+            retry.run(|| dfs.read(client, f, offset, len))?
+        };
         if self.opts.data_caching {
             self.data_cache.insert((client, f.0));
         }

@@ -13,6 +13,15 @@ pub enum FdbError {
     Backend(&'static str),
 }
 
+impl daos_core::Retriable for FdbError {
+    /// `Backend("transient")` is the mapped form of a retriable
+    /// lower-layer fault (each backend's `map_*` produces it for
+    /// timeouts/target-down errors); everything else is terminal.
+    fn is_retriable(&self) -> bool {
+        matches!(self, FdbError::Backend("transient"))
+    }
+}
+
 /// The FDB client interface: archive and retrieve weather fields by
 /// scientific key, with the storage system fully abstracted away —
 /// exactly the role FDB plays at ECMWF.

@@ -10,6 +10,7 @@ use crate::backend::{Fdb, FdbError};
 use crate::key::{FieldKey, KeyQuery};
 use ceph_sim::{CephSystem, RadosError};
 use cluster::payload::{Payload, ReadPayload};
+use daos_core::{RetryExec, RetryPolicy, RetryStats};
 use simkit::Step;
 use std::collections::BTreeMap;
 
@@ -20,6 +21,8 @@ const INDEX_ENTRY_BYTES: u64 = 512;
 pub struct FdbCeph {
     ceph: CephSystem,
     toc: BTreeMap<FieldKey, u64>,
+    /// Retry machinery around archive/retrieve (off by default).
+    retry: RetryExec,
 }
 
 fn map_rados(e: RadosError) -> FdbError {
@@ -35,12 +38,64 @@ impl FdbCeph {
         FdbCeph {
             ceph,
             toc: BTreeMap::new(),
+            retry: RetryExec::disabled(),
         }
     }
 
     /// The wrapped cluster.
     pub fn ceph_mut(&mut self) -> &mut CephSystem {
         &mut self.ceph
+    }
+
+    /// Configure retry/timeout/backoff on archive/retrieve (`seed`
+    /// drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
+    }
+
+    fn archive_inner(
+        &mut self,
+        node: usize,
+        key: &FieldKey,
+        data: Payload,
+    ) -> Result<Step, FdbError> {
+        let len = data.len();
+        let s1 = self
+            .ceph
+            .write(node, &Self::field_object(key), 0, data)
+            .map_err(map_rados)?;
+        let s2 = self
+            .ceph
+            .append(
+                node,
+                &Self::index_object(key),
+                Payload::Sized(INDEX_ENTRY_BYTES),
+            )
+            .map_err(map_rados)?;
+        self.toc.insert(*key, len);
+        Ok(Step::seq([s1, s2]))
+    }
+
+    fn retrieve_inner(
+        &mut self,
+        node: usize,
+        key: &FieldKey,
+    ) -> Result<(ReadPayload, Step), FdbError> {
+        let len = *self.toc.get(key).ok_or(FdbError::FieldNotFound)?;
+        let (_, s1) = self
+            .ceph
+            .read(node, &Self::index_object(key), 0, INDEX_ENTRY_BYTES)
+            .map_err(map_rados)?;
+        let (data, s2) = self
+            .ceph
+            .read(node, &Self::field_object(key), 0, len)
+            .map_err(map_rados)?;
+        Ok((data, Step::seq([s1, s2])))
     }
 
     fn field_object(key: &FieldKey) -> String {
@@ -60,21 +115,11 @@ impl Fdb for FdbCeph {
         key: &FieldKey,
         data: Payload,
     ) -> Result<Step, FdbError> {
-        let len = data.len();
-        let s1 = self
-            .ceph
-            .write(node, &Self::field_object(key), 0, data)
-            .map_err(map_rados)?;
-        let s2 = self
-            .ceph
-            .append(
-                node,
-                &Self::index_object(key),
-                Payload::Sized(INDEX_ENTRY_BYTES),
-            )
-            .map_err(map_rados)?;
-        self.toc.insert(*key, len);
-        Ok(Step::seq([s1, s2]))
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run_step(|| self.archive_inner(node, key, data.clone()));
+        self.retry = retry;
+        r
     }
 
     fn flush(&mut self, _node: usize, _proc: usize) -> Result<Step, FdbError> {
@@ -115,16 +160,10 @@ impl Fdb for FdbCeph {
         _proc: usize,
         key: &FieldKey,
     ) -> Result<(ReadPayload, Step), FdbError> {
-        let len = *self.toc.get(key).ok_or(FdbError::FieldNotFound)?;
-        let (_, s1) = self
-            .ceph
-            .read(node, &Self::index_object(key), 0, INDEX_ENTRY_BYTES)
-            .map_err(map_rados)?;
-        let (data, s2) = self
-            .ceph
-            .read(node, &Self::field_object(key), 0, len)
-            .map_err(map_rados)?;
-        Ok((data, Step::seq([s1, s2])))
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.retrieve_inner(node, key));
+        self.retry = retry;
+        r
     }
 }
 

@@ -11,7 +11,10 @@
 use crate::backend::{Fdb, FdbError};
 use crate::key::{FieldKey, KeyQuery};
 use cluster::payload::{Payload, ReadPayload};
-use daos_core::{ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid};
+use daos_core::{
+    ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid, RetryExec, RetryPolicy,
+    RetryStats,
+};
 use simkit::Step;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -39,6 +42,8 @@ pub struct FdbDaos {
     kv_entry_bytes: f64,
     procs: BTreeMap<usize, ProcState>,
     toc: BTreeMap<FieldKey, (Oid, u64)>,
+    /// Retry machinery around archive/retrieve (off by default).
+    retry: RetryExec,
 }
 
 impl FdbDaos {
@@ -76,9 +81,21 @@ impl FdbDaos {
                 kv_entry_bytes,
                 procs: BTreeMap::new(),
                 toc: BTreeMap::new(),
+                retry: RetryExec::disabled(),
             },
             Step::seq(steps),
         ))
+    }
+
+    /// Configure retry/timeout/backoff on archive/retrieve (`seed`
+    /// drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     fn proc_state(&mut self, node: usize, proc: usize) -> Result<(Oid, Step), FdbError> {
@@ -118,12 +135,17 @@ impl FdbDaos {
 fn map_daos(e: DaosError) -> FdbError {
     match e {
         DaosError::NoSuchKey | DaosError::NoSuchObject => FdbError::FieldNotFound,
+        // the retriable face of a backend fault (see `FdbError`'s
+        // `daos_core::retry::Retriable` impl)
+        DaosError::Timeout | DaosError::TargetDown | DaosError::Retriable => {
+            FdbError::Backend("transient")
+        }
         _ => FdbError::Backend("daos"),
     }
 }
 
-impl Fdb for FdbDaos {
-    fn archive(
+impl FdbDaos {
+    fn archive_inner(
         &mut self,
         node: usize,
         proc: usize,
@@ -180,6 +202,60 @@ impl Fdb for FdbDaos {
         Ok(Step::seq([setup, s1, s2, Step::par(kv_steps)]))
     }
 
+    fn retrieve_inner(
+        &mut self,
+        node: usize,
+        key: &FieldKey,
+    ) -> Result<(ReadPayload, Step), FdbError> {
+        let &(oid, len) = self.toc.get(key).ok_or(FdbError::FieldNotFound)?;
+        // find the owner's index KV (catalogue lookup happens client-side
+        // against cached catalogue state, so only KV gets + data read)
+        let owner = key.member as usize;
+        let index_kv = self
+            .procs
+            .get(&owner)
+            .map(|s| s.index_kv)
+            .ok_or(FdbError::FieldNotFound)?;
+        let keystr = key.to_string();
+        let mut daos = self.daos.borrow_mut();
+        let (_, s1) = daos
+            .kv_get(node, self.cid, index_kv, keystr.as_bytes())
+            .map_err(map_daos)?;
+        // axis/metadata gets, overlapped with the data read; the length
+        // comes from the index entry — no array_get_size round trip.
+        let mut gets = Vec::new();
+        for i in 1..self.kv_ops_per_field.saturating_sub(1) {
+            let axis_key = format!("axis/{}/{}", i, keystr);
+            let (_, s) = daos
+                .kv_get(node, self.cid, index_kv, axis_key.as_bytes())
+                .map_err(map_daos)?;
+            gets.push(s);
+        }
+        let (data, s2) = daos
+            .array_read(node, self.cid, oid, 0, len)
+            .map_err(map_daos)?;
+        drop(daos);
+        let mut par = vec![s2];
+        par.extend(gets);
+        Ok((data, Step::seq([s1, Step::par(par)])))
+    }
+}
+
+impl Fdb for FdbDaos {
+    fn archive(
+        &mut self,
+        node: usize,
+        proc: usize,
+        key: &FieldKey,
+        data: Payload,
+    ) -> Result<Step, FdbError> {
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run_step(|| self.archive_inner(node, proc, key, data.clone()));
+        self.retry = retry;
+        r
+    }
+
     fn flush(&mut self, _node: usize, _proc: usize) -> Result<Step, FdbError> {
         // DAOS writes are transactional per operation; nothing buffered.
         Ok(Step::Noop)
@@ -224,37 +300,10 @@ impl Fdb for FdbDaos {
         _proc: usize,
         key: &FieldKey,
     ) -> Result<(ReadPayload, Step), FdbError> {
-        let &(oid, len) = self.toc.get(key).ok_or(FdbError::FieldNotFound)?;
-        // find the owner's index KV (catalogue lookup happens client-side
-        // against cached catalogue state, so only KV gets + data read)
-        let owner = key.member as usize;
-        let index_kv = self
-            .procs
-            .get(&owner)
-            .map(|s| s.index_kv)
-            .ok_or(FdbError::FieldNotFound)?;
-        let keystr = key.to_string();
-        let mut daos = self.daos.borrow_mut();
-        let (_, s1) = daos
-            .kv_get(node, self.cid, index_kv, keystr.as_bytes())
-            .map_err(map_daos)?;
-        // axis/metadata gets, overlapped with the data read; the length
-        // comes from the index entry — no array_get_size round trip.
-        let mut gets = Vec::new();
-        for i in 1..self.kv_ops_per_field.saturating_sub(1) {
-            let axis_key = format!("axis/{}/{}", i, keystr);
-            let (_, s) = daos
-                .kv_get(node, self.cid, index_kv, axis_key.as_bytes())
-                .map_err(map_daos)?;
-            gets.push(s);
-        }
-        let (data, s2) = daos
-            .array_read(node, self.cid, oid, 0, len)
-            .map_err(map_daos)?;
-        drop(daos);
-        let mut par = vec![s2];
-        par.extend(gets);
-        Ok((data, Step::seq([s1, Step::par(par)])))
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.retrieve_inner(node, key));
+        self.retry = retry;
+        r
     }
 }
 

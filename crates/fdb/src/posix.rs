@@ -12,6 +12,7 @@ use crate::backend::{Fdb, FdbError};
 use crate::key::{FieldKey, KeyQuery};
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{FsError, PosixFs};
+use daos_core::{RetryExec, RetryPolicy, RetryStats};
 use simkit::Step;
 use std::collections::BTreeMap;
 
@@ -48,6 +49,9 @@ pub struct FdbPosix<P: PosixFs> {
     flush_bytes: f64,
     writers: BTreeMap<usize, WriterState>,
     toc: BTreeMap<FieldKey, TocEntry>,
+    /// Retry machinery around the (idempotent) retrieve path (off by
+    /// default).
+    retry: RetryExec,
 }
 
 impl<P: PosixFs> FdbPosix<P> {
@@ -60,12 +64,24 @@ impl<P: PosixFs> FdbPosix<P> {
             flush_bytes,
             writers: BTreeMap::new(),
             toc: BTreeMap::new(),
+            retry: RetryExec::disabled(),
         })
     }
 
     /// The wrapped file system.
     pub fn fs_mut(&mut self) -> &mut P {
         &mut self.fs
+    }
+
+    /// Configure retry/timeout/backoff on the retrieve path (`seed`
+    /// drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     fn writer(&mut self, node: usize, proc: usize) -> Result<(&mut WriterState, Step), FdbError> {
@@ -148,6 +164,9 @@ impl<P: PosixFs> FdbPosix<P> {
 fn map_fs(e: FsError) -> FdbError {
     match e {
         FsError::NotFound => FdbError::FieldNotFound,
+        // the retriable face of a mount/OST fault (see `FdbError`'s
+        // `daos_core::retry::Retriable` impl)
+        FsError::Unavailable => FdbError::Backend("transient"),
         _ => FdbError::Backend("posix"),
     }
 }
@@ -237,6 +256,20 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
         &mut self,
         node: usize,
         _proc: usize,
+        key: &FieldKey,
+    ) -> Result<(ReadPayload, Step), FdbError> {
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.retrieve_inner(node, key));
+        self.retry = retry;
+        r
+    }
+}
+
+impl<P: PosixFs> FdbPosix<P> {
+    fn retrieve_inner(
+        &mut self,
+        node: usize,
         key: &FieldKey,
     ) -> Result<(ReadPayload, Step), FdbError> {
         let entry = *self.toc.get(key).ok_or(FdbError::FieldNotFound)?;

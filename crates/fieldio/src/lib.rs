@@ -14,7 +14,10 @@
 //! scaling (§III-B).
 
 use cluster::payload::{Payload, ReadPayload};
-use daos_core::{ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid};
+use daos_core::{
+    ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid, Retriable, RetryExec,
+    RetryPolicy, RetryStats,
+};
 use simkit::Step;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -35,6 +38,15 @@ impl From<DaosError> for FieldIoError {
     }
 }
 
+impl Retriable for FieldIoError {
+    fn is_retriable(&self) -> bool {
+        match self {
+            FieldIoError::NoSuchField => false,
+            FieldIoError::Daos(e) => e.is_retriable(),
+        }
+    }
+}
+
 /// Field I/O client state over one container.
 pub struct FieldIo {
     daos: Rc<RefCell<DaosSystem>>,
@@ -51,6 +63,8 @@ pub struct FieldIo {
     /// Whether reads perform the size check (on by default, as in the
     /// real tool; switchable for the ablation experiment).
     pub size_check_on_read: bool,
+    /// Retry machinery around whole field operations (off by default).
+    retry: RetryExec,
 }
 
 /// Shared KV updates per field (the rest go to the exclusive KV).
@@ -99,6 +113,7 @@ impl FieldIo {
                 kv_ops_per_field,
                 kv_entry_bytes,
                 size_check_on_read: true,
+                retry: RetryExec::disabled(),
             },
             Step::seq(steps),
         ))
@@ -118,6 +133,17 @@ impl FieldIo {
     /// The container the benchmark writes into.
     pub fn container(&self) -> ContainerId {
         self.cid
+    }
+
+    /// Configure retry/timeout/backoff on field operations (`seed`
+    /// drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     /// Per-process preparation: create the exclusive index Key-Value.
@@ -153,6 +179,20 @@ impl FieldIo {
         idx: usize,
         data: Payload,
     ) -> Result<Step, FieldIoError> {
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run_step(|| self.write_field_inner(node, proc, idx, data.clone()));
+        self.retry = retry;
+        r
+    }
+
+    fn write_field_inner(
+        &mut self,
+        node: usize,
+        proc: usize,
+        idx: usize,
+        data: Payload,
+    ) -> Result<Step, FieldIoError> {
         let len = data.len();
         let (own_kv, setup) = self.proc_kv(node, proc)?;
         let array_class = self.array_class;
@@ -179,6 +219,18 @@ impl FieldIo {
     /// Read field `idx` of process `proc`: index queries, then (in the
     /// real tool's fashion) a size check, then the Array read.
     pub fn read_field(
+        &mut self,
+        node: usize,
+        proc: usize,
+        idx: usize,
+    ) -> Result<(ReadPayload, Step), FieldIoError> {
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.read_field_inner(node, proc, idx));
+        self.retry = retry;
+        r
+    }
+
+    fn read_field_inner(
         &mut self,
         node: usize,
         proc: usize,

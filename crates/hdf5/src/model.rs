@@ -3,7 +3,10 @@
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{FileId, FsError, PosixFs};
 use cluster::Calibration;
-use daos_core::{ContainerId, ContainerProps, DaosError, DaosSystem, ObjectClass, Oid};
+use daos_core::{
+    ContainerId, ContainerProps, DaosError, DaosSystem, ObjectClass, Oid, Retriable, RetryExec,
+    RetryPolicy, RetryStats,
+};
 use simkit::{ResourceId, Scheduler, Step};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -31,10 +34,23 @@ impl From<DaosError> for Hdf5Error {
     }
 }
 
+impl Retriable for Hdf5Error {
+    fn is_retriable(&self) -> bool {
+        match self {
+            Hdf5Error::NoSuchDataset => false,
+            Hdf5Error::Fs(e) => e.is_retriable(),
+            Hdf5Error::Daos(e) => e.is_retriable(),
+        }
+    }
+}
+
 /// Shared library state: the per-client-node HDF5 processing ceiling.
 pub struct H5Runtime {
     node_bw: Vec<ResourceId>,
     cal: Calibration,
+    /// Library-wide retry machinery for dataset I/O (off by default).
+    /// A `RefCell` so dataset ops can take `&H5Runtime` unchanged.
+    retry: RefCell<RetryExec>,
 }
 
 impl H5Runtime {
@@ -46,7 +62,19 @@ impl H5Runtime {
         H5Runtime {
             node_bw,
             cal: cal.clone(),
+            retry: RefCell::new(RetryExec::disabled()),
         }
+    }
+
+    /// Configure retry/timeout/backoff on dataset I/O (`seed` drives
+    /// the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RefCell::new(RetryExec::new(policy, seed));
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.borrow().stats()
     }
 
     /// Library-side processing of `bytes` on a node.
@@ -176,6 +204,17 @@ impl H5PosixFile {
         name: &str,
         data: Payload,
     ) -> Result<Step, Hdf5Error> {
+        let mut retry = rt.retry.borrow_mut();
+        retry.run_step(|| self.dataset_write_inner(rt, fs, name, data.clone()))
+    }
+
+    fn dataset_write_inner<P: PosixFs + ?Sized>(
+        &mut self,
+        rt: &H5Runtime,
+        fs: &mut P,
+        name: &str,
+        data: Payload,
+    ) -> Result<Step, Hdf5Error> {
         let len = data.len();
         let off = self.heap_end;
         self.heap_end += len;
@@ -240,6 +279,16 @@ impl H5PosixFile {
 
     /// Read one dataset back: chunk-index lookup plus fragmented reads.
     pub fn dataset_read<P: PosixFs + ?Sized>(
+        &mut self,
+        rt: &H5Runtime,
+        fs: &mut P,
+        name: &str,
+    ) -> Result<(ReadPayload, Step), Hdf5Error> {
+        let mut retry = rt.retry.borrow_mut();
+        retry.run(|| self.dataset_read_inner(rt, fs, name))
+    }
+
+    fn dataset_read_inner<P: PosixFs + ?Sized>(
         &mut self,
         rt: &H5Runtime,
         fs: &mut P,
@@ -348,6 +397,16 @@ impl H5DaosFile {
         name: &str,
         data: Payload,
     ) -> Result<Step, Hdf5Error> {
+        let mut retry = rt.retry.borrow_mut();
+        retry.run_step(|| self.dataset_write_inner(rt, name, data.clone()))
+    }
+
+    fn dataset_write_inner(
+        &mut self,
+        rt: &H5Runtime,
+        name: &str,
+        data: Payload,
+    ) -> Result<Step, Hdf5Error> {
         let len = data.len();
         let mut daos = self.daos.borrow_mut();
         let (oid, s1) = daos.array_create(self.node, self.cid, self.oclass, 1 << 20)?;
@@ -378,6 +437,15 @@ impl H5DaosFile {
     /// Read one dataset: container-metadata lookup, KV index fetch, then
     /// the Array data.
     pub fn dataset_read(
+        &mut self,
+        rt: &H5Runtime,
+        name: &str,
+    ) -> Result<(ReadPayload, Step), Hdf5Error> {
+        let mut retry = rt.retry.borrow_mut();
+        retry.run(|| self.dataset_read_inner(rt, name))
+    }
+
+    fn dataset_read_inner(
         &mut self,
         rt: &H5Runtime,
         name: &str,

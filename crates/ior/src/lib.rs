@@ -28,7 +28,7 @@ use ceph_sim::CephSystem;
 use cluster::bench::{pin_round_robin, Phase, ProcWorkload};
 use cluster::payload::Payload;
 use cluster::posix::{FileId, PosixFs};
-use daos_core::{ContainerId, DaosSystem, ObjectClass, Oid};
+use daos_core::{ContainerId, DaosSystem, ObjectClass, Oid, RetryExec, RetryPolicy, RetryStats};
 use daos_dfs::Dfs;
 use hdf5_lite::{H5DaosFile, H5PosixFile, H5Runtime};
 use simkit::Step;
@@ -138,6 +138,8 @@ pub struct Ior {
     state: Vec<ProcState>,
     /// Per-process offset permutations for [`AccessOrder::Random`].
     shuffles: Vec<Vec<u32>>,
+    /// Retry machinery around per-op backend calls (off by default).
+    retry: RetryExec,
 }
 
 impl Ior {
@@ -165,7 +167,19 @@ impl Ior {
             pins,
             state,
             shuffles,
+            retry: RetryExec::disabled(),
         }
+    }
+
+    /// Configure retry/timeout/backoff around every benchmark op
+    /// (`seed` drives the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     /// Switch phase (the paper always writes first, then reads).
@@ -283,46 +297,67 @@ impl ProcWorkload for Ior {
         let len = self.cfg.transfer_size;
         let phase = self.cfg.phase;
         let payload = self.payload();
+        let retry = &mut self.retry;
         match (&mut self.backend, &mut self.state[proc]) {
             (IorBackend::Daos { daos, cid, .. }, ProcState::Array(oid)) => match phase {
-                Phase::Write => daos
-                    .borrow_mut()
-                    .array_write(node, *cid, *oid, off, payload)
+                Phase::Write => retry
+                    .run_step(|| {
+                        daos.borrow_mut()
+                            .array_write(node, *cid, *oid, off, payload.clone())
+                    })
                     .expect("write"),
                 Phase::Read => {
-                    daos.borrow_mut()
-                        .array_read(node, *cid, *oid, off, len)
+                    retry
+                        .run(|| daos.borrow_mut().array_read(node, *cid, *oid, off, len))
                         .expect("read")
                         .1
                 }
             },
             (IorBackend::Dfs(dfs), ProcState::File(f)) => match phase {
-                Phase::Write => dfs.write(node, *f, off, payload).expect("write"),
-                Phase::Read => dfs.read(node, *f, off, len).expect("read").1,
+                Phase::Write => retry
+                    .run_step(|| dfs.write(node, *f, off, payload.clone()))
+                    .expect("write"),
+                Phase::Read => retry.run(|| dfs.read(node, *f, off, len)).expect("read").1,
             },
             (IorBackend::Posix(fs), ProcState::File(f)) => match phase {
-                Phase::Write => fs.write(node, *f, off, payload).expect("write"),
-                Phase::Read => fs.read(node, *f, off, len).expect("read").1,
+                Phase::Write => retry
+                    .run_step(|| fs.write(node, *f, off, payload.clone()))
+                    .expect("write"),
+                Phase::Read => retry.run(|| fs.read(node, *f, off, len)).expect("read").1,
             },
             (IorBackend::Hdf5Posix { rt, fs }, ProcState::H5Posix(h5)) => {
                 let name = format!("ds{idx:06}");
                 match phase {
-                    Phase::Write => h5
-                        .dataset_write(rt, fs.as_mut(), &name, payload)
+                    Phase::Write => retry
+                        .run_step(|| h5.dataset_write(rt, fs.as_mut(), &name, payload.clone()))
                         .expect("write"),
-                    Phase::Read => h5.dataset_read(rt, fs.as_mut(), &name).expect("read").1,
+                    Phase::Read => {
+                        retry
+                            .run(|| h5.dataset_read(rt, fs.as_mut(), &name))
+                            .expect("read")
+                            .1
+                    }
                 }
             }
             (IorBackend::Hdf5Daos { rt, .. }, ProcState::H5Daos(h5)) => {
                 let name = format!("ds{idx:06}");
                 match phase {
-                    Phase::Write => h5.dataset_write(rt, &name, payload).expect("write"),
-                    Phase::Read => h5.dataset_read(rt, &name).expect("read").1,
+                    Phase::Write => retry
+                        .run_step(|| h5.dataset_write(rt, &name, payload.clone()))
+                        .expect("write"),
+                    Phase::Read => retry.run(|| h5.dataset_read(rt, &name)).expect("read").1,
                 }
             }
             (IorBackend::Rados(ceph), ProcState::Object(name)) => match phase {
-                Phase::Write => ceph.write(node, name, off, payload).expect("write"),
-                Phase::Read => ceph.read(node, name, off, len).expect("read").1,
+                Phase::Write => retry
+                    .run_step(|| ceph.write(node, name, off, payload.clone()))
+                    .expect("write"),
+                Phase::Read => {
+                    retry
+                        .run(|| ceph.read(node, name, off, len))
+                        .expect("read")
+                        .1
+                }
             },
             _ => panic!("op before setup for proc {proc}"),
         }

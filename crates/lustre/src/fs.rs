@@ -16,6 +16,7 @@
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{components, FileId, FileStat, FsError, PosixFs};
 use cluster::Topology;
+use daos_core::{RetryExec, RetryPolicy, RetryStats};
 use simkit::{ResourceId, Scheduler, Step};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -91,6 +92,8 @@ pub struct LustreSystem {
     op_ns: u64,
     rtt_ns: u64,
     lock_rtts: u32,
+    /// Retry machinery around the data path (off by default).
+    retry: RetryExec,
 }
 
 impl LustreSystem {
@@ -128,7 +131,19 @@ impl LustreSystem {
             op_ns: cal.lustre_op_ns,
             rtt_ns: cal.net_rtt_ns,
             lock_rtts: cal.lustre_lock_rtts,
+            retry: RetryExec::disabled(),
         }
+    }
+
+    /// Configure retry/timeout/backoff on the data path (`seed` drives
+    /// the deterministic jitter stream).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy, seed: u64) {
+        self.retry = RetryExec::new(policy, seed);
+    }
+
+    /// Retry counters accumulated so far.
+    pub fn retry_stats(&self) -> RetryStats {
+        *self.retry.stats()
     }
 
     /// OSS nodes in the deployment.
@@ -390,23 +405,11 @@ impl PosixFs for LustreSystem {
         offset: u64,
         data: Payload,
     ) -> Result<Step, FsError> {
-        let mode = self.mode;
-        let (id, _) = self.file_mut(f)?;
-        let locks = self.lock_cost(client, id, offset, data.len());
-        let (_, fnode) = self.file_mut(f)?;
-        let per_ost = fnode.stripe_bytes(offset, data.len());
-        let layout = fnode.layout.clone();
-        fnode.write(offset, &data, mode);
-        let transfers = per_ost
-            .into_iter()
-            .map(|(i, bytes)| self.ost_write(client, layout[i], bytes))
-            .collect::<Vec<_>>();
-        Ok(Step::seq([
-            Step::delay(self.op_ns),
-            locks,
-            Step::delay(self.rtt_ns),
-            Step::par(transfers),
-        ]))
+        // Take the executor out so the retried closure can borrow `self`.
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run_step(|| self.write_inner(client, f, offset, data.clone()));
+        self.retry = retry;
+        r
     }
 
     fn read(
@@ -416,25 +419,10 @@ impl PosixFs for LustreSystem {
         offset: u64,
         len: u64,
     ) -> Result<(ReadPayload, Step), FsError> {
-        let (id, _) = self.file_mut(f)?;
-        let locks = self.lock_cost(client, id, offset, len);
-        let (_, fnode) = self.file_mut(f)?;
-        let data = fnode.read(offset, len);
-        let per_ost = fnode.stripe_bytes(offset, len);
-        let layout = fnode.layout.clone();
-        let transfers = per_ost
-            .into_iter()
-            .map(|(i, bytes)| self.ost_read(client, layout[i], bytes))
-            .collect::<Vec<_>>();
-        Ok((
-            data,
-            Step::seq([
-                Step::delay(self.op_ns),
-                locks,
-                Step::delay(self.rtt_ns),
-                Step::par(transfers),
-            ]),
-        ))
+        let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
+        let r = retry.run(|| self.read_inner(client, f, offset, len));
+        self.retry = retry;
+        r
     }
 
     fn fstat(&mut self, client: usize, f: FileId) -> Result<(FileStat, Step), FsError> {
@@ -516,6 +504,62 @@ impl PosixFs for LustreSystem {
             Node::Dir(entries) => Ok((entries.keys().cloned().collect(), self.mds_op(1.0))),
             Node::File(_) => Err(FsError::NotDir),
         }
+    }
+}
+
+impl LustreSystem {
+    fn write_inner(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        data: Payload,
+    ) -> Result<Step, FsError> {
+        let mode = self.mode;
+        let (id, _) = self.file_mut(f)?;
+        let locks = self.lock_cost(client, id, offset, data.len());
+        let (_, fnode) = self.file_mut(f)?;
+        let per_ost = fnode.stripe_bytes(offset, data.len());
+        let layout = fnode.layout.clone();
+        fnode.write(offset, &data, mode);
+        let transfers = per_ost
+            .into_iter()
+            .map(|(i, bytes)| self.ost_write(client, layout[i], bytes))
+            .collect::<Vec<_>>();
+        Ok(Step::seq([
+            Step::delay(self.op_ns),
+            locks,
+            Step::delay(self.rtt_ns),
+            Step::par(transfers),
+        ]))
+    }
+
+    fn read_inner(
+        &mut self,
+        client: usize,
+        f: FileId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadPayload, Step), FsError> {
+        let (id, _) = self.file_mut(f)?;
+        let locks = self.lock_cost(client, id, offset, len);
+        let (_, fnode) = self.file_mut(f)?;
+        let data = fnode.read(offset, len);
+        let per_ost = fnode.stripe_bytes(offset, len);
+        let layout = fnode.layout.clone();
+        let transfers = per_ost
+            .into_iter()
+            .map(|(i, bytes)| self.ost_read(client, layout[i], bytes))
+            .collect::<Vec<_>>();
+        Ok((
+            data,
+            Step::seq([
+                Step::delay(self.op_ns),
+                locks,
+                Step::delay(self.rtt_ns),
+                Step::par(transfers),
+            ]),
+        ))
     }
 }
 

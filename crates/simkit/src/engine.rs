@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::fairshare::FairShare;
+use crate::faults::{FaultAction, FaultEvent, FaultPlan};
 use crate::monitor::Monitor;
 use crate::slab::Slab;
 use crate::step::{ResourceId, Step};
@@ -22,6 +23,13 @@ pub trait World {
     /// Called once for every completed op chain.  `sched.now()` is the
     /// completion time; the implementation may submit new ops.
     fn on_op_complete(&mut self, op: OpId, sched: &mut Scheduler);
+
+    /// Called once for every fired fault event (see [`crate::faults`]).
+    /// `sched.now()` is the firing time; capacity-scaling actions have
+    /// already been applied by the engine.  Worlds model domain faults
+    /// (crashes, restarts, delayed completions) here; the default ignores
+    /// them.
+    fn on_fault(&mut self, _event: &FaultEvent, _sched: &mut Scheduler) {}
 }
 
 /// Why [`run_for`] returned.
@@ -96,6 +104,9 @@ pub struct Scheduler {
     now: SimTime,
     last_settle: SimTime,
     caps: Vec<f64>,
+    /// Registered (un-degraded) capacities; fault scaling is relative to
+    /// these, so `scale: 1.0` restores exactly the original rate.
+    base_caps: Vec<f64>,
     names: Vec<String>,
     flows: Slab<Flow>,
     conts: Slab<Cont>,
@@ -105,6 +116,8 @@ pub struct Scheduler {
     rates_dirty: bool,
     fair: FairShare,
     monitor: Monitor,
+    /// Installed fault events, sorted by `(at, id)`, popped as fired.
+    faults: VecDeque<FaultEvent>,
     /// Event-coalescing quantum in ns (see [`Scheduler::set_coalescing`]).
     quantum_ns: u64,
     /// Optional completion trace.
@@ -132,6 +145,7 @@ impl Scheduler {
             now: SimTime::ZERO,
             last_settle: SimTime::ZERO,
             caps: Vec::new(),
+            base_caps: Vec::new(),
             names: Vec::new(),
             flows: Slab::new(),
             conts: Slab::new(),
@@ -141,6 +155,7 @@ impl Scheduler {
             rates_dirty: false,
             fair: FairShare::new(),
             monitor: Monitor::disabled(),
+            faults: VecDeque::new(),
             quantum_ns: 0,
             trace: Trace::disabled(),
             stat_recomputes: 0,
@@ -171,6 +186,7 @@ impl Scheduler {
         );
         let id = ResourceId(self.caps.len() as u32);
         self.caps.push(capacity);
+        self.base_caps.push(capacity);
         self.names.push(name.into());
         id
     }
@@ -196,7 +212,69 @@ impl Scheduler {
         assert!(capacity >= 0.0 && capacity.is_finite());
         self.settle_to(self.now);
         self.caps[r.0 as usize] = capacity;
+        self.base_caps[r.0 as usize] = capacity;
         self.rates_dirty = true;
+    }
+
+    /// Scale the capacity of `r` to `baseline × scale`, where the
+    /// baseline is the capacity given at registration (or the last
+    /// [`Scheduler::set_capacity`]).  Used by [`FaultAction::SlowDisk`] /
+    /// [`FaultAction::NicBrownout`]; `scale: 1.0` restores the baseline
+    /// exactly.  `scale` must be positive: a dead component is modelled
+    /// at the storage-state level, never as a zero-rate flow (which would
+    /// stall the run).
+    pub fn scale_capacity(&mut self, r: ResourceId, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "fault capacity scale must be positive and finite"
+        );
+        self.settle_to(self.now);
+        self.caps[r.0 as usize] = self.base_caps[r.0 as usize] * scale;
+        self.rates_dirty = true;
+    }
+
+    /// Install a failure schedule.  Events fire during [`run_for`] when
+    /// simulated time reaches them while flows or timers are pending;
+    /// runs that drain earlier leave the remaining events armed.  May be
+    /// called repeatedly — later plans merge with undelivered events.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        let mut evs: Vec<FaultEvent> = self.faults.drain(..).collect();
+        evs.extend(plan.into_events());
+        evs.sort_by_key(|e| (e.at, e.id));
+        self.faults = evs.into();
+    }
+
+    /// Fault events installed but not yet fired.
+    pub fn pending_fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Pop and apply the next fault event: settle flows to its firing
+    /// time, apply engine-level actions (capacity scaling), and fold the
+    /// tagged `(time, id)` pair into the replay digest.  The caller hands
+    /// the returned event to [`World::on_fault`].
+    fn fire_fault(&mut self) -> FaultEvent {
+        let ev = self.faults.pop_front().expect("no fault due");
+        // An event armed before a gap in pending work fires as soon as
+        // work exists again; time never goes backwards.
+        let t = ev.at.max(self.now);
+        self.settle_to(t);
+        match ev.action {
+            FaultAction::SlowDisk { resource, scale }
+            | FaultAction::NicBrownout { resource, scale } => {
+                self.scale_capacity(resource, scale);
+            }
+            FaultAction::TargetCrash(_)
+            | FaultAction::TargetRestart(_)
+            | FaultAction::DelayedCompletion { .. } => {}
+        }
+        self.trace.record_fault(t, ev.id);
+        ev
+    }
+
+    /// Firing time of the next pending fault, if any.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.faults.front().map(|e| e.at)
     }
 
     /// Set the event-coalescing quantum: events within `ns` of the
@@ -516,6 +594,22 @@ pub fn run_for<W: World>(sched: &mut Scheduler, world: &mut W, limit: SimTime) -
             // recompute made zero-residual flows due; drain them first.
             continue;
         }
+        // Faults fire only while work is pending: a drained run completes
+        // normally and leaves future events armed (setup barriers must
+        // not fast-forward through the failure schedule).  A pending
+        // fault due before the next work event — or before the limit when
+        // flows are stalled — fires first; it may rescale capacities or
+        // (via the world) submit new work, so re-enter the loop.
+        if !sched.flows.is_empty() || !sched.timers.is_empty() {
+            if let Some(f_at) = sched.next_fault_time() {
+                let bound = sched.next_event_time().unwrap_or(SimTime::NEVER).min(limit);
+                if f_at <= bound {
+                    let ev = sched.fire_fault();
+                    world.on_fault(&ev, sched);
+                    continue;
+                }
+            }
+        }
         let Some(t) = sched.next_event_time() else {
             return if sched.flows.is_empty() {
                 RunOutcome::Completed
@@ -763,6 +857,127 @@ mod tests {
         let mut w = Recorder::default();
         run(&mut s, &mut w);
         assert!((secs(w.completed[0].1) - 2.0).abs() < 1e-6);
+    }
+
+    /// Recorder that also logs fired fault events.
+    #[derive(Default)]
+    struct FaultRecorder {
+        completed: Vec<(OpId, SimTime)>,
+        faults: Vec<(FaultEvent, SimTime)>,
+    }
+    impl World for FaultRecorder {
+        fn on_op_complete(&mut self, op: OpId, sched: &mut Scheduler) {
+            self.completed.push((op, sched.now()));
+        }
+        fn on_fault(&mut self, event: &FaultEvent, sched: &mut Scheduler) {
+            self.faults.push((*event, sched.now()));
+        }
+    }
+
+    #[test]
+    fn slow_disk_fault_scales_and_restores_capacity() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("disk", 100.0);
+        let mut plan = FaultPlan::new();
+        plan.at(
+            SimTime::from_secs_f64(0.5),
+            FaultAction::SlowDisk {
+                resource: r,
+                scale: 0.5,
+            },
+        );
+        plan.at(
+            SimTime::from_secs_f64(1.0),
+            FaultAction::SlowDisk {
+                resource: r,
+                scale: 1.0,
+            },
+        );
+        s.install_faults(plan);
+        s.submit(Step::transfer(100.0, [r]), OpId(1));
+        let mut w = FaultRecorder::default();
+        run(&mut s, &mut w);
+        // 0.5s at 100 (50 units) + 0.5s at 50 (25) + 0.25s at 100 (25)
+        assert!((secs(w.completed[0].1) - 1.25).abs() < 1e-6);
+        assert_eq!(w.faults.len(), 2);
+        assert!((secs(w.faults[0].1) - 0.5).abs() < 1e-9);
+        assert!((secs(w.faults[1].1) - 1.0).abs() < 1e-9);
+        assert_eq!(s.pending_fault_count(), 0);
+    }
+
+    #[test]
+    fn domain_faults_are_delivered_to_the_world() {
+        let mut s = Scheduler::new();
+        let r = s.add_resource("disk", 10.0);
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::from_millis(100), FaultAction::TargetCrash(42));
+        plan.at(
+            SimTime::from_millis(200),
+            FaultAction::DelayedCompletion {
+                payload: 7,
+                extra_ns: 5_000,
+            },
+        );
+        s.install_faults(plan);
+        s.submit(Step::transfer(10.0, [r]), OpId(1));
+        let mut w = FaultRecorder::default();
+        run(&mut s, &mut w);
+        assert_eq!(w.faults.len(), 2);
+        assert_eq!(w.faults[0].0.action, FaultAction::TargetCrash(42));
+        assert_eq!(w.faults[0].1, SimTime::from_millis(100));
+        assert_eq!(
+            w.faults[1].0.action,
+            FaultAction::DelayedCompletion {
+                payload: 7,
+                extra_ns: 5_000
+            }
+        );
+    }
+
+    #[test]
+    fn faults_wait_for_pending_work() {
+        // A fault scheduled past the end of the current run stays armed
+        // instead of fast-forwarding time, and fires (at its scheduled
+        // digest time, clamped to now) once later work crosses it.
+        let mut s = Scheduler::new();
+        let r = s.add_resource("disk", 100.0);
+        let mut plan = FaultPlan::new();
+        plan.at(SimTime::from_secs_f64(2.0), FaultAction::TargetCrash(1));
+        s.install_faults(plan);
+        s.submit(Step::transfer(50.0, [r]), OpId(1));
+        let mut w = FaultRecorder::default();
+        run(&mut s, &mut w);
+        assert!((secs(s.now()) - 0.5).abs() < 1e-9);
+        assert_eq!(s.pending_fault_count(), 1, "fault stays armed");
+        assert!(w.faults.is_empty());
+        // next phase crosses t=2.0 → the fault fires mid-run
+        s.submit(Step::transfer(300.0, [r]), OpId(2));
+        run(&mut s, &mut w);
+        assert_eq!(w.faults.len(), 1);
+        assert!((secs(w.faults[0].1) - 2.0).abs() < 1e-9);
+        assert_eq!(s.pending_fault_count(), 0);
+    }
+
+    #[test]
+    fn faults_fold_into_replay_digest() {
+        let run_with = |faulted: bool| {
+            let mut s = Scheduler::new();
+            let r = s.add_resource("disk", 100.0);
+            if faulted {
+                let mut plan = FaultPlan::new();
+                plan.at(SimTime::from_millis(1), FaultAction::TargetCrash(3));
+                s.install_faults(plan);
+            }
+            s.submit(Step::transfer(100.0, [r]), OpId(1));
+            let mut w = FaultRecorder::default();
+            run_digest(&mut s, &mut w)
+        };
+        assert_eq!(run_with(true), run_with(true), "faulted runs replay");
+        assert_ne!(
+            run_with(true),
+            run_with(false),
+            "the failure schedule is part of the digest"
+        );
     }
 
     #[test]

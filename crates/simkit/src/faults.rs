@@ -1,0 +1,166 @@
+//! Deterministic fault injection: scheduled events the engine applies at
+//! exact simulated times.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s built before (or
+//! during) a run and installed on the [`Scheduler`](crate::Scheduler) with
+//! [`Scheduler::install_faults`](crate::Scheduler::install_faults).  The
+//! run loop fires each event when simulated time reaches it **while work
+//! is pending** — a run that drains before a fault's time completes
+//! normally and leaves the fault armed for the next run phase, so untimed
+//! setup barriers never fast-forward through the failure schedule.
+//!
+//! Two event kinds are applied by the engine itself (capacity scaling for
+//! [`FaultAction::SlowDisk`] and [`FaultAction::NicBrownout`]); the rest
+//! are *domain* events the engine only times and digests — the
+//! [`World`](crate::World) receives every fired event through
+//! [`World::on_fault`](crate::World::on_fault) and maps crash/restart/
+//! delay payloads onto its own storage-system state.
+//!
+//! Every fired event is folded into the replay digest with a tag byte, so
+//! a faulted run's digest covers the failure schedule as well as the op
+//! completion stream: replaying with a different plan (or the same plan
+//! firing at different times) is detected exactly like any other schedule
+//! divergence.
+
+use crate::step::ResourceId;
+use crate::time::SimTime;
+
+/// What a fault event does when it fires.
+///
+/// `TargetCrash`/`TargetRestart`/`DelayedCompletion` carry an opaque
+/// `u64` payload interpreted by the [`World`](crate::World) (the DAOS
+/// layer packs a `(server, target)` pair; a baseline may pack an OST
+/// index).  `SlowDisk`/`NicBrownout` name an engine resource directly and
+/// are applied by the scheduler as capacity scaling relative to the
+/// resource's registered baseline — `scale: 1.0` restores full capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// A storage target fails: the world should mark it down and route
+    /// around it (degraded reads, failover, rebuild).
+    TargetCrash(u64),
+    /// A previously-crashed target returns (reintegration).
+    TargetRestart(u64),
+    /// Transient slow disk: scale the resource's capacity to
+    /// `baseline × scale`.  Must be `> 0` — a dead device is a
+    /// [`FaultAction::TargetCrash`], not a zero-rate flow (which would
+    /// stall the run).
+    SlowDisk {
+        /// The degraded device resource.
+        resource: ResourceId,
+        /// Fraction of baseline capacity (0 < scale, 1.0 = restored).
+        scale: f64,
+    },
+    /// Network brownout: like [`FaultAction::SlowDisk`] but for a NIC
+    /// direction resource.  Kept distinct so plans read like the failure
+    /// they model and reports can attribute slowdowns.
+    NicBrownout {
+        /// The degraded NIC resource.
+        resource: ResourceId,
+        /// Fraction of baseline capacity (0 < scale, 1.0 = restored).
+        scale: f64,
+    },
+    /// Completions involving `payload` (world-interpreted, e.g. a server
+    /// rank) take `extra_ns` longer until cleared with `extra_ns: 0`.
+    DelayedCompletion {
+        /// World-interpreted locator for the slow component.
+        payload: u64,
+        /// Added latency in nanoseconds (0 clears the fault).
+        extra_ns: u64,
+    },
+}
+
+/// One scheduled fault: an action firing at an exact simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time at which the event fires (or as soon after as work
+    /// is pending).
+    pub at: SimTime,
+    /// Plan-assigned sequence number; tie-breaks simultaneous events and
+    /// is folded into the replay digest with the firing time.
+    pub id: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic failure schedule: fault events ordered by `(at, id)`.
+///
+/// Plans are plain data — building one performs no I/O and consults no
+/// clock or RNG, so the same construction code always yields the same
+/// schedule.  Randomised schedules seed a
+/// [`SplitMix64`](crate::SplitMix64) and derive times from it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `action` at absolute sim time `at`; returns the event id.
+    pub fn at(&mut self, at: SimTime, action: FaultAction) -> u64 {
+        let id = self.events.len() as u64;
+        self.events.push(FaultEvent { at, id, action });
+        id
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by `(at, id)` (stable — simultaneous events keep
+    /// insertion order).
+    pub fn into_events(mut self) -> Vec<FaultEvent> {
+        self.events.sort_by_key(|e| (e.at, e.id));
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_orders_events_by_time_then_id() {
+        let mut p = FaultPlan::new();
+        let a = p.at(SimTime::from_millis(5), FaultAction::TargetCrash(1));
+        let b = p.at(SimTime::from_millis(2), FaultAction::TargetCrash(2));
+        let c = p.at(SimTime::from_millis(5), FaultAction::TargetRestart(1));
+        assert_eq!((a, b, c), (0, 1, 2));
+        let evs = p.into_events();
+        assert_eq!(evs[0].id, 1, "earliest time first");
+        assert_eq!(evs[1].id, 0, "ties keep insertion order");
+        assert_eq!(evs[2].id, 2);
+    }
+
+    #[test]
+    fn plan_construction_is_deterministic() {
+        let build = || {
+            let mut p = FaultPlan::new();
+            p.at(
+                SimTime::from_millis(1),
+                FaultAction::DelayedCompletion {
+                    payload: 3,
+                    extra_ns: 200_000,
+                },
+            );
+            p.at(
+                SimTime::from_millis(4),
+                FaultAction::SlowDisk {
+                    resource: ResourceId(7),
+                    scale: 0.25,
+                },
+            );
+            p.into_events()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod engine;
 pub mod fairshare;
+pub mod faults;
 pub mod monitor;
 pub mod rng;
 pub mod slab;
@@ -55,6 +56,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{run, run_digest, run_for, OpId, RunOutcome, Scheduler, World};
+pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use monitor::Monitor;
 pub use rng::SplitMix64;
 pub use step::{ResourceId, Step};

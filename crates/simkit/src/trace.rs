@@ -50,6 +50,17 @@ impl ReplayDigest {
         }
     }
 
+    /// Fold one fired fault event into the digest.  A tag byte separates
+    /// the fault stream from op completions, so a fault `(t, id)` can
+    /// never collide with a completion `(t, OpId(id))`.
+    pub fn update_fault(&mut self, at: SimTime, id: u64) {
+        const FAULT_TAG: u8 = 0xFA;
+        self.0 = (self.0 ^ FAULT_TAG as u64).wrapping_mul(FNV_PRIME);
+        for b in at.0.to_le_bytes().into_iter().chain(id.to_le_bytes()) {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
     /// The current digest value.
     pub fn value(&self) -> u64 {
         self.0
@@ -99,6 +110,12 @@ impl Trace {
         } else {
             self.dropped += 1;
         }
+    }
+
+    pub(crate) fn record_fault(&mut self, at: SimTime, id: u64) {
+        // Faults enter the digest (the failure schedule is part of the
+        // replayed history) but not the bounded completion log.
+        self.digest.update_fault(at, id);
     }
 
     /// Order-sensitive FNV-1a digest of every `(time, op)` completion seen

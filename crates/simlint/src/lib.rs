@@ -293,6 +293,34 @@ pub fn rules() -> &'static [Rule] {
             },
         },
         Rule {
+            id: "unguarded-retry-loop",
+            severity: Severity::Error,
+            scope: Scope::AllLib,
+            summary: "retry loops without an attempt bound or deadline can spin forever; use RetryPolicy/RetryExec or a bounded for",
+            check: |line| {
+                let looping = contains_token(line, "loop") || contains_token(line, "while");
+                if !looping {
+                    return None;
+                }
+                let retrying = ["retry", "retries", "retrying", "backoff"]
+                    .iter()
+                    .any(|t| contains_token(line, t));
+                if !retrying {
+                    return None;
+                }
+                let guarded = ["attempt", "attempts", "max_attempts", "timeout", "deadline"]
+                    .iter()
+                    .any(|t| contains_token(line, t));
+                if guarded {
+                    return None;
+                }
+                Some(
+                    "retry loop without a visible attempt/timeout bound: route it through `RetryExec` (bounded `for` over `max_attempts`) or carry the bound in the loop condition"
+                        .to_string(),
+                )
+            },
+        },
+        Rule {
             id: "lib-unwrap",
             severity: Severity::Warn,
             scope: Scope::AllLib,
@@ -773,6 +801,41 @@ mod tests {
     #[test]
     fn env_dependent_allow_suppression() {
         let src = "// simlint::allow(env-dependent-sim) — opt-in diagnostics toggle, no effect on results\nlet d = std::env::var_os(\"SIMKIT_DIAG\").is_some();\n";
+        assert!(rules_hit(src, SIM_LIB).is_empty());
+    }
+
+    // ---- unguarded-retry-loop ----
+
+    #[test]
+    fn unguarded_retry_loop_positive() {
+        // a bare spin-until-success retry, no bound in sight
+        assert!(rules_hit("loop { if retry(op) { break; } }", SIM_LIB)
+            .contains(&"unguarded-retry-loop"));
+        assert!(
+            rules_hit("while !backoff.done() { retries += 1; }", TOOL_LIB)
+                .contains(&"unguarded-retry-loop"),
+            "applies to tooling crates too"
+        );
+    }
+
+    #[test]
+    fn unguarded_retry_loop_negative() {
+        // the sanctioned shape: a bounded for over max_attempts
+        assert!(rules_hit("for attempt in 0..self.policy.max_attempts {", SIM_LIB).is_empty());
+        // a loop that carries its bound in the condition is guarded
+        assert!(rules_hit("while retries < max_attempts { retries += 1; }", SIM_LIB).is_empty());
+        assert!(rules_hit("while now < deadline { retry_once(); }", SIM_LIB).is_empty());
+        // loops that do not retry are none of this rule's business
+        assert!(rules_hit("loop { step(); }", SIM_LIB).is_empty());
+        // comments do not count
+        assert!(rules_hit("// loop until the retry succeeds", SIM_LIB).is_empty());
+        // not flagged in test code
+        assert!(rules_hit("loop { if retry(op) { break; } }", SIM_TEST).is_empty());
+    }
+
+    #[test]
+    fn unguarded_retry_loop_allow_suppression() {
+        let src = "loop { retry(); } // simlint::allow(unguarded-retry-loop) — bounded by caller\n";
         assert!(rules_hit(src, SIM_LIB).is_empty());
     }
 
