@@ -191,6 +191,7 @@ impl<W: ProcWorkload> World for FaultedWorld<'_, W> {
         }
     }
 
+    // simlint::panic_root — fault handler: must never panic
     fn on_fault(&mut self, event: &FaultEvent, sched: &mut Scheduler) {
         match event.action {
             FaultAction::TargetCrash(payload) => {
@@ -367,6 +368,7 @@ fn fault_plan(scen: FaultedScenario, t0: SimTime, topo: &Topology) -> FaultPlan 
 
 /// Execute one faulted scenario: healthy write phase, install the fault
 /// plan at the phase boundary, faulted read phase, collect the report.
+// simlint::digest_root — faulted-run double-replay digest entry
 pub fn run_faulted(spec: &RunSpec, scen: FaultedScenario, cal: &Calibration) -> FaultedReport {
     let mut sched = make_sched(spec, false);
     let cspec = ClusterSpec::new(spec.servers, spec.client_nodes).with_cal(cal.clone());

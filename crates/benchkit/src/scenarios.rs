@@ -210,6 +210,7 @@ pub fn run_scenario(spec: &RunSpec, scen: Scenario, cal: &Calibration) -> RunRes
 /// traffic.  Two calls with equal arguments must return bit-identical
 /// results *and* digests — the property the determinism harness checks
 /// for every scenario (see [`crate::determinism`]).
+// simlint::digest_root — scenario replay-digest entry
 pub fn run_scenario_digest(spec: &RunSpec, scen: Scenario, cal: &Calibration) -> (RunResult, u64) {
     let mut sched = make_sched(spec, false);
     let (result, _) = run_scenario_on(&mut sched, spec, scen, cal);

@@ -195,6 +195,7 @@ impl ArrayData {
 
     /// The logical bytes of a chunk (zeros if unwritten), assuming all
     /// cells available.  Used for read-modify-write.
+    // simlint::allow(panic-path) — EC chunks are created only for objects carrying an erasure code, so `ec` is Some wherever an `Chunk::Ec` is met (constructor invariant)
     fn chunk_bytes_full(&self, idx: u64, ec: Option<&ErasureCode>) -> Vec<u8> {
         match self.chunks.get(&idx) {
             None | Some(Chunk::Sized) => vec![0u8; self.chunk_size as usize],
@@ -226,6 +227,7 @@ impl ArrayData {
     /// semantics).  `avail` reports the health of the shard group backing
     /// each chunk; erasure-coded chunks with missing cells are
     /// reconstructed with the real decode.
+    // simlint::allow(panic-path) — EC chunks are created only for objects carrying an erasure code, so `ec` is Some wherever an `Chunk::Ec` is met (constructor invariant)
     pub fn read(
         &self,
         offset: u64,

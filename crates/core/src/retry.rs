@@ -20,9 +20,12 @@
 //! simulated time the client spent waiting before declaring the attempt
 //! dead, charged to the penalty delay.
 //!
-//! The retry loop is written as a bounded `for` over `max_attempts`;
-//! the `unguarded-retry-loop` simlint rule rejects unbounded
-//! `loop`/`while` retry constructs anywhere in the workspace.
+//! The retry loop counts attempts against `max_attempts` and returns the
+//! failing match arm's own error on every exit path (no held-then-
+//! unwrapped "last error"); the `unguarded-retry-loop` simlint rule
+//! rejects unbounded `loop`/`while` retry constructs anywhere in the
+//! workspace, and the flow pass's `panic-path` rule keeps the executor
+//! and everything reachable from it panic-free.
 
 use simkit::{SplitMix64, Step};
 
@@ -194,6 +197,7 @@ impl RetryExec {
     /// exponential backoff, prepended as a delay to the successful
     /// attempt's op chain.  Terminal errors and exhausted retries return
     /// the last error.
+    // simlint::retry_entry — closure executor: callers' panics fire mid-retry
     pub fn run<T, E: Retriable>(
         &mut self,
         mut op: impl FnMut() -> Result<(T, Step), E>,
@@ -204,8 +208,11 @@ impl RetryExec {
             self.policy.max_attempts.max(1)
         };
         let mut penalty_ns: u64 = 0;
-        let mut last_err: Option<E> = None;
-        for attempt in 0..allowed {
+        let mut attempt: u32 = 0;
+        // Every exit path owns its error: the terminal return hands back
+        // the match's own `e`, so there is no held-then-unwrapped
+        // `last_err` and no panicking extraction on any path.
+        loop {
             self.stats.attempts += 1;
             if attempt > 0 {
                 self.stats.retries += 1;
@@ -222,26 +229,25 @@ impl RetryExec {
                 }
                 Err(e) => {
                     self.note_failure();
-                    let retriable = e.is_retriable();
-                    last_err = Some(e);
-                    if !retriable {
-                        return Err(last_err.unwrap());
+                    if !e.is_retriable() {
+                        return Err(e);
                     }
                     self.stats.timeouts += 1;
                     penalty_ns = penalty_ns
                         .saturating_add(self.policy.op_timeout_ns)
                         .saturating_add(self.backoff_ns(attempt + 1));
-                    if self.circuit_open {
-                        break;
+                    attempt += 1;
+                    if attempt == allowed || self.circuit_open {
+                        self.stats.gave_up += 1;
+                        return Err(e);
                     }
                 }
             }
         }
-        self.stats.gave_up += 1;
-        Err(last_err.expect("at least one attempt"))
     }
 
     /// [`RetryExec::run`] for operations that return only a [`Step`].
+    // simlint::retry_entry — closure executor: callers' panics fire mid-retry
     pub fn run_step<E: Retriable>(
         &mut self,
         mut op: impl FnMut() -> Result<Step, E>,

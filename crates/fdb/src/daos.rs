@@ -31,6 +31,7 @@ struct ProcState {
 }
 
 /// FDB over libdaos.
+// simlint::sim_state — replay-visible simulation state
 pub struct FdbDaos {
     daos: Rc<RefCell<DaosSystem>>,
     cid: ContainerId,
@@ -187,7 +188,10 @@ impl FdbDaos {
             }
         }
         // … plus an occasional shared catalogue update
-        let st = self.procs.get_mut(&proc).unwrap();
+        let st = self.procs.entry(proc).or_insert(ProcState {
+            index_kv,
+            archived: 0,
+        });
         st.archived += 1;
         if st.archived % CATALOGUE_EVERY == 1 {
             let cat = self.catalogue[proc % self.catalogue.len()];
@@ -261,6 +265,7 @@ impl Fdb for FdbDaos {
         Ok(Step::Noop)
     }
 
+    // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
     fn list(&mut self, node: usize, query: &KeyQuery) -> Result<(Vec<FieldKey>, Step), FdbError> {
         // catalogue scan + a key enumeration on every index KV whose
         // owner could match

@@ -45,6 +45,7 @@ impl Retriable for Hdf5Error {
 }
 
 /// Shared library state: the per-client-node HDF5 processing ceiling.
+// simlint::sim_state — replay-visible simulation state
 pub struct H5Runtime {
     node_bw: Vec<ResourceId>,
     cal: Calibration,
@@ -113,13 +114,18 @@ fn pack_index_entry(name: &str, off: u64, len: u64) -> Vec<u8> {
 }
 
 fn unpack_index_entry(buf: &[u8]) -> Option<(String, u64, u64)> {
-    let name_len = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let le_u64 = |at: usize| -> Option<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(buf.get(at..at + 8)?);
+        Some(u64::from_le_bytes(b))
+    };
+    let name_len = u16::from_le_bytes([*buf.first()?, *buf.get(1)?]) as usize;
     if name_len == 0 || name_len > H5_INDEX_NAME_MAX {
         return None;
     }
-    let name = String::from_utf8(buf[2..2 + name_len].to_vec()).ok()?;
-    let off = u64::from_le_bytes(buf[40..48].try_into().unwrap());
-    let len = u64::from_le_bytes(buf[48..56].try_into().unwrap());
+    let name = String::from_utf8(buf.get(2..2 + name_len)?.to_vec()).ok()?;
+    let off = le_u64(40)?;
+    let len = le_u64(48)?;
     Some((name, off, len))
 }
 
@@ -127,6 +133,7 @@ fn unpack_index_entry(buf: &[u8]) -> Option<(String, u64, u64)> {
 ///
 /// Layout: `[header | data heap …]`; the chunk index and object headers
 /// are updated in the header region alongside every dataset write.
+// simlint::sim_state — replay-visible simulation state
 pub struct H5PosixFile {
     handle: FileId,
     node: usize,
@@ -346,6 +353,7 @@ impl H5PosixFile {
 
 /// An HDF5 "file" stored through the DAOS VOL connector: a container of
 /// its own, a metadata KV, and one Array object per dataset write.
+// simlint::sim_state — replay-visible simulation state
 pub struct H5DaosFile {
     daos: Rc<RefCell<DaosSystem>>,
     node: usize,

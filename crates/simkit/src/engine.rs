@@ -29,6 +29,7 @@ pub trait World {
     /// already been applied by the engine.  Worlds model domain faults
     /// (crashes, restarts, delayed completions) here; the default ignores
     /// them.
+    // simlint::panic_root — fault delivery: handlers must never panic
     fn on_fault(&mut self, _event: &FaultEvent, _sched: &mut Scheduler) {}
 }
 
@@ -100,6 +101,7 @@ impl Ord for Timer {
 
 /// The simulation scheduler: resources, in-flight flows, timers and the
 /// op-chain interpreter.
+// simlint::sim_state — replay-visible simulation state
 pub struct Scheduler {
     now: SimTime,
     last_settle: SimTime,
@@ -208,6 +210,7 @@ impl Scheduler {
 
     /// Change the capacity of `r` (e.g. failure injection: set to zero).
     /// Takes effect immediately; in-flight flows are re-shared.
+    // simlint::allow(digest-taint) — pre-run configuration: every subsequent flow completion folds its effect into the digest
     pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0 && capacity.is_finite());
         self.settle_to(self.now);
@@ -252,9 +255,12 @@ impl Scheduler {
     /// Pop and apply the next fault event: settle flows to its firing
     /// time, apply engine-level actions (capacity scaling), and fold the
     /// tagged `(time, id)` pair into the replay digest.  The caller hands
-    /// the returned event to [`World::on_fault`].
-    fn fire_fault(&mut self) -> FaultEvent {
-        let ev = self.faults.pop_front().expect("no fault due");
+    /// the returned event to [`World::on_fault`].  Returns `None` when no
+    /// fault is pending (the run loop checks `next_fault_time` first, but
+    /// delivery must not panic if that invariant ever slips).
+    // simlint::panic_root — fault delivery: must never panic
+    fn fire_fault(&mut self) -> Option<FaultEvent> {
+        let ev = self.faults.pop_front()?;
         // An event armed before a gap in pending work fires as soon as
         // work exists again; time never goes backwards.
         let t = ev.at.max(self.now);
@@ -269,7 +275,7 @@ impl Scheduler {
             | FaultAction::DelayedCompletion { .. } => {}
         }
         self.trace.record_fault(t, ev.id);
-        ev
+        Some(ev)
     }
 
     /// Firing time of the next pending fault, if any.
@@ -302,6 +308,7 @@ impl Scheduler {
     }
 
     /// Record op completions into a bounded trace (debugging aid).
+    // simlint::allow(digest-taint) — pre-run configuration: every subsequent flow completion folds its effect into the digest
     pub fn set_trace(&mut self, trace: Trace) {
         self.trace = trace;
     }
@@ -495,7 +502,11 @@ impl Scheduler {
         // Disjoint field borrows: `fair` is read while `flows` is written.
         let flows = &mut self.flows;
         for (key, rate) in self.fair.results() {
-            let f = flows.get_mut(key).expect("fair-share result for dead flow");
+            // A result for a flow that completed during this recompute
+            // needs no deadline; skipping is safe where a panic is not.
+            let Some(f) = flows.get_mut(key) else {
+                continue;
+            };
             f.rate = rate;
             f.deadline = if f.remaining <= f.eps {
                 now
@@ -533,8 +544,9 @@ impl Scheduler {
             if timer.at > t {
                 break;
             }
-            let timer = self.timers.pop().unwrap().0;
-            self.complete_parent(timer.parent);
+            let parent = timer.parent;
+            self.timers.pop();
+            self.complete_parent(parent);
         }
         // Flows whose deadline has arrived (or whose residual rounded to
         // nothing) complete as a batch.
@@ -574,6 +586,7 @@ pub fn run<W: World>(sched: &mut Scheduler, world: &mut W) {
 /// of the full completion stream.  The determinism contract in one call:
 /// two invocations on freshly-built, identically-configured scheduler and
 /// world values must return the same digest.
+// simlint::digest_root — replay-digest fold entry
 pub fn run_digest<W: World>(sched: &mut Scheduler, world: &mut W) -> u64 {
     run(sched, world);
     sched.digest()
@@ -604,8 +617,9 @@ pub fn run_for<W: World>(sched: &mut Scheduler, world: &mut W, limit: SimTime) -
             if let Some(f_at) = sched.next_fault_time() {
                 let bound = sched.next_event_time().unwrap_or(SimTime::NEVER).min(limit);
                 if f_at <= bound {
-                    let ev = sched.fire_fault();
-                    world.on_fault(&ev, sched);
+                    if let Some(ev) = sched.fire_fault() {
+                        world.on_fault(&ev, sched);
+                    }
                     continue;
                 }
             }

@@ -62,7 +62,7 @@ impl Step {
         let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
         match v.len() {
             0 => Step::Noop,
-            1 => v.pop().unwrap(),
+            1 => v.pop().unwrap_or(Step::Noop),
             _ => Step::Seq(v),
         }
     }
@@ -72,7 +72,7 @@ impl Step {
         let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
         match v.len() {
             0 => Step::Noop,
-            1 => v.pop().unwrap(),
+            1 => v.pop().unwrap_or(Step::Noop),
             _ => Step::Par(v),
         }
     }

@@ -1,0 +1,283 @@
+//! Minimal JSON reader for the baseline and index-cache files.
+//!
+//! The crate is zero-dependency by policy, so this is a small hand-rolled
+//! recursive-descent parser: objects, arrays, strings (with the escapes
+//! our own writer emits), numbers, booleans and null.  Numbers are kept
+//! as `f64` — line numbers and counts fit exactly; anything that must
+//! survive full 64-bit round-trips (the index fingerprint) is stored as a
+//! hex string instead.  Writing stays hand-formatted at the call sites,
+//! using [`crate::json_escape`].
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        let v = parse_value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && b[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(b, i),
+        Some(b'[') => parse_arr(b, i),
+        Some(b'"') => parse_str(b, i).map(Json::Str),
+        Some(b't') => parse_lit(b, i, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, i, "null", Json::Null),
+        Some(_) => parse_num(b, i),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at offset {}", *i))
+    }
+}
+
+fn parse_num(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at offset {start}"))
+}
+
+fn parse_str(b: &[u8], i: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {}", *i))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {}", *i)),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let ch_len = utf8_len(c);
+                let chunk = b
+                    .get(*i..*i + ch_len)
+                    .ok_or_else(|| format!("truncated UTF-8 at offset {}", *i))?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *i += ch_len;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // [
+    let mut out = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected , or ] at offset {}", *i)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    *i += 1; // {
+    let mut out = BTreeMap::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at offset {}", *i));
+        }
+        let key = parse_str(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected : at offset {}", *i));
+        }
+        *i += 1;
+        let val = parse_value(b, i)?;
+        out.insert(key, val);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected , or }} at offset {}", *i)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1.5").unwrap(), Json::Num(-1.5));
+        assert_eq!(
+            Json::parse("\"a\\nb\"").unwrap(),
+            Json::Str("a\nb".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = Json::parse(r#"{"a":[1,{"b":"x"},true],"c":null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        let arr = v.get("a").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].get("b").and_then(|b| b.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn round_trips_own_finding_json() {
+        let f = crate::Finding {
+            rule: "wall-clock",
+            severity: crate::Severity::Error,
+            path: "a\"b.rs".to_string(),
+            line: 3,
+            message: "msg — with unicode".to_string(),
+            excerpt: "let s = \"x\";".to_string(),
+        };
+        let v = Json::parse(&f.to_json()).unwrap();
+        assert_eq!(v.get("path").and_then(|p| p.as_str()), Some("a\"b.rs"));
+        assert_eq!(v.get("line").and_then(|l| l.as_u64()), Some(3));
+        assert_eq!(
+            v.get("message").and_then(|m| m.as_str()),
+            Some("msg — with unicode")
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! A minimal Rust lexer for the stage-2 flow pass.
+//!
+//! Produces a flat token stream of identifiers, numbers and punctuation
+//! with 1-based line numbers; comments, string/char literals and
+//! lifetimes are consumed and dropped (their contents must never create
+//! call edges or panic sites).  This is *not* a full Rust lexer — raw
+//! identifiers, exotic literal suffixes and macro fragments are handled
+//! loosely — but it is exact for the constructs the flow analyses read:
+//! item keywords, paths, call parentheses, brace structure and index
+//! brackets.  Std-only, same policy as the rest of the crate.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (prefix/suffix kept crudely: `0xff_u64` is one token).
+    Num,
+    /// Punctuation. Multi-character operators `::`, `->` and `=>` are
+    /// fused into single tokens; everything else is one character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// If a raw/byte/byte-raw string literal prefix starts at `i`, return
+/// `(index of the opening quote, hash count)`.
+fn raw_string_open(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if j < b.len() && b[j] == b'r' {
+            j += 1;
+        }
+    } else if b[j] == b'r' {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Lex `source` into a token stream.  Never fails: unrecognised bytes
+/// (non-ASCII in code position, stray backslashes) are skipped.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let b = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: consume to end of line (newline handled above).
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nesting like rustc.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if raw_string_open(b, i).is_some() => {
+                // Raw / byte / byte-raw string: r"…", r#"…"#, b"…", br#"…"#.
+                // Consume to the close quote followed by the same hash run.
+                let Some((quote, hashes)) = raw_string_open(b, i) else {
+                    i += 1; // guard guarantees Some; keep the lexer total
+                    continue;
+                };
+                let mut j = quote + 1;
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                        continue;
+                    }
+                    if b[j] == b'"' {
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && k < b.len() && b[k] == b'#' {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                // Ordinary string literal with escapes; may span lines.
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char literal.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && is_ident_start(b[i + 1]) && b[i + 2] != b'\'' {
+                    // Lifetime: skip the tick and let the ident lex (it is
+                    // harmless in the stream; parsers treat it as an ident).
+                    i += 1;
+                } else {
+                    // Char literal like 'x'.
+                    i += 2;
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_cont(b[i])) {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            b':' if i + 1 < b.len() && b[i + 1] == b':' => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            b'-' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "->".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            b'=' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "=>".to_string(),
+                    line,
+                });
+                i += 2;
+            }
+            c if c.is_ascii() => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => i += 1, // non-ASCII outside literals: skip
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_fused_operators() {
+        assert_eq!(
+            texts("fn f(x: u32) -> Foo::Bar { x => y }"),
+            vec![
+                "fn", "f", "(", "x", ":", "u32", ")", "->", "Foo", "::", "Bar", "{", "x", "=>",
+                "y", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_dropped() {
+        assert_eq!(
+            texts("a // unwrap() in a comment\nb /* HashMap */ c \"call(me)\" d"),
+            vec!["a", "b", "c", "d"]
+        );
+        // Nested block comments.
+        assert_eq!(texts("x /* a /* b */ c */ y"), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_dropped() {
+        assert_eq!(texts("a r\"x.unwrap()\" b"), vec!["a", "b"]);
+        assert_eq!(texts("a r#\"quote \" inside\"# b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(texts("let c = 'x';"), vec!["let", "c", "=", ";"]);
+        assert_eq!(texts("let c = '\\n';"), vec!["let", "c", "=", ";"]);
+        // A lifetime keeps its identifier (harmless in the stream).
+        assert_eq!(texts("fn f<'a>(x: &'a str)"), {
+            vec![
+                "fn", "f", "<", "a", ">", "(", "x", ":", "&", "a", "str", ")",
+            ]
+        });
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = lex("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn numbers_are_single_tokens() {
+        assert_eq!(texts("0xff_u64 + 12"), vec!["0xff_u64", "+", "12"]);
+        // Range syntax does not glue into the number.
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+    }
+}

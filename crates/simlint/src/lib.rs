@@ -46,6 +46,10 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod flow;
+pub mod json;
+pub mod lex;
+
 /// How bad a finding is. `Error` findings fail `--deny`; `Warn` never does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -130,7 +134,7 @@ impl fmt::Display for Finding {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -341,7 +345,9 @@ pub fn rules() -> &'static [Rule] {
 }
 
 fn rule_ids() -> Vec<&'static str> {
-    rules().iter().map(|r| r.id).collect()
+    let mut ids: Vec<&'static str> = rules().iter().map(|r| r.id).collect();
+    ids.extend(flow::flow_rules().iter().map(|r| r.id));
+    ids
 }
 
 // ---------------------------------------------------------------------------
@@ -350,7 +356,7 @@ fn rule_ids() -> Vec<&'static str> {
 
 /// A parsed `// simlint::allow(rule, …) — reason` directive.
 #[derive(Debug, Clone)]
-struct Allow {
+pub(crate) struct Allow {
     rules: Vec<String>,
     has_reason: bool,
 }
@@ -358,7 +364,7 @@ struct Allow {
 /// Parse an allow directive out of a raw source line, if present. The
 /// directive only counts inside a `//` comment, so the marker string can
 /// appear in code or literals without being treated as a suppression.
-fn parse_allow(raw_line: &str) -> Option<Allow> {
+pub(crate) fn parse_allow(raw_line: &str) -> Option<Allow> {
     let comment = &raw_line[raw_line.find("//")?..];
     let pos = comment.find("simlint::allow(")?;
     let rest = &comment[pos + "simlint::allow(".len()..];
@@ -378,7 +384,7 @@ fn parse_allow(raw_line: &str) -> Option<Allow> {
     })
 }
 
-fn allow_covers(allow: &Allow, rule_id: &str) -> bool {
+pub(crate) fn allow_covers(allow: &Allow, rule_id: &str) -> bool {
     allow.has_reason && allow.rules.iter().any(|r| r == rule_id)
 }
 
@@ -386,36 +392,58 @@ fn allow_covers(allow: &Allow, rule_id: &str) -> bool {
 // Source scanning
 // ---------------------------------------------------------------------------
 
+/// Multi-line lexical state carried between [`strip_line`] calls.
+#[derive(Default)]
+struct StripState {
+    in_block_comment: bool,
+    /// Inside a `"` string literal that did not close on its line.
+    in_string: bool,
+}
+
 /// Strip `//` comments, `/* */` comments, and string/char literals from one
-/// line. `in_block_comment` carries multi-line `/* */` state between lines.
+/// line. `state` carries multi-line `/* */` and `"…"` state between lines.
 /// Stripped regions are replaced with spaces so token boundaries survive.
-fn strip_line(raw: &str, in_block_comment: &mut bool) -> String {
+fn strip_line(raw: &str, state: &mut StripState) -> String {
     let bytes = raw.as_bytes();
     let mut out = vec![b' '; bytes.len()];
     let mut i = 0;
     while i < bytes.len() {
-        if *in_block_comment {
+        if state.in_block_comment {
             if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                *in_block_comment = false;
+                state.in_block_comment = false;
                 i += 2;
             } else {
                 i += 1;
             }
             continue;
         }
+        if state.in_string {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    state.in_string = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
         match bytes[i] {
             b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // rest is comment
             b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                *in_block_comment = true;
+                state.in_block_comment = true;
                 i += 2;
             }
             b'"' => {
                 // String literal (raw strings handled loosely: good enough).
+                // One that does not close on this line continues on the next.
                 i += 1;
+                state.in_string = true;
                 while i < bytes.len() {
                     match bytes[i] {
                         b'\\' => i += 2,
                         b'"' => {
+                            state.in_string = false;
                             i += 1;
                             break;
                         }
@@ -459,12 +487,12 @@ pub fn lint_source(path: &str, source: &str, ctx: FileContext) -> Vec<Finding> {
     let allows: Vec<Option<Allow>> = lines.iter().map(|l| parse_allow(l)).collect();
 
     // Pass 2: scan, skipping #[cfg(test)] items.
-    let mut in_block_comment = false;
+    let mut strip_state = StripState::default();
     let mut cfg_test_pending = false; // saw #[cfg(test)], item not yet started
                                       // Inside a #[cfg(test)] item: (brace depth, whether `{` was seen yet).
     let mut cfg_skip: Option<(usize, bool)> = None;
     for (idx, raw) in lines.iter().enumerate() {
-        let stripped = strip_line(raw, &mut in_block_comment);
+        let stripped = strip_line(raw, &mut strip_state);
         let code = stripped.trim();
 
         if let Some((mut depth, mut opened)) = cfg_skip {
@@ -607,7 +635,7 @@ pub fn classify(rel_path: &str) -> FileContext {
     }
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();

@@ -1,0 +1,29 @@
+//! digest-taint fixture: one covered mutator, one stray mutator.
+
+// simlint::sim_state — replay-visible fixture state
+pub struct Pool {
+    pub used: u64,
+}
+
+impl Pool {
+    /// Reachable from the digest root below: clean.
+    pub fn alloc(&mut self, n: u64) {
+        self.used += n;
+    }
+
+    /// Mutates sim state but no digest root reaches it: finding.
+    pub fn leak(&mut self, n: u64) {
+        self.used += n;
+    }
+
+    /// Not a mutator (shared receiver): never flagged.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+// simlint::digest_root — fixture replay fold
+pub fn fold_digest(pool: &mut Pool) -> u64 {
+    pool.alloc(1);
+    pool.used()
+}

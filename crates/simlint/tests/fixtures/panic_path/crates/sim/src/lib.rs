@@ -1,0 +1,31 @@
+//! panic-path fixture: reachable and unreachable panic sites.
+
+// simlint::panic_root — fixture fault handler: must never panic
+pub fn on_fault(slot: Option<u32>, table: &[u32]) -> u32 {
+    lookup(slot) + pick(table)
+}
+
+/// Reachable from the root: the unwrap is an error-level finding.
+fn lookup(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+/// Reachable from the root: indexing is reported at warn level only.
+fn pick(table: &[u32]) -> u32 {
+    table[0]
+}
+
+/// Same unwrap, but nothing reaches this function: clean.
+pub fn offline_lookup(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+// simlint::retry_entry — fixture closure executor
+pub fn run_retry<F: FnMut() -> Option<u32>>(mut op: F) -> Option<u32> {
+    op()
+}
+
+/// Calls the retry executor, so its own expect fires mid-retry: finding.
+pub fn drive() -> u32 {
+    run_retry(|| Some(7)).expect("retry gave up")
+}

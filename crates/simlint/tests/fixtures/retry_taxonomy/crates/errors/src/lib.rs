@@ -1,0 +1,30 @@
+//! retry-taxonomy fixture, error-type side: classifiers.
+
+pub enum StoreError {
+    Timeout,
+    // simlint::terminal_error — data loss is final
+    Lost,
+}
+
+impl StoreError {
+    /// Classifies the terminal variant as retriable: finding (a).
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, StoreError::Timeout | StoreError::Lost)
+    }
+}
+
+pub enum NetError {
+    Slow,
+    // simlint::terminal_error — corruption is final
+    Corrupt,
+}
+
+impl NetError {
+    /// Names the terminal variant but answers `false`: clean.
+    pub fn is_retriable(&self) -> bool {
+        match self {
+            NetError::Corrupt => false,
+            _ => true,
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! retry-taxonomy fixture, call-site side: remaps and laundering.
+
+use errors::StoreError;
+
+pub enum Class {
+    Retriable,
+    Fatal,
+}
+
+pub enum IoError {
+    Busy,
+}
+
+/// Produces the terminal variant: a producer for the carrier analysis,
+/// not a finding by itself.
+pub fn read_block(ok: bool) -> Result<u32, StoreError> {
+    if ok {
+        Ok(1)
+    } else {
+        Err(StoreError::Lost)
+    }
+}
+
+/// Remaps the terminal variant to the retriable classification: finding (b).
+pub fn reclass(e: StoreError) -> Class {
+    match e {
+        StoreError::Lost => Class::Retriable,
+        _ => Class::Fatal,
+    }
+}
+
+/// Launders whatever `read_block` returned into a retriable class while a
+/// terminal error can flow through it: finding (c).
+pub fn fetch(ok: bool) -> Result<u32, Class> {
+    read_block(ok).map_err(|_| Class::Retriable)
+}
+
+/// The same `map_err` shape, but only non-terminal errors can reach it:
+/// clean.
+pub fn fetch_local() -> Result<u32, Class> {
+    busy().map_err(|_| Class::Retriable)
+}
+
+fn busy() -> Result<u32, IoError> {
+    Err(IoError::Busy)
+}

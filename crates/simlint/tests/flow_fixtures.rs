@@ -1,0 +1,230 @@
+//! Fixture-workspace tests for the stage-2 flow pass.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature workspace layout
+//! (`crates/<name>/src/lib.rs`) that is analyzed — never compiled — so
+//! every analysis can demonstrate at least one true positive and one
+//! clean negative on stable input.  The CLI tests drive the built
+//! binary end-to-end to cover `--deny`, baselines and the index cache.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use simlint::flow;
+use simlint::{Finding, Severity};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    flow::analyze_tree(&fixture_root(name)).expect("fixture tree readable")
+}
+
+// ---------------------------------------------------------------------------
+// digest-taint
+// ---------------------------------------------------------------------------
+
+#[test]
+fn digest_taint_true_positive_and_clean_negative() {
+    let findings = analyze_fixture("digest_taint");
+    let taint: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "digest-taint")
+        .collect();
+    assert_eq!(taint.len(), 1, "{findings:#?}");
+    assert!(taint[0].message.contains("Pool::leak"), "{:?}", taint[0]);
+    assert_eq!(taint[0].severity, Severity::Error);
+    // The covered mutator and the shared-receiver accessor stay silent.
+    assert!(findings.iter().all(|f| !f.message.contains("Pool::alloc")));
+    assert!(findings.iter().all(|f| !f.message.contains("Pool::used")));
+}
+
+// ---------------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_path_true_positives_and_clean_negative() {
+    let findings = analyze_fixture("panic_path");
+    let panics: Vec<&Finding> = findings.iter().filter(|f| f.rule == "panic-path").collect();
+
+    // Reachable unwrap: error.
+    let lookup = panics
+        .iter()
+        .find(|f| f.message.contains("`lookup`"))
+        .expect("unwrap in lookup flagged");
+    assert_eq!(lookup.severity, Severity::Error);
+
+    // Reachable slice indexing: warn only.
+    let pick = panics
+        .iter()
+        .find(|f| f.message.contains("`pick`"))
+        .expect("indexing in pick flagged");
+    assert_eq!(pick.severity, Severity::Warn);
+
+    // The retry-entry caller's own expect: error.
+    let drive = panics
+        .iter()
+        .find(|f| f.message.contains("`drive`"))
+        .expect("expect in drive flagged");
+    assert_eq!(drive.severity, Severity::Error);
+
+    // Unreachable unwrap: clean.
+    assert!(
+        panics.iter().all(|f| !f.message.contains("offline_lookup")),
+        "{panics:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// retry-taxonomy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_taxonomy_true_positives_and_clean_negatives() {
+    let findings = analyze_fixture("retry_taxonomy");
+    let tax: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "retry-taxonomy")
+        .collect();
+
+    // (a) terminal classified retriable via `matches!`.
+    assert!(
+        tax.iter()
+            .any(|f| f.message.contains("StoreError::Lost") && f.message.contains("is_retriable")),
+        "{tax:#?}"
+    );
+    // (b) match arm remapping the terminal variant.
+    assert!(
+        tax.iter()
+            .any(|f| f.message.contains("StoreError::Lost") && f.message.contains("remapped")),
+        "{tax:#?}"
+    );
+    // (c) `map_err` laundering in a carrier of the terminal error.
+    assert!(
+        tax.iter()
+            .any(|f| f.message.contains("map_err") && f.message.contains("`fetch`")),
+        "{tax:#?}"
+    );
+
+    // Clean negatives: the correct `=> false` classifier and the local
+    // `map_err` that no terminal error can reach.
+    assert!(
+        tax.iter().all(|f| !f.message.contains("NetError::Corrupt")),
+        "{tax:#?}"
+    );
+    assert!(
+        tax.iter().all(|f| !f.message.contains("fetch_local")),
+        "{tax:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// clean workspace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = analyze_fixture("clean");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ---------------------------------------------------------------------------
+// index cache round-trip on a fixture tree
+// ---------------------------------------------------------------------------
+
+#[test]
+fn index_round_trip_preserves_findings() {
+    let root = fixture_root("retry_taxonomy");
+    let sources = flow::read_sources(&root).expect("fixture sources");
+    let index = flow::build_index(&sources);
+    let restored = flow::index_from_json(&flow::index_to_json(&index)).expect("round trip");
+    assert_eq!(index, restored);
+    assert_eq!(
+        flow::analyze(&index, &sources),
+        flow::analyze(&restored, &sources)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end: --deny, --baseline, --save-index/--load-index
+// ---------------------------------------------------------------------------
+
+fn simlint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("simlint-fixture-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn cli_deny_fails_on_fixture_errors_and_baseline_accepts_them() {
+    let root = fixture_root("digest_taint");
+
+    // Unbaselined error-level findings fail --deny.
+    let status = simlint_cmd()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run simlint");
+    assert!(!status.status.success());
+
+    // Recording them as the baseline makes the same tree pass.
+    let baseline = scratch("baseline.json");
+    let status = simlint_cmd()
+        .args(["--root"])
+        .arg(&root)
+        .args(["--write-baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("write baseline");
+    assert!(status.status.success());
+    let status = simlint_cmd()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .args(["--baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("run with baseline");
+    assert!(
+        status.status.success(),
+        "baselined errors must not fail --deny"
+    );
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn cli_clean_fixture_passes_deny() {
+    let status = simlint_cmd()
+        .args(["--deny", "--root"])
+        .arg(fixture_root("clean"))
+        .output()
+        .expect("run simlint");
+    assert!(status.status.success());
+}
+
+#[test]
+fn cli_index_cache_is_reused_and_gives_identical_output() {
+    let root = fixture_root("panic_path");
+    let index = scratch("index.json");
+
+    let first = simlint_cmd()
+        .args(["--json", "--root"])
+        .arg(&root)
+        .args(["--save-index"])
+        .arg(&index)
+        .output()
+        .expect("save index");
+    let second = simlint_cmd()
+        .args(["--json", "--root"])
+        .arg(&root)
+        .args(["--load-index"])
+        .arg(&index)
+        .output()
+        .expect("load index");
+    assert_eq!(first.stdout, second.stdout);
+    let _ = std::fs::remove_file(&index);
+}
