@@ -4,7 +4,7 @@
 //! repro [targets...] [--out DIR]
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
-//!          lustre-ior ceph-ior all quick
+//!          lustre-ior ceph-ior faulted trace all quick
 //! ```
 //!
 //! Each figure is printed as an aligned table and saved as CSV under the
@@ -29,6 +29,38 @@ fn emit(figs: Vec<Figure>, out: &Path, all: &mut Vec<Figure>) {
             eprintln!("warning: could not save {}.csv: {e}", f.id);
         }
         all.push(f);
+    }
+}
+
+/// Artifact-safe file stem for a scenario display name.
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Causal traces: run every scenario once with span recording on, print
+/// the top critical-path contributors and save the Chrome trace JSON +
+/// critical-path report per scenario.
+fn run_traces(cal: &Calibration, out: &Path) {
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 24;
+    for scen in Scenario::ALL {
+        let t = benchkit::trace_scenario(&spec, scen, cal);
+        println!(
+            "--- {} ({} spans, span digest {:#018x})",
+            scen.name(),
+            t.exports.span_count,
+            t.exports.span_digest
+        );
+        print!("{}", t.exports.critical_path);
+        let stem = format!("trace-{}", slug(scen.name()));
+        if let Err(e) = report::save_trace(&t.exports, out, &stem) {
+            eprintln!("warning: could not save {stem}: {e}");
+        } else {
+            println!("saved {}/{stem}.trace.json", out.display());
+        }
     }
 }
 
@@ -60,6 +92,17 @@ fn run_faulted_family(cal: &Calibration, out: &Path) {
             if ok { "ok" } else { "DIVERGED" },
         );
         reports.push(rep.runs[0].clone());
+        // a third, traced run: digest must match the untraced pair, and
+        // the trace itself ships as a CI artifact
+        let (traced, exports) = faulted::run_faulted_traced(&spec, scen, cal);
+        if traced.digest != rep.runs[0].digest {
+            eprintln!("{}: tracing perturbed the replay digest", scen.name());
+            std::process::exit(1);
+        }
+        let stem = format!("faulted-{}", slug(scen.name()));
+        if let Err(e) = report::save_trace(&exports, out, &stem) {
+            eprintln!("warning: could not save {stem}: {e}");
+        }
     }
     let json = faulted::render_json(&reports);
     let path = out.join("faulted.json");
@@ -130,7 +173,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|ablations|mdtest|analyze|all|quick]* [--out DIR]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|ablations|mdtest|analyze|all|quick]* [--out DIR]"
                 );
                 return;
             }
@@ -184,6 +227,7 @@ fn main() {
             "lustre-ior" => emit(vec![figures::ior_lustre_table(&cal)], &out, &mut collected),
             "ceph-ior" => emit(vec![figures::ior_ceph_table(&cal)], &out, &mut collected),
             "faulted" => run_faulted_family(&cal, &out),
+            "trace" => run_traces(&cal, &out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
             "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),
             "analyze" => analyze(&cal),

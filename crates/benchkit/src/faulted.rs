@@ -370,7 +370,33 @@ fn fault_plan(scen: FaultedScenario, t0: SimTime, topo: &Topology) -> FaultPlan 
 /// plan at the phase boundary, faulted read phase, collect the report.
 // simlint::digest_root — faulted-run double-replay digest entry
 pub fn run_faulted(spec: &RunSpec, scen: FaultedScenario, cal: &Calibration) -> FaultedReport {
+    run_faulted_inner(spec, scen, cal, false).0
+}
+
+/// Like [`run_faulted`], but with span recording on: the returned
+/// exports carry the causal trace of the whole run, including the retry
+/// attempts and rebuild data movement nested under the ops (and marker
+/// chain) that caused them.  The report itself — digest included — is
+/// identical to the untraced run's.
+pub fn run_faulted_traced(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+) -> (FaultedReport, crate::tracing::SpanExports) {
+    let (report, exports) = run_faulted_inner(spec, scen, cal, true);
+    (report, exports.expect("traced run exports spans"))
+}
+
+fn run_faulted_inner(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+    traced: bool,
+) -> (FaultedReport, Option<crate::tracing::SpanExports>) {
     let mut sched = make_sched(spec, false);
+    if traced {
+        sched.enable_spans();
+    }
     let cspec = ClusterSpec::new(spec.servers, spec.client_nodes).with_cal(cal.clone());
     let topo = cspec.build(&mut sched);
     let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, DataMode::Sized);
@@ -430,15 +456,19 @@ pub fn run_faulted(spec: &RunSpec, scen: FaultedScenario, cal: &Calibration) -> 
         (Some(c), Some(r)) => Some(r.secs_since(c)),
         _ => None,
     };
-    FaultedReport {
-        scenario: scen,
-        write,
-        read,
-        retry,
-        rebuild: out.rebuild,
-        redundancy_restored_secs,
-        digest: sched.digest(),
-    }
+    let exports = traced.then(|| crate::tracing::SpanExports::collect(&sched));
+    (
+        FaultedReport {
+            scenario: scen,
+            write,
+            read,
+            retry,
+            rebuild: out.rebuild,
+            redundancy_restored_secs,
+            digest: sched.digest(),
+        },
+        exports,
+    )
 }
 
 /// Render faulted reports as a JSON array (hand-rolled: stable field
@@ -548,6 +578,38 @@ mod tests {
         assert_eq!(a.digest, b.digest, "replays agree");
         let c = run_faulted(&spec, FaultedScenario::IorHardEc2p1, &cal);
         assert_ne!(a.digest, c.digest, "different plans diverge");
+    }
+
+    #[test]
+    fn rp2_trace_shows_retries_and_rebuild_under_ops() {
+        let cal = Calibration::default();
+        let (r, exports) = run_faulted_traced(&small_spec(), FaultedScenario::IorEasyRp2, &cal);
+        // tracing never perturbs the replay digest
+        let plain = run_faulted(&small_spec(), FaultedScenario::IorEasyRp2, &cal);
+        assert_eq!(r.digest, plain.digest, "spans changed the schedule");
+        // the rebuild data movement and the client retries both appear
+        // as spans on the causal timeline
+        let layers = exports.layers();
+        assert!(layers.contains(&"rebuild"), "no rebuild span: {layers:?}");
+        assert!(
+            exports.chrome_json.contains("\"cat\":\"retry\""),
+            "no retry span in the trace"
+        );
+        // retried work is parented under the op that caused it: every
+        // retry event names a non-root parent span
+        let orphan = exports
+            .chrome_json
+            .split("},{")
+            .filter(|ev| ev.contains("\"cat\":\"retry\""))
+            .any(|ev| ev.contains("\"parent\":0,"));
+        assert!(!orphan, "retry span without an enclosing op");
+        // attempt ordinals above zero mark the re-driven work
+        assert!(
+            exports.chrome_json.contains("\"attempt\":1"),
+            "no attempt>0 span recorded"
+        );
+        // fired faults land as instant marks
+        assert!(exports.chrome_json.contains("\"cat\":\"fault\""));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   fresh state, asserting identical digests and bandwidths;
 //! * [`figures`] — the per-figure sweeps (Fig. 1–9 plus the §III-A
 //!   hardware table and the §III-E/F IOR text results);
-//! * [`report`] — rendering to aligned text tables and CSV.
+//! * [`report`] — rendering to aligned text tables and CSV;
+//! * [`tracing`] — span-traced runs: Chrome `trace_event` JSON
+//!   (Perfetto-loadable) and critical-path attribution exports.
 
 pub mod determinism;
 pub mod driver;
@@ -22,14 +24,15 @@ pub mod figures;
 pub mod report;
 pub mod scenarios;
 pub mod stats;
+pub mod tracing;
 pub mod verdict;
 pub mod workloads;
 
 pub use determinism::{replay_all, replay_scenario, ScenarioReplay};
 pub use driver::{run_phase, PhaseResult};
 pub use faulted::{
-    default_faulted_spec, replay_faulted, run_faulted, FaultedReplay, FaultedReport,
-    FaultedScenario,
+    default_faulted_spec, replay_faulted, run_faulted, run_faulted_traced, FaultedReplay,
+    FaultedReport, FaultedScenario,
 };
 pub use figures::{Figure, Point, Series};
 pub use scenarios::{
@@ -37,4 +40,5 @@ pub use scenarios::{
     ResourceUse, RunResult, RunSpec, Scenario,
 };
 pub use stats::Stats;
+pub use tracing::{trace_scenario, SpanExports, TracedRun};
 pub use verdict::{evaluate, Verdict};

@@ -67,6 +67,23 @@ pub fn save_csv(fig: &Figure, dir: &Path) -> std::io::Result<()> {
     fs::write(dir.join(format!("{}.csv", fig.id)), render_csv(fig))
 }
 
+/// Write a traced run's artifacts under `dir`: the Chrome trace as
+/// `<stem>.trace.json` (load in Perfetto or `chrome://tracing`) and the
+/// critical-path report as `<stem>.critical-path.txt`.  Both files are
+/// byte-identical across replays of the same run.
+pub fn save_trace(
+    exports: &crate::tracing::SpanExports,
+    dir: &Path,
+    stem: &str,
+) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{stem}.trace.json")), &exports.chrome_json)?;
+    fs::write(
+        dir.join(format!("{stem}.critical-path.txt")),
+        &exports.critical_path,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -275,7 +275,7 @@ pub struct ResourceUse {
     pub read_frac: f64,
 }
 
-fn run_scenario_on(
+pub(crate) fn run_scenario_on(
     sched: &mut Scheduler,
     spec: &RunSpec,
     scen: Scenario,

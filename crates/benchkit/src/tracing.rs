@@ -1,0 +1,139 @@
+//! Causal-trace harness: run a scenario with span recording enabled and
+//! collect the exported artifacts — a Chrome `trace_event` JSON
+//! (loadable in Perfetto or `chrome://tracing`), the text critical-path
+//! report with per-layer latency quantiles, and the raw critical-path
+//! attribution rows.
+//!
+//! Tracing is opt-in per run: this module (and the faulted family's
+//! [`crate::faulted::run_faulted_traced`]) are the only places that call
+//! [`simkit::Scheduler::enable_spans`].  The span determinism suite
+//! asserts the two contract halves: enabling tracing never changes the
+//! replay digest, and two traced runs export byte-identical artifacts.
+
+use crate::scenarios::{make_sched, run_scenario_on, RunResult, RunSpec, Scenario};
+use cluster::Calibration;
+use simkit::{chrome_trace_json, critical_path, critical_path_report, PathContribution, Scheduler};
+
+/// Exported artifacts of one traced run.
+#[derive(Debug, Clone)]
+pub struct SpanExports {
+    /// Order-sensitive digest of the span open/close/mark stream (see
+    /// [`simkit::SpanLog::digest`]); identical across replays.
+    pub span_digest: u64,
+    /// Number of spans recorded.
+    pub span_count: usize,
+    /// Chrome `trace_event` JSON.
+    pub chrome_json: String,
+    /// Text critical-path + latency report.
+    pub critical_path: String,
+    /// Critical-path attribution rows, self-time descending.
+    pub path: Vec<PathContribution>,
+}
+
+impl SpanExports {
+    /// Collect every export from a scheduler that ran with spans on.
+    pub fn collect(sched: &Scheduler) -> SpanExports {
+        let log = sched.spans();
+        SpanExports {
+            span_digest: sched.span_digest(),
+            span_count: log.len(),
+            chrome_json: chrome_trace_json(log),
+            critical_path: critical_path_report(log),
+            path: critical_path(log),
+        }
+    }
+
+    /// Top `n` critical-path contributors of `layer`, self-time
+    /// descending (the rows are already globally sorted).
+    pub fn top_of_layer(&self, layer: &str, n: usize) -> Vec<&PathContribution> {
+        self.path
+            .iter()
+            .filter(|c| c.layer == layer)
+            .take(n)
+            .collect()
+    }
+
+    /// Every layer that appears on the critical path, in first-appearance
+    /// (self-time descending) order.
+    pub fn layers(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for c in &self.path {
+            if !seen.contains(&c.layer) {
+                seen.push(c.layer);
+            }
+        }
+        seen
+    }
+}
+
+/// One traced scenario run.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Which scenario ran.
+    pub scenario: Scenario,
+    /// The usual two-phase measurement (identical to the untraced run).
+    pub result: RunResult,
+    /// Replay digest — must equal [`crate::run_scenario_digest`]'s value
+    /// for the same arguments: tracing never perturbs the schedule.
+    pub replay_digest: u64,
+    /// The span-derived artifacts.
+    pub exports: SpanExports,
+}
+
+/// Run `scen` once with span recording on and collect every export.
+pub fn trace_scenario(spec: &RunSpec, scen: Scenario, cal: &Calibration) -> TracedRun {
+    let mut sched = make_sched(spec, false);
+    sched.enable_spans();
+    let (result, _) = run_scenario_on(&mut sched, spec, scen, cal);
+    let exports = SpanExports::collect(&sched);
+    TracedRun {
+        scenario: scen,
+        result,
+        replay_digest: sched.digest(),
+        exports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::run_scenario_digest;
+
+    fn small_spec() -> RunSpec {
+        let mut spec = RunSpec::new(1, 1, 2);
+        spec.ops_per_proc = 8;
+        spec
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_replay_digest() {
+        let spec = small_spec();
+        let cal = Calibration::default();
+        let (_, untraced) = run_scenario_digest(&spec, Scenario::IorDfuseIl, &cal);
+        let traced = trace_scenario(&spec, Scenario::IorDfuseIl, &cal);
+        assert_eq!(traced.replay_digest, untraced, "spans change the schedule");
+        assert!(traced.exports.span_count > 0, "no spans recorded");
+    }
+
+    #[test]
+    fn traced_replay_is_byte_identical() {
+        let spec = small_spec();
+        let cal = Calibration::default();
+        let a = trace_scenario(&spec, Scenario::IorDaos, &cal);
+        let b = trace_scenario(&spec, Scenario::IorDaos, &cal);
+        assert_eq!(a.exports.span_digest, b.exports.span_digest);
+        assert_eq!(a.exports.chrome_json, b.exports.chrome_json);
+        assert_eq!(a.exports.critical_path, b.exports.critical_path);
+    }
+
+    #[test]
+    fn dfuse_stack_layers_on_path() {
+        let t = trace_scenario(&small_spec(), Scenario::IorDfuse, &Calibration::default());
+        let layers = t.exports.layers();
+        for want in ["ior", "dfuse", "libdfs", "libdaos", "target"] {
+            assert!(layers.contains(&want), "missing {want} in {layers:?}");
+        }
+        let top = t.exports.top_of_layer("ior", 3);
+        assert!(!top.is_empty() && top.len() <= 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Span-trace determinism: the observability acceptance gate.
+//!
+//! For every paper scenario, a traced run must (a) leave the replay
+//! digest exactly where the untraced run puts it — tracing is pure
+//! observation — and (b) replay byte-identically: same span digest, same
+//! Chrome `trace_event` JSON, same critical-path report.  On top, each
+//! interface stack must actually show up in its trace: parented spans
+//! from every layer the scenario's call path crosses.
+
+use benchkit::scenarios::{run_scenario_digest, RunSpec, Scenario};
+use benchkit::tracing::trace_scenario;
+use cluster::Calibration;
+
+fn small_spec() -> RunSpec {
+    let mut spec = RunSpec::new(1, 1, 2);
+    spec.ops_per_proc = 8;
+    spec
+}
+
+/// Layers whose spans the scenario's call path must produce.
+fn expected_layers(scen: Scenario) -> &'static [&'static str] {
+    match scen {
+        Scenario::IorDaos => &["ior", "libdaos", "target"],
+        Scenario::IorDfs => &["ior", "libdfs", "libdaos", "target"],
+        Scenario::IorDfuse => &["ior", "dfuse", "libdfs", "libdaos", "target"],
+        Scenario::IorDfuseIl => &["ior", "il", "libdfs", "libdaos", "target"],
+        Scenario::IorHdf5DfuseIl => &["ior", "hdf5", "il", "libdfs", "libdaos"],
+        Scenario::IorHdf5Daos => &["ior", "hdf5", "libdaos", "target"],
+        Scenario::FieldIo => &["fieldio", "libdaos", "target"],
+        Scenario::FdbDaos => &["fdb", "libdaos", "target"],
+        Scenario::IorLustre => &["ior", "lustre"],
+        Scenario::FdbLustre => &["fdb", "lustre"],
+        Scenario::IorCeph => &["ior", "rados"],
+        Scenario::FdbCeph => &["fdb", "rados"],
+    }
+}
+
+#[test]
+fn every_scenario_traces_deterministically() {
+    let spec = small_spec();
+    let cal = Calibration::default();
+    for scen in Scenario::ALL {
+        let (_, untraced_digest) = run_scenario_digest(&spec, scen, &cal);
+        let a = trace_scenario(&spec, scen, &cal);
+        let b = trace_scenario(&spec, scen, &cal);
+        assert_eq!(
+            a.replay_digest,
+            untraced_digest,
+            "{}: tracing perturbed the replay digest",
+            scen.name()
+        );
+        assert_eq!(
+            a.exports.span_digest,
+            b.exports.span_digest,
+            "{}: span digest drifted across replays",
+            scen.name()
+        );
+        assert_eq!(
+            a.exports.chrome_json,
+            b.exports.chrome_json,
+            "{}: Chrome export not byte-identical",
+            scen.name()
+        );
+        assert_eq!(
+            a.exports.critical_path,
+            b.exports.critical_path,
+            "{}: critical-path report not byte-identical",
+            scen.name()
+        );
+        assert!(a.exports.span_count > 0, "{}: empty trace", scen.name());
+    }
+}
+
+#[test]
+fn every_interface_stack_emits_parented_spans() {
+    let spec = small_spec();
+    let cal = Calibration::default();
+    for scen in Scenario::ALL {
+        let t = trace_scenario(&spec, scen, &cal);
+        let layers = t.exports.layers();
+        for want in expected_layers(scen) {
+            assert!(
+                layers.contains(want),
+                "{}: no {want} span on the critical path (saw {layers:?})",
+                scen.name()
+            );
+        }
+        // parentage: some span nests under another (the JSON records the
+        // parent id in its args; 0 marks a root)
+        let nested = t
+            .exports
+            .chrome_json
+            .split("},{")
+            .any(|ev| ev.contains("\"parent\":") && !ev.contains("\"parent\":0,"));
+        assert!(nested, "{}: all spans are roots", scen.name());
+    }
+}

@@ -316,10 +316,11 @@ impl CephSystem {
         data: Payload,
     ) -> Result<Step, RadosError> {
         // Take the executor out so the retried closure can borrow `self`.
+        let bytes = data.len();
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run_step(|| self.write_inner(client, name, offset, data.clone()));
         self.retry = retry;
-        r
+        Ok(Step::span("rados", "write", bytes, r?))
     }
 
     fn write_inner(
@@ -406,7 +407,8 @@ impl CephSystem {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.read_inner(client, name, offset, len));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        Ok((data, Step::span("rados", "read", len, s)))
     }
 
     fn read_inner(
@@ -456,11 +458,16 @@ impl CephSystem {
     pub fn stat(&mut self, _client: usize, name: &str) -> Result<(u64, Step), RadosError> {
         let obj = self.objects.get(name).ok_or(RadosError::NoSuchObject)?;
         let primary = self.pg_map[obj.pg as usize][0];
-        let step = Step::seq([
-            Step::delay(self.op_ns),
-            Step::delay(self.rtt_ns),
-            Step::transfer(1.0, [self.osd_svc[primary as usize]]),
-        ]);
+        let step = Step::span(
+            "rados",
+            "stat",
+            0,
+            Step::seq([
+                Step::delay(self.op_ns),
+                Step::delay(self.rtt_ns),
+                Step::transfer(1.0, [self.osd_svc[primary as usize]]),
+            ]),
+        );
         Ok((obj.size, step))
     }
 
@@ -472,11 +479,16 @@ impl CephSystem {
             .iter()
             .map(|&o| self.osd_write_step(client, o, 64.0))
             .collect::<Vec<_>>();
-        Ok(Step::seq([
-            Step::delay(self.op_ns),
-            Step::delay(self.rtt_ns),
-            Step::par(ops),
-        ]))
+        Ok(Step::span(
+            "rados",
+            "remove",
+            0,
+            Step::seq([
+                Step::delay(self.op_ns),
+                Step::delay(self.rtt_ns),
+                Step::par(ops),
+            ]),
+        ))
     }
 
     /// Number of stored objects.

@@ -220,8 +220,18 @@ impl RetryExec {
             match op() {
                 Ok((value, step)) => {
                     self.note_success();
+                    // Retried work is wrapped in a retry span carrying the
+                    // attempt ordinal, so traces show the timeout/backoff
+                    // penalty and the re-issued op under the originating
+                    // span (retry storms become visible in the tree).
                     let step = if penalty_ns > 0 {
-                        Step::delay(penalty_ns).then(step)
+                        Step::span_attempt(
+                            "retry",
+                            "backoff",
+                            0,
+                            attempt,
+                            Step::delay(penalty_ns).then(step),
+                        )
                     } else {
                         step
                     };
@@ -306,6 +316,7 @@ mod tests {
             Step::Noop | Step::Transfer { .. } => 0,
             Step::Delay(ns) => *ns,
             Step::Seq(steps) | Step::Par(steps) => steps.iter().map(total_delay_ns).sum(),
+            Step::Span { inner, .. } => total_delay_ns(inner),
         }
     }
 

@@ -258,20 +258,25 @@ impl DaosSystem {
             self.cal.small_write_lat_ns
         };
         let lat = lat + self.extra_delay.get(&t.server).copied().unwrap_or(0);
-        Step::seq([
-            self.tgt_request_sized(t, bytes),
-            Step::transfer(
-                bytes,
-                [
-                    cli.nic_tx,
-                    srv.nic_rx,
-                    res.engine_xfer,
-                    srv.nvme_w[dev],
-                    srv.nvme_w_pool,
-                ],
-            ),
-            Step::delay(lat),
-        ])
+        Step::span(
+            "target",
+            "write",
+            bytes as u64,
+            Step::seq([
+                self.tgt_request_sized(t, bytes),
+                Step::transfer(
+                    bytes,
+                    [
+                        cli.nic_tx,
+                        srv.nic_rx,
+                        res.engine_xfer,
+                        srv.nvme_w[dev],
+                        srv.nvme_w_pool,
+                    ],
+                ),
+                Step::delay(lat),
+            ]),
+        )
     }
 
     /// Request-service cost at a target.  Small operations contend on
@@ -299,20 +304,25 @@ impl DaosSystem {
         let cli = &self.topo.clients[client];
         let dev = self.dev_for(t);
         let extra = self.extra_delay.get(&t.server).copied().unwrap_or(0);
-        Step::seq([
-            self.tgt_request_sized(t, bytes),
-            Step::delay(self.cal.nvme_read_lat_ns + extra),
-            Step::transfer(
-                bytes,
-                [
-                    srv.nvme_r[dev],
-                    srv.nvme_r_pool,
-                    res.engine_xfer,
-                    srv.nic_tx,
-                    cli.nic_rx,
-                ],
-            ),
-        ])
+        Step::span(
+            "target",
+            "read",
+            bytes as u64,
+            Step::seq([
+                self.tgt_request_sized(t, bytes),
+                Step::delay(self.cal.nvme_read_lat_ns + extra),
+                Step::transfer(
+                    bytes,
+                    [
+                        srv.nvme_r[dev],
+                        srv.nvme_r_pool,
+                        res.engine_xfer,
+                        srv.nic_tx,
+                        cli.nic_rx,
+                    ],
+                ),
+            ]),
+        )
     }
 
     /// `n` operations against the pool metadata replica group.
@@ -329,11 +339,16 @@ impl DaosSystem {
         let id = ContainerId(self.containers.len() as u32);
         self.containers.push(Some(Container::new(id, props)));
         let collective = self.cal.cont_collective_ns_per_server * self.pool.server_count() as u64;
-        let step = Step::seq([
-            self.client_overhead(),
-            self.pool_md_op(1.0),
-            Step::delay(collective),
-        ]);
+        let step = Step::span(
+            "libdaos",
+            "cont_create",
+            0,
+            Step::seq([
+                self.client_overhead(),
+                self.pool_md_op(1.0),
+                Step::delay(collective),
+            ]),
+        );
         (id, step)
     }
 
@@ -529,11 +544,12 @@ impl DaosSystem {
             .iter()
             .map(|&t| self.write_to_target(client, t, bytes.max(64.0)))
             .collect::<Vec<_>>();
-        Ok(Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            Step::par(writes),
-        ]))
+        Ok(Step::span(
+            "libdaos",
+            "kv_put",
+            bytes as u64,
+            Step::seq([self.client_overhead(), self.rtt(), Step::par(writes)]),
+        ))
     }
 
     /// Fetch a key's value.  Reads from the first up replica.
@@ -566,11 +582,16 @@ impl DaosSystem {
             .find(|&t| pool.is_up(t))
             .ok_or(DaosError::Unavailable)?;
         let bytes = (read.len() as f64).max(64.0);
-        let step = Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            self.read_from_target(client, t, bytes),
-        ]);
+        let step = Step::span(
+            "libdaos",
+            "kv_get",
+            read.len(),
+            Step::seq([
+                self.client_overhead(),
+                self.rtt(),
+                self.read_from_target(client, t, bytes),
+            ]),
+        );
         Ok((read, step))
     }
 
@@ -608,11 +629,12 @@ impl DaosSystem {
             .iter()
             .map(|&t| self.write_to_target(client, t, 64.0))
             .collect::<Vec<_>>();
-        Ok(Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            Step::par(ops),
-        ]))
+        Ok(Step::span(
+            "libdaos",
+            "kv_remove",
+            0,
+            Step::seq([self.client_overhead(), self.rtt(), Step::par(ops)]),
+        ))
     }
 
     /// List keys with a prefix.  One round trip per shard group plus the
@@ -639,7 +661,12 @@ impl DaosSystem {
             .filter_map(|g| g.iter().copied().find(|&t| pool.is_up(t)))
             .map(|t| self.read_from_target(client, t, per_group_bytes))
             .collect::<Vec<_>>();
-        let step = Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)]);
+        let step = Step::span(
+            "libdaos",
+            "kv_list",
+            key_bytes as u64,
+            Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)]),
+        );
         Ok((keys, step))
     }
 
@@ -747,12 +774,17 @@ impl DaosSystem {
         } else {
             Step::Noop
         };
-        Ok(Step::seq([
-            self.client_overhead(),
-            encode,
-            self.rtt(),
-            Step::par(group_steps),
-        ]))
+        Ok(Step::span(
+            "libdaos",
+            "array_write",
+            len,
+            Step::seq([
+                self.client_overhead(),
+                encode,
+                self.rtt(),
+                Step::par(group_steps),
+            ]),
+        ))
     }
 
     /// Read `len` bytes at `offset`.  Replicated chunks fail over to an
@@ -883,12 +915,17 @@ impl DaosSystem {
         } else {
             Step::Noop
         };
-        let step = Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            Step::par(group_steps),
-            decode,
-        ]);
+        let step = Step::span(
+            "libdaos",
+            "array_read",
+            len,
+            Step::seq([
+                self.client_overhead(),
+                self.rtt(),
+                Step::par(group_steps),
+                decode,
+            ]),
+        );
         Ok((data, step))
     }
 
@@ -914,11 +951,16 @@ impl DaosSystem {
             .flat_map(|g| g.iter().copied())
             .find(|&t| pool.is_up(t))
             .ok_or(DaosError::Unavailable)?;
-        let step = Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            self.read_from_target(client, t, 64.0),
-        ]);
+        let step = Step::span(
+            "libdaos",
+            "array_get_size",
+            0,
+            Step::seq([
+                self.client_overhead(),
+                self.rtt(),
+                self.read_from_target(client, t, 64.0),
+            ]),
+        );
         Ok((size, step))
     }
 
@@ -937,11 +979,16 @@ impl DaosSystem {
             ObjData::Array(a) => a.set_size(size),
             ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
         }
-        let step = Step::seq([
-            self.client_overhead(),
-            self.rtt(),
-            self.write_to_target(client, t, 64.0),
-        ]);
+        let step = Step::span(
+            "libdaos",
+            "array_set_size",
+            0,
+            Step::seq([
+                self.client_overhead(),
+                self.rtt(),
+                self.write_to_target(client, t, 64.0),
+            ]),
+        );
         Ok(step)
     }
 
@@ -1103,11 +1150,17 @@ impl DaosSystem {
         }
         // throttle the background traffic into waves so a mass rebuild
         // does not model as one infinitely-wide burst
-        let step = Step::seq(
-            moves
-                .chunks(32)
-                .map(|wave| Step::par(wave.to_vec()))
-                .collect::<Vec<_>>(),
+        let moved = report.bytes_moved as u64;
+        let step = Step::span(
+            "rebuild",
+            "scan",
+            moved,
+            Step::seq(
+                moves
+                    .chunks(32)
+                    .map(|wave| Step::par(wave.to_vec()))
+                    .collect::<Vec<_>>(),
+            ),
         );
         (report, step)
     }
@@ -1143,15 +1196,20 @@ impl DaosSystem {
                 )
             })
             .collect::<Vec<_>>();
-        Step::seq([
-            Step::delay(self.cal.net_rtt_ns),
-            Step::par(reads),
-            Step::transfer(
-                write_bytes,
-                [dres.engine_xfer, dsts.nvme_w[ddev], dsts.nvme_w_pool],
-            ),
-            Step::delay(self.cal.nvme_write_lat_ns),
-        ])
+        Step::span(
+            "rebuild",
+            "move",
+            write_bytes as u64,
+            Step::seq([
+                Step::delay(self.cal.net_rtt_ns),
+                Step::par(reads),
+                Step::transfer(
+                    write_bytes,
+                    [dres.engine_xfer, dsts.nvme_w[ddev], dsts.nvme_w_pool],
+                ),
+                Step::delay(self.cal.nvme_write_lat_ns),
+            ]),
+        )
     }
 
     // ---- space accounting -------------------------------------------------------

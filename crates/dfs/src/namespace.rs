@@ -472,7 +472,7 @@ impl PosixFs for Dfs {
             nlink: 1,
         });
         let s3 = self.insert_dirent(client, pid, name, id, kv, 1, "")?;
-        Ok(Step::seq([s1, s2, s3]))
+        Ok(Step::span("libdfs", "mkdir", 0, Step::seq([s1, s2, s3])))
     }
 
     fn open(&mut self, client: usize, path: &str, create: bool) -> Result<(FileId, Step), FsError> {
@@ -505,7 +505,7 @@ impl PosixFs for Dfs {
         let h = self.next_handle;
         self.next_handle += 1;
         self.handles.insert(h, id);
-        Ok((FileId(h), step))
+        Ok((FileId(h), Step::span("libdfs", "open", 0, step)))
     }
 
     fn write(
@@ -519,12 +519,18 @@ impl PosixFs for Dfs {
         let cid = self.cid;
         let retry = &mut self.retry;
         let daos = &self.daos;
+        let bytes = data.len();
         let s = retry.run_step(|| {
             daos.borrow_mut()
                 .array_write(client, cid, arr, offset, data.clone())
                 .map_err(map_daos)
         })?;
-        Ok(self.overhead().then(s))
+        Ok(Step::span(
+            "libdfs",
+            "write",
+            bytes,
+            self.overhead().then(s),
+        ))
     }
 
     fn read(
@@ -543,7 +549,8 @@ impl PosixFs for Dfs {
                 .array_read(client, cid, arr, offset, len)
                 .map_err(map_daos)
         })?;
-        Ok((data, self.overhead().then(s)))
+        let s = Step::span("libdfs", "read", len, self.overhead().then(s));
+        Ok((data, s))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
@@ -559,7 +566,7 @@ impl PosixFs for Dfs {
                 size,
                 is_dir: false,
             },
-            self.overhead().then(s),
+            Step::span("libdfs", "fstat", 0, self.overhead().then(s)),
         ))
     }
 
@@ -585,7 +592,7 @@ impl PosixFs for Dfs {
                         size,
                         is_dir: false,
                     },
-                    s1.then(s2),
+                    Step::span("libdfs", "stat", 0, s1.then(s2)),
                 ))
             }
             InodeKind::Symlink { .. } => Ok((
@@ -632,7 +639,7 @@ impl PosixFs for Dfs {
             Step::Noop
         };
         self.inodes[id.0 as usize].nlink = 0;
-        Ok(Step::seq([s1, s2, s3]))
+        Ok(Step::span("libdfs", "unlink", 0, Step::seq([s1, s2, s3])))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
@@ -649,7 +656,7 @@ impl PosixFs for Dfs {
             InodeKind::Dir { entries, .. } => entries.keys().cloned().collect(),
             _ => return Err(FsError::NotDir),
         };
-        Ok((names, s1.then(s2)))
+        Ok((names, Step::span("libdfs", "readdir", 0, s1.then(s2))))
     }
 }
 

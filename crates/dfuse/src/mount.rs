@@ -161,28 +161,34 @@ impl DfuseMount {
     }
 
     /// Kernel crossing + pump + copy around an inner operation moving
-    /// `bytes` (0 for pure metadata calls).
-    fn fuse_wrap(&self, node: usize, bytes: f64, inner: Step) -> Step {
+    /// `bytes` (0 for pure metadata calls), traced as a "dfuse" span.
+    fn fuse_wrap(&self, node: usize, bytes: f64, op: &'static str, inner: Step) -> Step {
         let nreq = (bytes / self.max_req).ceil().max(1.0);
         let copy = Step::transfer(bytes, [self.copy[node]]);
-        Step::seq([
-            Step::delay(self.crossing_ns),
-            Step::transfer(nreq, [self.pump[node]]),
-            copy,
-            inner,
-        ])
+        Step::span(
+            "dfuse",
+            op,
+            bytes as u64,
+            Step::seq([
+                Step::delay(self.crossing_ns),
+                Step::transfer(nreq, [self.pump[node]]),
+                copy,
+                inner,
+            ]),
+        )
     }
 
-    /// Interception-library path: client-side overhead only.
-    fn il_wrap(&self, inner: Step) -> Step {
-        Step::delay(self.il_op_ns).then(inner)
+    /// Interception-library path: client-side overhead only, traced as
+    /// an "il" span so the library shows up as its own layer.
+    fn il_wrap(&self, bytes: u64, op: &'static str, inner: Step) -> Step {
+        Step::span("il", op, bytes, Step::delay(self.il_op_ns).then(inner))
     }
 }
 
 impl PosixFs for DfuseMount {
     fn mkdir(&mut self, client: usize, path: &str) -> Result<Step, FsError> {
         let inner = self.dfs.mkdir(client, path)?;
-        Ok(self.fuse_wrap(client, 0.0, inner))
+        Ok(self.fuse_wrap(client, 0.0, "mkdir", inner))
     }
 
     fn open(&mut self, client: usize, path: &str, create: bool) -> Result<(FileId, Step), FsError> {
@@ -207,12 +213,12 @@ impl PosixFs for DfuseMount {
                 };
                 if let Some((pid, walk)) = parent {
                     let (f, open) = self.dfs.open_at(client, pid, name, create)?;
-                    return Ok((f, self.fuse_wrap(client, 0.0, walk.then(open))));
+                    return Ok((f, self.fuse_wrap(client, 0.0, "open", walk.then(open))));
                 }
             }
         }
         let (f, inner) = self.dfs.open(client, path, create)?;
-        Ok((f, self.fuse_wrap(client, 0.0, inner)))
+        Ok((f, self.fuse_wrap(client, 0.0, "open", inner)))
     }
 
     fn write(
@@ -232,9 +238,9 @@ impl PosixFs for DfuseMount {
             self.data_cache.insert((client, f.0));
         }
         if self.opts.interception {
-            Ok(self.il_wrap(inner))
+            Ok(self.il_wrap(bytes as u64, "write", inner))
         } else {
-            Ok(self.fuse_wrap(client, bytes, inner))
+            Ok(self.fuse_wrap(client, bytes, "write", inner))
         }
     }
 
@@ -264,18 +270,23 @@ impl PosixFs for DfuseMount {
         }
         let inner = if served_from_cache { Step::Noop } else { inner };
         let step = if self.opts.interception {
-            self.il_wrap(inner)
+            self.il_wrap(len, "read", inner)
         } else if prefetched {
             // pump + copy still happen; the crossing and the backend
             // read overlap with the application thanks to the prefetch
             let nreq = (len as f64 / self.max_req).ceil().max(1.0);
-            Step::seq([
-                Step::transfer(nreq, [self.pump[client]]),
-                Step::transfer(len as f64, [self.copy[client]]),
-                Step::par([inner, Step::Noop]),
-            ])
+            Step::span(
+                "dfuse",
+                "read",
+                len,
+                Step::seq([
+                    Step::transfer(nreq, [self.pump[client]]),
+                    Step::transfer(len as f64, [self.copy[client]]),
+                    Step::par([inner, Step::Noop]),
+                ]),
+            )
         } else {
-            self.fuse_wrap(client, len as f64, inner)
+            self.fuse_wrap(client, len as f64, "read", inner)
         };
         Ok((data, step))
     }
@@ -284,9 +295,9 @@ impl PosixFs for DfuseMount {
     fn fstat(&mut self, client: usize, f: FileId) -> Result<(FileStat, Step), FsError> {
         let (st, inner) = self.dfs.fstat(client, f)?;
         if self.opts.interception {
-            Ok((st, self.il_wrap(inner)))
+            Ok((st, self.il_wrap(0, "fstat", inner)))
         } else {
-            Ok((st, self.fuse_wrap(client, 0.0, inner)))
+            Ok((st, self.fuse_wrap(client, 0.0, "fstat", inner)))
         }
     }
 
@@ -298,14 +309,14 @@ impl PosixFs for DfuseMount {
             self.attr_cache.insert((client, path_key(path)));
         }
         let inner = if cached { Step::Noop } else { inner };
-        Ok((st, self.fuse_wrap(client, 0.0, inner)))
+        Ok((st, self.fuse_wrap(client, 0.0, "stat", inner)))
     }
 
     fn close(&mut self, client: usize, f: FileId) -> Result<Step, FsError> {
         self.data_cache.remove(&(client, f.0));
         self.read_cursor.remove(&(client, f.0));
         let inner = self.dfs.close(client, f)?;
-        Ok(self.fuse_wrap(client, 0.0, inner))
+        Ok(self.fuse_wrap(client, 0.0, "close", inner))
     }
 
     fn unlink(&mut self, client: usize, path: &str) -> Result<Step, FsError> {
@@ -313,13 +324,13 @@ impl PosixFs for DfuseMount {
         // the removed entry might have been a cached directory
         self.dentry_cache.remove(&(client, path_key(path)));
         let inner = self.dfs.unlink(client, path)?;
-        Ok(self.fuse_wrap(client, 0.0, inner))
+        Ok(self.fuse_wrap(client, 0.0, "unlink", inner))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
     fn readdir(&mut self, client: usize, path: &str) -> Result<(Vec<String>, Step), FsError> {
         let (names, inner) = self.dfs.readdir(client, path)?;
-        Ok((names, self.fuse_wrap(client, 0.0, inner)))
+        Ok((names, self.fuse_wrap(client, 0.0, "readdir", inner)))
     }
 }
 
@@ -429,6 +440,7 @@ mod tests {
             match s {
                 Step::Transfer { units, path } if path.contains(&pump) => *units,
                 Step::Seq(v) | Step::Par(v) => v.iter().map(|s| pump_units(s, pump)).sum(),
+                Step::Span { inner, .. } => pump_units(inner, pump),
                 _ => 0.0,
             }
         }

@@ -118,10 +118,11 @@ impl Fdb for FdbCeph {
         data: Payload,
     ) -> Result<Step, FdbError> {
         // Take the executor out so the retried closure can borrow `self`.
+        let bytes = data.len();
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run_step(|| self.archive_inner(node, key, data.clone()));
         self.retry = retry;
-        r
+        Ok(Step::span("fdb", "archive", bytes, r?))
     }
 
     fn flush(&mut self, _node: usize, _proc: usize) -> Result<Step, FdbError> {
@@ -154,7 +155,7 @@ impl Fdb for FdbCeph {
             .copied()
             .collect();
         keys.sort();
-        Ok((keys, Step::par(steps)))
+        Ok((keys, Step::span("fdb", "list", 0, Step::par(steps))))
     }
 
     fn retrieve(
@@ -166,7 +167,9 @@ impl Fdb for FdbCeph {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.retrieve_inner(node, key));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        let bytes = data.len();
+        Ok((data, Step::span("fdb", "retrieve", bytes, s)))
     }
 }
 

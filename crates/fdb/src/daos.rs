@@ -254,10 +254,11 @@ impl Fdb for FdbDaos {
         data: Payload,
     ) -> Result<Step, FdbError> {
         // Take the executor out so the retried closure can borrow `self`.
+        let bytes = data.len();
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run_step(|| self.archive_inner(node, proc, key, data.clone()));
         self.retry = retry;
-        r
+        Ok(Step::span("fdb", "archive", bytes, r?))
     }
 
     fn flush(&mut self, _node: usize, _proc: usize) -> Result<Step, FdbError> {
@@ -296,7 +297,7 @@ impl Fdb for FdbDaos {
             .copied()
             .collect();
         keys.sort();
-        Ok((keys, Step::par(steps)))
+        Ok((keys, Step::span("fdb", "list", 0, Step::par(steps))))
     }
 
     fn retrieve(
@@ -308,7 +309,9 @@ impl Fdb for FdbDaos {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.retrieve_inner(node, key));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        let bytes = data.len();
+        Ok((data, Step::span("fdb", "retrieve", bytes, s)))
     }
 }
 
@@ -391,6 +394,7 @@ mod tests {
                 Step::Transfer { units, path } if *units == 1.0 && path.len() == 1 => 1.0,
                 Step::Transfer { .. } => 0.0,
                 Step::Seq(v) | Step::Par(v) => v.iter().map(count_svc_ops).sum(),
+                Step::Span { inner, .. } => count_svc_ops(inner),
                 _ => 0.0,
             }
         }

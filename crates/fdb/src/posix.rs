@@ -217,11 +217,21 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
             Step::Noop
         };
         // buffering is a memcpy; charge a token client-side cost
-        Ok(Step::seq([setup, Step::delay(2_000), flush]))
+        Ok(Step::span(
+            "fdb",
+            "archive",
+            len,
+            Step::seq([setup, Step::delay(2_000), flush]),
+        ))
     }
 
     fn flush(&mut self, node: usize, proc: usize) -> Result<Step, FdbError> {
-        self.flush_writer(node, proc)
+        Ok(Step::span(
+            "fdb",
+            "flush",
+            0,
+            self.flush_writer(node, proc)?,
+        ))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
@@ -256,7 +266,7 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
             .copied()
             .collect();
         keys.sort();
-        Ok((keys, Step::par(steps)))
+        Ok((keys, Step::span("fdb", "list", 0, Step::par(steps))))
     }
 
     fn retrieve(
@@ -269,7 +279,9 @@ impl<P: PosixFs> Fdb for FdbPosix<P> {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.retrieve_inner(node, key));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        let bytes = data.len();
+        Ok((data, Step::span("fdb", "retrieve", bytes, s)))
     }
 }
 
@@ -426,6 +438,7 @@ mod tests {
                 }
                 Step::Transfer { .. } => 0.0,
                 Step::Seq(v) | Step::Par(v) => v.iter().map(|s| mds_ops(s, sched, cap)).sum(),
+                Step::Span { inner, .. } => mds_ops(inner, sched, cap),
                 _ => 0.0,
             }
         }

@@ -181,10 +181,11 @@ impl FieldIo {
         data: Payload,
     ) -> Result<Step, FieldIoError> {
         // Take the executor out so the retried closure can borrow `self`.
+        let bytes = data.len();
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run_step(|| self.write_field_inner(node, proc, idx, data.clone()));
         self.retry = retry;
-        r
+        Ok(Step::span("fieldio", "write_field", bytes, r?))
     }
 
     fn write_field_inner(
@@ -228,7 +229,9 @@ impl FieldIo {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.read_field_inner(node, proc, idx));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        let bytes = data.len();
+        Ok((data, Step::span("fieldio", "read_field", bytes, s)))
     }
 
     fn read_field_inner(

@@ -160,7 +160,7 @@ impl H5PosixFile {
                 heap_end: H5_HEADER_BYTES,
                 index: BTreeMap::new(),
             },
-            Step::seq([s1, s2]),
+            Step::span("hdf5", "create", 0, Step::seq([s1, s2])),
         ))
     }
 
@@ -197,7 +197,7 @@ impl H5PosixFile {
                 heap_end,
                 index,
             },
-            Step::seq([s1, s2]),
+            Step::span("hdf5", "open", H5_HEADER_BYTES, Step::seq([s1, s2])),
         ))
     }
 
@@ -211,8 +211,10 @@ impl H5PosixFile {
         name: &str,
         data: Payload,
     ) -> Result<Step, Hdf5Error> {
+        let bytes = data.len();
         let mut retry = rt.retry.borrow_mut();
-        retry.run_step(|| self.dataset_write_inner(rt, fs, name, data.clone()))
+        let s = retry.run_step(|| self.dataset_write_inner(rt, fs, name, data.clone()))?;
+        Ok(Step::span("hdf5", "dataset_write", bytes, s))
     }
 
     fn dataset_write_inner<P: PosixFs + ?Sized>(
@@ -292,7 +294,9 @@ impl H5PosixFile {
         name: &str,
     ) -> Result<(ReadPayload, Step), Hdf5Error> {
         let mut retry = rt.retry.borrow_mut();
-        retry.run(|| self.dataset_read_inner(rt, fs, name))
+        let (data, s) = retry.run(|| self.dataset_read_inner(rt, fs, name))?;
+        let bytes = data.len();
+        Ok((data, Step::span("hdf5", "dataset_read", bytes, s)))
     }
 
     fn dataset_read_inner<P: PosixFs + ?Sized>(
@@ -343,7 +347,7 @@ impl H5PosixFile {
             Payload::Sized(rt.cal.hdf5_md_bytes as u64),
         )?;
         let s2 = fs.close(self.node, self.handle)?;
-        Ok(Step::seq([s1, s2]))
+        Ok(Step::span("hdf5", "close", 0, Step::seq([s1, s2])))
     }
 }
 
@@ -386,7 +390,7 @@ impl H5DaosFile {
                 index: BTreeMap::new(),
                 oclass,
             },
-            Step::seq([s1, s2]),
+            Step::span("hdf5", "create", 0, Step::seq([s1, s2])),
         ))
     }
 
@@ -405,8 +409,10 @@ impl H5DaosFile {
         name: &str,
         data: Payload,
     ) -> Result<Step, Hdf5Error> {
+        let bytes = data.len();
         let mut retry = rt.retry.borrow_mut();
-        retry.run_step(|| self.dataset_write_inner(rt, name, data.clone()))
+        let s = retry.run_step(|| self.dataset_write_inner(rt, name, data.clone()))?;
+        Ok(Step::span("hdf5", "dataset_write", bytes, s))
     }
 
     fn dataset_write_inner(
@@ -450,7 +456,9 @@ impl H5DaosFile {
         name: &str,
     ) -> Result<(ReadPayload, Step), Hdf5Error> {
         let mut retry = rt.retry.borrow_mut();
-        retry.run(|| self.dataset_read_inner(rt, name))
+        let (data, s) = retry.run(|| self.dataset_read_inner(rt, name))?;
+        let bytes = data.len();
+        Ok((data, Step::span("hdf5", "dataset_read", bytes, s)))
     }
 
     fn dataset_read_inner(
@@ -480,7 +488,7 @@ impl H5DaosFile {
     /// `H5Fclose`: closes the container.
     pub fn close(self) -> Result<Step, Hdf5Error> {
         let s = self.daos.borrow_mut().cont_close(self.node, self.cid)?;
-        Ok(s)
+        Ok(Step::span("hdf5", "close", 0, s))
     }
 }
 
@@ -560,6 +568,7 @@ mod tests {
         fn count_seqs(s: &Step) -> usize {
             match s {
                 Step::Seq(v) => v.len(),
+                Step::Span { inner, .. } => count_seqs(inner),
                 _ => 0,
             }
         }
@@ -625,6 +634,7 @@ mod tests {
                     path.iter().any(|&r| (sched.capacity(r) - cap).abs() < 1e-6)
                 }
                 Step::Seq(v) | Step::Par(v) => v.iter().any(|s| has_cap(s, sched, cap)),
+                Step::Span { inner, .. } => has_cap(inner, sched, cap),
                 _ => false,
             }
         }

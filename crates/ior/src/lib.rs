@@ -252,7 +252,7 @@ impl ProcWorkload for Ior {
             return Step::Noop;
         }
         let path = self.posix_path(proc);
-        match &mut self.backend {
+        let step = match &mut self.backend {
             IorBackend::Daos { daos, cid, oclass } => {
                 let (oid, s) = daos
                     .borrow_mut()
@@ -289,7 +289,8 @@ impl ProcWorkload for Ior {
                 self.state[proc] = ProcState::Object(format!("ior.obj.{proc:05}"));
                 Step::Noop
             }
-        }
+        };
+        Step::span("ior", "setup", 0, step)
     }
 
     // simlint::allow(panic-path) — benchmark driver: a failure that survives the retry executor is a scenario-configuration error; aborting loudly beats reporting skewed bandwidth
@@ -300,7 +301,7 @@ impl ProcWorkload for Ior {
         let phase = self.cfg.phase;
         let payload = self.payload();
         let retry = &mut self.retry;
-        match (&mut self.backend, &mut self.state[proc]) {
+        let step = match (&mut self.backend, &mut self.state[proc]) {
             (IorBackend::Daos { daos, cid, .. }, ProcState::Array(oid)) => match phase {
                 Phase::Write => retry
                     .run_step(|| {
@@ -362,7 +363,12 @@ impl ProcWorkload for Ior {
                 }
             },
             _ => panic!("op before setup for proc {proc}"),
-        }
+        };
+        let name = match phase {
+            Phase::Write => "write",
+            Phase::Read => "read",
+        };
+        Step::span("ior", name, len, step)
     }
 }
 

@@ -139,10 +139,25 @@ impl ProcWorkload for Mdtest {
                     Step::Noop
                 };
                 let close = self.fs.close(node, f).expect("close");
-                Step::seq([open, write, close])
+                Step::span(
+                    "mdtest",
+                    "create",
+                    self.cfg.write_bytes,
+                    Step::seq([open, write, close]),
+                )
             }
-            MdPhase::Stat => self.fs.stat(node, &path).expect("stat").1,
-            MdPhase::Remove => self.fs.unlink(node, &path).expect("unlink"),
+            MdPhase::Stat => Step::span(
+                "mdtest",
+                "stat",
+                0,
+                self.fs.stat(node, &path).expect("stat").1,
+            ),
+            MdPhase::Remove => Step::span(
+                "mdtest",
+                "remove",
+                0,
+                self.fs.unlink(node, &path).expect("unlink"),
+            ),
         }
     }
 }

@@ -358,7 +358,7 @@ impl PosixFs for LustreSystem {
         if let Node::Dir(entries) = &mut self.nodes[pid as usize] {
             entries.insert(name.to_string(), id);
         }
-        Ok(self.mds_op(1.0))
+        Ok(Step::span("lustre", "mkdir", 0, self.mds_op(1.0)))
     }
 
     fn open(&mut self, client: usize, path: &str, create: bool) -> Result<(FileId, Step), FsError> {
@@ -397,7 +397,7 @@ impl PosixFs for LustreSystem {
         // open is an MDS transaction (create costs a second one for the
         // layout allocation)
         let ops = if create { 2.0 } else { 1.0 };
-        Ok((FileId(h), self.mds_op(ops)))
+        Ok((FileId(h), Step::span("lustre", "open", 0, self.mds_op(ops))))
     }
 
     fn write(
@@ -408,10 +408,11 @@ impl PosixFs for LustreSystem {
         data: Payload,
     ) -> Result<Step, FsError> {
         // Take the executor out so the retried closure can borrow `self`.
+        let bytes = data.len();
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run_step(|| self.write_inner(client, f, offset, data.clone()));
         self.retry = retry;
-        r
+        Ok(Step::span("lustre", "write", bytes, r?))
     }
 
     fn read(
@@ -424,7 +425,8 @@ impl PosixFs for LustreSystem {
         let mut retry = std::mem::replace(&mut self.retry, RetryExec::disabled());
         let r = retry.run(|| self.read_inner(client, f, offset, len));
         self.retry = retry;
-        r
+        let (data, s) = r?;
+        Ok((data, Step::span("lustre", "read", len, s)))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
@@ -444,7 +446,12 @@ impl PosixFs for LustreSystem {
                 size,
                 is_dir: false,
             },
-            Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
+            Step::span(
+                "lustre",
+                "fstat",
+                0,
+                Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
+            ),
         ))
     }
 
@@ -456,7 +463,7 @@ impl PosixFs for LustreSystem {
                     size: 0,
                     is_dir: true,
                 },
-                self.mds_op(1.0),
+                Step::span("lustre", "stat", 0, self.mds_op(1.0)),
             )),
             Node::File(fnode) => {
                 let size = fnode.size;
@@ -470,7 +477,12 @@ impl PosixFs for LustreSystem {
                         size,
                         is_dir: false,
                     },
-                    Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
+                    Step::span(
+                        "lustre",
+                        "stat",
+                        0,
+                        Step::seq([self.mds_op(1.0), Step::par(glimpses)]),
+                    ),
                 ))
             }
         }
@@ -479,7 +491,7 @@ impl PosixFs for LustreSystem {
     fn close(&mut self, _client: usize, f: FileId) -> Result<Step, FsError> {
         self.handles.remove(&f.0).ok_or(FsError::BadHandle)?;
         // Lustre close is an MDS transaction
-        Ok(self.mds_op(1.0))
+        Ok(Step::span("lustre", "close", 0, self.mds_op(1.0)))
     }
 
     fn unlink(&mut self, _client: usize, path: &str) -> Result<Step, FsError> {
@@ -498,14 +510,17 @@ impl PosixFs for LustreSystem {
         }
         self.locks.retain(|&(fid, _, _)| fid != id);
         // unlink + OST object destroys
-        Ok(self.mds_op(2.0))
+        Ok(Step::span("lustre", "unlink", 0, self.mds_op(2.0)))
     }
 
     // simlint::allow(digest-taint) — query op: `&mut self` is handle/step bookkeeping only; no replay-visible state changes
     fn readdir(&mut self, _client: usize, path: &str) -> Result<(Vec<String>, Step), FsError> {
         let id = self.resolve(path)?;
         match &self.nodes[id as usize] {
-            Node::Dir(entries) => Ok((entries.keys().cloned().collect(), self.mds_op(1.0))),
+            Node::Dir(entries) => Ok((
+                entries.keys().cloned().collect(),
+                Step::span("lustre", "readdir", 0, self.mds_op(1.0)),
+            )),
             Node::File(_) => Err(FsError::NotDir),
         }
     }
@@ -639,6 +654,7 @@ mod tests {
                     out.1 += *units;
                 }
                 Step::Seq(v) | Step::Par(v) => v.iter().for_each(|s| sum_transfers(s, out)),
+                Step::Span { inner, .. } => sum_transfers(inner, out),
                 _ => {}
             }
         }

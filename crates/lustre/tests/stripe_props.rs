@@ -19,6 +19,7 @@ fn data_bytes(s: &Step, sched: &Scheduler) -> f64 {
             *units
         }
         Step::Seq(v) | Step::Par(v) => v.iter().map(|s| data_bytes(s, sched)).sum(),
+        Step::Span { inner, .. } => data_bytes(inner, sched),
         _ => 0.0,
     }
 }
@@ -36,6 +37,7 @@ fn touched_devices(s: &Step, out: &mut std::collections::HashSet<ResourceId>, sc
             }
         }
         Step::Seq(v) | Step::Par(v) => v.iter().for_each(|s| touched_devices(s, out, sched)),
+        Step::Span { inner, .. } => touched_devices(inner, out, sched),
         _ => {}
     }
 }

@@ -7,6 +7,7 @@ use crate::fairshare::FairShare;
 use crate::faults::{FaultAction, FaultEvent, FaultPlan};
 use crate::monitor::Monitor;
 use crate::slab::Slab;
+use crate::span::{SpanId, SpanLog};
 use crate::step::{ResourceId, Step};
 use crate::time::SimTime;
 use crate::trace::Trace;
@@ -56,10 +57,21 @@ enum Parent {
 
 #[derive(Debug)]
 enum Cont {
-    /// Remaining steps, stored reversed so the next step pops off the end.
-    Seq { stack: Vec<Step>, parent: Parent },
+    /// Remaining steps, stored reversed so the next step pops off the
+    /// end.  `span` is the enclosing span context, restored when a later
+    /// step of the sequence is executed after a flow/timer completes.
+    Seq {
+        stack: Vec<Step>,
+        parent: Parent,
+        span: SpanId,
+    },
     /// Fan-in counter for `Par`.
     Join { remaining: usize, parent: Parent },
+    /// An open span closed when its wrapped step completes.  Only
+    /// allocated while span recording is enabled; with recording off
+    /// `Step::Span` executes its inner step directly, so the cont slab
+    /// (and everything downstream of it) is identical to a span-free run.
+    Span { id: SpanId, parent: Parent },
 }
 
 #[derive(Debug)]
@@ -120,6 +132,8 @@ pub struct Scheduler {
     monitor: Monitor,
     /// Installed fault events, sorted by `(at, id)`, popped as fired.
     faults: VecDeque<FaultEvent>,
+    /// Optional causal span log (off by default).
+    spans: SpanLog,
     /// Event-coalescing quantum in ns (see [`Scheduler::set_coalescing`]).
     quantum_ns: u64,
     /// Optional completion trace.
@@ -158,6 +172,7 @@ impl Scheduler {
             fair: FairShare::new(),
             monitor: Monitor::disabled(),
             faults: VecDeque::new(),
+            spans: SpanLog::disabled(),
             quantum_ns: 0,
             trace: Trace::disabled(),
             stat_recomputes: 0,
@@ -275,6 +290,7 @@ impl Scheduler {
             | FaultAction::DelayedCompletion { .. } => {}
         }
         self.trace.record_fault(t, ev.id);
+        self.spans.mark_fault(t, ev.id, SpanId::NONE);
         Some(ev)
     }
 
@@ -305,6 +321,32 @@ impl Scheduler {
     /// Utilisation monitor (busy integrals per resource).
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
+    }
+
+    /// Replace the utilisation monitor (e.g. a windowed one — see
+    /// [`Monitor::windowed`]).
+    // simlint::allow(digest-taint) — pre-run configuration: every subsequent flow completion folds its effect into the digest
+    pub fn set_monitor(&mut self, monitor: Monitor) {
+        self.monitor = monitor;
+    }
+
+    /// Turn on causal span recording (see [`crate::span`]).  Spans are
+    /// off by default; enabling them never changes the schedule or the
+    /// replay digest — only the span log and its separate span digest.
+    // simlint::allow(digest-taint) — pre-run configuration: span events fold into the span digest, op completions into the replay digest
+    pub fn enable_spans(&mut self) {
+        self.spans = SpanLog::recording();
+    }
+
+    /// The span log (empty unless [`Scheduler::enable_spans`] was called).
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Order-sensitive digest of the span open/close/mark stream — the
+    /// determinism contract for tracing, separate from [`Scheduler::digest`].
+    pub fn span_digest(&self) -> u64 {
+        self.spans.digest()
     }
 
     /// Record op completions into a bounded trace (debugging aid).
@@ -344,17 +386,23 @@ impl Scheduler {
     /// Submit an op chain; `op` is reported to the [`World`] when the
     /// whole chain completes.
     pub fn submit(&mut self, step: Step, op: OpId) {
-        self.exec(step, Parent::Op(op));
+        self.exec(step, Parent::Op(op), SpanId::NONE);
     }
 
     /// Submit an op chain that starts after `delay_ns`.
     pub fn submit_after(&mut self, delay_ns: u64, step: Step, op: OpId) {
-        self.exec(Step::delay(delay_ns).then(step), op_parent(op));
+        self.exec(
+            Step::delay(delay_ns).then(step),
+            op_parent(op),
+            SpanId::NONE,
+        );
     }
 
     // ---- interpreter ----------------------------------------------------
 
-    fn exec(&mut self, step: Step, parent: Parent) {
+    /// `span` is the nearest enclosing open span — the parent of any
+    /// `Step::Span` encountered while descending `step`.
+    fn exec(&mut self, step: Step, parent: Parent, span: SpanId) {
         match step {
             Step::Noop => self.complete_parent(parent),
             Step::Delay(ns) => {
@@ -387,8 +435,9 @@ impl Scheduler {
                         let cid = self.conts.insert(Cont::Seq {
                             stack: steps,
                             parent,
+                            span,
                         });
-                        self.exec(first, Parent::Cont(cid));
+                        self.exec(first, Parent::Cont(cid), span);
                     }
                 }
             }
@@ -402,8 +451,26 @@ impl Scheduler {
                     parent,
                 });
                 for s in steps {
-                    self.exec(s, Parent::Cont(cid));
+                    self.exec(s, Parent::Cont(cid), span);
                 }
+            }
+            Step::Span {
+                layer,
+                op,
+                bytes,
+                attempt,
+                inner,
+            } => {
+                if !self.spans.is_enabled() {
+                    // One branch of overhead, no allocation: the cont
+                    // slab evolves exactly as for a span-free run, so
+                    // the schedule and replay digest are untouched.
+                    self.exec(*inner, parent, span);
+                    return;
+                }
+                let id = self.spans.open(self.now, span, layer, op, bytes, attempt);
+                let cid = self.conts.insert(Cont::Span { id, parent });
+                self.exec(*inner, Parent::Cont(cid), id);
             }
         }
     }
@@ -418,13 +485,13 @@ impl Scheduler {
                 }
                 Parent::Cont(cid) => {
                     enum Next {
-                        Exec(Step),
+                        Exec(Step, SpanId),
                         Finish,
                         Wait,
                     }
                     let next = match &mut self.conts[cid] {
-                        Cont::Seq { stack, .. } => match stack.pop() {
-                            Some(step) => Next::Exec(step),
+                        Cont::Seq { stack, span, .. } => match stack.pop() {
+                            Some(step) => Next::Exec(step, *span),
                             None => Next::Finish,
                         },
                         Cont::Join { remaining, .. } => {
@@ -435,17 +502,22 @@ impl Scheduler {
                                 Next::Wait
                             }
                         }
+                        Cont::Span { .. } => Next::Finish,
                     };
                     match next {
                         Next::Wait => return,
-                        Next::Exec(step) => {
-                            self.exec(step, Parent::Cont(cid));
+                        Next::Exec(step, span) => {
+                            self.exec(step, Parent::Cont(cid), span);
                             return;
                         }
                         Next::Finish => {
                             let cont = self.conts.remove(cid);
                             parent = match cont {
                                 Cont::Seq { parent, .. } | Cont::Join { parent, .. } => parent,
+                                Cont::Span { id, parent } => {
+                                    self.spans.close(self.now, id);
+                                    parent
+                                }
                             };
                         }
                     }
@@ -456,9 +528,11 @@ impl Scheduler {
 
     // ---- fluid dynamics --------------------------------------------------
 
-    /// Advance all flows to time `t`, crediting the monitor.
+    /// Advance all flows to time `t`, crediting the monitor with each
+    /// flow's movement over the settlement interval `[last_settle, t]`.
     fn settle_to(&mut self, t: SimTime) {
-        let dt = t.secs_since(self.last_settle);
+        let t0 = self.last_settle;
+        let dt = t.secs_since(t0);
         if dt > 0.0 {
             let monitor_on = self.monitor.is_enabled();
             for (_, f) in self.flows.iter_mut() {
@@ -467,7 +541,7 @@ impl Scheduler {
                     f.remaining -= moved;
                     if monitor_on {
                         for &r in &f.path {
-                            self.monitor.credit(r, moved);
+                            self.monitor.credit(r, moved, t0, t);
                         }
                     }
                 }
@@ -992,6 +1066,94 @@ mod tests {
             run_with(false),
             "the failure schedule is part of the digest"
         );
+    }
+
+    #[test]
+    fn spans_follow_dynamic_nesting() {
+        let mut s = Scheduler::new();
+        s.enable_spans();
+        let r = s.add_resource("disk", 100.0);
+        // outer(ior) -> Seq[delay, inner(libdaos) -> transfer]
+        s.submit(
+            Step::span(
+                "ior",
+                "write",
+                100,
+                Step::seq([
+                    Step::delay(1_000),
+                    Step::span("libdaos", "update", 100, Step::transfer(100.0, [r])),
+                ]),
+            ),
+            OpId(1),
+        );
+        let mut w = Recorder::default();
+        run(&mut s, &mut w);
+        let recs = s.spans().records();
+        assert_eq!(recs.len(), 2);
+        let outer = &recs[0];
+        let inner = &recs[1];
+        assert_eq!(outer.layer, "ior");
+        assert!(outer.parent.is_none());
+        assert_eq!(inner.layer, "libdaos");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(inner.root, outer.id);
+        // inner opens after the delay, both close at op completion.
+        assert_eq!(inner.start.as_nanos(), 1_000);
+        assert_eq!(inner.end, outer.end);
+        assert_eq!(outer.end, w.completed[0].1);
+        assert!(outer.is_closed() && inner.is_closed());
+    }
+
+    #[test]
+    fn spans_do_not_perturb_replay_digest() {
+        let build = |traced: bool| {
+            let mut s = Scheduler::new();
+            if traced {
+                s.enable_spans();
+            }
+            let r = s.add_resource("disk", 50.0);
+            for i in 0..8u64 {
+                s.submit(
+                    Step::span(
+                        "ior",
+                        "write",
+                        10,
+                        Step::seq([
+                            Step::delay(i * 100),
+                            Step::span("libdaos", "update", 10, Step::transfer(10.0, [r])),
+                        ]),
+                    ),
+                    OpId(i),
+                );
+            }
+            let mut w = Recorder::default();
+            let d = run_digest(&mut s, &mut w);
+            (d, s.span_digest(), s.spans().len())
+        };
+        let (d_off, sd_off, n_off) = build(false);
+        let (d_on, sd_on, n_on) = build(true);
+        assert_eq!(d_off, d_on, "tracing must not perturb the replay digest");
+        assert_eq!(n_off, 0);
+        assert_eq!(n_on, 16);
+        assert_ne!(sd_off, sd_on, "the span digest sees the span stream");
+        let (d_on2, sd_on2, _) = build(true);
+        assert_eq!((d_on, sd_on), (d_on2, sd_on2), "traced runs replay");
+    }
+
+    #[test]
+    fn fault_marks_enter_span_log() {
+        let mut s = Scheduler::new();
+        s.enable_spans();
+        let r = s.add_resource("disk", 100.0);
+        let mut plan = FaultPlan::new();
+        let ev_id = plan.at(SimTime::from_millis(1), FaultAction::TargetCrash(9));
+        s.install_faults(plan);
+        s.submit(Step::transfer(100.0, [r]), OpId(1));
+        let mut w = FaultRecorder::default();
+        run(&mut s, &mut w);
+        assert_eq!(s.spans().marks().len(), 1);
+        assert_eq!(s.spans().marks()[0].fault_id, ev_id);
+        assert_eq!(s.spans().marks()[0].at, SimTime::from_millis(1));
     }
 
     #[test]

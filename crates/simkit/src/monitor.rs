@@ -5,6 +5,19 @@
 //! model.  Utilisation reports are used by the benchmark harness to
 //! explain *which* resource bound each figure's plateau — the analysis
 //! the paper performs by comparing against raw hardware bandwidth.
+//!
+//! Two granularities are kept:
+//!
+//! * **Totals** — one busy integral per resource, always accumulated.
+//!   [`Monitor::report`] derives whole-run mean rates and fractions from
+//!   these, but a whole-run mean under-reports utilisation for scenarios
+//!   with long idle tails (setup barriers, drain phases).
+//! * **Windows** — with [`Monitor::windowed`], the same credits are also
+//!   apportioned into fixed-width time windows.  Because flow rates are
+//!   constant across each settlement interval, uniform apportionment is
+//!   exact, not an approximation.  [`Monitor::window_fractions`] then
+//!   yields a utilisation *time series* per resource, from which peak and
+//!   busy-interval utilisation fall out.
 
 use crate::step::ResourceId;
 use crate::time::SimTime;
@@ -14,6 +27,10 @@ use crate::time::SimTime;
 pub struct Monitor {
     /// Total units moved through each resource.
     busy_units: Vec<f64>,
+    /// Window width in ns (0 = totals only).
+    window_ns: u64,
+    /// Per-resource, per-window units (outer: resource, inner: window).
+    series: Vec<Vec<f64>>,
     enabled: bool,
 }
 
@@ -33,17 +50,25 @@ pub struct Utilisation {
 impl Monitor {
     /// A monitor that records nothing (zero overhead).
     pub fn disabled() -> Self {
+        Monitor::default()
+    }
+
+    /// A recording monitor (whole-run totals only).
+    pub fn enabled() -> Self {
         Monitor {
-            busy_units: Vec::new(),
-            enabled: false,
+            enabled: true,
+            ..Monitor::default()
         }
     }
 
-    /// A recording monitor.
-    pub fn enabled() -> Self {
+    /// A recording monitor that additionally samples utilisation into
+    /// fixed windows of `window_ns` nanoseconds.
+    pub fn windowed(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window width must be positive");
         Monitor {
-            busy_units: Vec::new(),
             enabled: true,
+            window_ns,
+            ..Monitor::default()
         }
     }
 
@@ -53,9 +78,16 @@ impl Monitor {
         self.enabled
     }
 
-    /// Credit `units` of work to `r`.
+    /// Window width in nanoseconds (0 when windowing is off).
     #[inline]
-    pub(crate) fn credit(&mut self, r: ResourceId, units: f64) {
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Credit `units` of work to `r`, moved uniformly over `[t0, t1]`
+    /// (the engine's settlement interval; flow rates are constant across
+    /// it, so uniform apportionment into windows is exact).
+    pub(crate) fn credit(&mut self, r: ResourceId, units: f64, t0: SimTime, t1: SimTime) {
         if !self.enabled {
             return;
         }
@@ -64,6 +96,36 @@ impl Monitor {
             self.busy_units.resize(i + 1, 0.0);
         }
         self.busy_units[i] += units;
+        if self.window_ns == 0 {
+            return;
+        }
+        let span_ns = t1.nanos_since(t0);
+        if self.series.len() <= i {
+            self.series.resize(i + 1, Vec::new());
+        }
+        let row = &mut self.series[i];
+        if span_ns == 0 {
+            // Instantaneous credit: bill the window containing t1.
+            let w = (t1.as_nanos() / self.window_ns) as usize;
+            if row.len() <= w {
+                row.resize(w + 1, 0.0);
+            }
+            row[w] += units;
+            return;
+        }
+        let last = ((t1.as_nanos() - 1) / self.window_ns) as usize;
+        if row.len() <= last {
+            row.resize(last + 1, 0.0);
+        }
+        let mut cur = t0.as_nanos();
+        let end = t1.as_nanos();
+        while cur < end {
+            let w = cur / self.window_ns;
+            let w_end = ((w + 1) * self.window_ns).min(end);
+            let frac = (w_end - cur) as f64 / span_ns as f64;
+            row[w as usize] += units * frac;
+            cur = w_end;
+        }
     }
 
     /// Units moved through `r` so far.
@@ -78,8 +140,41 @@ impl Monitor {
         v
     }
 
+    /// Per-window units moved through `r` (empty when windowing is off
+    /// or the resource never moved anything).
+    pub fn window_units(&self, r: ResourceId) -> &[f64] {
+        self.series
+            .get(r.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Utilisation time series for `r`: fraction of `capacity` used in
+    /// each window.  Empty when windowing is off.
+    pub fn window_fractions(&self, r: ResourceId, capacity: f64) -> Vec<f64> {
+        if self.window_ns == 0 || capacity <= 0.0 {
+            return Vec::new();
+        }
+        let w_secs = self.window_ns as f64 / 1e9;
+        self.window_units(r)
+            .iter()
+            .map(|u| u / (capacity * w_secs))
+            .collect()
+    }
+
+    /// Highest single-window utilisation fraction of `r` (0 when
+    /// windowing is off).  This is the number the whole-run mean hides:
+    /// a resource saturated for half the run and idle for the rest
+    /// reports `fraction = 0.5` in [`Monitor::report`] but a peak of 1.0.
+    pub fn peak_fraction(&self, r: ResourceId, capacity: f64) -> f64 {
+        self.window_fractions(r, capacity)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
     /// Utilisation report over `[t0, t1]` for resources with the given
-    /// capacities (indexed by resource id).
+    /// capacities (indexed by resource id).  A derived view over the
+    /// whole-run totals; unchanged by windowing.
     pub fn report(&self, caps: &[f64], t0: SimTime, t1: SimTime) -> Vec<Utilisation> {
         let dt = t1.secs_since(t0);
         (0..caps.len())
@@ -101,9 +196,10 @@ impl Monitor {
             .collect()
     }
 
-    /// Drop all accumulated accounting.
+    /// Drop all accumulated accounting (totals and windows).
     pub fn reset(&mut self) {
         self.busy_units.clear();
+        self.series.clear();
     }
 }
 
@@ -111,36 +207,95 @@ impl Monitor {
 mod tests {
     use super::*;
 
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
     #[test]
     fn disabled_records_nothing() {
         let mut m = Monitor::disabled();
-        m.credit(ResourceId(0), 5.0);
+        m.credit(ResourceId(0), 5.0, at(0), at(10));
         assert_eq!(m.units(ResourceId(0)), 0.0);
+        assert!(m.window_units(ResourceId(0)).is_empty());
     }
 
     #[test]
     fn credit_accumulates() {
         let mut m = Monitor::enabled();
-        m.credit(ResourceId(2), 5.0);
-        m.credit(ResourceId(2), 2.5);
+        m.credit(ResourceId(2), 5.0, at(0), at(10));
+        m.credit(ResourceId(2), 2.5, at(10), at(20));
         assert!((m.units(ResourceId(2)) - 7.5).abs() < 1e-12);
         assert_eq!(m.units(ResourceId(0)), 0.0);
+        assert_eq!(m.window_ns(), 0);
+        assert!(m.window_fractions(ResourceId(2), 1.0).is_empty());
     }
 
     #[test]
     fn report_computes_fractions() {
         let mut m = Monitor::enabled();
-        m.credit(ResourceId(0), 50.0);
+        m.credit(ResourceId(0), 50.0, at(0), SimTime::from_secs_f64(1.0));
         let rep = m.report(&[100.0], SimTime::ZERO, SimTime::from_secs_f64(1.0));
         assert!((rep[0].mean_rate - 50.0).abs() < 1e-9);
         assert!((rep[0].fraction - 0.5).abs() < 1e-9);
     }
 
     #[test]
+    fn windows_apportion_uniformly() {
+        let mut m = Monitor::windowed(100);
+        // 10 units over [50, 250): 50ns in w0, 100ns in w1, 50ns in w2.
+        m.credit(ResourceId(0), 10.0, at(50), at(250));
+        let w = m.window_units(ResourceId(0));
+        assert_eq!(w.len(), 3);
+        assert!((w[0] - 2.5).abs() < 1e-12, "{w:?}");
+        assert!((w[1] - 5.0).abs() < 1e-12);
+        assert!((w[2] - 2.5).abs() < 1e-12);
+        // Totals stay the derived whole-run view.
+        assert!((m.units(ResourceId(0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_boundary_is_half_open() {
+        let mut m = Monitor::windowed(100);
+        // [0, 100) lands entirely in window 0.
+        m.credit(ResourceId(0), 4.0, at(0), at(100));
+        let w = m.window_units(ResourceId(0));
+        assert_eq!(w.len(), 1);
+        assert!((w[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_exceeds_whole_run_mean_with_idle_tail() {
+        // Saturated for the first window, idle afterwards: the whole-run
+        // mean dilutes to 0.25 while the peak stays at 1.0 — the
+        // under-reporting the windowed view exists to fix.
+        let cap = 100.0; // units/s
+        let w_ns = 1_000_000_000; // 1s windows
+        let mut m = Monitor::windowed(w_ns);
+        m.credit(ResourceId(0), 100.0, at(0), at(w_ns));
+        m.credit(ResourceId(0), 0.0, at(3 * w_ns), at(4 * w_ns));
+        let rep = m.report(&[cap], SimTime::ZERO, at(4 * w_ns));
+        assert!((rep[0].fraction - 0.25).abs() < 1e-9);
+        assert!((m.peak_fraction(ResourceId(0), cap) - 1.0).abs() < 1e-9);
+        let f = m.window_fractions(ResourceId(0), cap);
+        assert!((f[0] - 1.0).abs() < 1e-9);
+        assert!(f[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn instantaneous_credit_bills_containing_window() {
+        let mut m = Monitor::windowed(100);
+        m.credit(ResourceId(0), 3.0, at(150), at(150));
+        let w = m.window_units(ResourceId(0));
+        assert_eq!(w.len(), 2);
+        assert!((w[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn reset_clears() {
-        let mut m = Monitor::enabled();
-        m.credit(ResourceId(1), 9.0);
+        let mut m = Monitor::windowed(10);
+        m.credit(ResourceId(1), 9.0, at(0), at(10));
         m.reset();
         assert_eq!(m.units(ResourceId(1)), 0.0);
+        assert!(m.window_units(ResourceId(1)).is_empty());
     }
 }

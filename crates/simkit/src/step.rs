@@ -24,6 +24,23 @@ pub enum Step {
     Seq(Vec<Step>),
     /// Run sub-steps concurrently; completes when all complete.
     Par(Vec<Step>),
+    /// Annotate `inner` with a causal span: when span recording is
+    /// enabled (see [`crate::span::SpanLog`]) the engine opens a span on
+    /// entry and closes it when `inner` completes; parentage follows the
+    /// dynamic nesting of span steps.  With recording off this costs one
+    /// branch and executes `inner` directly.
+    Span {
+        /// Emitting layer ("dfuse", "libdaos", …).
+        layer: &'static str,
+        /// Operation within the layer ("write", "kv_put", …).
+        op: &'static str,
+        /// Payload bytes covered by the span (0 for metadata ops).
+        bytes: u64,
+        /// Retry attempt ordinal (0 = first try).
+        attempt: u32,
+        /// The annotated work.
+        inner: Box<Step>,
+    },
 }
 
 impl Step {
@@ -98,6 +115,34 @@ impl Step {
         }
     }
 
+    /// Annotate `inner` with a causal span (see [`Step::Span`]).  A span
+    /// around nothing normalises to [`Step::Noop`]: zero-duration spans
+    /// would only add noise to traces and reports.
+    pub fn span(layer: &'static str, op: &'static str, bytes: u64, inner: Step) -> Step {
+        Step::span_attempt(layer, op, bytes, 0, inner)
+    }
+
+    /// Like [`Step::span`] with an explicit retry-attempt ordinal
+    /// (non-zero marks work re-issued by a retry executor).
+    pub fn span_attempt(
+        layer: &'static str,
+        op: &'static str,
+        bytes: u64,
+        attempt: u32,
+        inner: Step,
+    ) -> Step {
+        if inner.is_noop() {
+            return Step::Noop;
+        }
+        Step::Span {
+            layer,
+            op,
+            bytes,
+            attempt,
+            inner: Box::new(inner),
+        }
+    }
+
     /// True for steps that complete instantly.
     #[inline]
     pub fn is_noop(&self) -> bool {
@@ -110,6 +155,7 @@ impl Step {
             Step::Noop | Step::Delay(_) => 0.0,
             Step::Transfer { units, .. } => *units,
             Step::Seq(v) | Step::Par(v) => v.iter().map(Step::total_units).sum(),
+            Step::Span { inner, .. } => inner.total_units(),
         }
     }
 
@@ -121,6 +167,7 @@ impl Step {
             Step::Delay(ns) => *ns,
             Step::Seq(v) => v.iter().map(Step::critical_delay_ns).sum(),
             Step::Par(v) => v.iter().map(Step::critical_delay_ns).max().unwrap_or(0),
+            Step::Span { inner, .. } => inner.critical_delay_ns(),
         }
     }
 }
@@ -173,6 +220,28 @@ mod tests {
         ]);
         assert!((s.total_units() - 15.0).abs() < 1e-12);
         assert_eq!(s.critical_delay_ns(), 100);
+    }
+
+    #[test]
+    fn span_wraps_and_normalises() {
+        assert!(Step::span("l", "o", 0, Step::Noop).is_noop());
+        let s = Step::span("dfuse", "write", 8, Step::delay(5));
+        assert_eq!(s.critical_delay_ns(), 5);
+        match &s {
+            Step::Span {
+                layer,
+                op,
+                bytes,
+                attempt,
+                inner,
+            } => {
+                assert_eq!((*layer, *op, *bytes, *attempt), ("dfuse", "write", 8, 0));
+                assert!(matches!(**inner, Step::Delay(5)));
+            }
+            other => panic!("expected Span, got {other:?}"),
+        }
+        let t = Step::span("l", "o", 0, Step::transfer(4.0, [r(1)]));
+        assert!((t.total_units() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,8 +55,27 @@ impl ReplayDigest {
     /// never collide with a completion `(t, OpId(id))`.
     pub fn update_fault(&mut self, at: SimTime, id: u64) {
         const FAULT_TAG: u8 = 0xFA;
-        self.0 = (self.0 ^ FAULT_TAG as u64).wrapping_mul(FNV_PRIME);
-        for b in at.0.to_le_bytes().into_iter().chain(id.to_le_bytes()) {
+        self.update_tagged(FAULT_TAG, at, id);
+    }
+
+    /// Fold a tagged `(time, value)` event.  Tag bytes partition distinct
+    /// event streams (faults, span opens/closes/marks) so records from
+    /// different streams can never collide byte-for-byte.
+    pub(crate) fn update_tagged(&mut self, tag: u8, at: SimTime, v: u64) {
+        self.0 = (self.0 ^ tag as u64).wrapping_mul(FNV_PRIME);
+        for b in at.0.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a raw byte string (length-prefixed, so `"ab" + "c"` and
+    /// `"a" + "bc"` hash differently).
+    pub(crate) fn update_bytes(&mut self, bytes: &[u8]) {
+        for b in (bytes.len() as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain(bytes.iter().copied())
+        {
             self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
         }
     }

@@ -14,6 +14,10 @@
 //!   as sim state must be reachable from a registered digest fold root;
 //!   an unreachable mutator is a silent-divergence hazard (replays cannot
 //!   witness its effect).
+//! * **`span-digest`** — the same contract for types registered as
+//!   `span_source` (span logs): a mutator no digest root reaches records
+//!   trace events the span digest cannot witness, so traced replays
+//!   could diverge silently.
 //! * **`panic-path`** — `unwrap`/`expect`/slice indexing in any function
 //!   reachable from a panic root (fault handlers, `rebuild`, the retry
 //!   executor and its callers) is an error: a panic mid-degraded-mode
@@ -30,6 +34,9 @@
 //! ```text
 //! // simlint::sim_state — replay-visible pool/target state
 //! pub struct DaosSystem { … }
+//!
+//! // simlint::span_source — span open/close must fold into the span digest
+//! pub struct SpanLog { … }
 //!
 //! // simlint::digest_root — replay harness entry
 //! pub fn run_digest<W: World>(…) -> u64 { … }
@@ -69,6 +76,7 @@ use crate::{allow_covers, classify, collect_rs_files, parse_allow, Allow, Findin
 /// Registration markers understood by the pass (`simlint::<marker>`).
 pub const MARKERS: &[&str] = &[
     "sim_state",
+    "span_source",
     "digest_root",
     "panic_root",
     "retry_entry",
@@ -93,6 +101,11 @@ pub fn flow_rules() -> &'static [FlowRule] {
             id: "digest-taint",
             severity: Severity::Error,
             summary: "sim-state mutators must be reachable from a digest fold root, else replays cannot witness the mutation",
+        },
+        FlowRule {
+            id: "span-digest",
+            severity: Severity::Error,
+            summary: "span-source mutators must be reachable from a digest fold root, else traced replays can diverge without the span digest noticing",
         },
         FlowRule {
             id: "panic-path",
@@ -153,6 +166,10 @@ pub struct Index {
     pub fingerprint: u64,
     /// Types registered with `sim_state`.
     pub sim_state: BTreeSet<String>,
+    /// Types registered with `span_source` (span logs: every mutation
+    /// must fold into the span digest, so mutators are held to the same
+    /// reachability contract as sim state).
+    pub span_source: BTreeSet<String>,
     /// Enum variants registered with `terminal_error`, as `Enum::Variant`.
     pub terminals: BTreeSet<String>,
     /// All indexed functions, in deterministic (file, line) order.
@@ -813,11 +830,15 @@ pub fn build_index(sources: &BTreeMap<String, String>) -> Index {
         .collect();
 
     let mut sim_state = BTreeSet::new();
+    let mut span_source = BTreeSet::new();
     let mut terminals = BTreeSet::new();
     for (_, fp) in &parses {
         for (name, marks) in &fp.structs {
             if marks.contains("sim_state") {
                 sim_state.insert(name.clone());
+            }
+            if marks.contains("span_source") {
+                span_source.insert(name.clone());
             }
         }
         for (qual, marks) in &fp.variants {
@@ -858,6 +879,7 @@ pub fn build_index(sources: &BTreeMap<String, String>) -> Index {
     Index {
         fingerprint: fingerprint(sources),
         sim_state,
+        span_source,
         terminals,
         fns,
     }
@@ -1078,6 +1100,46 @@ pub fn analyze(index: &Index, sources: &BTreeMap<String, String>) -> Vec<Finding
         }
     }
 
+    // ---- span-digest ------------------------------------------------------
+    // Same reachability contract as digest-taint, applied to span logs:
+    // a span open/close/mark that no digest root reaches would record
+    // trace events the span digest cannot witness, so two traced replays
+    // could silently diverge.
+    if !index.span_source.is_empty() {
+        if digest_roots.is_empty() {
+            em.emit(
+                "flow-config",
+                Severity::Warn,
+                "(workspace)",
+                0,
+                None,
+                "span_source types are registered but no digest_root is; span-digest cannot run"
+                    .to_string(),
+            );
+        } else {
+            let reached = reach(&graph.out, &digest_roots);
+            for (i, f) in index.fns.iter().enumerate() {
+                let is_mutator = f.mut_self
+                    && f.impl_type
+                        .as_deref()
+                        .is_some_and(|t| index.span_source.contains(t));
+                if is_mutator && reached[i] == usize::MAX {
+                    em.emit(
+                        "span-digest",
+                        Severity::Error,
+                        &f.file,
+                        f.line,
+                        None,
+                        format!(
+                            "span-source mutator `{}` is not reachable from any digest fold root: span events through it bypass the span digest, so traced replays could diverge silently",
+                            f.qual,
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     // ---- panic-path -------------------------------------------------------
     let mut panic_roots: BTreeSet<usize> = index
         .fns
@@ -1216,7 +1278,7 @@ use crate::json_escape;
 /// Serialize the index to JSON (one object; findings-style escaping).
 pub fn index_to_json(index: &Index) -> String {
     let mut s = String::new();
-    s.push_str("{\"version\":1,");
+    s.push_str("{\"version\":2,");
     s.push_str(&format!("\"fingerprint\":\"{:016x}\",", index.fingerprint));
     let str_arr = |items: &BTreeSet<String>| {
         let inner: Vec<String> = items
@@ -1226,6 +1288,7 @@ pub fn index_to_json(index: &Index) -> String {
         format!("[{}]", inner.join(","))
     };
     s.push_str(&format!("\"sim_state\":{},", str_arr(&index.sim_state)));
+    s.push_str(&format!("\"span_source\":{},", str_arr(&index.span_source)));
     s.push_str(&format!("\"terminals\":{},", str_arr(&index.terminals)));
     s.push_str("\"fns\":[");
     for (i, f) in index.fns.iter().enumerate() {
@@ -1284,7 +1347,7 @@ pub fn index_to_json(index: &Index) -> String {
 /// Deserialize an index written by [`index_to_json`].
 pub fn index_from_json(s: &str) -> Result<Index, String> {
     let v = Json::parse(s)?;
-    if v.get("version").and_then(|x| x.as_u64()) != Some(1) {
+    if v.get("version").and_then(|x| x.as_u64()) != Some(2) {
         return Err("unsupported index version".to_string());
     }
     let fingerprint = v
@@ -1301,6 +1364,7 @@ pub fn index_from_json(s: &str) -> Result<Index, String> {
             .collect()
     };
     let sim_state = str_set("sim_state")?;
+    let span_source = str_set("span_source")?;
     let terminals = str_set("terminals")?;
     let mut fns = Vec::new();
     for fv in v.get("fns").and_then(|x| x.as_arr()).ok_or("missing fns")? {
@@ -1383,6 +1447,7 @@ pub fn index_from_json(s: &str) -> Result<Index, String> {
     Ok(Index {
         fingerprint,
         sim_state,
+        span_source,
         terminals,
         fns,
     })
@@ -1564,6 +1629,74 @@ mod tests {
             ),
         ];
         assert!(!rules_hit(files).contains(&"digest-taint"));
+    }
+
+    // ---- span-digest ----
+
+    const SPAN_POS: &[(&str, &str)] = &[
+        (
+            "crates/sim/src/lib.rs",
+            "// simlint::span_source — span events fold into the span digest\n\
+             pub struct Log { pub n: u32 }\n\
+             impl Log {\n\
+                 pub fn open(&mut self) { self.n += 1; }\n\
+                 pub fn side_channel(&mut self) { self.n += 2; }\n\
+                 pub fn len(&self) -> u32 { self.n }\n\
+             }\n",
+        ),
+        (
+            "crates/harness/src/lib.rs",
+            "// simlint::digest_root — fold entry\n\
+             pub fn run_digest(log: &mut crate::Log) -> u64 {\n\
+                 log.open();\n\
+                 0\n\
+             }\n",
+        ),
+    ];
+
+    #[test]
+    fn span_digest_flags_unreachable_mutator_only() {
+        let findings = run(SPAN_POS);
+        let hits: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "span-digest")
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert!(hits[0].message.contains("Log::side_channel"));
+        assert_eq!(hits[0].severity, Severity::Error);
+        // The covered mutator and the shared-receiver accessor are clean.
+        assert!(findings.iter().all(|f| !f.message.contains("Log::open")));
+        assert!(findings.iter().all(|f| !f.message.contains("Log::len")));
+    }
+
+    #[test]
+    fn span_digest_suppressed_with_reason() {
+        let mut files: Vec<(&str, &str)> = SPAN_POS.to_vec();
+        files[0] = (
+            "crates/sim/src/lib.rs",
+            "// simlint::span_source — span events fold into the span digest\n\
+             pub struct Log { pub n: u32 }\n\
+             impl Log {\n\
+                 pub fn open(&mut self) { self.n += 1; }\n\
+                 // simlint::allow(span-digest) — test-only reset, never called in traced runs\n\
+                 pub fn side_channel(&mut self) { self.n += 2; }\n\
+             }\n",
+        );
+        assert!(!rules_hit(&files).contains(&"span-digest"));
+    }
+
+    #[test]
+    fn span_source_without_digest_root_warns() {
+        let files = &[(
+            "crates/sim/src/lib.rs",
+            "// simlint::span_source\n\
+             pub struct Log;\n\
+             impl Log { pub fn open(&mut self) {} }\n",
+        )];
+        let findings = run(files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "flow-config");
+        assert!(findings[0].message.contains("span_source"));
     }
 
     #[test]
@@ -1757,6 +1890,16 @@ mod tests {
         let index = build_index(&sources);
         let json = index_to_json(&index);
         let back = index_from_json(&json).unwrap();
+        assert_eq!(index, back);
+        assert_eq!(analyze(&index, &sources), analyze(&back, &sources));
+    }
+
+    #[test]
+    fn index_json_round_trip_preserves_span_sources() {
+        let sources = srcs(SPAN_POS);
+        let index = build_index(&sources);
+        assert!(index.span_source.contains("Log"), "{index:?}");
+        let back = index_from_json(&index_to_json(&index)).unwrap();
         assert_eq!(index, back);
         assert_eq!(analyze(&index, &sources), analyze(&back, &sources));
     }

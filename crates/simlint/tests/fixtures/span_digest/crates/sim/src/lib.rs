@@ -1,0 +1,29 @@
+//! span-digest fixture: one covered span-log mutator, one stray one.
+
+// simlint::span_source — span open/close must fold into the span digest
+pub struct Spans {
+    pub opened: u64,
+}
+
+impl Spans {
+    /// Reachable from the digest root below: clean.
+    pub fn open(&mut self) {
+        self.opened += 1;
+    }
+
+    /// Mutates the span log but no digest root reaches it: finding.
+    pub fn backdoor(&mut self) {
+        self.opened += 1;
+    }
+
+    /// Not a mutator (shared receiver): never flagged.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+}
+
+// simlint::digest_root — fixture replay fold
+pub fn fold_digest(spans: &mut Spans) -> u64 {
+    spans.open();
+    spans.opened()
+}

@@ -79,6 +79,27 @@ fn panic_path_true_positives_and_clean_negative() {
 }
 
 // ---------------------------------------------------------------------------
+// span-digest
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_digest_true_positive_and_clean_negative() {
+    let findings = analyze_fixture("span_digest");
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "span-digest")
+        .collect();
+    assert_eq!(hits.len(), 1, "{findings:#?}");
+    assert!(hits[0].message.contains("Spans::backdoor"), "{:?}", hits[0]);
+    assert_eq!(hits[0].severity, Severity::Error);
+    // The covered mutator and the shared-receiver accessor stay silent.
+    assert!(findings.iter().all(|f| !f.message.contains("Spans::open")));
+    assert!(findings
+        .iter()
+        .all(|f| !f.message.contains("Spans::opened")));
+}
+
+// ---------------------------------------------------------------------------
 // retry-taxonomy
 // ---------------------------------------------------------------------------
 

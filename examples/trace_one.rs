@@ -1,0 +1,68 @@
+//! Trace one scenario and print where the time goes.
+//!
+//! ```text
+//! cargo run --release --example trace_one [scenario]
+//! ```
+//!
+//! Runs the scenario (default `ior-dfuse`) with span recording on, then
+//! prints the top-3 critical-path contributors of every layer plus the
+//! full report, and drops the Chrome trace JSON next to the binary's
+//! working directory — load it in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing` to browse the causal tree interactively.
+
+use benchkit::scenarios::{RunSpec, Scenario};
+use benchkit::trace_scenario;
+use cluster::{Calibration, GIB};
+
+fn parse(name: &str) -> Option<Scenario> {
+    match name {
+        "ior-daos" => Some(Scenario::IorDaos),
+        "ior-dfs" => Some(Scenario::IorDfs),
+        "ior-dfuse" => Some(Scenario::IorDfuse),
+        "ior-dfuse-il" => Some(Scenario::IorDfuseIl),
+        "ior-hdf5-dfuse-il" => Some(Scenario::IorHdf5DfuseIl),
+        "ior-hdf5-daos" => Some(Scenario::IorHdf5Daos),
+        "fieldio" => Some(Scenario::FieldIo),
+        "fdb-daos" => Some(Scenario::FdbDaos),
+        "ior-lustre" => Some(Scenario::IorLustre),
+        "fdb-lustre" => Some(Scenario::FdbLustre),
+        "ior-ceph" => Some(Scenario::IorCeph),
+        "fdb-ceph" => Some(Scenario::FdbCeph),
+        _ => None,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or("ior-dfuse".to_string());
+    let Some(scen) = parse(&arg) else {
+        eprintln!(
+            "unknown scenario '{arg}'; one of: ior-daos ior-dfs ior-dfuse ior-dfuse-il \
+             ior-hdf5-dfuse-il ior-hdf5-daos fieldio fdb-daos ior-lustre fdb-lustre \
+             ior-ceph fdb-ceph"
+        );
+        std::process::exit(2);
+    };
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 24;
+    let t = trace_scenario(&spec, scen, &Calibration::default());
+    println!(
+        "{}: write {:.2} GiB/s, read {:.2} GiB/s, {} spans",
+        scen.name(),
+        t.result.write.bandwidth() / GIB,
+        t.result.read.bandwidth() / GIB,
+        t.exports.span_count
+    );
+    println!("\ntop-3 critical-path contributors per layer:");
+    for layer in t.exports.layers() {
+        println!("  {layer}:");
+        for c in t.exports.top_of_layer(layer, 3) {
+            println!("    {:<20} {} ns", c.op, c.self_ns);
+        }
+    }
+    println!("\n{}", t.exports.critical_path);
+    let path = format!("{arg}.trace.json");
+    match std::fs::write(&path, &t.exports.chrome_json) {
+        Ok(()) => println!("wrote {path} — open it in ui.perfetto.dev"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
