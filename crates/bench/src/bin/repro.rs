@@ -4,13 +4,21 @@
 //! repro [targets...] [--out DIR]
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
-//!          lustre-ior ceph-ior faulted trace all quick
+//!          lustre-ior ceph-ior faulted chaos chaos-replay chaos-shrink
+//!          trace all quick
 //! ```
+//!
+//! `chaos` runs the seeded fault swarm (`--seeds N`, default 8) over
+//! both scenario families, archiving and shrinking any failing
+//! schedule; `chaos-replay --schedule FILE` reruns an archived schedule
+//! byte-identically; `chaos-shrink --schedule FILE` delta-debugs it to
+//! a minimal reproducer.
 //!
 //! Each figure is printed as an aligned table and saved as CSV under the
 //! output directory (default `results/`).  `quick` runs a reduced set
 //! used for smoke testing.
 
+use benchkit::chaos;
 use benchkit::faulted::{self, FaultedScenario};
 use benchkit::figures::{self, Figure};
 use benchkit::report;
@@ -117,6 +125,135 @@ fn run_faulted_family(cal: &Calibration, out: &Path) {
     }
 }
 
+/// Write a failing case's schedule artifact (and its shrunken minimal
+/// reproducer) under `out/`, returning the archive path.
+fn archive_failure(
+    v: &chaos::ChaosVerdict,
+    spec: &RunSpec,
+    cal: &Calibration,
+    out: &Path,
+    shrinkable: bool,
+) -> PathBuf {
+    let stem = format!("chaos-{}-seed{:#06x}", slug(&v.scenario), v.seed);
+    let path = out.join(format!("{stem}.json"));
+    let json = chaos::schedule_json(&v.scenario, v.seed, spec, &v.plan);
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+        return path;
+    }
+    println!("archived failing schedule: {}", path.display());
+    if !shrinkable {
+        return path;
+    }
+    let scen = FaultedScenario::ALL
+        .into_iter()
+        .find(|s| s.name() == v.scenario)
+        .expect("faulted scenario");
+    // a traced replay of the failing schedule: the critical-path report
+    // and Chrome trace ship as CI artifacts next to the schedule itself
+    let topts = faulted::FaultedOpts {
+        plan: faulted::PlanSource::Fixed(v.plan.clone()),
+        mode: daos_core::DataMode::Full,
+        oracles: false,
+        traced: true,
+    };
+    let (_, exports) = faulted::run_faulted_with(spec, scen, cal, &topts);
+    if let Some(exports) = exports {
+        if let Err(e) = report::save_trace(&exports, out, &format!("faulted-{}", slug(&v.scenario)))
+        {
+            eprintln!("warning: could not save failing-run trace: {e}");
+        }
+    }
+    let outcome = chaos::shrink_failing(spec, scen, cal, &v.plan);
+    if outcome.reproduced {
+        let min_path = out.join(format!("{stem}.min.json"));
+        let min_json = chaos::schedule_json(&v.scenario, v.seed, spec, &outcome.plan);
+        if std::fs::write(&min_path, &min_json).is_ok() {
+            println!(
+                "shrunk {} -> {} events ({} probes): {}",
+                v.plan.len(),
+                outcome.plan.len(),
+                outcome.probes,
+                min_path.display()
+            );
+            println!(
+                "replay: cargo run --release --bin repro -- chaos-replay --schedule {}",
+                min_path.display()
+            );
+        }
+    } else {
+        eprintln!("shrinker could not reproduce the failure (flaky oracle?)");
+    }
+    path
+}
+
+/// The chaos swarm: N seeds over the faulted family (full oracle suite)
+/// and the engine family (determinism oracle over all 12 generic
+/// scenarios).  Failing schedules are archived and shrunk; any failure
+/// exits non-zero.
+fn run_chaos_swarm_target(cal: &Calibration, out: &Path, seeds: u64) {
+    let seed_block: Vec<u64> = (0..seeds).collect();
+    let spec = chaos::default_chaos_spec();
+    println!(
+        "--- faulted family ({} scenarios x {seeds} seeds, full oracles)",
+        FaultedScenario::ALL.len()
+    );
+    let faulted = chaos::run_chaos_swarm(&spec, cal, &seed_block);
+    print!("{}", faulted.render());
+    let mut failed = false;
+    for v in faulted.failures() {
+        failed = true;
+        print!("{}", v.oracle.render());
+        archive_failure(v, &spec, cal, out, true);
+    }
+    let mut espec = RunSpec::new(4, 2, 4);
+    espec.ops_per_proc = 16;
+    println!(
+        "--- engine family ({} scenarios x {seeds} seeds, determinism oracle)",
+        Scenario::ALL.len()
+    );
+    let engine = chaos::run_engine_swarm(&espec, cal, &seed_block);
+    print!("{}", engine.render());
+    for v in engine.failures() {
+        failed = true;
+        print!("{}", v.oracle.render());
+        archive_failure(v, &espec, cal, out, false);
+    }
+    if failed {
+        eprintln!("chaos swarm found invariant violations");
+        std::process::exit(1);
+    }
+}
+
+/// Replay an archived schedule byte-for-byte and report the verdict.
+/// Exits non-zero when the replay still violates an invariant (i.e. the
+/// archived failure reproduces).
+fn run_chaos_replay(cal: &Calibration, schedule: &Path) {
+    let input = std::fs::read_to_string(schedule)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", schedule.display()));
+    let arch = chaos::parse_schedule(&input).expect("schedule artifact parses");
+    let v = chaos::replay_archived(&arch, cal).expect("scenario resolves");
+    println!("{}", v.render_line());
+    if !v.passed() {
+        print!("{}", v.oracle.render());
+        std::process::exit(1);
+    }
+}
+
+/// Shrink an archived failing schedule to a minimal reproducer and
+/// write it next to the input as `<stem>.min.json`.
+fn run_chaos_shrink(cal: &Calibration, out: &Path, schedule: &Path) {
+    let input = std::fs::read_to_string(schedule)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", schedule.display()));
+    let arch = chaos::parse_schedule(&input).expect("schedule artifact parses");
+    let v = chaos::replay_archived(&arch, cal).expect("scenario resolves");
+    if v.passed() {
+        eprintln!("schedule does not fail any oracle; nothing to shrink");
+        std::process::exit(1);
+    }
+    archive_failure(&v, &arch.spec, cal, out, true);
+}
+
 /// Bottleneck analysis: one representative point per scenario against a
 /// 16-server deployment, with the top-utilised resources per phase —
 /// the reasoning the paper applies when comparing measured bandwidth to
@@ -164,6 +301,8 @@ fn analyze(cal: &Calibration) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("results");
+    let mut seeds: u64 = 8;
+    let mut schedule: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -171,9 +310,19 @@ fn main() {
             "--out" => {
                 out = PathBuf::from(it.next().expect("--out needs a directory"));
             }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .expect("--seeds needs a count")
+                    .parse()
+                    .expect("--seeds needs a number");
+            }
+            "--schedule" => {
+                schedule = Some(PathBuf::from(it.next().expect("--schedule needs a file")));
+            }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|ablations|mdtest|analyze|all|quick]* [--out DIR]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
                 );
                 return;
             }
@@ -227,6 +376,20 @@ fn main() {
             "lustre-ior" => emit(vec![figures::ior_lustre_table(&cal)], &out, &mut collected),
             "ceph-ior" => emit(vec![figures::ior_ceph_table(&cal)], &out, &mut collected),
             "faulted" => run_faulted_family(&cal, &out),
+            "chaos" => run_chaos_swarm_target(&cal, &out, seeds),
+            "chaos-replay" => run_chaos_replay(
+                &cal,
+                schedule
+                    .as_deref()
+                    .expect("chaos-replay needs --schedule FILE"),
+            ),
+            "chaos-shrink" => run_chaos_shrink(
+                &cal,
+                &out,
+                schedule
+                    .as_deref()
+                    .expect("chaos-shrink needs --schedule FILE"),
+            ),
             "trace" => run_traces(&cal, &out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
             "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),

@@ -1,0 +1,429 @@
+//! The chaos swarm: seeded schedule generation × invariant oracles ×
+//! automatic shrinking, glued to the benchmark scenario families.
+//!
+//! One **case** is `(scenario, seed)`: the seed samples a random
+//! [`FaultPlan`] from the deployment's fault surface, the scenario runs
+//! under it twice from fresh state, and the verdict combines the
+//! durability/consistency oracles of the run with a determinism check
+//! over the two replay digests.  A **swarm** is a seed block over a
+//! scenario family; any failing case's schedule is serializable to a
+//! self-contained JSON artifact from which [`replay_archived`] reruns
+//! the exact case, and [`shrink_failing`] delta-debugs the schedule down
+//! to a minimal reproducer using deterministic replay as the oracle.
+//!
+//! Two families are covered:
+//!
+//! * the **faulted family** ([`FaultedScenario::ALL`]): full fault
+//!   surface (server crashes, restarts, slow disks, NIC brownouts,
+//!   delayed completions) with the durability ledger recording every
+//!   acked write in `Full` data mode and every oracle auditing after
+//!   quiescence;
+//! * the **engine family** ([`Scenario::ALL`]): capacity-weather
+//!   schedules (slow disks / NIC brownouts only — safe against drivers
+//!   with no fault-aware world) where the invariant is that the run
+//!   completes and replays bit-identically.
+
+use crate::faulted::{run_faulted_with, FaultedOpts, FaultedScenario, PlanSource};
+use crate::scenarios::{run_scenario_chaos, RunSpec, Scenario};
+use cluster::{Calibration, ClusterSpec, Topology};
+use daos_core::{DataMode, OracleKind, OracleReport, TargetId, Violation};
+use simkit::{generate, shrink, ChaosConfig, ChaosSpace, FaultPlan, Scheduler, ShrinkOutcome};
+
+/// The sweep point the chaos swarm runs at: the faulted family's
+/// deployment shape with a reduced op count and transfer size, because
+/// `Full` data mode materialises (and the ledger re-reads) every byte.
+pub fn default_chaos_spec() -> RunSpec {
+    let mut spec = crate::faulted::default_faulted_spec();
+    spec.ops_per_proc = 16;
+    spec.transfer = 256 << 10;
+    spec
+}
+
+/// Enumerate the fault surface of the deployment `spec` describes:
+/// whole-server crash groups, every NVMe read/write device, both NIC
+/// directions, and per-server delayed-completion payloads.
+pub fn chaos_space(spec: &RunSpec, cal: &Calibration) -> ChaosSpace {
+    // A scratch scheduler: resource ids depend only on registration
+    // order, so the ids enumerated here match the real run's topology
+    // build exactly.
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(spec.servers, spec.client_nodes)
+        .with_cal(cal.clone())
+        .build(&mut sched);
+    let mut space = engine_space(&topo);
+    space.crash_groups = (0..spec.servers as u16)
+        .map(|server| {
+            (0..cal.targets_per_server as u16)
+                .map(|target| TargetId { server, target }.pack())
+                .collect()
+        })
+        .collect();
+    space.delay_payloads = (0..spec.servers as u64).collect();
+    space
+}
+
+/// The engine-level slice of the fault surface: disk and NIC resources
+/// only.  Schedules drawn from this space are safe against *any*
+/// scenario because the engine applies capacity scaling itself — no
+/// world cooperation needed.
+pub fn engine_space(topo: &Topology) -> ChaosSpace {
+    let mut space = ChaosSpace::default();
+    for srv in &topo.servers {
+        space.disks.extend(srv.nvme_r.iter().copied());
+        space.disks.extend(srv.nvme_w.iter().copied());
+        space.nics.push(srv.nic_tx);
+        space.nics.push(srv.nic_rx);
+    }
+    space
+}
+
+/// One chaos case verdict.
+#[derive(Debug, Clone)]
+pub struct ChaosVerdict {
+    /// Scenario display name.
+    pub scenario: String,
+    /// The generating seed.
+    pub seed: u64,
+    /// The sampled schedule (phase-relative event times).
+    pub plan: FaultPlan,
+    /// Merged oracle report (durability, reconstruction, redundancy,
+    /// interface consistency, determinism).
+    pub oracle: OracleReport,
+    /// Replay digest of the first run.
+    pub digest: u64,
+}
+
+impl ChaosVerdict {
+    /// Every invariant green.
+    pub fn passed(&self) -> bool {
+        self.oracle.ok()
+    }
+
+    /// One status line: `seed 0x0017 IOR-easy/RP_2+crash 3 faults ok`.
+    pub fn render_line(&self) -> String {
+        format!(
+            "seed {:#06x}  {:<24} {} faults  digest {:#018x}  {}",
+            self.seed,
+            self.scenario,
+            self.plan.len(),
+            self.digest,
+            if self.passed() {
+                "ok".to_string()
+            } else {
+                format!("FAILED ({} violations)", self.oracle.violations.len())
+            }
+        )
+    }
+}
+
+fn determinism_violation(scenario: &str, a: u64, b: u64) -> Violation {
+    Violation {
+        oracle: OracleKind::Determinism,
+        subject: scenario.to_string(),
+        detail: format!("replay digests diverge: {a:#018x} vs {b:#018x}"),
+    }
+}
+
+/// Run one faulted-family chaos case: generate the seed's schedule, run
+/// it twice from fresh state with the ledger recording and all oracles
+/// auditing, and fold a determinism check over the two digests.
+pub fn run_chaos_case(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+    seed: u64,
+) -> ChaosVerdict {
+    let space = chaos_space(spec, cal);
+    let plan = generate(&space, &ChaosConfig::default(), seed);
+    run_planned_case(spec, scen, cal, seed, plan)
+}
+
+/// Run a faulted-family case under an explicit schedule (the replay and
+/// shrink entry point — [`run_chaos_case`] is this plus generation).
+pub fn run_planned_case(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+    seed: u64,
+    plan: FaultPlan,
+) -> ChaosVerdict {
+    let opts = FaultedOpts {
+        plan: PlanSource::Fixed(plan.clone()),
+        mode: DataMode::Full,
+        oracles: true,
+        traced: false,
+    };
+    let (first, _) = run_faulted_with(spec, scen, cal, &opts);
+    let (second, _) = run_faulted_with(spec, scen, cal, &opts);
+    let mut oracle = first.oracles.clone().unwrap_or_default();
+    if first.digest != second.digest {
+        oracle.violations.push(determinism_violation(
+            scen.name(),
+            first.digest,
+            second.digest,
+        ));
+    }
+    ChaosVerdict {
+        scenario: scen.name().to_string(),
+        seed,
+        plan,
+        oracle,
+        digest: first.digest,
+    }
+}
+
+/// Run one engine-family chaos case: capacity-weather schedule over a
+/// generic scenario, determinism as the invariant.
+pub fn run_engine_case(
+    spec: &RunSpec,
+    scen: Scenario,
+    cal: &Calibration,
+    seed: u64,
+) -> ChaosVerdict {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(spec.servers, spec.client_nodes)
+        .with_cal(cal.clone())
+        .build(&mut sched);
+    let plan = generate(&engine_space(&topo), &ChaosConfig::default(), seed);
+    let (_, a) = run_scenario_chaos(spec, scen, cal, &plan);
+    let (_, b) = run_scenario_chaos(spec, scen, cal, &plan);
+    let mut oracle = OracleReport::default();
+    oracle.checked_groups += 1;
+    if a != b {
+        oracle
+            .violations
+            .push(determinism_violation(scen.name(), a, b));
+    }
+    ChaosVerdict {
+        scenario: scen.name().to_string(),
+        seed,
+        plan,
+        oracle,
+        digest: a,
+    }
+}
+
+/// A swarm's collected verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct SwarmReport {
+    /// One verdict per case, in run order.
+    pub verdicts: Vec<ChaosVerdict>,
+}
+
+impl SwarmReport {
+    /// Every case green.
+    pub fn passed(&self) -> bool {
+        self.verdicts.iter().all(|v| v.passed())
+    }
+
+    /// The failing cases.
+    pub fn failures(&self) -> Vec<&ChaosVerdict> {
+        self.verdicts.iter().filter(|v| !v.passed()).collect()
+    }
+
+    /// Per-case lines plus a summary footer.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.verdicts {
+            out.push_str(&v.render_line());
+            out.push('\n');
+        }
+        let failed = self.verdicts.len() - self.verdicts.iter().filter(|v| v.passed()).count();
+        out.push_str(&format!(
+            "swarm: {} cases, {} failed\n",
+            self.verdicts.len(),
+            failed
+        ));
+        out
+    }
+}
+
+/// Swarm the faulted family: every scenario in [`FaultedScenario::ALL`]
+/// under every seed in `seeds`, full oracle suite.
+pub fn run_chaos_swarm(spec: &RunSpec, cal: &Calibration, seeds: &[u64]) -> SwarmReport {
+    let mut report = SwarmReport::default();
+    for &seed in seeds {
+        for scen in FaultedScenario::ALL {
+            report.verdicts.push(run_chaos_case(spec, scen, cal, seed));
+        }
+    }
+    report
+}
+
+/// Swarm the engine family: every scenario in [`Scenario::ALL`] under
+/// every seed in `seeds`, determinism oracle.
+pub fn run_engine_swarm(spec: &RunSpec, cal: &Calibration, seeds: &[u64]) -> SwarmReport {
+    let mut report = SwarmReport::default();
+    for &seed in seeds {
+        for &scen in Scenario::ALL.iter() {
+            report.verdicts.push(run_engine_case(spec, scen, cal, seed));
+        }
+    }
+    report
+}
+
+/// Shrink a failing faulted-family schedule to a minimal reproducer.
+/// The oracle is deterministic replay: a candidate subset "fails" when
+/// any invariant oracle reports a violation under it.  Probes run
+/// single-sided (no second determinism run) — the shrunken plan's final
+/// verdict should be re-established with [`run_planned_case`].
+pub fn shrink_failing(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+    plan: &FaultPlan,
+) -> ShrinkOutcome {
+    let opts_for = |p: &FaultPlan| FaultedOpts {
+        plan: PlanSource::Fixed(p.clone()),
+        mode: DataMode::Full,
+        oracles: true,
+        traced: false,
+    };
+    shrink(plan, |candidate| {
+        let (report, _) = run_faulted_with(spec, scen, cal, &opts_for(candidate));
+        !report
+            .oracles
+            .as_ref()
+            .map(OracleReport::ok)
+            .unwrap_or(true)
+    })
+}
+
+/// Serialize a case to a self-contained schedule artifact: scenario,
+/// seed, deployment shape, the plan itself, and the exact replay
+/// command.  [`parse_schedule`] inverts it.
+pub fn schedule_json(scenario: &str, seed: u64, spec: &RunSpec, plan: &FaultPlan) -> String {
+    format!(
+        concat!(
+            "{{\"scenario\": \"{}\", \"seed\": {}, ",
+            "\"spec\": {{\"servers\": {}, \"client_nodes\": {}, \"ppn\": {}, ",
+            "\"ops_per_proc\": {}, \"transfer\": {}, \"queue_depth\": {}, \"seed\": {}}}, ",
+            "\"replay\": \"cargo run --release --bin repro -- chaos-replay --schedule <this file>\", ",
+            "\"plan\": {}}}"
+        ),
+        scenario,
+        seed,
+        spec.servers,
+        spec.client_nodes,
+        spec.ppn,
+        spec.ops_per_proc,
+        spec.transfer,
+        spec.queue_depth,
+        spec.seed,
+        plan.to_json(),
+    )
+}
+
+/// A parsed schedule artifact.
+#[derive(Debug, Clone)]
+pub struct ArchivedSchedule {
+    /// Scenario display name (resolved against [`FaultedScenario::ALL`]
+    /// by [`replay_archived`]).
+    pub scenario: String,
+    /// The generating seed (provenance; the plan is authoritative).
+    pub seed: u64,
+    /// Deployment shape to rerun at.
+    pub spec: RunSpec,
+    /// The schedule.
+    pub plan: FaultPlan,
+}
+
+/// Parse a schedule artifact produced by [`schedule_json`].
+pub fn parse_schedule(input: &str) -> Result<ArchivedSchedule, String> {
+    let doc = simkit::json::parse(input).map_err(|e| e.to_string())?;
+    let scenario = doc
+        .get("scenario")
+        .and_then(|v| v.as_str())
+        .ok_or("missing scenario")?
+        .to_string();
+    let seed = doc
+        .get("seed")
+        .and_then(|v| v.as_u64())
+        .ok_or("missing seed")?;
+    let s = doc.get("spec").ok_or("missing spec")?;
+    let field = |name: &str| -> Result<u64, String> {
+        s.get(name)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("missing spec.{name}"))
+    };
+    let mut spec = RunSpec::new(
+        field("servers")? as usize,
+        field("client_nodes")? as usize,
+        field("ppn")? as usize,
+    );
+    spec.ops_per_proc = field("ops_per_proc")? as usize;
+    spec.transfer = field("transfer")?;
+    spec.queue_depth = field("queue_depth")? as usize;
+    spec.seed = field("seed")?;
+    let plan = FaultPlan::from_json(&doc.get("plan").ok_or("missing plan")?.render())?;
+    Ok(ArchivedSchedule {
+        scenario,
+        seed,
+        spec,
+        plan,
+    })
+}
+
+/// Rerun an archived schedule byte-for-byte: resolve the scenario by
+/// name and replay the stored plan at the stored deployment shape.
+pub fn replay_archived(arch: &ArchivedSchedule, cal: &Calibration) -> Result<ChaosVerdict, String> {
+    let scen = FaultedScenario::ALL
+        .into_iter()
+        .find(|s| s.name() == arch.scenario)
+        .ok_or_else(|| format!("unknown scenario {:?}", arch.scenario))?;
+    Ok(run_planned_case(
+        &arch.spec,
+        scen,
+        cal,
+        arch.seed,
+        arch.plan.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> RunSpec {
+        let mut spec = default_chaos_spec();
+        spec.ops_per_proc = 8;
+        spec
+    }
+
+    #[test]
+    fn chaos_case_is_deterministic_and_green() {
+        let spec = tiny_spec();
+        let cal = Calibration::default();
+        let a = run_chaos_case(&spec, FaultedScenario::IorEasyRp2, &cal, 7);
+        assert!(a.passed(), "seed 7 must be green:\n{}", a.oracle.render());
+        let b = run_chaos_case(&spec, FaultedScenario::IorEasyRp2, &cal, 7);
+        assert_eq!(a.digest, b.digest, "same seed, same case digest");
+        assert_eq!(a.plan.to_json(), b.plan.to_json());
+        // different seed, different schedule
+        let c = run_chaos_case(&spec, FaultedScenario::IorEasyRp2, &cal, 8);
+        assert_ne!(a.plan.to_json(), c.plan.to_json());
+    }
+
+    #[test]
+    fn schedule_artifact_round_trips_and_replays_identically() {
+        let spec = tiny_spec();
+        let cal = Calibration::default();
+        let v = run_chaos_case(&spec, FaultedScenario::IorHardEc2p1, &cal, 3);
+        let json = schedule_json(&v.scenario, v.seed, &spec, &v.plan);
+        let arch = parse_schedule(&json).expect("parses");
+        assert_eq!(arch.scenario, v.scenario);
+        assert_eq!(arch.plan.to_json(), v.plan.to_json());
+        let replayed = replay_archived(&arch, &cal).expect("replays");
+        assert_eq!(replayed.digest, v.digest, "archived schedule pins the run");
+    }
+
+    #[test]
+    fn engine_case_covers_generic_scenarios() {
+        let mut spec = RunSpec::new(2, 1, 2);
+        spec.ops_per_proc = 8;
+        let cal = Calibration::default();
+        let v = run_engine_case(&spec, Scenario::IorDaos, &cal, 11);
+        assert!(v.passed(), "{}", v.oracle.render());
+        assert!(!v.plan.is_empty(), "engine space must sample something");
+    }
+}

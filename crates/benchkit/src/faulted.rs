@@ -31,8 +31,8 @@ use crate::scenarios::{exec, make_sched, RunSpec};
 use cluster::bench::{Phase, ProcWorkload};
 use cluster::{Calibration, ClusterSpec, Topology};
 use daos_core::{
-    ContainerProps, DaosSystem, DataMode, ObjectClass, RebuildReport, RetryPolicy, RetryStats,
-    TargetId,
+    ContainerProps, DaosSystem, DataMode, ObjectClass, OracleReport, RebuildReport, RetryPolicy,
+    RetryStats, TargetId,
 };
 use field_io::FieldIo;
 use ior_bench::{AccessOrder, Ior, IorBackend, IorConfig};
@@ -96,6 +96,46 @@ pub fn default_faulted_spec() -> RunSpec {
     spec
 }
 
+/// Where a faulted run's failure schedule comes from.
+#[derive(Debug, Clone)]
+pub enum PlanSource {
+    /// The scenario's built-in hand-written schedule.
+    Builtin,
+    /// An explicit schedule whose event times are **offsets from the
+    /// write→read phase boundary** (offset 0 fires the moment the read
+    /// phase starts).  Chaos-generated and shrunken schedules use this
+    /// form so the same JSON replays regardless of how long the healthy
+    /// phase took.
+    Fixed(FaultPlan),
+}
+
+/// Options for [`run_faulted_with`] — the knobs the chaos swarm turns
+/// that the fixed benchmark family keeps at their defaults.
+#[derive(Debug, Clone)]
+pub struct FaultedOpts {
+    /// The failure schedule.
+    pub plan: PlanSource,
+    /// Data mode: `Sized` (default) for bandwidth runs, `Full` when the
+    /// durability oracles need real bytes to compare.
+    pub mode: DataMode,
+    /// Record acked writes during the run and audit every invariant
+    /// oracle after quiescence.
+    pub oracles: bool,
+    /// Record causal spans.
+    pub traced: bool,
+}
+
+impl Default for FaultedOpts {
+    fn default() -> Self {
+        FaultedOpts {
+            plan: PlanSource::Builtin,
+            mode: DataMode::Sized,
+            oracles: false,
+            traced: false,
+        }
+    }
+}
+
 /// Result of one faulted run.
 #[derive(Debug, Clone)]
 pub struct FaultedReport {
@@ -111,7 +151,13 @@ pub struct FaultedReport {
     pub rebuild: Option<RebuildReport>,
     /// Seconds from the crash firing to the rebuild movement draining.
     pub redundancy_restored_secs: Option<f64>,
-    /// Replay digest over completions *and* fired faults.
+    /// Post-quiescence invariant audit (only with
+    /// [`FaultedOpts::oracles`]): acked-durability and reconstruction
+    /// read-back, redundancy restoration, and the owning interface's
+    /// consistency checks.
+    pub oracles: Option<OracleReport>,
+    /// Replay digest over completions *and* fired faults (including the
+    /// installed schedule itself).
     pub digest: u64,
 }
 
@@ -393,18 +439,42 @@ fn run_faulted_inner(
     cal: &Calibration,
     traced: bool,
 ) -> (FaultedReport, Option<crate::tracing::SpanExports>) {
+    let opts = FaultedOpts {
+        traced,
+        ..FaultedOpts::default()
+    };
+    run_faulted_with(spec, scen, cal, &opts)
+}
+
+/// Execute one faulted scenario under explicit [`FaultedOpts`]: the
+/// general entry point behind [`run_faulted`], the chaos swarm and the
+/// shrinker's replay oracle.
+// simlint::digest_root — chaos/faulted replay digest entry
+pub fn run_faulted_with(
+    spec: &RunSpec,
+    scen: FaultedScenario,
+    cal: &Calibration,
+    opts: &FaultedOpts,
+) -> (FaultedReport, Option<crate::tracing::SpanExports>) {
     let mut sched = make_sched(spec, false);
-    if traced {
+    if opts.traced {
         sched.enable_spans();
     }
     let cspec = ClusterSpec::new(spec.servers, spec.client_nodes).with_cal(cal.clone());
     let topo = cspec.build(&mut sched);
-    let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, DataMode::Sized);
+    let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, opts.mode);
+    if opts.oracles {
+        daos_sys.enable_ledger();
+    }
     let (cid, s) = daos_sys.cont_create(0, ContainerProps::default());
     exec(&mut sched, s);
     let daos = Rc::new(RefCell::new(daos_sys));
+    let plan_for = |t0: SimTime| match &opts.plan {
+        PlanSource::Builtin => fault_plan(scen, t0, &topo),
+        PlanSource::Fixed(plan) => plan.shifted(t0),
+    };
 
-    let (write, read, retry, out) = match scen {
+    let (write, read, retry, out, iface_oracle) = match scen {
         FaultedScenario::IorEasyRp2 | FaultedScenario::IorHardEc2p1 => {
             let mut cfg = IorConfig::new(spec.procs(), spec.client_nodes, spec.ops_per_proc);
             cfg.transfer_size = spec.transfer;
@@ -424,10 +494,10 @@ fn run_faulted_inner(
             let mut ior = Ior::new(cfg, backend);
             ior.set_retry_policy(RetryPolicy::default(), spec.seed);
             let write = run_phase(&mut sched, &mut ior);
-            sched.install_faults(fault_plan(scen, sched.now(), &topo));
+            sched.install_faults(plan_for(sched.now()));
             ior.set_phase(Phase::Read);
             let (read, out) = run_faulted_phase(&mut sched, &mut ior, &daos);
-            (write, read, ior.retry_stats(), out)
+            (write, read, ior.retry_stats(), out, None)
         }
         FaultedScenario::FieldIoFaulted => {
             // EC_2P1 data, RP_2 index: an unprotected (SX) TOC shard on
@@ -445,18 +515,28 @@ fn run_faulted_inner(
                 spec.transfer,
             );
             let write = run_phase(&mut sched, &mut wl);
-            sched.install_faults(fault_plan(scen, sched.now(), &topo));
+            sched.install_faults(plan_for(sched.now()));
             wl.phase = Phase::Read;
             let (read, out) = run_faulted_phase(&mut sched, &mut wl, &daos);
-            (write, read, wl.fio.retry_stats(), out)
+            let iface = opts.oracles.then(|| wl.fio.verify_consistency(0));
+            (write, read, wl.fio.retry_stats(), out, iface)
         }
     };
 
+    let oracles = opts.oracles.then(|| {
+        let mut report = iface_oracle.unwrap_or_default();
+        let mut d = daos.borrow_mut();
+        report.merge(d.verify_durability(0));
+        report.merge(d.verify_redundancy());
+        report
+    });
     let redundancy_restored_secs = match (out.crash_at, out.restored_at) {
         (Some(c), Some(r)) => Some(r.secs_since(c)),
         _ => None,
     };
-    let exports = traced.then(|| crate::tracing::SpanExports::collect(&sched));
+    let exports = opts
+        .traced
+        .then(|| crate::tracing::SpanExports::collect(&sched));
     (
         FaultedReport {
             scenario: scen,
@@ -465,6 +545,7 @@ fn run_faulted_inner(
             retry,
             rebuild: out.rebuild,
             redundancy_restored_secs,
+            oracles,
             digest: sched.digest(),
         },
         exports,

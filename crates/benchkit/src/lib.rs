@@ -17,6 +17,7 @@
 //! * [`tracing`] — span-traced runs: Chrome `trace_event` JSON
 //!   (Perfetto-loadable) and critical-path attribution exports.
 
+pub mod chaos;
 pub mod determinism;
 pub mod driver;
 pub mod faulted;
@@ -28,16 +29,21 @@ pub mod tracing;
 pub mod verdict;
 pub mod workloads;
 
+pub use chaos::{
+    chaos_space, default_chaos_spec, engine_space, parse_schedule, replay_archived, run_chaos_case,
+    run_chaos_swarm, run_engine_case, run_engine_swarm, run_planned_case, schedule_json,
+    shrink_failing, ArchivedSchedule, ChaosVerdict, SwarmReport,
+};
 pub use determinism::{replay_all, replay_scenario, ScenarioReplay};
 pub use driver::{run_phase, PhaseResult};
 pub use faulted::{
-    default_faulted_spec, replay_faulted, run_faulted, run_faulted_traced, FaultedReplay,
-    FaultedReport, FaultedScenario,
+    default_faulted_spec, replay_faulted, run_faulted, run_faulted_traced, run_faulted_with,
+    FaultedOpts, FaultedReplay, FaultedReport, FaultedScenario, PlanSource,
 };
 pub use figures::{Figure, Point, Series};
 pub use scenarios::{
-    analyze_scenario, auto_ops, run_reps, run_scenario, run_scenario_digest, PointStats,
-    ResourceUse, RunResult, RunSpec, Scenario,
+    analyze_scenario, auto_ops, run_reps, run_scenario, run_scenario_chaos, run_scenario_digest,
+    PointStats, ResourceUse, RunResult, RunSpec, Scenario,
 };
 pub use stats::Stats;
 pub use tracing::{trace_scenario, SpanExports, TracedRun};

@@ -217,6 +217,29 @@ pub fn run_scenario_digest(spec: &RunSpec, scen: Scenario, cal: &Calibration) ->
     (result, sched.digest())
 }
 
+/// Like [`run_scenario_digest`], but with an engine-level fault
+/// schedule installed before the run starts (event times are offsets
+/// from run start).  Only engine-applied actions
+/// ([`simkit::FaultAction::SlowDisk`] /
+/// [`simkit::FaultAction::NicBrownout`]) take effect here — the generic
+/// scenario drivers have no fault-aware world, so crash or delay events
+/// would fire into the default no-op handler.  The chaos swarm uses
+/// this to subject every scenario in [`Scenario::ALL`] to random
+/// capacity weather and assert determinism still holds.
+// simlint::digest_root — chaos engine-swarm replay-digest entry
+pub fn run_scenario_chaos(
+    spec: &RunSpec,
+    scen: Scenario,
+    cal: &Calibration,
+    plan: &simkit::FaultPlan,
+) -> (RunResult, u64) {
+    let mut sched = make_sched(spec, false);
+    let t0 = sched.now();
+    sched.install_faults(plan.shifted(t0));
+    let (result, _) = run_scenario_on(&mut sched, spec, scen, cal);
+    (result, sched.digest())
+}
+
 /// Like [`run_scenario`], but with per-resource utilisation analysis:
 /// returns the top-`top` resources by utilisation in each phase — the
 /// saturation reasoning the paper applies to every figure.

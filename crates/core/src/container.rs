@@ -7,7 +7,7 @@ use crate::pool::Layout;
 use std::collections::BTreeMap;
 
 /// Handle to a container within a pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ContainerId(pub u32);
 
 /// Properties fixed at container create time.

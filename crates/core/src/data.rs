@@ -304,6 +304,43 @@ impl ArrayData {
         self.chunks.contains_key(&idx)
     }
 
+    /// Flip one stored byte backing `offset` — a **planted-violation test
+    /// hook** for the durability oracles, never called by any data path.
+    /// For erasure-coded chunks the flip lands inside the data cell
+    /// holding the byte, modelling silent on-device corruption of a
+    /// single EC cell.  Returns `false` when no real byte backs the
+    /// offset (hole, or Sized mode).
+    pub fn corrupt_at(&mut self, offset: u64) -> bool {
+        let idx = offset / self.chunk_size;
+        let within = (offset % self.chunk_size) as usize;
+        match self.chunks.get_mut(&idx) {
+            Some(Chunk::Plain(b)) => match b.get_mut(within) {
+                Some(byte) => {
+                    *byte ^= 0xFF;
+                    true
+                }
+                None => false,
+            },
+            Some(Chunk::Ec(cells)) => {
+                let cell_len = match cells.first() {
+                    Some(c) if !c.is_empty() => c.len(),
+                    _ => return false,
+                };
+                match cells
+                    .get_mut(within / cell_len)
+                    .and_then(|cell| cell.get_mut(within % cell_len))
+                {
+                    Some(byte) => {
+                        *byte ^= 0xFF;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            None | Some(Chunk::Sized) => false,
+        }
+    }
+
     /// Truncate/extend the array's logical size (`daos_array_set_size`).
     pub fn set_size(&mut self, size: u64) {
         if size < self.size {
@@ -444,6 +481,35 @@ mod tests {
         assert!(b[..25].iter().all(|&x| x == 3));
         assert!(b[25..35].iter().all(|&x| x == 9));
         assert!(b[35..].iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn corrupt_at_flips_real_bytes_only() {
+        // Plain chunk: the flip is visible to a healthy read.
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Bytes(vec![5; 64]), DataMode::Full, None);
+        assert!(a.corrupt_at(10));
+        let b = a.read(0, 64, DataMode::Full, None, &all).unwrap();
+        assert_eq!(b.bytes().unwrap()[10], 5 ^ 0xFF);
+
+        // EC chunk: the flip lands in the data cell backing the offset.
+        let code = ErasureCode::new(2, 1);
+        let mut e = ArrayData::new(128);
+        e.write(
+            0,
+            &Payload::Bytes(vec![7; 128]),
+            DataMode::Full,
+            Some(&code),
+        );
+        assert!(e.corrupt_at(100)); // second data cell (cell_len = 64)
+        let b = e.read(0, 128, DataMode::Full, Some(&code), &all).unwrap();
+        assert_eq!(b.bytes().unwrap()[100], 7 ^ 0xFF);
+
+        // Holes and Sized chunks hold no bytes to corrupt.
+        let mut s = ArrayData::new(64);
+        s.write(0, &Payload::Sized(64), DataMode::Sized, None);
+        assert!(!s.corrupt_at(0));
+        assert!(!s.corrupt_at(1 << 20));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod class;
 pub mod container;
 pub mod data;
 pub mod ec;
+pub mod ledger;
 pub mod oid;
 pub mod pool;
 pub mod rebuild;
@@ -53,6 +54,9 @@ pub use class::ObjectClass;
 pub use container::{Container, ContainerId, ContainerProps, ObjectEntry};
 pub use data::{ArrayData, CellAvailability, DataError, DataMode, KvData, ObjData};
 pub use ec::ErasureCode;
+pub use ledger::{
+    content_digest, AckedValue, DurabilityLedger, OracleKind, OracleReport, Violation,
+};
 pub use oid::{Oid, OidAllocator, FLAG_KV};
 pub use pool::{Layout, PoolMap, TargetId, TargetState};
 pub use rebuild::RebuildReport;

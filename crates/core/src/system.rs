@@ -21,6 +21,9 @@ use crate::class::ObjectClass;
 use crate::container::{Container, ContainerId, ContainerProps, ObjectEntry};
 use crate::data::{ArrayData, CellAvailability, DataError, DataMode, KvData, ObjData};
 use crate::ec::ErasureCode;
+use crate::ledger::{
+    content_digest, AckedValue, DurabilityLedger, OracleKind, OracleReport, Violation,
+};
 use crate::oid::{Oid, FLAG_KV};
 use crate::pool::{PoolMap, TargetId};
 use crate::rebuild::{pick_replacement, RebuildReport};
@@ -98,6 +101,11 @@ pub struct DaosSystem {
     /// delayed-completion faults; applied to every data-path op chain
     /// touching the server's targets.
     extra_delay: BTreeMap<u16, u64>,
+    /// Shadow record of acknowledged writes for the durability oracles
+    /// ([`DaosSystem::enable_ledger`]).  `None` (the default) costs
+    /// nothing; when enabled it is written by the data paths but never
+    /// read by them, so it cannot alter any schedule.
+    ledger: Option<DurabilityLedger>,
 }
 
 impl DaosSystem {
@@ -131,6 +139,7 @@ impl DaosSystem {
             ec_cache: BTreeMap::new(),
             undetected: BTreeMap::new(),
             extra_delay: BTreeMap::new(),
+            ledger: None,
         }
     }
 
@@ -377,6 +386,9 @@ impl DaosSystem {
         if slot.take().is_none() {
             return Err(DaosError::NoSuchContainer);
         }
+        if let Some(l) = self.ledger.as_mut() {
+            l.record_cont_destroy(id);
+        }
         Ok(Step::seq([self.client_overhead(), self.pool_md_op(1.0)]))
     }
 
@@ -498,6 +510,9 @@ impl DaosSystem {
     ) -> Result<Step, DaosError> {
         let c = self.cont_mut(cid)?;
         c.objects.remove(&oid).ok_or(DaosError::NoSuchObject)?;
+        if let Some(l) = self.ledger.as_mut() {
+            l.record_punch(cid, oid);
+        }
         Ok(Step::seq([self.client_overhead(), self.rtt()]))
     }
 
@@ -535,10 +550,15 @@ impl DaosSystem {
         if up.is_empty() {
             return Err(DaosError::Unavailable);
         }
+        // clone for the ledger before the payload moves into the store
+        let acked = self.ledger.is_some().then(|| value.clone());
         let entry = self.obj_mut(cid, oid)?;
         match &mut entry.data {
             ObjData::Kv(kv) => kv.put(key, value),
             ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+        }
+        if let (Some(l), Some(v)) = (self.ledger.as_mut(), acked) {
+            l.record_kv_put(cid, oid, key, &v);
         }
         let writes = up
             .iter()
@@ -624,6 +644,9 @@ impl DaosSystem {
         };
         if !existed {
             return Err(DaosError::NoSuchKey);
+        }
+        if let Some(l) = self.ledger.as_mut() {
+            l.record_kv_remove(cid, oid, key);
         }
         let ops = up
             .iter()
@@ -737,6 +760,9 @@ impl DaosSystem {
                 ObjData::Array(a) => a.write(offset, &payload, mode, ec.as_ref()),
                 ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
             }
+        }
+        if let Some(l) = self.ledger.as_mut() {
+            l.record_array_write(cid, oid, offset, &payload);
         }
         // build the cost chain
         let mut group_steps = Vec::with_capacity(group_bytes.len());
@@ -978,6 +1004,9 @@ impl DaosSystem {
         match &mut entry.data {
             ObjData::Array(a) => a.set_size(size),
             ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+        }
+        if let Some(l) = self.ledger.as_mut() {
+            l.record_truncate(cid, oid, size);
         }
         let step = Step::span(
             "libdaos",
@@ -1239,6 +1268,180 @@ impl DaosSystem {
         info
     }
 
+    // ---- durability oracles ---------------------------------------------------
+
+    /// Start recording acknowledged writes for the durability oracles.
+    /// Call once after deploy, before the workload; the ledger is then
+    /// maintained by every mutating data path and consumed by
+    /// [`DaosSystem::verify_durability`].
+    // simlint::allow(digest-taint) — oracle bookkeeping: written by data paths, never read by them; cannot alter any schedule
+    pub fn enable_ledger(&mut self) {
+        self.ledger = Some(DurabilityLedger::new());
+    }
+
+    /// The acked-write ledger, when enabled.
+    pub fn ledger(&self) -> Option<&DurabilityLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Read every acknowledged write back through the owning API and
+    /// report anything missing, wrong, or unservable.
+    ///
+    /// The auditor behaves like any client: its reads observe
+    /// still-undetected crashes ([`DaosError::TargetDown`]) and retry
+    /// against the refreshed pool map, exactly as application reads do.
+    /// Content is compared byte-for-byte in Full data mode and by
+    /// length in Sized mode.  Returned [`Step`] costs are discarded —
+    /// this is an offline audit, run after quiescence, that must not
+    /// perturb the simulated schedule.
+    // simlint::allow(digest-taint) — offline audit: cost steps are discarded and only crash-detection bookkeeping is touched, after the workload has quiesced
+    pub fn verify_durability(&mut self, client: usize) -> OracleReport {
+        let Some(ledger) = self.ledger.clone() else {
+            return OracleReport::default();
+        };
+        let mut report = OracleReport::default();
+        for ((cid, oid, key), acked) in ledger.kv_entries() {
+            report.checked_kv += 1;
+            let subject = format!(
+                "cont {} obj {} key {:?}",
+                cid.0,
+                oid,
+                String::from_utf8_lossy(key)
+            );
+            let mut got = self.kv_get(client, *cid, *oid, key);
+            // first touches of crashed targets fail once per client
+            // detection is monotone per (client, target): at most one
+            // TargetDown per still-undetected target can occur
+            let mut detect_budget = self.pool.total_targets();
+            while matches!(got, Err(DaosError::TargetDown)) && detect_budget > 0 {
+                detect_budget -= 1;
+                got = self.kv_get(client, *cid, *oid, key);
+            }
+            match got {
+                Ok((read, _step)) => {
+                    if let Some(detail) = content_mismatch(acked, &read) {
+                        report.violations.push(Violation {
+                            oracle: self.mismatch_kind(*cid, *oid),
+                            subject,
+                            detail,
+                        });
+                    }
+                }
+                Err(e) => report.violations.push(Violation {
+                    oracle: OracleKind::AckedDurability,
+                    subject,
+                    detail: format!("acked {} bytes, read failed: {e:?}", acked.len()),
+                }),
+            }
+        }
+        for ((cid, oid), extents) in ledger.extent_entries() {
+            for (&offset, acked) in extents {
+                report.checked_extents += 1;
+                let subject = format!(
+                    "cont {} obj {} extent [{}, {})",
+                    cid.0,
+                    oid,
+                    offset,
+                    offset + acked.len()
+                );
+                let mut got = self.array_read(client, *cid, *oid, offset, acked.len());
+                // detection is monotone per (client, target): at most one
+                // TargetDown per still-undetected target can occur
+                let mut detect_budget = self.pool.total_targets();
+                while matches!(got, Err(DaosError::TargetDown)) && detect_budget > 0 {
+                    detect_budget -= 1;
+                    got = self.array_read(client, *cid, *oid, offset, acked.len());
+                }
+                match got {
+                    Ok((read, _step)) => {
+                        if let Some(detail) = content_mismatch(acked, &read) {
+                            report.violations.push(Violation {
+                                oracle: self.mismatch_kind(*cid, *oid),
+                                subject,
+                                detail,
+                            });
+                        }
+                    }
+                    Err(e) => report.violations.push(Violation {
+                        oracle: OracleKind::AckedDurability,
+                        subject,
+                        detail: format!("acked {} bytes, read failed: {e:?}", acked.len()),
+                    }),
+                }
+            }
+        }
+        report
+    }
+
+    /// A content mismatch on a redundant class means fail-over or
+    /// reconstruction served bad bytes; on a plain class it is a
+    /// straight durability loss.
+    fn mismatch_kind(&self, cid: ContainerId, oid: Oid) -> OracleKind {
+        match self.obj(cid, oid).map(|e| e.layout.class) {
+            Ok(ObjectClass::Replicated { .. }) | Ok(ObjectClass::ErasureCoded { .. }) => {
+                OracleKind::Reconstruction
+            }
+            _ => OracleKind::AckedDurability,
+        }
+    }
+
+    /// Check that every shard group of every live object is fully
+    /// redundant again (no down members) — the post-rebuild invariant
+    /// behind the paper's time-to-redundancy-restored measurements.
+    pub fn verify_redundancy(&self) -> OracleReport {
+        let mut report = OracleReport::default();
+        for cont in self.containers.iter().flatten() {
+            for (oid, entry) in &cont.objects {
+                for (g, group) in entry.layout.groups.iter().enumerate() {
+                    report.checked_groups += 1;
+                    let down: Vec<String> = group
+                        .iter()
+                        .filter(|&&t| !self.pool.is_up(t))
+                        .map(|t| format!("{}.{}", t.server, t.target))
+                        .collect();
+                    if !down.is_empty() {
+                        report.violations.push(Violation {
+                            oracle: OracleKind::RedundancyRestored,
+                            subject: format!("cont {} obj {} group {g}", cont.id.0, oid),
+                            detail: format!("down members after rebuild: {}", down.join(", ")),
+                        });
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Remove one acked KV entry behind the ledger's back — a
+    /// **planted-violation test hook** for the oracle self-tests, never
+    /// called by any data path.  Returns `false` when the entry does
+    /// not exist.
+    // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
+    pub fn inject_drop_acked_kv(&mut self, cid: ContainerId, oid: Oid, key: &[u8]) -> bool {
+        match self.obj_mut(cid, oid) {
+            Ok(entry) => match &mut entry.data {
+                ObjData::Kv(kv) => kv.remove(key),
+                ObjData::Array(_) => false,
+            },
+            Err(_) => false,
+        }
+    }
+
+    /// Flip one stored byte of an Array object (for EC objects: inside
+    /// one cell) — a **planted-violation test hook**; see
+    /// [`ArrayData::corrupt_at`].  Returns `false` when no real byte
+    /// backs the offset.
+    // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
+    pub fn inject_corrupt_extent(&mut self, cid: ContainerId, oid: Oid, offset: u64) -> bool {
+        match self.obj_mut(cid, oid) {
+            Ok(entry) => match &mut entry.data {
+                ObjData::Array(a) => a.corrupt_at(offset),
+                ObjData::Kv(_) => false,
+            },
+            Err(_) => false,
+        }
+    }
+
     fn obj(&self, cid: ContainerId, oid: Oid) -> Result<&ObjectEntry, DaosError> {
         self.cont(cid)?
             .objects
@@ -1281,6 +1484,33 @@ pub fn chunk_dkey_hash(chunk: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Compare an acked value against what a verification read returned:
+/// byte-for-byte when both sides carry bytes, by length otherwise
+/// (Sized mode tracks no content).  `None` means they agree.
+fn content_mismatch(acked: &AckedValue, read: &ReadPayload) -> Option<String> {
+    let read_len = read.len();
+    if acked.len() != read_len {
+        return Some(format!(
+            "acked {} bytes, read {} bytes",
+            acked.len(),
+            read_len
+        ));
+    }
+    match (acked, read) {
+        (AckedValue::Bytes(b), ReadPayload::Bytes(rb)) if b != rb => {
+            let first = b.iter().zip(rb.iter()).position(|(x, y)| x != y);
+            Some(format!(
+                "content differs at byte {} of {} (acked digest {:#018x}, read digest {:#018x})",
+                first.unwrap_or(0),
+                b.len(),
+                content_digest(b),
+                content_digest(rb),
+            ))
+        }
+        _ => None,
+    }
 }
 
 /// Distribution key hash (DAOS hashes dkeys to route to shards).

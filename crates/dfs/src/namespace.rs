@@ -16,7 +16,8 @@
 use cluster::payload::{Payload, ReadPayload};
 use cluster::posix::{components, FileId, FileStat, FsError, PosixFs};
 use daos_core::{
-    ContainerId, DaosError, DaosSystem, ObjectClass, Oid, RetryExec, RetryPolicy, RetryStats,
+    ContainerId, DaosError, DaosSystem, ObjectClass, Oid, OracleKind, OracleReport, RetryExec,
+    RetryPolicy, RetryStats, Violation,
 };
 use simkit::Step;
 use std::cell::RefCell;
@@ -434,6 +435,124 @@ impl Dfs {
             _ => Err(FsError::IsDir),
         }
     }
+
+    /// Audit namespace connectivity: walk every directory from the root
+    /// and check that each dirent is still readable from its directory
+    /// KV object (and, in Full data mode, still decodes to the child it
+    /// names), that each file's backing Array object answers a size
+    /// query, and that no live inode has become unreachable from the
+    /// root.  Any failure is the namespace equivalent of a torn write —
+    /// a name that resolves in the cache but not in the store.
+    ///
+    /// Offline audit for the chaos oracles: returned `Step` costs are
+    /// discarded and the simulated schedule is not perturbed.
+    // simlint::allow(digest-taint) — offline audit: cost steps are discarded; only crash-detection bookkeeping is touched, after quiescence
+    pub fn verify_connectivity(&mut self, client: usize) -> OracleReport {
+        let mut report = OracleReport::default();
+        let mut daos = self.daos.borrow_mut();
+        // detection is monotone per (client, target), so one retry per
+        // pool target bounds the TargetDown absorption loop
+        let budget = daos.pool().total_targets();
+        let full = daos.data_mode() == daos_core::DataMode::Full;
+        let mut reached = vec![false; self.inodes.len()];
+        reached[self.root().0 as usize] = true;
+        // (inode, path) breadth-first over the in-memory tree
+        let mut queue = vec![(self.root(), String::from("/"))];
+        while let Some((dir, path)) = queue.pop() {
+            let (kv, entries) = match &self.inode(dir).kind {
+                InodeKind::Dir { kv, entries } => (*kv, entries.clone()),
+                _ => continue,
+            };
+            for (name, child) in entries {
+                let child_path = format!("{}{}", path, name);
+                report.checked_kv += 1;
+                if let Some(r) = reached.get_mut(child.0 as usize) {
+                    *r = true;
+                }
+                let mut got = daos.kv_get(client, self.cid, kv, name.as_bytes());
+                let mut left = budget;
+                while matches!(got, Err(DaosError::TargetDown)) && left > 0 {
+                    left -= 1;
+                    got = daos.kv_get(client, self.cid, kv, name.as_bytes());
+                }
+                match got {
+                    Ok((dirent, _s)) => {
+                        if full {
+                            if let Some(detail) = dirent_mismatch(
+                                dirent.bytes(),
+                                self.kind_byte(child),
+                                self.inode_oid(child),
+                            ) {
+                                report.violations.push(Violation {
+                                    oracle: OracleKind::NamespaceConnectivity,
+                                    subject: format!("dirent {child_path}"),
+                                    detail,
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => report.violations.push(Violation {
+                        oracle: OracleKind::NamespaceConnectivity,
+                        subject: format!("dirent {child_path}"),
+                        detail: format!("entry resolves in cache but store read failed: {e:?}"),
+                    }),
+                }
+                match &self.inode(child).kind {
+                    InodeKind::File { arr } => {
+                        report.checked_extents += 1;
+                        let mut got = daos.array_get_size(client, self.cid, *arr);
+                        let mut left = budget;
+                        while matches!(got, Err(DaosError::TargetDown)) && left > 0 {
+                            left -= 1;
+                            got = daos.array_get_size(client, self.cid, *arr);
+                        }
+                        if let Err(e) = got {
+                            report.violations.push(Violation {
+                                oracle: OracleKind::NamespaceConnectivity,
+                                subject: format!("file {child_path}"),
+                                detail: format!("backing Array object lost: {e:?}"),
+                            });
+                        }
+                    }
+                    InodeKind::Dir { .. } => queue.push((child, format!("{child_path}/"))),
+                    InodeKind::Symlink { .. } => {}
+                }
+            }
+        }
+        for (i, inode) in self.inodes.iter().enumerate() {
+            if inode.nlink > 0 && !reached[i] {
+                report.violations.push(Violation {
+                    oracle: OracleKind::NamespaceConnectivity,
+                    subject: format!("inode {i}"),
+                    detail: "live inode unreachable from the root".into(),
+                });
+            }
+        }
+        report
+    }
+}
+
+/// Full-mode dirent content check: the packed bytes must name the same
+/// child the in-memory tree does.
+fn dirent_mismatch(bytes: Option<&[u8]>, kind: u8, oid: Oid) -> Option<String> {
+    let Some(b) = bytes else {
+        return Some("dirent payload not materialised in Full mode".into());
+    };
+    if b.len() < 17 {
+        return Some(format!("dirent truncated: {} bytes", b.len()));
+    }
+    if b[0] != kind {
+        return Some(format!("dirent kind {} but inode kind {kind}", b[0]));
+    }
+    let hi = u64::from_le_bytes(b[1..9].try_into().expect("sliced to 8"));
+    let lo = u64::from_le_bytes(b[9..17].try_into().expect("sliced to 8"));
+    if (Oid { hi, lo }) != oid {
+        return Some(format!(
+            "dirent points at {:x}.{:x} but inode holds {:x}.{:x}",
+            hi, lo, oid.hi, oid.lo
+        ));
+    }
+    None
 }
 
 fn map_daos(e: DaosError) -> FsError {
@@ -704,6 +823,60 @@ mod tests {
         exec(&mut sched, s);
         assert_eq!(st.size, 356);
         exec(&mut sched, dfs.close(0, f).unwrap());
+    }
+
+    #[test]
+    fn connectivity_oracle_catches_lost_dirent_and_object() {
+        let (mut sched, mut dfs) = mount(DataMode::Full);
+        exec(&mut sched, dfs.mkdir(0, "/data").unwrap());
+        exec(&mut sched, dfs.mkdir(0, "/data/sub").unwrap());
+        let (f, s) = dfs.open(0, "/data/sub/file.bin", true).unwrap();
+        exec(&mut sched, s);
+        exec(
+            &mut sched,
+            dfs.write(0, f, 0, Payload::Bytes(vec![7u8; 4096])).unwrap(),
+        );
+        let report = dfs.verify_connectivity(0);
+        assert!(
+            report.ok(),
+            "healthy namespace must audit clean:\n{}",
+            report.render()
+        );
+        assert_eq!(report.checked_kv, 3, "three dirents walked");
+        assert_eq!(report.checked_extents, 1, "one file object probed");
+
+        // Plant a torn namespace: drop the dirent for /data/sub from the
+        // store, leaving the in-memory cache believing it exists.
+        let cid = dfs.container();
+        let data_kv = dfs
+            .dir_kv(dfs.child_of(dfs.root(), "data").unwrap())
+            .unwrap();
+        let s = dfs
+            .daos()
+            .borrow_mut()
+            .kv_remove(0, cid, data_kv, b"sub")
+            .unwrap();
+        exec(&mut sched, s);
+        let report = dfs.verify_connectivity(0);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.oracle, OracleKind::NamespaceConnectivity);
+        assert!(v.subject.contains("/data/sub"), "{}", v.subject);
+        assert!(
+            v.detail.contains("NotFound") || v.detail.contains("NoSuchKey"),
+            "{}",
+            v.detail
+        );
+
+        // Plant a lost file object: punch the Array behind the namespace.
+        let arr = dfs.file_object(f).unwrap();
+        let s = dfs.daos().borrow_mut().obj_punch(0, cid, arr).unwrap();
+        exec(&mut sched, s);
+        let report = dfs.verify_connectivity(0);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.subject.contains("file.bin") && v.detail.contains("lost")));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 
 use cluster::payload::{Payload, ReadPayload};
 use daos_core::{
-    ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid, Retriable, RetryExec,
-    RetryPolicy, RetryStats,
+    ContainerId, DaosError, DaosSystem, DataMode, ObjectClass, Oid, OracleKind, OracleReport,
+    Retriable, RetryExec, RetryPolicy, RetryStats, Violation,
 };
 use simkit::Step;
 use std::cell::RefCell;
@@ -275,6 +275,100 @@ impl FieldIo {
     pub fn field_count(&self) -> usize {
         self.fields.len()
     }
+
+    /// Cross-check the KV index against the Array data: every field ever
+    /// written must still have all of its index entries (shared and
+    /// exclusive), an `array_get_size` matching the written length, and
+    /// a servable Array read.  An index entry without data (or data
+    /// without its index) is exactly the torn state a crash mid-
+    /// `write_field` could leave behind.
+    ///
+    /// Offline audit for the chaos oracles: returned `Step` costs are
+    /// discarded and the simulated schedule is not perturbed.
+    // simlint::allow(digest-taint) — offline audit: cost steps are discarded; only crash-detection bookkeeping is touched, after quiescence
+    pub fn verify_consistency(&mut self, node: usize) -> OracleReport {
+        let mut report = OracleReport::default();
+        let mut daos = self.daos.borrow_mut();
+        // detection is monotone per (client, target), so one retry per
+        // pool target bounds the TargetDown absorption loop
+        let budget = daos.pool().total_targets();
+        for (&(proc, idx), &(oid, len)) in &self.fields {
+            report.checked_kv += 1;
+            for i in 0..self.kv_ops_per_field {
+                let key = format!("f/{proc}/{idx}/{i}");
+                let target = if i < SHARED_KV_OPS {
+                    self.shared_kvs[i as usize % self.shared_kvs.len()]
+                } else {
+                    match self.proc_kvs.get(&proc) {
+                        Some(&kv) => kv,
+                        None => {
+                            report.violations.push(Violation {
+                                oracle: OracleKind::FieldIoConsistency,
+                                subject: format!("field {proc}/{idx}"),
+                                detail: "field recorded but its process index KV was never created"
+                                    .into(),
+                            });
+                            continue;
+                        }
+                    }
+                };
+                let mut got = daos.kv_get(node, self.cid, target, key.as_bytes());
+                let mut left = budget;
+                while matches!(got, Err(DaosError::TargetDown)) && left > 0 {
+                    left -= 1;
+                    got = daos.kv_get(node, self.cid, target, key.as_bytes());
+                }
+                if let Err(e) = got {
+                    report.violations.push(Violation {
+                        oracle: OracleKind::FieldIoConsistency,
+                        subject: format!("field {proc}/{idx} index key {key}"),
+                        detail: format!("index entry unreadable: {e:?}"),
+                    });
+                }
+            }
+            report.checked_extents += 1;
+            let mut got = daos.array_get_size(node, self.cid, oid);
+            let mut left = budget;
+            while matches!(got, Err(DaosError::TargetDown)) && left > 0 {
+                left -= 1;
+                got = daos.array_get_size(node, self.cid, oid);
+            }
+            match got {
+                Ok((size, _s)) if size != len => report.violations.push(Violation {
+                    oracle: OracleKind::FieldIoConsistency,
+                    subject: format!("field {proc}/{idx}"),
+                    detail: format!("index records {len} bytes, array reports {size}"),
+                }),
+                Err(e) => report.violations.push(Violation {
+                    oracle: OracleKind::FieldIoConsistency,
+                    subject: format!("field {proc}/{idx}"),
+                    detail: format!("size check failed: {e:?}"),
+                }),
+                Ok(_) => {
+                    let mut got = daos.array_read(node, self.cid, oid, 0, len);
+                    let mut left = budget;
+                    while matches!(got, Err(DaosError::TargetDown)) && left > 0 {
+                        left -= 1;
+                        got = daos.array_read(node, self.cid, oid, 0, len);
+                    }
+                    match got {
+                        Ok((data, _s)) if data.len() != len => report.violations.push(Violation {
+                            oracle: OracleKind::FieldIoConsistency,
+                            subject: format!("field {proc}/{idx}"),
+                            detail: format!("read returned {} of {len} bytes", data.len()),
+                        }),
+                        Err(e) => report.violations.push(Violation {
+                            oracle: OracleKind::FieldIoConsistency,
+                            subject: format!("field {proc}/{idx}"),
+                            detail: format!("field data unreadable: {e:?}"),
+                        }),
+                        Ok(_) => {}
+                    }
+                }
+            }
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +458,43 @@ mod tests {
             t_with > t_without,
             "size check must cost time: {t_with} vs {t_without}"
         );
+    }
+
+    #[test]
+    fn consistency_oracle_catches_torn_index() {
+        let (mut sched, mut fio) = fixture(DataMode::Full);
+        for i in 0..3 {
+            let mut rng = simkit::SplitMix64::new(20 + i as u64);
+            let mut field = vec![0u8; 10_000];
+            rng.fill_bytes(&mut field);
+            exec(
+                &mut sched,
+                fio.write_field(0, 0, i, Payload::Bytes(field)).unwrap(),
+            );
+        }
+        let report = fio.verify_consistency(0);
+        assert!(
+            report.ok(),
+            "healthy index must audit clean:\n{}",
+            report.render()
+        );
+        assert_eq!(report.checked_kv, 3);
+        // Tear field 1: drop one of its exclusive index entries behind
+        // the benchmark's back (i = 3 is past the shared ops).
+        let cid = fio.container();
+        let own_kv = *fio.proc_kvs.get(&0).unwrap();
+        let s = fio
+            .daos()
+            .borrow_mut()
+            .kv_remove(0, cid, own_kv, b"f/0/1/3")
+            .unwrap();
+        exec(&mut sched, s);
+        let report = fio.verify_consistency(0);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.oracle, OracleKind::FieldIoConsistency);
+        assert!(v.subject.contains("f/0/1/3"), "{}", v.subject);
+        assert!(v.detail.contains("NoSuchKey"), "{}", v.detail);
     }
 
     #[test]

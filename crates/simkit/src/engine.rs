@@ -255,9 +255,16 @@ impl Scheduler {
     /// simulated time reaches them while flows or timers are pending;
     /// runs that drain earlier leave the remaining events armed.  May be
     /// called repeatedly — later plans merge with undelivered events.
+    ///
+    /// Installation itself folds the plan's canonical encoding into the
+    /// replay digest (a *schedule header*), so a saved schedule pins the
+    /// run it produced even for events that never fire: replaying with
+    /// any altered plan diverges at install time, not just at fire time.
     pub fn install_faults(&mut self, plan: FaultPlan) {
+        let installed = plan.into_events();
+        self.trace.record_schedule(&installed);
         let mut evs: Vec<FaultEvent> = self.faults.drain(..).collect();
-        evs.extend(plan.into_events());
+        evs.extend(installed);
         evs.sort_by_key(|e| (e.at, e.id));
         self.faults = evs.into();
     }

@@ -45,26 +45,32 @@
 //! assert_eq!(sched.now().as_secs_f64(), 0.5); // 50 units at 100 units/s
 //! ```
 
+pub mod chaos;
 pub mod engine;
 pub mod fairshare;
 pub mod faults;
+pub mod json;
 pub mod metrics;
 pub mod monitor;
 pub mod rng;
+pub mod shrink;
 pub mod slab;
 pub mod span;
 pub mod step;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{generate, ChaosConfig, ChaosSpace};
 pub use engine::{run, run_digest, run_for, OpId, RunOutcome, Scheduler, World};
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
+pub use json::Json;
 pub use metrics::{
     attributed_wall_ns, chrome_trace_json, critical_path, critical_path_report, layer_histograms,
     Histogram, PathContribution,
 };
 pub use monitor::Monitor;
 pub use rng::SplitMix64;
+pub use shrink::{shrink, ShrinkOutcome};
 pub use span::{SpanId, SpanLog, SpanMark, SpanRecord};
 pub use step::{ResourceId, Step};
 pub use time::SimTime;

@@ -1,0 +1,335 @@
+//! Automatic failing-schedule minimization (delta debugging).
+//!
+//! When a chaos swarm finds a seed whose schedule violates an invariant,
+//! the raw schedule is rarely the story: most of its incidents are
+//! bystanders.  [`shrink`] minimizes a failing [`FaultPlan`] against a
+//! caller-supplied oracle — `fails(plan)` replays the schedule from
+//! scratch and reports whether the invariant still breaks — using the
+//! classical **ddmin** algorithm (Zeller & Hildebrandt, *Simplifying and
+//! Isolating Failure-Inducing Input*) over the event list, followed by a
+//! bounded **window-tightening** pass that halves each surviving
+//! degrade→restore gap while the failure persists.
+//!
+//! Because the engine is deterministic, the oracle is exact (no flaky
+//! reruns) and shrinking itself is deterministic: the same plan and the
+//! same oracle always walk the same probe sequence to the same minimal
+//! schedule.  Event ids are preserved through every probe
+//! ([`FaultPlan::from_events`]), so the minimal schedule replays with the
+//! surviving events' original digest identities.
+
+use crate::faults::{FaultAction, FaultEvent, FaultPlan};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (equal to the input when nothing could be
+    /// removed, or when the input did not fail its oracle).
+    pub plan: FaultPlan,
+    /// Whether the *input* plan failed the oracle; when `false` the
+    /// input was returned untouched and nothing was probed further.
+    pub reproduced: bool,
+    /// Total oracle invocations (each is a full deterministic replay).
+    pub probes: usize,
+    /// Events removed by ddmin.
+    pub removed: usize,
+    /// Recovery events whose windows were tightened (moved earlier).
+    pub tightened: usize,
+}
+
+/// Minimize `plan` against `fails`, which must replay a candidate
+/// schedule deterministically and return `true` iff the invariant
+/// violation reproduces.
+///
+/// Guarantees on the result (the shrinker's contract, property-tested in
+/// `tests/shrink_props.rs`):
+///
+/// * every event in the output is one of the input's events, identified
+///   by id, with an equal-or-earlier firing time (subset + tightening
+///   only ever moves recoveries earlier);
+/// * the output still fails the oracle (when `reproduced`);
+/// * the probe sequence — and therefore the output — is a pure function
+///   of `(plan, oracle)`.
+pub fn shrink<F: FnMut(&FaultPlan) -> bool>(plan: &FaultPlan, mut fails: F) -> ShrinkOutcome {
+    let mut probes = 0usize;
+    let mut check = |events: &[FaultEvent], probes: &mut usize| -> bool {
+        *probes += 1;
+        fails(&FaultPlan::from_events(events.to_vec()))
+    };
+
+    let original = plan.clone().into_events();
+    if !check(&original, &mut probes) {
+        return ShrinkOutcome {
+            plan: plan.clone(),
+            reproduced: false,
+            probes,
+            removed: 0,
+            tightened: 0,
+        };
+    }
+
+    // --- Stage 1: ddmin over the event set. -------------------------
+    // Partition into n chunks; if the complement of any chunk still
+    // fails, adopt it and re-scan at coarse granularity, otherwise
+    // refine until chunks are single events.
+    let mut current = original.clone();
+    let mut n = 2usize.min(current.len().max(1));
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut lo = 0usize;
+        while lo < current.len() {
+            let hi = (lo + chunk).min(current.len());
+            let complement: Vec<FaultEvent> = current[..lo]
+                .iter()
+                .chain(&current[hi..])
+                .copied()
+                .collect();
+            if !complement.is_empty() && check(&complement, &mut probes) {
+                current = complement;
+                n = 2.min(current.len().max(1));
+                reduced = true;
+                break;
+            }
+            lo = hi;
+        }
+        if !reduced {
+            if n >= current.len() {
+                break;
+            }
+            n = (2 * n).min(current.len());
+        }
+    }
+    let removed = original.len() - current.len();
+
+    // --- Stage 2: window tightening. --------------------------------
+    // For each surviving recovery, binary-halve its gap to the matching
+    // degradation while the failure persists.  Moves are monotonically
+    // earlier and floored at `hit + 1 ns`, so the pass terminates in at
+    // most 64 probes per recovery and can never reorder a recovery
+    // before its own incident.
+    let mut tightened = 0usize;
+    let recovery_ids: Vec<u64> = current
+        .iter()
+        .filter(|e| is_recovery(&e.action))
+        .map(|e| e.id)
+        .collect();
+    for rid in recovery_ids {
+        let mut moved = false;
+        while let Some(i) = current.iter().position(|e| e.id == rid) {
+            let key = incident_key(&current[i].action);
+            let Some(hit_at) = current[..i]
+                .iter()
+                .rev()
+                .find(|e| incident_key(&e.action) == key && !is_recovery(&e.action))
+                .map(|e| e.at)
+            else {
+                break; // unpaired recovery (its hit was removed): leave it
+            };
+            if current[i].at.0 <= hit_at.0 + 1 {
+                break; // already minimal
+            }
+            let gap = current[i].at.0 - hit_at.0;
+            let mut trial = current.clone();
+            trial[i].at = crate::time::SimTime(hit_at.0 + gap / 2);
+            trial.sort_by_key(|e| (e.at, e.id));
+            if check(&trial, &mut probes) {
+                current = trial;
+                moved = true;
+            } else {
+                break;
+            }
+        }
+        if moved {
+            tightened += 1;
+        }
+    }
+
+    ShrinkOutcome {
+        plan: FaultPlan::from_events(current),
+        reproduced: true,
+        probes,
+        removed,
+        tightened,
+    }
+}
+
+/// Key grouping a degradation with its recovery: same component, either
+/// direction.
+fn incident_key(a: &FaultAction) -> (u8, u64) {
+    match a {
+        FaultAction::TargetCrash(p) | FaultAction::TargetRestart(p) => (0, *p),
+        FaultAction::SlowDisk { resource, .. } => (1, resource.0 as u64),
+        FaultAction::NicBrownout { resource, .. } => (2, resource.0 as u64),
+        FaultAction::DelayedCompletion { payload, .. } => (3, *payload),
+    }
+}
+
+/// True for the healing half of an incident (restart, scale restore,
+/// delay clear).
+fn is_recovery(a: &FaultAction) -> bool {
+    match a {
+        FaultAction::TargetRestart(_) => true,
+        FaultAction::SlowDisk { scale, .. } | FaultAction::NicBrownout { scale, .. } => {
+            *scale >= 1.0
+        }
+        FaultAction::DelayedCompletion { extra_ns, .. } => *extra_ns == 0,
+        FaultAction::TargetCrash(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::ResourceId;
+    use crate::time::SimTime;
+
+    /// A plan with two load-bearing events (crash of 42, slow disk 7)
+    /// buried in noise; the "oracle" fails iff both are present.
+    fn noisy_plan() -> FaultPlan {
+        let mut p = FaultPlan::new();
+        p.at(SimTime(1_000), FaultAction::TargetCrash(99));
+        p.at(SimTime(2_000), FaultAction::TargetCrash(42));
+        p.at(
+            SimTime(3_000),
+            FaultAction::DelayedCompletion {
+                payload: 5,
+                extra_ns: 100,
+            },
+        );
+        p.at(
+            SimTime(4_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 0.5,
+            },
+        );
+        p.at(
+            SimTime(9_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 1.0,
+            },
+        );
+        p.at(SimTime(5_000), FaultAction::TargetRestart(99));
+        p
+    }
+
+    fn both_present(plan: &FaultPlan) -> bool {
+        let has_crash = plan
+            .events()
+            .iter()
+            .any(|e| e.action == FaultAction::TargetCrash(42));
+        let has_slow = plan.events().iter().any(|e| {
+            matches!(e.action, FaultAction::SlowDisk { resource, scale }
+                if resource == ResourceId(7) && scale < 1.0)
+        });
+        has_crash && has_slow
+    }
+
+    #[test]
+    fn ddmin_strips_bystander_events() {
+        let out = shrink(&noisy_plan(), both_present);
+        assert!(out.reproduced);
+        assert_eq!(out.plan.len(), 2, "only the two load-bearing events");
+        assert!(both_present(&out.plan));
+        assert_eq!(out.removed, 4);
+        assert!(out.probes >= 2);
+    }
+
+    #[test]
+    fn shrunk_events_are_a_subset_by_id() {
+        let original = noisy_plan();
+        let out = shrink(&original, both_present);
+        let orig_ids: Vec<u64> = original.events().iter().map(|e| e.id).collect();
+        for e in out.plan.events() {
+            assert!(orig_ids.contains(&e.id));
+            let orig = original.events().iter().find(|o| o.id == e.id).unwrap();
+            assert!(e.at <= orig.at, "tightening only moves events earlier");
+        }
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink(&noisy_plan(), both_present);
+        let b = shrink(&noisy_plan(), both_present);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!((a.removed, a.tightened), (b.removed, b.tightened));
+    }
+
+    #[test]
+    fn window_tightening_halves_recovery_gaps() {
+        // Oracle: fails iff the slow-disk incident exists at all (any
+        // window width), so tightening can pull the restore down to
+        // `hit + 1`.
+        let mut p = FaultPlan::new();
+        p.at(
+            SimTime(1_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 0.5,
+            },
+        );
+        p.at(
+            SimTime(1_000_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 1.0,
+            },
+        );
+        let out = shrink(&p, |plan| {
+            plan.events()
+                .iter()
+                .any(|e| matches!(e.action, FaultAction::SlowDisk { scale, .. } if scale < 1.0))
+        });
+        assert!(out.reproduced);
+        // ddmin removes the restore entirely (the hit alone still fails).
+        assert_eq!(out.plan.len(), 1);
+        assert_eq!(out.removed, 1);
+    }
+
+    #[test]
+    fn tightening_applies_when_pair_must_survive() {
+        // Oracle: fails only when BOTH the hit and its restore exist, so
+        // ddmin can't drop either and stage 2 must shrink the window.
+        let mut p = FaultPlan::new();
+        p.at(
+            SimTime(1_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 0.5,
+            },
+        );
+        p.at(
+            SimTime(1_001_000),
+            FaultAction::SlowDisk {
+                resource: ResourceId(7),
+                scale: 1.0,
+            },
+        );
+        let out =
+            shrink(&p, |plan| {
+                let hit = plan.events().iter().any(
+                    |e| matches!(e.action, FaultAction::SlowDisk { scale, .. } if scale < 1.0),
+                );
+                let heal = plan.events().iter().any(
+                    |e| matches!(e.action, FaultAction::SlowDisk { scale, .. } if scale >= 1.0),
+                );
+                hit && heal
+            });
+        assert!(out.reproduced);
+        assert_eq!(out.plan.len(), 2);
+        assert_eq!(out.tightened, 1);
+        let evs = out.plan.clone().into_events();
+        assert_eq!(evs[1].at, SimTime(1_001), "halved down to hit + 1");
+    }
+
+    #[test]
+    fn non_failing_plan_is_returned_untouched() {
+        let p = noisy_plan();
+        let out = shrink(&p, |_| false);
+        assert!(!out.reproduced);
+        assert_eq!(out.plan, p);
+        assert_eq!(out.probes, 1);
+    }
+}

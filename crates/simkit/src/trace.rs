@@ -137,6 +137,23 @@ impl Trace {
         self.digest.update_fault(at, id);
     }
 
+    pub(crate) fn record_schedule(&mut self, events: &[crate::faults::FaultEvent]) {
+        // Schedule header fold: installing a fault plan pins its full
+        // canonical encoding (times, ids, actions with every parameter)
+        // into the digest *before* any event fires.  A saved schedule
+        // therefore pins its run — replaying a schedule that differs in
+        // any field, even one that never fires because the run drains
+        // first, yields a different digest.
+        const SCHEDULE_TAG: u8 = 0x5C;
+        self.digest
+            .update_tagged(SCHEDULE_TAG, SimTime(0), events.len() as u64);
+        let mut bytes = Vec::with_capacity(events.len() * 41);
+        for ev in events {
+            ev.encode(&mut bytes);
+        }
+        self.digest.update_bytes(&bytes);
+    }
+
     /// Order-sensitive FNV-1a digest of every `(time, op)` completion seen
     /// by this trace (independent of the storage bound and `enabled`).
     pub fn digest(&self) -> u64 {

@@ -1,0 +1,110 @@
+//! Property tests for the failing-schedule shrinker (vendored proptest
+//! shim): over chaos-generated schedules and randomly chosen "culprit"
+//! oracles, the shrunken schedule is a subset of the original (by event
+//! id, with equal-or-earlier times), still fails its oracle, reaches the
+//! 1-minimal culprit set, and shrinking is deterministic for a fixed
+//! seed.
+
+use proptest::prelude::*;
+use simkit::chaos::{generate, ChaosConfig, ChaosSpace};
+use simkit::shrink::shrink;
+use simkit::{FaultPlan, ResourceId, SplitMix64};
+
+fn space() -> ChaosSpace {
+    ChaosSpace {
+        crash_groups: vec![vec![1 << 16, (1 << 16) | 1], vec![3 << 16]],
+        disks: vec![ResourceId(10), ResourceId(11), ResourceId(12)],
+        nics: vec![ResourceId(20), ResourceId(21)],
+        delay_payloads: vec![1, 2],
+    }
+}
+
+/// Derive a schedule and a random non-empty culprit id set from one seed
+/// (both pure functions of the seed, so every property is replayable).
+fn plan_and_culprits(seed: u64) -> (FaultPlan, Vec<u64>) {
+    let cfg = ChaosConfig {
+        max_faults: 6,
+        ..ChaosConfig::default()
+    };
+    let plan = generate(&space(), &cfg, seed);
+    let mut ids: Vec<u64> = plan.events().iter().map(|e| e.id).collect();
+    let mut rng = SplitMix64::new(seed ^ 0x00c0_ffee);
+    let n = 1 + rng.next_below(ids.len().min(3) as u64) as usize;
+    let mut culprits = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = rng.next_below(ids.len() as u64) as usize;
+        culprits.push(ids.swap_remove(i));
+    }
+    culprits.sort_unstable();
+    (plan, culprits)
+}
+
+/// A monotone oracle: the "bug" reproduces iff every culprit event is
+/// still in the schedule.  Monotonicity makes the 1-minimal result
+/// unique (exactly the culprit set), which the properties exploit.
+fn culprit_oracle(plan: &FaultPlan, culprits: &[u64]) -> bool {
+    culprits
+        .iter()
+        .all(|c| plan.events().iter().any(|e| e.id == *c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Subset: every surviving event is one of the input's (matched by
+    /// id) and never fires later than it originally did.
+    #[test]
+    fn shrunk_schedule_is_a_subset_of_the_original(seed in 0u64..100_000) {
+        let (plan, culprits) = plan_and_culprits(seed);
+        let out = shrink(&plan, |p| culprit_oracle(p, &culprits));
+        prop_assert!(out.reproduced);
+        prop_assert!(out.plan.len() <= plan.len());
+        for e in out.plan.events() {
+            let orig = plan.events().iter().find(|o| o.id == e.id);
+            prop_assert!(orig.is_some(), "event id {} not in the original", e.id);
+            prop_assert!(
+                e.at <= orig.unwrap().at,
+                "tightening may only move events earlier"
+            );
+        }
+    }
+
+    /// The minimized schedule still fails its oracle, and for a monotone
+    /// oracle ddmin lands on exactly the culprit set (1-minimality).
+    #[test]
+    fn shrunk_schedule_still_fails_and_is_minimal(seed in 0u64..100_000) {
+        let (plan, culprits) = plan_and_culprits(seed);
+        let out = shrink(&plan, |p| culprit_oracle(p, &culprits));
+        prop_assert!(out.reproduced);
+        prop_assert!(culprit_oracle(&out.plan, &culprits));
+        let mut kept: Vec<u64> = out.plan.events().iter().map(|e| e.id).collect();
+        kept.sort_unstable();
+        prop_assert_eq!(kept, culprits.clone(), "1-minimal = exactly the culprits");
+        prop_assert_eq!(out.removed, plan.len() - culprits.len());
+    }
+
+    /// Shrinking is a pure function of (plan, oracle): two runs walk the
+    /// same probe sequence to the same minimal schedule.
+    #[test]
+    fn shrinking_is_deterministic_for_a_fixed_seed(seed in 0u64..100_000) {
+        let (plan, culprits) = plan_and_culprits(seed);
+        let a = shrink(&plan, |p| culprit_oracle(p, &culprits));
+        let b = shrink(&plan, |p| culprit_oracle(p, &culprits));
+        prop_assert_eq!(a.plan, b.plan);
+        prop_assert_eq!(a.probes, b.probes);
+        prop_assert_eq!(a.removed, b.removed);
+        prop_assert_eq!(a.tightened, b.tightened);
+    }
+
+    /// The minimal schedule survives a JSON round trip byte-identically:
+    /// what the swarm archives is exactly what replays.
+    #[test]
+    fn shrunk_schedule_round_trips_through_json(seed in 0u64..100_000) {
+        let (plan, culprits) = plan_and_culprits(seed);
+        let out = shrink(&plan, |p| culprit_oracle(p, &culprits));
+        let json = out.plan.to_json();
+        let back = FaultPlan::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &out.plan);
+        prop_assert_eq!(back.to_json(), json);
+    }
+}
