@@ -1,0 +1,31 @@
+//! Print the replay digest of every paper scenario (the `replay_all`
+//! harness, one line per scenario).  Run before and after an engine
+//! change and diff the output: byte-identical lines prove the change
+//! did not alter the event schedule.
+//!
+//! ```text
+//! cargo run --release -p bench --example replay_digests
+//! ```
+
+use benchkit::{replay_all, RunSpec};
+use cluster::Calibration;
+
+fn main() {
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 12;
+    let reports = replay_all(&spec, &Calibration::default());
+    for r in &reports {
+        assert!(
+            r.deterministic(),
+            "{} replayed nondeterministically",
+            r.scenario.name()
+        );
+        println!(
+            "{:<24} digest {:#018x} bw ({:.6}, {:.6}) MiB/s",
+            r.scenario.name(),
+            r.digests[0],
+            r.bandwidths[0].0,
+            r.bandwidths[0].1,
+        );
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
 //!          lustre-ior ceph-ior faulted chaos chaos-replay chaos-shrink
-//!          trace all quick
+//!          trace bench-engine all quick
 //! ```
 //!
 //! `chaos` runs the seeded fault swarm (`--seeds N`, default 8) over
@@ -17,6 +17,12 @@
 //! Each figure is printed as an aligned table and saved as CSV under the
 //! output directory (default `results/`).  `quick` runs a reduced set
 //! used for smoke testing.
+//!
+//! `bench-engine` runs the seeded engine workload families (see
+//! `bench::engine_bench`), writes `BENCH_engine.json` under the output
+//! directory, and exits non-zero if any family's events/sec fell more
+//! than 10% below the committed `BENCH_engine.json` — or if a digest or
+//! op count drifted at all (a determinism regression, not a slowdown).
 
 use benchkit::chaos;
 use benchkit::faulted::{self, FaultedScenario};
@@ -254,6 +260,167 @@ fn run_chaos_shrink(cal: &Calibration, out: &Path, schedule: &Path) {
     archive_failure(&v, &arch.spec, cal, out, true);
 }
 
+/// The engine bench trajectory: run every seeded workload family,
+/// write `BENCH_engine.json` under `out/`, and gate against the
+/// committed copy at the repository root.  Digests and event counts
+/// must match exactly (they are seeded and deterministic); events/sec
+/// may not regress more than 10%.
+fn run_bench_engine(out: &Path) {
+    use bench::engine_bench::{
+        calibration_spin, run_family, BENCH_OPS, CALIBRATION_ITERS, FAMILIES,
+    };
+    const REPS: usize = 5;
+    const MAX_REGRESSION: f64 = 0.10;
+
+    // Each timing window accumulates whole deterministic runs (or spin
+    // blocks) until it is long enough to smother scheduler jitter; the
+    // best rep stands in for the machine's attainable rate (the usual
+    // defence against a noisy neighbour slowing one rep).
+    const MIN_WINDOW_SECS: f64 = 0.15;
+
+    // Machine-speed reference, re-measured inside EVERY rep right
+    // before the family windows: the gate compares events/sec divided
+    // by the adjacent spin rate, so CPU contention — even the bursty
+    // kind that slows whole seconds at a time — rescales both sides,
+    // while real per-event cost changes still move the ratio.
+    let spin_rate = || {
+        let mut iters = 0u64;
+        let t0 = Instant::now();
+        loop {
+            std::hint::black_box(calibration_spin(CALIBRATION_ITERS));
+            iters += CALIBRATION_ITERS;
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= MIN_WINDOW_SECS {
+                return iters as f64 / dt;
+            }
+        }
+    };
+
+    let mut best_eps = vec![0.0f64; FAMILIES.len()];
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(); FAMILIES.len()];
+    let mut results: Vec<Option<bench::engine_bench::FamilyResult>> = vec![None; FAMILIES.len()];
+    let mut cal = 0.0f64;
+    for _ in 0..REPS {
+        let rep_cal = spin_rate();
+        cal = cal.max(rep_cal);
+        for (i, fam) in FAMILIES.iter().enumerate() {
+            let mut events = 0u64;
+            let t0 = Instant::now();
+            let dt = loop {
+                let r = run_family(fam, BENCH_OPS);
+                if let Some(prev) = &results[i] {
+                    assert_eq!(&r, prev, "{fam}: digest drifted between runs");
+                }
+                events += r.events;
+                results[i] = Some(r);
+                let dt = t0.elapsed().as_secs_f64();
+                if dt >= MIN_WINDOW_SECS {
+                    break dt;
+                }
+            };
+            let eps = events as f64 / dt;
+            best_eps[i] = best_eps[i].max(eps);
+            // Events per million adjacent calibration iterations: a
+            // machine-speed-independent cost figure (bigger is faster).
+            norms[i].push(eps / rep_cal * 1e6);
+        }
+    }
+    println!("calibration spin: {cal:.0} iters/s");
+
+    // Median of the per-rep ratios: robust against both contention
+    // dips (which depress a rep) and anti-correlated luck (a slow spin
+    // next to a fast family, which would inflate a best-of).
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+
+    let mut rows: Vec<(&str, u64, u64, f64, f64)> = Vec::new();
+    for (i, fam) in FAMILIES.iter().enumerate() {
+        let r = results[i].as_ref().expect("at least one rep ran");
+        let norm = median(&mut norms[i]);
+        println!(
+            "{:<8} {:>6} events  digest {:#018x}  {:>12.0} events/s  {:>10.1} per-Mspin",
+            fam, r.events, r.digest, best_eps[i], norm
+        );
+        rows.push((fam, r.events, r.digest, best_eps[i], norm));
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, events, digest, eps, norm)| {
+            format!(
+                "  {{\"name\":\"{name}\",\"events\":{events},\"digest\":\"{digest:#018x}\",\"events_per_sec\":{eps:.1},\"normalized\":{norm:.2}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"ops\":{BENCH_OPS},\n\"calibration_iters_per_sec\":{cal:.0},\n\"families\":[\n{}\n]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = out.join("BENCH_engine.json");
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("saved {}", path.display());
+    }
+
+    let committed = Path::new("BENCH_engine.json");
+    let prev = match std::fs::read_to_string(committed) {
+        Ok(t) => t,
+        Err(_) => {
+            println!(
+                "no committed {} — recorded a fresh trajectory point, nothing to gate against",
+                committed.display()
+            );
+            return;
+        }
+    };
+    let prev = simkit::json::parse(&prev).expect("committed BENCH_engine.json parses");
+    let families = prev
+        .get("families")
+        .and_then(|f| f.as_arr())
+        .expect("committed file lists families");
+    let mut failed = false;
+    for f in families {
+        let name = f.get("name").and_then(|v| v.as_str()).expect("name");
+        let events = f.get("events").and_then(|v| v.as_u64()).expect("events");
+        let digest = f.get("digest").and_then(|v| v.as_str()).expect("digest");
+        let norm = f
+            .get("normalized")
+            .and_then(|v| v.as_f64())
+            .expect("normalized");
+        let Some((_, now_events, now_digest, _, now_norm)) = rows.iter().find(|(n, ..)| *n == name)
+        else {
+            eprintln!("bench-engine: family `{name}` missing from this run");
+            failed = true;
+            continue;
+        };
+        let now_digest = format!("{now_digest:#018x}");
+        if *now_events != events || now_digest != digest {
+            eprintln!(
+                "bench-engine: {name}: schedule drifted (events {events} -> {now_events}, digest {digest} -> {now_digest}) — determinism regression"
+            );
+            failed = true;
+        } else if *now_norm < norm * (1.0 - MAX_REGRESSION) {
+            eprintln!(
+                "bench-engine: {name}: {now_norm:.1} events/Mspin is more than {:.0}% below the committed {norm:.1}",
+                MAX_REGRESSION * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "{name:<8} ok: {now_norm:.1} events/Mspin vs committed {norm:.1} ({:+.1}%)",
+                (now_norm / norm - 1.0) * 100.0
+            );
+        }
+    }
+    if failed {
+        eprintln!("bench-engine: trajectory gate failed");
+        std::process::exit(1);
+    }
+}
+
 /// Bottleneck analysis: one representative point per scenario against a
 /// 16-server deployment, with the top-utilised resources per phase —
 /// the reasoning the paper applies when comparing measured bandwidth to
@@ -322,7 +489,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
                 );
                 return;
             }
@@ -391,6 +558,7 @@ fn main() {
                     .expect("chaos-shrink needs --schedule FILE"),
             ),
             "trace" => run_traces(&cal, &out),
+            "bench-engine" => run_bench_engine(&out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
             "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),
             "analyze" => analyze(&cal),

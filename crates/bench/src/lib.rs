@@ -4,7 +4,11 @@
 //!   `repro --help`);
 //! * `benches/` holds one Criterion bench per figure (reduced sweep
 //!   points, measuring the simulation engine itself) plus micro-benches
-//!   of the hot paths (fair-share solve, placement, erasure coding).
+//!   of the hot paths (fair-share solve, placement, erasure coding) and
+//!   the `engine_events_per_sec` trajectory bench over the seeded
+//!   workloads in [`engine_bench`].
+
+pub mod engine_bench;
 
 /// Re-exported so benches share one source of sweep definitions.
 pub use benchkit::figures;

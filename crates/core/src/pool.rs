@@ -146,6 +146,7 @@ impl PoolMap {
     }
 
     /// Currently-up targets, in linear order.
+    // simlint::allow(hot-alloc) — collects the live-target view for a placement decision; runs per create/rebuild, not per I/O event
     pub fn up_targets(&self) -> Vec<TargetId> {
         (0..self.state.len())
             .filter(|&i| self.state[i] == TargetState::Up)
@@ -171,6 +172,7 @@ impl PoolMap {
     /// permutation.  DAOS object ids are only unique within a container,
     /// so placement salts them with container identity; without this,
     /// object `N` of every container would land on the same targets.
+    // simlint::allow(hot-alloc) — placement computes a fresh layout per object create (and rebuild remap), not per I/O event
     pub fn layout_salted(&self, oid: &Oid, class: ObjectClass, salt: u64) -> Layout {
         let mut up = self.up_targets();
         assert!(!up.is_empty(), "no targets up");

@@ -88,7 +88,7 @@ impl<P: PosixFs> FdbPosix<P> {
 
     fn writer(&mut self, node: usize, proc: usize) -> Result<(&mut WriterState, Step), FdbError> {
         let mut setup = Step::Noop;
-        if !self.writers.contains_key(&proc) {
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.writers.entry(proc) {
             let data_path = format!("/fdb/p{proc}.data");
             let index_path = format!("/fdb/p{proc}.index");
             // create both files once; handles are kept open while writing
@@ -97,18 +97,15 @@ impl<P: PosixFs> FdbPosix<P> {
             let (fi, s3) = self.fs.open(node, &index_path, true).map_err(map_fs)?;
             let s4 = self.fs.close(node, fi).map_err(map_fs)?;
             setup = Step::seq([s1, s2, s3, s4]);
-            self.writers.insert(
-                proc,
-                WriterState {
-                    data_path,
-                    index_path,
-                    buffered: 0.0,
-                    buf: Some(Vec::new()),
-                    pending_entries: 0,
-                    data_off: 0,
-                    index_slot: 0,
-                },
-            );
+            slot.insert(WriterState {
+                data_path,
+                index_path,
+                buffered: 0.0,
+                buf: Some(Vec::new()),
+                pending_entries: 0,
+                data_off: 0,
+                index_slot: 0,
+            });
         }
         let w = self
             .writers

@@ -128,6 +128,14 @@ pub struct Scheduler {
     timer_seq: u64,
     completions: VecDeque<OpId>,
     rates_dirty: bool,
+    /// Earliest flow deadline, maintained by `recompute_rates`; exact
+    /// whenever `rates_dirty` is false (deadlines only change inside a
+    /// recompute, and every flow insert/remove sets the dirty bit), so
+    /// `next_event_time` reads it instead of scanning every flow.
+    flow_deadline_min: SimTime,
+    /// Reused buffer for the keys of flows completing in one event batch
+    /// (`fire_events_at`); keeps the hot loop allocation-free.
+    done_scratch: Vec<u32>,
     fair: FairShare,
     monitor: Monitor,
     /// Installed fault events, sorted by `(at, id)`, popped as fired.
@@ -169,6 +177,8 @@ impl Scheduler {
             timer_seq: 0,
             completions: VecDeque::new(),
             rates_dirty: false,
+            flow_deadline_min: SimTime::NEVER,
+            done_scratch: Vec::new(),
             fair: FairShare::new(),
             monitor: Monitor::disabled(),
             faults: VecDeque::new(),
@@ -281,6 +291,7 @@ impl Scheduler {
     /// fault is pending (the run loop checks `next_fault_time` first, but
     /// delivery must not panic if that invariant ever slips).
     // simlint::panic_root — fault delivery: must never panic
+    // simlint::hot_root — fault firing sits inside the event loop
     fn fire_fault(&mut self) -> Option<FaultEvent> {
         let ev = self.faults.pop_front()?;
         // An event armed before a gap in pending work fires as soon as
@@ -542,6 +553,7 @@ impl Scheduler {
         let dt = t.secs_since(t0);
         if dt > 0.0 {
             let monitor_on = self.monitor.is_enabled();
+            // simlint::allow(hot-state-scan) — the fluid model settles every live flow across the elapsed interval; recompute coalescing (set_coalescing) bounds how often this runs per event batch
             for (_, f) in self.flows.iter_mut() {
                 if f.rate > 0.0 {
                     let moved = (f.rate * dt).min(f.remaining);
@@ -566,6 +578,7 @@ impl Scheduler {
         // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t1 = std::time::Instant::now();
         self.fair.begin(self.caps.len());
+        // simlint::allow(hot-state-scan) — a full re-share is the max-min model: every live flow's rate may change when any flow joins or leaves; incremental re-solve is ROADMAP item 2
         for (key, f) in self.flows.iter() {
             self.fair.add_flow(key, &f.path);
         }
@@ -582,6 +595,7 @@ impl Scheduler {
         let now = self.now;
         // Disjoint field borrows: `fair` is read while `flows` is written.
         let flows = &mut self.flows;
+        let mut deadline_min = SimTime::NEVER;
         for (key, rate) in self.fair.results() {
             // A result for a flow that completed during this recompute
             // needs no deadline; skipping is safe where a panic is not.
@@ -596,18 +610,26 @@ impl Scheduler {
             } else {
                 now + ((f.remaining / rate) * 1e9).ceil() as u64
             };
+            deadline_min = deadline_min.min(f.deadline);
         }
+        self.flow_deadline_min = deadline_min;
         self.rates_dirty = false;
     }
 
     fn next_event_time(&self) -> Option<SimTime> {
         let t_timer = self.timers.peek().map(|Reverse(t)| t.at);
-        let t_flow = self
-            .flows
-            .iter()
-            .map(|(_, f)| f.deadline)
-            .min()
-            .filter(|&d| d != SimTime::NEVER);
+        // Deadlines only move inside `recompute_rates`, which also
+        // refreshes the cached minimum; with a clean rate state the cache
+        // is exact and the per-event O(flows) scan is gone.  The dirty
+        // fallback never runs from `run_for` (it recomputes first) but
+        // keeps direct callers correct.
+        let t_flow = if self.rates_dirty {
+            // simlint::allow(hot-state-scan) — dirty-rate fallback only; the event loop recomputes (refreshing the cached minimum) before asking for the next event
+            self.flows.iter().map(|(_, f)| f.deadline).min()
+        } else {
+            Some(self.flow_deadline_min)
+        }
+        .filter(|&d| d != SimTime::NEVER);
         match (t_timer, t_flow) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -615,6 +637,7 @@ impl Scheduler {
     }
 
     /// Fire everything scheduled at exactly `t` (flows and timers).
+    // simlint::hot_root — timer drain + flow completion: runs once per event batch
     fn fire_events_at(&mut self, t: SimTime) {
         // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let te = std::time::Instant::now();
@@ -630,18 +653,24 @@ impl Scheduler {
             self.complete_parent(parent);
         }
         // Flows whose deadline has arrived (or whose residual rounded to
-        // nothing) complete as a batch.
-        let done: Vec<u32> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.deadline <= t || f.remaining <= f.eps)
-            .map(|(k, _)| k)
-            .collect();
-        for key in done {
+        // nothing) complete as a batch.  The key buffer is owned by the
+        // scheduler and reused across batches (`complete_parent` needs
+        // `&mut self`, so the keys cannot be drained while iterating).
+        let mut done = std::mem::take(&mut self.done_scratch);
+        done.clear();
+        done.extend(
+            self.flows
+                // simlint::allow(hot-state-scan) — batch completion must inspect every live flow's deadline once; the settle pass already touched them all in this event
+                .iter()
+                .filter(|(_, f)| f.deadline <= t || f.remaining <= f.eps)
+                .map(|(k, _)| k),
+        );
+        for &key in &done {
             let flow = self.flows.remove(key);
             self.rates_dirty = true;
             self.complete_parent(flow.parent);
         }
+        self.done_scratch = done;
     }
 }
 
@@ -674,6 +703,7 @@ pub fn run_digest<W: World>(sched: &mut Scheduler, world: &mut W) -> u64 {
 }
 
 /// Run until no work remains or simulated time would pass `limit`.
+// simlint::hot_root — the engine event loop: every line here runs per event
 pub fn run_for<W: World>(sched: &mut Scheduler, world: &mut W, limit: SimTime) -> RunOutcome {
     loop {
         // Deliver completions; the world may submit follow-up work which

@@ -104,6 +104,7 @@ impl FairShare {
     ///
     /// Returns the number of progressive-filling iterations.  Rates are
     /// then available through [`FairShare::results`].
+    // simlint::hot_root — max-min solver: runs on every rate recomputation
     pub fn solve(&mut self, caps: &[f64]) -> usize {
         for &r in &self.touched {
             self.rem[r as usize] = caps[r as usize].max(0.0);

@@ -101,6 +101,7 @@ impl Monitor {
         }
         let span_ns = t1.nanos_since(t0);
         if self.series.len() <= i {
+            // simlint::allow(hot-alloc) — lazy per-resource row growth: resizes once per new resource id, then steady-state credits never allocate
             self.series.resize(i + 1, Vec::new());
         }
         let row = &mut self.series[i];

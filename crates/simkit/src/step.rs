@@ -65,6 +65,7 @@ impl Step {
     /// Degenerate transfers (no units, or an empty path) normalise to
     /// [`Step::Noop`]: a zero-byte move takes no time, and a move that
     /// touches no modelled resource is a modelling error we make harmless.
+    // simlint::allow(hot-alloc) — Step-tree construction owns its path vector by design; arena-allocated op chains are ROADMAP item 2
     pub fn transfer(units: f64, path: impl IntoIterator<Item = ResourceId>) -> Step {
         let path: Vec<ResourceId> = path.into_iter().collect();
         if units <= 0.0 || path.is_empty() {
@@ -75,6 +76,7 @@ impl Step {
     }
 
     /// Sequential composition, dropping no-ops and flattening singletons.
+    // simlint::allow(hot-alloc) — Step-tree construction allocates its child list by design; arena-allocated op chains are ROADMAP item 2
     pub fn seq(steps: impl IntoIterator<Item = Step>) -> Step {
         let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
         match v.len() {
@@ -85,6 +87,7 @@ impl Step {
     }
 
     /// Parallel composition, dropping no-ops and flattening singletons.
+    // simlint::allow(hot-alloc) — Step-tree construction allocates its child list by design; arena-allocated op chains are ROADMAP item 2
     pub fn par(steps: impl IntoIterator<Item = Step>) -> Step {
         let mut v: Vec<Step> = steps.into_iter().filter(|s| !s.is_noop()).collect();
         match v.len() {
@@ -95,6 +98,7 @@ impl Step {
     }
 
     /// Append `next` after `self`, reusing an existing `Seq` spine.
+    // simlint::allow(hot-alloc) — Step-tree construction allocates its Seq spine by design; arena-allocated op chains are ROADMAP item 2
     pub fn then(self, next: Step) -> Step {
         match (self, next) {
             (Step::Noop, n) => n,
@@ -124,6 +128,7 @@ impl Step {
 
     /// Like [`Step::span`] with an explicit retry-attempt ordinal
     /// (non-zero marks work re-issued by a retry executor).
+    // simlint::allow(hot-alloc) — the span wrapper boxes its inner step by design; arena-allocated op chains are ROADMAP item 2
     pub fn span_attempt(
         layer: &'static str,
         op: &'static str,

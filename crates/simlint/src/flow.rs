@@ -74,6 +74,8 @@ use crate::lex::{lex, Tok, TokKind};
 use crate::{allow_covers, classify, collect_rs_files, parse_allow, Allow, Finding, Severity};
 
 /// Registration markers understood by the pass (`simlint::<marker>`).
+/// `hot_root` and `amortized` belong to the stage-3 cost pass
+/// ([`crate::cost`]), which shares this index.
 pub const MARKERS: &[&str] = &[
     "sim_state",
     "span_source",
@@ -81,6 +83,8 @@ pub const MARKERS: &[&str] = &[
     "panic_root",
     "retry_entry",
     "terminal_error",
+    "hot_root",
+    "amortized",
 ];
 
 /// Identifier treated as the retriable classification in remap checks.
@@ -156,6 +160,15 @@ pub struct FnFact {
     pub maperr_retriable: Vec<u32>,
     /// Match arms remapping a terminal variant to retriable: `(variant, line)`.
     pub arm_remaps: Vec<(String, u32)>,
+    /// Allocation sites for the stage-3 cost pass: `(line, kind)` where
+    /// kind is e.g. `"Vec::new"`, `"vec!"`, `".clone()"`.
+    pub allocs: Vec<(u32, String)>,
+    /// Map accesses for the double-lookup analysis:
+    /// `(receiver, key, method, line)` — e.g. `("self.caps", "t", "get", 42)`.
+    pub map_ops: Vec<(String, String, String, u32)>,
+    /// Full scans over fields of a registered sim-state type, recorded
+    /// only for methods of such types: `(line, rendered expression)`.
+    pub state_loops: Vec<(u32, String)>,
 }
 
 /// The parsed item index for the workspace: the unit that is cached
@@ -203,10 +216,37 @@ pub fn read_sources(root: &Path) -> std::io::Result<BTreeMap<String, String>> {
     Ok(out)
 }
 
-/// Order-sensitive FNV-1a fingerprint over `(path, content)` pairs; used
-/// to validate a cached index against the current tree.
-pub fn fingerprint(sources: &BTreeMap<String, String>) -> u64 {
+/// The analyzer's own sources, baked in at compile time.  They seed the
+/// index fingerprint so that a cached index saved by an older simlint is
+/// rebuilt after the analyzer itself changes — otherwise a stale index
+/// (missing facts a newer analysis reads) would silently survive CI's
+/// cross-run cache as long as the *crate* sources were untouched.
+const SELF_SOURCES: &[&str] = &[
+    include_str!("lib.rs"),
+    include_str!("lex.rs"),
+    include_str!("flow.rs"),
+    include_str!("cost.rs"),
+    include_str!("json.rs"),
+    include_str!("main.rs"),
+];
+
+/// FNV-1a over the analyzer's own sources: the seed for [`fingerprint`].
+pub fn self_fingerprint() -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for src in SELF_SOURCES {
+        for &b in src.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Order-sensitive FNV-1a fingerprint over `(path, content)` pairs,
+/// seeded with [`self_fingerprint`]; used to validate a cached index
+/// against both the current tree and the current analyzer.
+pub fn fingerprint(sources: &BTreeMap<String, String>) -> u64 {
+    let mut h: u64 = self_fingerprint();
     let mut fold = |bytes: &[u8]| {
         for &b in bytes {
             h ^= b as u64;
@@ -787,6 +827,167 @@ fn analyze_body(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Stage-3 fact extraction (cost pass)
+// ---------------------------------------------------------------------------
+
+/// Map-like methods recorded for the double-lookup analysis.
+const MAP_METHODS: &[&str] = &["get", "get_mut", "contains_key", "insert", "remove"];
+
+/// Iterator-producing methods that visit every entry of a collection.
+const SCAN_METHODS: &[&str] = &["iter", "iter_mut", "keys", "values", "values_mut", "drain"];
+
+/// Record the facts the stage-3 cost pass ([`crate::cost`]) reads:
+/// allocation sites, map accesses and full scans over fields of a
+/// registered sim-state type.  Runs over the same token range as
+/// [`analyze_body`] so the facts are cached in the index.
+fn analyze_cost_facts(
+    toks: &[Tok],
+    body: std::ops::Range<usize>,
+    impl_is_sim_state: bool,
+    fact: &mut FnFact,
+) {
+    let get = |i: usize| toks.get(i).filter(|_| body.contains(&i));
+    for i in body.clone() {
+        let t = &toks[i];
+        let prev = i.checked_sub(1).and_then(get);
+        let prev2 = i.checked_sub(2).and_then(get);
+        let next = get(i + 1);
+
+        // ---- allocation sites --------------------------------------------
+        if t.kind == TokKind::Ident && next.is_some_and(|n| n.is_punct("(")) {
+            let after_dot = prev.is_some_and(|p| p.is_punct("."));
+            let path_qual = prev
+                .is_some_and(|p| p.is_punct("::"))
+                .then(|| prev2.map(|q| q.text.as_str()))
+                .flatten();
+            let kind = match t.text.as_str() {
+                "new" if path_qual == Some("Vec") => Some("Vec::new"),
+                "new" if path_qual == Some("Box") => Some("Box::new"),
+                "from" if path_qual == Some("String") => Some("String::from"),
+                "clone" if after_dot => Some(".clone()"),
+                "to_vec" if after_dot => Some(".to_vec()"),
+                "collect" if after_dot => Some(".collect()"),
+                _ => None,
+            };
+            if let Some(k) = kind {
+                fact.allocs.push((t.line, k.to_string()));
+            }
+        }
+        if t.kind == TokKind::Ident
+            && next.is_some_and(|n| n.is_punct("!"))
+            && matches!(t.text.as_str(), "vec" | "format")
+        {
+            fact.allocs.push((t.line, format!("{}!", t.text)));
+        }
+
+        // ---- map accesses (double-lookup facts) --------------------------
+        if t.kind == TokKind::Ident
+            && MAP_METHODS.contains(&t.text.as_str())
+            && prev.is_some_and(|p| p.is_punct("."))
+            && next.is_some_and(|n| n.is_punct("("))
+        {
+            if let (Some(recv), Some(key)) = (
+                receiver_chain(toks, &body, i - 1),
+                first_arg(toks, &body, i + 1),
+            ) {
+                fact.map_ops.push((recv, key, t.text.clone(), t.line));
+            }
+        }
+
+        // ---- full scans over sim-state fields ----------------------------
+        if impl_is_sim_state {
+            // `self.<field>.<scan_method>(…)` — explicit iterator call.
+            if t.kind == TokKind::Ident
+                && SCAN_METHODS.contains(&t.text.as_str())
+                && prev.is_some_and(|p| p.is_punct("."))
+                && next.is_some_and(|n| n.is_punct("("))
+            {
+                let field = i.checked_sub(2).and_then(get);
+                let dot = i.checked_sub(3).and_then(get);
+                let slf = i.checked_sub(4).and_then(get);
+                if let Some(f2) = field.filter(|t| t.kind == TokKind::Ident) {
+                    if dot.is_some_and(|d| d.is_punct("."))
+                        && slf.is_some_and(|s| s.is_ident("self"))
+                    {
+                        fact.state_loops
+                            .push((t.line, format!("self.{}.{}()", f2.text, t.text)));
+                    }
+                }
+            }
+            // `for … in &[mut] self.<field> {` — implicit IntoIterator.
+            if t.is_ident("in") {
+                let mut j = i + 1;
+                while get(j).is_some_and(|t| t.is_punct("&") || t.is_ident("mut")) {
+                    j += 1;
+                }
+                if get(j).is_some_and(|t| t.is_ident("self"))
+                    && get(j + 1).is_some_and(|t| t.is_punct("."))
+                {
+                    if let Some(field) = get(j + 2).filter(|t| t.kind == TokKind::Ident) {
+                        if get(j + 3).is_some_and(|t| t.is_punct("{")) {
+                            fact.state_loops
+                                .push((field.line, format!("for … in &self.{}", field.text)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Walk a `a.b.c` receiver chain back from the `.` before a method call.
+/// Returns `None` for computed receivers (`f().get(…)`, `m[i].get(…)`),
+/// which cannot be compared across call sites by name.
+fn receiver_chain(toks: &[Tok], body: &std::ops::Range<usize>, dot: usize) -> Option<String> {
+    let get = |i: usize| toks.get(i).filter(|_| body.contains(&i));
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // points at the `.`
+    loop {
+        let seg = i.checked_sub(1).and_then(get)?;
+        if seg.kind != TokKind::Ident {
+            return None;
+        }
+        parts.push(seg.text.clone());
+        match i.checked_sub(2).and_then(get) {
+            Some(p) if p.is_punct(".") => i -= 2,
+            _ => break,
+        }
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Render the first argument of a call whose `(` is at `open`, with
+/// `&`/`mut`/`*` stripped so `get(&k)` and `insert(k, v)` compare equal.
+fn first_arg(toks: &[Tok], body: &std::ops::Range<usize>, open: usize) -> Option<String> {
+    let get = |i: usize| toks.get(i).filter(|_| body.contains(&i));
+    let mut depth = 0isize;
+    let mut out = String::new();
+    let mut i = open;
+    loop {
+        let t = get(i)?;
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+            if depth > 1 {
+                out.push_str(&t.text);
+            }
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            out.push_str(&t.text);
+        } else if depth == 1 && t.is_punct(",") {
+            break;
+        } else if depth >= 1 && !(t.is_punct("&") || t.is_punct("*") || t.is_ident("mut")) {
+            out.push_str(&t.text);
+        }
+        i += 1;
+    }
+    (!out.is_empty()).then_some(out)
+}
+
 /// From a terminal-variant mention at `i`, detect `… => … target`
 /// before the enclosing match arm ends (`target` is `Retriable` for the
 /// remap check, `true` for `is_retriable` classifiers).  Returns the
@@ -864,12 +1065,23 @@ pub fn build_index(sources: &BTreeMap<String, String>) -> Index {
                 terminal_mentions: Vec::new(),
                 maperr_retriable: Vec::new(),
                 arm_remaps: Vec::new(),
+                allocs: Vec::new(),
+                map_ops: Vec::new(),
+                state_loops: Vec::new(),
             };
             analyze_body(
                 &fp.toks,
                 raw.body.clone(),
                 raw.impl_type.as_deref(),
                 &terminals,
+                &mut fact,
+            );
+            analyze_cost_facts(
+                &fp.toks,
+                raw.body.clone(),
+                raw.impl_type
+                    .as_deref()
+                    .is_some_and(|t| sim_state.contains(t)),
                 &mut fact,
             );
             fns.push(fact);
@@ -889,14 +1101,14 @@ pub fn build_index(sources: &BTreeMap<String, String>) -> Index {
 // Call graph + analyses
 // ---------------------------------------------------------------------------
 
-struct Graph {
+pub(crate) struct Graph {
     /// Forward adjacency: caller index → callee indices.
-    out: Vec<Vec<usize>>,
+    pub(crate) out: Vec<Vec<usize>>,
     /// Reverse adjacency: callee index → caller indices.
-    into: Vec<Vec<usize>>,
+    pub(crate) into: Vec<Vec<usize>>,
 }
 
-fn build_graph(index: &Index) -> Graph {
+pub(crate) fn build_graph(index: &Index) -> Graph {
     let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     let mut by_qual: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (i, f) in index.fns.iter().enumerate() {
@@ -937,7 +1149,7 @@ fn build_graph(index: &Index) -> Graph {
 
 /// BFS over an adjacency list from a seed set; returns, per node, the
 /// seed it was first reached from (`usize::MAX` = unreached).
-fn reach(adj: &[Vec<usize>], seeds: &[usize]) -> Vec<usize> {
+pub(crate) fn reach(adj: &[Vec<usize>], seeds: &[usize]) -> Vec<usize> {
     let mut origin = vec![usize::MAX; adj.len()];
     let mut queue: VecDeque<usize> = VecDeque::new();
     for &s in seeds {
@@ -964,13 +1176,13 @@ struct FileCtx {
     allows: BTreeMap<usize, Allow>,
 }
 
-struct Emitter {
+pub(crate) struct Emitter {
     files: BTreeMap<String, FileCtx>,
-    findings: Vec<Finding>,
+    pub(crate) findings: Vec<Finding>,
 }
 
 impl Emitter {
-    fn new(sources: &BTreeMap<String, String>) -> Emitter {
+    pub(crate) fn new(sources: &BTreeMap<String, String>) -> Emitter {
         let files = sources
             .iter()
             .map(|(path, src)| {
@@ -992,11 +1204,13 @@ impl Emitter {
 
     /// Record a finding unless suppressed.  An `simlint::allow(rule)`
     /// comment on the offending line, the line above it, or (when
-    /// `scope` names the enclosing declaration) on or above that
-    /// declaration covers the finding — so one function-level allow
-    /// with a written reason silences a whole body of intentional
-    /// sites instead of needing a comment per line.
-    fn emit(
+    /// `scope` names the enclosing declaration) anywhere in the
+    /// contiguous comment/attribute block above that declaration covers
+    /// the finding — so one function-level allow with a written reason
+    /// silences a whole body of intentional sites instead of needing a
+    /// comment per line, and several rules' allows can stack above one
+    /// declaration (mirroring how registration markers attach).
+    pub(crate) fn emit(
         &mut self,
         rule: &'static str,
         severity: Severity,
@@ -1009,8 +1223,20 @@ impl Emitter {
         if let Some(ctx) = self.files.get(path) {
             let mut probe = vec![line, line.saturating_sub(1)];
             if let Some(s) = scope {
-                probe.push(s as usize);
-                probe.push((s as usize).saturating_sub(1));
+                let s = s as usize;
+                probe.push(s);
+                // Walk the contiguous comment/attribute block above the
+                // declaration so stacked allows (one per rule) all count.
+                let mut l = s;
+                while l > 1 {
+                    l -= 1;
+                    let t = ctx.lines.get(l - 1).map(|ln| ln.trim()).unwrap_or_default();
+                    if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+                        probe.push(l);
+                    } else {
+                        break;
+                    }
+                }
             }
             let allowed = probe
                 .iter()
@@ -1278,7 +1504,7 @@ use crate::json_escape;
 /// Serialize the index to JSON (one object; findings-style escaping).
 pub fn index_to_json(index: &Index) -> String {
     let mut s = String::new();
-    s.push_str("{\"version\":2,");
+    s.push_str("{\"version\":3,");
     s.push_str(&format!("\"fingerprint\":\"{:016x}\",", index.fingerprint));
     let str_arr = |items: &BTreeSet<String>| {
         let inner: Vec<String> = items
@@ -1338,7 +1564,32 @@ pub fn index_to_json(index: &Index) -> String {
             .iter()
             .map(|(v, l)| format!("[\"{}\",{l}]", json_escape(v)))
             .collect();
-        s.push_str(&format!("\"arm_remaps\":[{}]}}", remaps.join(",")));
+        s.push_str(&format!("\"arm_remaps\":[{}],", remaps.join(",")));
+        let allocs: Vec<String> = f
+            .allocs
+            .iter()
+            .map(|(l, k)| format!("[{l},\"{}\"]", json_escape(k)))
+            .collect();
+        s.push_str(&format!("\"allocs\":[{}],", allocs.join(",")));
+        let map_ops: Vec<String> = f
+            .map_ops
+            .iter()
+            .map(|(r, k, m, l)| {
+                format!(
+                    "[\"{}\",\"{}\",\"{}\",{l}]",
+                    json_escape(r),
+                    json_escape(k),
+                    json_escape(m)
+                )
+            })
+            .collect();
+        s.push_str(&format!("\"map_ops\":[{}],", map_ops.join(",")));
+        let scans: Vec<String> = f
+            .state_loops
+            .iter()
+            .map(|(l, w)| format!("[{l},\"{}\"]", json_escape(w)))
+            .collect();
+        s.push_str(&format!("\"state_loops\":[{}]}}", scans.join(",")));
     }
     s.push_str("]}");
     s
@@ -1347,7 +1598,7 @@ pub fn index_to_json(index: &Index) -> String {
 /// Deserialize an index written by [`index_to_json`].
 pub fn index_from_json(s: &str) -> Result<Index, String> {
     let v = Json::parse(s)?;
-    if v.get("version").and_then(|x| x.as_u64()) != Some(2) {
+    if v.get("version").and_then(|x| x.as_u64()) != Some(3) {
         return Err("unsupported index version".to_string());
     }
     let fingerprint = v
@@ -1442,6 +1693,30 @@ pub fn index_from_json(s: &str) -> Result<Index, String> {
                 .filter_map(|l| l.as_u64().map(|n| n as u32))
                 .collect(),
             arm_remaps: pair_list("arm_remaps", false)?,
+            allocs: pair_list("allocs", true)?
+                .into_iter()
+                .map(|(k, l)| (l, k))
+                .collect(),
+            map_ops: {
+                let mut out = Vec::new();
+                for e in fv.get("map_ops").and_then(|x| x.as_arr()).unwrap_or(&[]) {
+                    let a = e.as_arr().ok_or("bad map_op")?;
+                    if a.len() != 4 {
+                        return Err("bad map_op arity".to_string());
+                    }
+                    out.push((
+                        a[0].as_str().ok_or("bad map_op recv")?.to_string(),
+                        a[1].as_str().ok_or("bad map_op key")?.to_string(),
+                        a[2].as_str().ok_or("bad map_op method")?.to_string(),
+                        a[3].as_u64().ok_or("bad map_op line")? as u32,
+                    ));
+                }
+                out
+            },
+            state_loops: pair_list("state_loops", true)?
+                .into_iter()
+                .map(|(k, l)| (l, k))
+                .collect(),
         });
     }
     Ok(Index {

@@ -152,7 +152,15 @@ pub fn lex(source: &str) -> Vec<Tok> {
                 i += 1;
                 while i < b.len() {
                     match b[i] {
-                        b'\\' => i += 2,
+                        // A `\<newline>` continuation escape still ends a
+                        // source line — count it, or every token after the
+                        // literal reports a line number short by one.
+                        b'\\' => {
+                            if i + 1 < b.len() && b[i + 1] == b'\n' {
+                                line += 1;
+                            }
+                            i += 2;
+                        }
                         b'"' => {
                             i += 1;
                             break;
@@ -303,6 +311,15 @@ mod tests {
     #[test]
     fn multiline_string_advances_lines() {
         let toks = lex("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn string_continuation_escape_advances_lines() {
+        // `\<newline>` inside a literal elides the break from the string's
+        // value but not from the source: the next token is on line 3.
+        let toks = lex("let s = \"a\\\n b\";\nnext");
         let next = toks.iter().find(|t| t.is_ident("next")).unwrap();
         assert_eq!(next.line, 3);
     }

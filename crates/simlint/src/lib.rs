@@ -46,6 +46,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod cost;
 pub mod flow;
 pub mod json;
 pub mod lex;
@@ -347,6 +348,7 @@ pub fn rules() -> &'static [Rule] {
 fn rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = rules().iter().map(|r| r.id).collect();
     ids.extend(flow::flow_rules().iter().map(|r| r.id));
+    ids.extend(cost::cost_rules().iter().map(|r| r.id));
     ids
 }
 

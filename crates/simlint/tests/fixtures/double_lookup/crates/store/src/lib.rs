@@ -1,0 +1,40 @@
+//! Double-lookup fixture: the same map key hashed twice per body.
+//!
+//! `upsert` probes with `contains_key` and then inserts; `double_get`
+//! fetches the same key twice.  `pair` (two distinct keys) and `bump`
+//! (entry API) are the clean negatives.  The rule is body-local, so no
+//! hot-root registration is needed.
+
+use std::collections::BTreeMap;
+
+pub struct Store {
+    rows: BTreeMap<u32, u64>,
+}
+
+impl Store {
+    // True positive: probe + insert on the same key (entry-API candidate).
+    pub fn upsert(&mut self, key: u32, val: u64) {
+        if !self.rows.contains_key(&key) {
+            self.rows.insert(key, val);
+        }
+    }
+
+    // True positive: the same key fetched twice.
+    pub fn double_get(&self, key: u32) -> u64 {
+        let a = self.rows.get(&key).copied().unwrap_or(0);
+        let b = self.rows.get(&key).copied().unwrap_or(0);
+        a + b
+    }
+
+    // Clean: two lookups under different keys.
+    pub fn pair(&self, a: u32, b: u32) -> u64 {
+        let x = self.rows.get(&a).copied().unwrap_or(0);
+        let y = self.rows.get(&b).copied().unwrap_or(0);
+        x + y
+    }
+
+    // Clean: the entry API hashes once.
+    pub fn bump(&mut self, key: u32) {
+        *self.rows.entry(key).or_insert(0) += 1;
+    }
+}

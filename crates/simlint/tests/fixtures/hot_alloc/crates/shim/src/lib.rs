@@ -1,0 +1,8 @@
+//! Sibling crate of the hot-alloc fixture: reached from the engine's
+//! hot root, so its allocation is reported — but at Warn severity,
+//! because the file is outside the `crates/simkit/` prefix.
+
+pub fn stamp(ev: u64) -> u64 {
+    let tag = vec![ev];
+    tag.len() as u64 + ev
+}

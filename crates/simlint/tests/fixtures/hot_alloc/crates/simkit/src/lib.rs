@@ -1,0 +1,55 @@
+//! Hot-alloc fixture: per-event allocation inside the engine crate.
+//!
+//! `pump` is the registered hot root.  `drain_batch` allocates on every
+//! call and is reachable, so it is the Error-level true positive (the
+//! fixture lives under a `crates/simkit/` path on purpose).  The
+//! amortized setup and the cold reporter are the clean negatives, and
+//! `stamp` in the sibling crate shows the Warn severity outside the
+//! engine crate.
+
+pub struct Engine {
+    queue: Vec<u64>,
+    tables: Vec<u64>,
+}
+
+impl Engine {
+    // simlint::hot_root — fixture event loop
+    pub fn pump(&mut self) {
+        self.ensure_tables();
+        let batch = self.drain_batch();
+        for ev in batch {
+            self.dispatch(ev);
+        }
+    }
+
+    // Allocates a fresh batch buffer per call while hot-reachable: the
+    // Error-level true positive.
+    fn drain_batch(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.queue.pop() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn dispatch(&mut self, ev: u64) {
+        self.note(stamp(ev));
+    }
+
+    fn note(&mut self, ev: u64) {
+        self.queue.push(ev);
+    }
+
+    // simlint::amortized — fixture: the table is built on first pump and
+    // reused by every later one
+    fn ensure_tables(&mut self) {
+        if self.tables.is_empty() {
+            self.tables = vec![0; 64];
+        }
+    }
+
+    // Cold: allocates, but nothing on the hot path calls it.
+    pub fn report(&self) -> String {
+        format!("queue depth {}", self.queue.len())
+    }
+}

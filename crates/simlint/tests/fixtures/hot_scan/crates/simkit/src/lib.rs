@@ -1,0 +1,47 @@
+//! Hot-state-scan fixture: O(all-entries) work per event.
+//!
+//! `Flows` is registered sim state; `drain_tick` is the hot root.  The
+//! scan inside `settle` is the true positive.  `audit` has the same
+//! shape but is never reached from the hot root, and `rebalance` is
+//! reached but carries an allow with a written reason — both stay
+//! silent.
+
+use std::collections::BTreeMap;
+
+// simlint::sim_state
+pub struct Flows {
+    live: BTreeMap<u32, u64>,
+    total: u64,
+}
+
+impl Flows {
+    // simlint::hot_root — fixture drain loop
+    pub fn drain_tick(&mut self) {
+        self.settle();
+        self.rebalance();
+    }
+
+    // True positive: scans every live flow on the hot path.
+    fn settle(&mut self) {
+        for (_, v) in self.live.iter() {
+            self.total = self.total.wrapping_add(*v);
+        }
+    }
+
+    // Reached from the hot root, but deliberately exempt.
+    fn rebalance(&mut self) {
+        // simlint::allow(hot-state-scan) — fixture: the rebalance scan is explicitly budgeted
+        for v in self.live.values() {
+            self.total = self.total.wrapping_add(*v);
+        }
+    }
+
+    // Clean: same scan shape, never reached from the hot root.
+    pub fn audit(&self) -> u64 {
+        let mut sum = 0u64;
+        for v in self.live.values() {
+            sum = sum.wrapping_add(*v);
+        }
+        sum
+    }
+}
