@@ -5,7 +5,8 @@
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
 //!          lustre-ior ceph-ior faulted chaos chaos-replay chaos-shrink
-//!          trace bench-engine all quick
+//!          rebalance rebalance-replay scaleout trace bench-engine
+//!          all quick
 //! ```
 //!
 //! `chaos` runs the seeded fault swarm (`--seeds N`, default 8) over
@@ -13,6 +14,13 @@
 //! schedule; `chaos-replay --schedule FILE` reruns an archived schedule
 //! byte-identically; `chaos-shrink --schedule FILE` delta-debugs it to
 //! a minimal reproducer.
+//!
+//! `rebalance` swarms the live-membership family (server adds, drains,
+//! crashes aimed at migration traffic) with the same archive/shrink
+//! machinery; `rebalance-replay --schedule FILE` reruns an archived
+//! rebalance schedule.  `scaleout` runs the 4 → 256 server ladder
+//! against the paper's +3.86 GiB/s-per-server claim and writes the
+//! `scaleout.json` verdict artifact.
 //!
 //! Each figure is printed as an aligned table and saved as CSV under the
 //! output directory (default `results/`).  `quick` runs a reduced set
@@ -27,6 +35,7 @@
 use benchkit::chaos;
 use benchkit::faulted::{self, FaultedScenario};
 use benchkit::figures::{self, Figure};
+use benchkit::rebalance;
 use benchkit::report;
 use benchkit::scenarios::{analyze_scenario, RunSpec, Scenario};
 use cluster::{Calibration, GIB};
@@ -260,6 +269,107 @@ fn run_chaos_shrink(cal: &Calibration, out: &Path, schedule: &Path) {
     archive_failure(&v, &arch.spec, cal, out, true);
 }
 
+/// Write a failing rebalance case's schedule (and its shrunken minimal
+/// reproducer) under `out/`.
+fn archive_rebalance_failure(
+    v: &chaos::ChaosVerdict,
+    spec: &RunSpec,
+    cal: &Calibration,
+    out: &Path,
+) {
+    let stem = format!("rebalance-{}-seed{:#06x}", slug(&v.scenario), v.seed);
+    let path = out.join(format!("{stem}.json"));
+    let json = chaos::schedule_json(&v.scenario, v.seed, spec, &v.plan);
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+        return;
+    }
+    println!("archived failing schedule: {}", path.display());
+    let scen = rebalance::RebalanceScenario::ALL
+        .into_iter()
+        .find(|s| s.name() == v.scenario)
+        .expect("rebalance scenario");
+    let outcome = rebalance::shrink_failing_rebalance(spec, scen, cal, &v.plan);
+    if outcome.reproduced {
+        let min_path = out.join(format!("{stem}.min.json"));
+        let min_json = chaos::schedule_json(&v.scenario, v.seed, spec, &outcome.plan);
+        if std::fs::write(&min_path, &min_json).is_ok() {
+            println!(
+                "shrunk {} -> {} events ({} probes): {}",
+                v.plan.len(),
+                outcome.plan.len(),
+                outcome.probes,
+                min_path.display()
+            );
+            println!(
+                "replay: cargo run --release --bin repro -- rebalance-replay --schedule {}",
+                min_path.display()
+            );
+        }
+    } else {
+        eprintln!("shrinker could not reproduce the failure (flaky oracle?)");
+    }
+}
+
+/// The rebalance swarm: N seeds of live membership churn (adds, drains,
+/// migration-aimed crashes) over the redundant scenario classes, full
+/// oracle suite.  Failing schedules are archived and shrunk; any
+/// failure exits non-zero.
+fn run_rebalance_swarm_target(cal: &Calibration, out: &Path, seeds: u64) {
+    let seed_block: Vec<u64> = (0..seeds).collect();
+    let spec = rebalance::default_rebalance_spec();
+    println!(
+        "--- rebalance family ({} scenarios x {seeds} seeds, full oracles)",
+        rebalance::RebalanceScenario::SWARM.len()
+    );
+    let report = rebalance::run_rebalance_swarm(&spec, cal, &seed_block);
+    print!("{}", report.render());
+    let mut failed = false;
+    for v in report.failures() {
+        failed = true;
+        print!("{}", v.oracle.render());
+        archive_rebalance_failure(v, &spec, cal, out);
+    }
+    if failed {
+        eprintln!("rebalance swarm found invariant violations");
+        std::process::exit(1);
+    }
+}
+
+/// Replay an archived rebalance schedule byte-for-byte; exits non-zero
+/// when the replay still violates an invariant.
+fn run_rebalance_replay(cal: &Calibration, schedule: &Path) {
+    let input = std::fs::read_to_string(schedule)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", schedule.display()));
+    let arch = chaos::parse_schedule(&input).expect("schedule artifact parses");
+    let v = rebalance::replay_archived_rebalance(&arch, cal).expect("scenario resolves");
+    println!("{}", v.render_line());
+    if !v.passed() {
+        print!("{}", v.oracle.render());
+        std::process::exit(1);
+    }
+}
+
+/// The scale-out ladder: 4 → 256 servers against the paper's
+/// +3.86 GiB/s-per-server claim, every rung replayed.  Writes the
+/// `scaleout.json` verdict artifact; exits non-zero if any verdict
+/// fails.
+fn run_scaleout_target(cal: &Calibration, out: &Path) {
+    let report = benchkit::scaleout::run_scaleout(cal);
+    print!("{}", report.render());
+    let path = out.join("scaleout.json");
+    let json = report.render_json();
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("saved {}", path.display());
+    }
+    if !report.passed() {
+        eprintln!("scale-out ladder failed a claim verdict");
+        std::process::exit(1);
+    }
+}
+
 /// The engine bench trajectory: run every seeded workload family,
 /// write `BENCH_engine.json` under `out/`, and gate against the
 /// committed copy at the repository root.  Digests and event counts
@@ -489,7 +599,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|rebalance|rebalance-replay|scaleout|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
                 );
                 return;
             }
@@ -557,6 +667,14 @@ fn main() {
                     .as_deref()
                     .expect("chaos-shrink needs --schedule FILE"),
             ),
+            "rebalance" => run_rebalance_swarm_target(&cal, &out, seeds),
+            "rebalance-replay" => run_rebalance_replay(
+                &cal,
+                schedule
+                    .as_deref()
+                    .expect("rebalance-replay needs --schedule FILE"),
+            ),
+            "scaleout" => run_scaleout_target(&cal, &out),
             "trace" => run_traces(&cal, &out),
             "bench-engine" => run_bench_engine(&out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),

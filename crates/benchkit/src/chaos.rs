@@ -116,7 +116,7 @@ impl ChaosVerdict {
     }
 }
 
-fn determinism_violation(scenario: &str, a: u64, b: u64) -> Violation {
+pub(crate) fn determinism_violation(scenario: &str, a: u64, b: u64) -> Violation {
     Violation {
         oracle: OracleKind::Determinism,
         subject: scenario.to_string(),

@@ -259,8 +259,12 @@ impl<W: ProcWorkload> World for FaultedWorld<'_, W> {
                     .borrow_mut()
                     .set_extra_delay(payload as u16, extra_ns);
             }
-            // capacity scaling is applied by the engine before dispatch
-            FaultAction::SlowDisk { .. } | FaultAction::NicBrownout { .. } => {}
+            // capacity scaling is applied by the engine before dispatch;
+            // membership events belong to the rebalance family's world
+            FaultAction::SlowDisk { .. }
+            | FaultAction::NicBrownout { .. }
+            | FaultAction::AddServer { .. }
+            | FaultAction::DrainServer { .. } => {}
         }
     }
 }

@@ -22,7 +22,9 @@ pub mod determinism;
 pub mod driver;
 pub mod faulted;
 pub mod figures;
+pub mod rebalance;
 pub mod report;
+pub mod scaleout;
 pub mod scenarios;
 pub mod stats;
 pub mod tracing;
@@ -41,6 +43,12 @@ pub use faulted::{
     FaultedOpts, FaultedReplay, FaultedReport, FaultedScenario, PlanSource,
 };
 pub use figures::{Figure, Point, Series};
+pub use rebalance::{
+    default_rebalance_spec, rebalance_space, replay_archived_rebalance, run_planned_rebalance_case,
+    run_rebalance_case, run_rebalance_swarm, run_rebalance_with, shrink_failing_rebalance,
+    RebalanceOpts, RebalanceRunReport, RebalanceScenario,
+};
+pub use scaleout::{run_scaleout, run_scaleout_with, ScaleoutConfig, ScaleoutReport, ScaleoutRung};
 pub use scenarios::{
     analyze_scenario, auto_ops, run_reps, run_scenario, run_scenario_chaos, run_scenario_digest,
     PointStats, ResourceUse, RunResult, RunSpec, Scenario,

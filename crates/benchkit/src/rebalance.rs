@@ -1,0 +1,643 @@
+//! The rebalance scenario family: live membership changes under load.
+//!
+//! Each scenario runs a healthy write phase, installs a fault plan at
+//! the phase boundary, then drives the read phase through a world that
+//! maps membership events onto the elastic-pool API of
+//! [`DaosSystem`]:
+//!
+//! * [`FaultAction::AddServer`] → [`DaosSystem::add_server`] (the
+//!   deployment keeps [`SPARE_SERVERS`] unused hardware nodes to grow
+//!   into) followed by a [`DaosSystem::rebalance_plan`];
+//! * [`FaultAction::DrainServer`] → [`DaosSystem::drain_server`] plus a
+//!   plan;
+//! * planned moves ship as throttled [`DaosSystem::migration_wave`]s
+//!   that compete with the foreground reads through the same fairshare
+//!   NIC/engine/NVMe resources;
+//! * [`FaultAction::TargetCrash`] → [`DaosSystem::crash_target`] and
+//!   the crash → detect → rebuild chain of the faulted family.  A crash
+//!   mid-migration invalidates the stale moves (the wave emitter drops
+//!   them) and the rebuild re-protects what the crash degraded;
+//! * when the pending queue drains, [`DaosSystem::finish_rebalance`]
+//!   retires drained targets and promotes reintegrating ones, then one
+//!   repair rescan re-protects anything a dropped move left behind.
+//!
+//! The chaos surface ([`rebalance_space`]) extends the faulted family's
+//! with the three rebalance dimensions (server adds, server drains,
+//! crashes aimed at migration sources/destinations), and the verdict
+//! machinery — durability/redundancy oracles, double-run determinism,
+//! schedule archiving, ddmin shrinking — is shared with
+//! [`crate::chaos`].
+
+use crate::chaos::{determinism_violation, ChaosVerdict, SwarmReport};
+use crate::driver::{run_phase, start_stagger_ns, PhaseResult};
+use crate::faulted::PlanSource;
+use crate::scenarios::{exec, make_sched, RunSpec};
+use cluster::bench::{Phase, ProcWorkload};
+use cluster::{Calibration, ClusterSpec};
+use daos_core::{
+    ContainerProps, DaosSystem, DataMode, MigrationProgress, ObjectClass, OracleReport,
+    RebuildReport, RetryPolicy, RetryStats, TargetId,
+};
+use ior_bench::{AccessOrder, Ior, IorBackend, IorConfig};
+use simkit::{
+    generate, run, shrink, ChaosConfig, ChaosSpace, FaultAction, FaultEvent, FaultPlan, OpId,
+    Scheduler, ShrinkOutcome, SimTime, Step, World,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Spare hardware nodes every rebalance deployment keeps beyond the
+/// deployed servers — [`FaultAction::AddServer`] grows into them.
+pub const SPARE_SERVERS: usize = 2;
+
+/// Moves shipped per migration wave: the throttle that keeps background
+/// migration from starving foreground traffic (each wave is one
+/// parallel step; the next is emitted only when it completes).
+const WAVE_MOVES: usize = 8;
+
+/// Crash-to-rebuild detection delay, same constant as the faulted
+/// family (RAS propagation + pool-map distribution).
+const REBUILD_DETECT_NS: u64 = 2_000_000;
+
+/// Marker op ids, far above any process index and disjoint from the
+/// faulted family's `1 << 40` block.
+const OP_WAVE: OpId = OpId(1 << 41);
+const OP_REBUILD_TRIGGER: OpId = OpId((1 << 41) + 1);
+const OP_REBUILD_DONE: OpId = OpId((1 << 41) + 2);
+const OP_RETIRE_REPAIR: OpId = OpId((1 << 41) + 3);
+
+/// The live-rebalance benchmark family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RebalanceScenario {
+    /// IOR easy (file-per-process, sequential) on `RP_2` Arrays.
+    IorEasyRp2,
+    /// IOR hard (shared file, random offsets) on `EC_2P1` Arrays.
+    IorHardEc2p1,
+    /// IOR easy on unreplicated `S1` Arrays: no redundancy, so a crash
+    /// aimed at a migration destination genuinely loses extents — the
+    /// planted-violation scenario the swarm's oracles must catch.
+    IorEasyS1,
+}
+
+impl RebalanceScenario {
+    /// Every rebalance scenario (archive name resolution).
+    pub const ALL: [RebalanceScenario; 3] = [
+        RebalanceScenario::IorEasyRp2,
+        RebalanceScenario::IorHardEc2p1,
+        RebalanceScenario::IorEasyS1,
+    ];
+
+    /// The swarm subset: redundant classes that must stay green under
+    /// the full rebalance fault surface.
+    pub const SWARM: [RebalanceScenario; 2] = [
+        RebalanceScenario::IorEasyRp2,
+        RebalanceScenario::IorHardEc2p1,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RebalanceScenario::IorEasyRp2 => "rebalance/IOR-easy/RP_2",
+            RebalanceScenario::IorHardEc2p1 => "rebalance/IOR-hard/EC_2P1",
+            RebalanceScenario::IorEasyS1 => "rebalance/IOR-easy/S1",
+        }
+    }
+}
+
+/// The sweep point the rebalance swarm runs at: the chaos shape (small
+/// ops, `Full` data mode materialises every byte) over four deployed
+/// servers with spare hardware to grow into.
+pub fn default_rebalance_spec() -> RunSpec {
+    crate::chaos::default_chaos_spec()
+}
+
+/// The rebalance fault surface for `spec`: the faulted family's full
+/// surface (whole-server crash groups, disks, NICs, delayed
+/// completions) plus the three rebalance dimensions — spare-server
+/// adds, deployed-server drains, and crash groups aimed at migration
+/// traffic (one deployed server that holds sources/destinations, one
+/// spare whose freshly added targets may be mid-reintegration).
+///
+/// Resource ids are enumerated from a scratch build of the **grown**
+/// topology (`servers + SPARE_SERVERS`), matching the real run's
+/// registration order exactly.
+pub fn rebalance_space(spec: &RunSpec, cal: &Calibration) -> ChaosSpace {
+    let mut sched = Scheduler::new();
+    let topo = ClusterSpec::new(spec.servers + SPARE_SERVERS, spec.client_nodes)
+        .with_cal(cal.clone())
+        .build(&mut sched);
+    let mut space = crate::chaos::engine_space(&topo);
+    let group = |server: u16| -> Vec<u64> {
+        (0..cal.targets_per_server as u16)
+            .map(|target| TargetId { server, target }.pack())
+            .collect()
+    };
+    space.crash_groups = (0..spec.servers as u16).map(group).collect();
+    space.delay_payloads = (0..spec.servers as u64).collect();
+    space.add_servers = (spec.servers..spec.servers + SPARE_SERVERS)
+        .map(|s| s as u64)
+        .collect();
+    // at most half the deployed servers are drainable, so redundant
+    // classes always have evacuation destinations
+    space.drain_servers = (0..(spec.servers / 2).max(1)).map(|s| s as u64).collect();
+    space.migration_crash_groups = vec![
+        group(spec.servers as u16 - 1), // a deployed migration source/dest
+        group(spec.servers as u16),     // the first spare, mid-reintegration
+    ];
+    space
+}
+
+/// Result of one rebalance run.
+#[derive(Debug, Clone)]
+pub struct RebalanceRunReport {
+    /// Which scenario ran.
+    pub scenario: RebalanceScenario,
+    /// Healthy write phase.
+    pub write: PhaseResult,
+    /// Read phase under membership churn.
+    pub read: PhaseResult,
+    /// Client-side retry counters.
+    pub retry: RetryStats,
+    /// Reads that failed terminally and were tolerated (only possible
+    /// for the unreplicated [`RebalanceScenario::IorEasyS1`]).
+    pub unavailable_reads: usize,
+    /// Crash-triggered rebuild outcome, if a crash fired.
+    pub rebuild: Option<RebuildReport>,
+    /// Shard moves planned across every replanning pass.
+    pub moves_planned: usize,
+    /// Migration waves shipped.
+    pub waves: usize,
+    /// Migration engine progress at quiescence.
+    pub migration: MigrationProgress,
+    /// Pool-map version when the run ended (counts every membership
+    /// transition; the healthy deployment ends the write phase at 0).
+    pub map_version: u64,
+    /// Post-quiescence invariant audit (durability + redundancy), when
+    /// requested.
+    pub oracles: Option<OracleReport>,
+    /// Replay digest over completions and fired faults.
+    pub digest: u64,
+}
+
+/// Options for [`run_rebalance_with`].
+#[derive(Debug, Clone)]
+pub struct RebalanceOpts {
+    /// The failure schedule (phase-relative when `Fixed`).
+    pub plan: PlanSource,
+    /// Data mode (`Full` for oracle runs).
+    pub mode: DataMode,
+    /// Record acked writes and audit every oracle after quiescence.
+    pub oracles: bool,
+}
+
+impl Default for RebalanceOpts {
+    fn default() -> Self {
+        RebalanceOpts {
+            plan: PlanSource::Builtin,
+            mode: DataMode::Sized,
+            oracles: false,
+        }
+    }
+}
+
+/// What the rebalance driver observed during the churn phase.
+struct RebalanceOutcome {
+    rebuild: Option<RebuildReport>,
+    crash_at: Option<SimTime>,
+    moves_planned: usize,
+    waves: usize,
+}
+
+/// The rebalance-phase world: op chaining plus the membership state
+/// machine (add/drain → plan → waves → finish → repair) and the crash →
+/// detect → rebuild chain.
+struct RebalanceWorld<'a, W: ProcWorkload> {
+    wl: &'a mut W,
+    daos: &'a Rc<RefCell<DaosSystem>>,
+    next_idx: Vec<usize>,
+    inflight: Vec<usize>,
+    ops_per_proc: usize,
+    remaining: usize,
+    last_end: SimTime,
+    /// A wave is in flight; completions (not events) advance migration.
+    migrating: bool,
+    out: RebalanceOutcome,
+}
+
+impl<W: ProcWorkload> RebalanceWorld<'_, W> {
+    /// Replan after a membership change and start pumping waves unless
+    /// one is already in flight (it will pick up the new pending moves).
+    fn replan_and_pump(&mut self, sched: &mut Scheduler) {
+        let report = self.daos.borrow_mut().rebalance_plan();
+        self.out.moves_planned += report.moves_planned;
+        if !self.migrating {
+            self.pump(sched);
+        }
+    }
+
+    /// Ship the next migration wave, or — when the pending queue has
+    /// drained — complete the rebalance: retire/promote membership and
+    /// run one repair rescan so nothing a dropped move left behind
+    /// stays unprotected.
+    fn pump(&mut self, sched: &mut Scheduler) {
+        let step = self.daos.borrow_mut().migration_wave(WAVE_MOVES);
+        match step {
+            Some(wave) => {
+                self.migrating = true;
+                self.out.waves += 1;
+                sched.submit(wave, OP_WAVE);
+            }
+            None => {
+                self.migrating = false;
+                let movement = {
+                    let mut d = self.daos.borrow_mut();
+                    d.finish_rebalance();
+                    let (_, movement) = d.rebuild();
+                    movement
+                };
+                sched.submit(movement, OP_RETIRE_REPAIR);
+            }
+        }
+    }
+
+    /// Membership/crash events may name a spare server before it has
+    /// been added; state changes for ranks outside the current pool are
+    /// no-ops.
+    fn rank_exists(&self, t: TargetId) -> bool {
+        (t.server as usize) < self.daos.borrow().server_count()
+    }
+}
+
+impl<W: ProcWorkload> World for RebalanceWorld<'_, W> {
+    fn on_op_complete(&mut self, op: OpId, sched: &mut Scheduler) {
+        if op == OP_WAVE {
+            self.pump(sched);
+            return;
+        }
+        if op == OP_RETIRE_REPAIR || op == OP_REBUILD_DONE {
+            return;
+        }
+        if op == OP_REBUILD_TRIGGER {
+            let (report, movement) = self.daos.borrow_mut().rebuild();
+            self.out.rebuild = Some(report);
+            sched.submit(movement, OP_REBUILD_DONE);
+            return;
+        }
+        let proc = op.0 as usize;
+        self.last_end = sched.now();
+        self.inflight[proc] -= 1;
+        let idx = self.next_idx[proc];
+        if idx < self.ops_per_proc {
+            self.next_idx[proc] += 1;
+            self.inflight[proc] += 1;
+            let step = self.wl.op(proc, idx);
+            sched.submit(step, OpId(proc as u64));
+        } else if self.inflight[proc] == 0 {
+            self.remaining -= 1;
+        }
+    }
+
+    // simlint::panic_root — fault handler: must never panic
+    fn on_fault(&mut self, event: &FaultEvent, sched: &mut Scheduler) {
+        match event.action {
+            FaultAction::AddServer { .. } => {
+                self.daos.borrow_mut().add_server(sched);
+                self.replan_and_pump(sched);
+            }
+            FaultAction::DrainServer { server } => {
+                let rank = TargetId {
+                    server: server as u16,
+                    target: 0,
+                };
+                if self.rank_exists(rank) {
+                    self.daos.borrow_mut().drain_server(server as u16);
+                    self.replan_and_pump(sched);
+                }
+            }
+            FaultAction::TargetCrash(payload) => {
+                let t = TargetId::unpack(payload);
+                if self.rank_exists(t) {
+                    self.daos.borrow_mut().crash_target(t);
+                    if self.out.crash_at.is_none() {
+                        self.out.crash_at = Some(sched.now());
+                        sched.submit(Step::delay(REBUILD_DETECT_NS), OP_REBUILD_TRIGGER);
+                    }
+                }
+            }
+            FaultAction::TargetRestart(payload) => {
+                let t = TargetId::unpack(payload);
+                if self.rank_exists(t) {
+                    self.daos.borrow_mut().restart_target(t);
+                }
+            }
+            FaultAction::DelayedCompletion { payload, extra_ns } => {
+                self.daos
+                    .borrow_mut()
+                    .set_extra_delay(payload as u16, extra_ns);
+            }
+            // capacity scaling is applied by the engine before dispatch
+            FaultAction::SlowDisk { .. } | FaultAction::NicBrownout { .. } => {}
+        }
+    }
+}
+
+/// Like the faulted family's phase runner, with the rebalance world.
+fn run_rebalance_phase<W: ProcWorkload>(
+    sched: &mut Scheduler,
+    wl: &mut W,
+    daos: &Rc<RefCell<DaosSystem>>,
+) -> (PhaseResult, RebalanceOutcome) {
+    let procs = wl.procs();
+    let ops_per_proc = wl.ops_per_proc();
+    let t0 = sched.now();
+    let qd = wl.queue_depth().max(1);
+    let initial = qd.min(ops_per_proc);
+    let mut world = RebalanceWorld {
+        wl,
+        daos,
+        next_idx: vec![initial; procs],
+        inflight: vec![initial; procs],
+        ops_per_proc,
+        remaining: procs,
+        last_end: t0,
+        migrating: false,
+        out: RebalanceOutcome {
+            rebuild: None,
+            crash_at: None,
+            moves_planned: 0,
+            waves: 0,
+        },
+    };
+    for p in 0..procs {
+        let stagger = start_stagger_ns(p);
+        for i in 0..initial {
+            let step = world.wl.op(p, i);
+            sched.submit_after(stagger, step, OpId(p as u64));
+        }
+    }
+    run(sched, &mut world);
+    assert_eq!(world.remaining, 0, "all processes finished");
+    let t_end = world.last_end;
+    let total_ops = procs * ops_per_proc;
+    (
+        PhaseResult {
+            bytes: total_ops as f64 * world.wl.bytes_per_op(),
+            seconds: t_end.secs_since(t0),
+            ops: total_ops,
+        },
+        world.out,
+    )
+}
+
+/// The builtin schedule: one server add and one server drain early in
+/// the read phase — a plain grow-and-shrink rebalance with no weather.
+fn builtin_plan(spec: &RunSpec, t0: SimTime) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    plan.at(
+        SimTime(t0.0 + 1_000_000),
+        FaultAction::AddServer {
+            server: spec.servers as u64,
+        },
+    );
+    plan.at(
+        SimTime(t0.0 + 2_000_000),
+        FaultAction::DrainServer { server: 0 },
+    );
+    plan
+}
+
+/// Execute one rebalance scenario under explicit [`RebalanceOpts`]:
+/// healthy write phase, fault plan installed at the phase boundary,
+/// read phase under membership churn, post-quiescence audit.
+// simlint::digest_root — rebalance replay digest entry
+pub fn run_rebalance_with(
+    spec: &RunSpec,
+    scen: RebalanceScenario,
+    cal: &Calibration,
+    opts: &RebalanceOpts,
+) -> RebalanceRunReport {
+    let mut sched = make_sched(spec, false);
+    let cspec =
+        ClusterSpec::new(spec.servers + SPARE_SERVERS, spec.client_nodes).with_cal(cal.clone());
+    let topo = cspec.build(&mut sched);
+    let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, opts.mode);
+    if opts.oracles {
+        daos_sys.enable_ledger();
+    }
+    let (cid, s) = daos_sys.cont_create(0, ContainerProps::default());
+    exec(&mut sched, s);
+    let daos = Rc::new(RefCell::new(daos_sys));
+
+    let mut cfg = IorConfig::new(spec.procs(), spec.client_nodes, spec.ops_per_proc);
+    cfg.transfer_size = spec.transfer;
+    cfg.queue_depth = spec.queue_depth;
+    let oclass = match scen {
+        RebalanceScenario::IorEasyRp2 => ObjectClass::RP_2,
+        RebalanceScenario::IorEasyS1 => {
+            // no redundancy: a crash genuinely loses extents, and the
+            // oracle — not the benchmark driver — delivers that verdict
+            cfg.tolerate_unavailable = true;
+            ObjectClass::S1
+        }
+        RebalanceScenario::IorHardEc2p1 => {
+            cfg.file_per_proc = false;
+            cfg.access = AccessOrder::Random;
+            ObjectClass::EC_2P1
+        }
+    };
+    let backend = IorBackend::Daos {
+        daos: daos.clone(),
+        cid,
+        oclass,
+    };
+    let mut ior = Ior::new(cfg, backend);
+    ior.set_retry_policy(RetryPolicy::default(), spec.seed);
+    let write = run_phase(&mut sched, &mut ior);
+    let plan = match &opts.plan {
+        PlanSource::Builtin => builtin_plan(spec, sched.now()),
+        PlanSource::Fixed(plan) => plan.shifted(sched.now()),
+    };
+    sched.install_faults(plan);
+    ior.set_phase(Phase::Read);
+    let (read, out) = run_rebalance_phase(&mut sched, &mut ior, &daos);
+
+    let oracles = opts.oracles.then(|| {
+        let mut d = daos.borrow_mut();
+        let mut report = d.verify_durability(0);
+        report.merge(d.verify_redundancy());
+        report
+    });
+    let d = daos.borrow();
+    RebalanceRunReport {
+        scenario: scen,
+        write,
+        read,
+        retry: ior.retry_stats(),
+        unavailable_reads: ior.unavailable_reads(),
+        rebuild: out.rebuild,
+        moves_planned: out.moves_planned,
+        waves: out.waves,
+        migration: d.migration_progress(),
+        map_version: d.pool().version(),
+        oracles,
+        digest: sched.digest(),
+    }
+}
+
+/// Run a rebalance-family case under an explicit schedule, twice from
+/// fresh state, with the full oracle suite plus a digest determinism
+/// check — the replay and shrink entry point.
+pub fn run_planned_rebalance_case(
+    spec: &RunSpec,
+    scen: RebalanceScenario,
+    cal: &Calibration,
+    seed: u64,
+    plan: FaultPlan,
+) -> ChaosVerdict {
+    let opts = RebalanceOpts {
+        plan: PlanSource::Fixed(plan.clone()),
+        mode: DataMode::Full,
+        oracles: true,
+    };
+    let first = run_rebalance_with(spec, scen, cal, &opts);
+    let second = run_rebalance_with(spec, scen, cal, &opts);
+    let mut oracle = first.oracles.clone().unwrap_or_default();
+    if first.digest != second.digest {
+        oracle.violations.push(determinism_violation(
+            scen.name(),
+            first.digest,
+            second.digest,
+        ));
+    }
+    ChaosVerdict {
+        scenario: scen.name().to_string(),
+        seed,
+        plan,
+        oracle,
+        digest: first.digest,
+    }
+}
+
+/// Run one rebalance chaos case: sample the seed's schedule from the
+/// rebalance fault surface and run it as a planned case.
+pub fn run_rebalance_case(
+    spec: &RunSpec,
+    scen: RebalanceScenario,
+    cal: &Calibration,
+    seed: u64,
+) -> ChaosVerdict {
+    let space = rebalance_space(spec, cal);
+    let plan = generate(&space, &ChaosConfig::default(), seed);
+    run_planned_rebalance_case(spec, scen, cal, seed, plan)
+}
+
+/// Swarm the rebalance family: every scenario in
+/// [`RebalanceScenario::SWARM`] under every seed in `seeds`.
+pub fn run_rebalance_swarm(spec: &RunSpec, cal: &Calibration, seeds: &[u64]) -> SwarmReport {
+    let mut report = SwarmReport::default();
+    for &seed in seeds {
+        for scen in RebalanceScenario::SWARM {
+            report
+                .verdicts
+                .push(run_rebalance_case(spec, scen, cal, seed));
+        }
+    }
+    report
+}
+
+/// Shrink a failing rebalance-family schedule to a minimal reproducer
+/// (single-sided probes; re-establish the verdict with
+/// [`run_planned_rebalance_case`]).
+pub fn shrink_failing_rebalance(
+    spec: &RunSpec,
+    scen: RebalanceScenario,
+    cal: &Calibration,
+    plan: &FaultPlan,
+) -> ShrinkOutcome {
+    shrink(plan, |candidate| {
+        let opts = RebalanceOpts {
+            plan: PlanSource::Fixed(candidate.clone()),
+            mode: DataMode::Full,
+            oracles: true,
+        };
+        let report = run_rebalance_with(spec, scen, cal, &opts);
+        !report
+            .oracles
+            .as_ref()
+            .map(OracleReport::ok)
+            .unwrap_or(true)
+    })
+}
+
+/// Rerun an archived rebalance-family schedule: resolve the scenario
+/// against [`RebalanceScenario::ALL`] and replay the stored plan at the
+/// stored deployment shape.
+pub fn replay_archived_rebalance(
+    arch: &crate::chaos::ArchivedSchedule,
+    cal: &Calibration,
+) -> Result<ChaosVerdict, String> {
+    let scen = RebalanceScenario::ALL
+        .into_iter()
+        .find(|s| s.name() == arch.scenario)
+        .ok_or_else(|| format!("unknown rebalance scenario {:?}", arch.scenario))?;
+    Ok(run_planned_rebalance_case(
+        &arch.spec,
+        scen,
+        cal,
+        arch.seed,
+        arch.plan.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> RunSpec {
+        let mut spec = default_rebalance_spec();
+        spec.ops_per_proc = 8;
+        spec
+    }
+
+    #[test]
+    fn builtin_grow_and_drain_rebalances_cleanly() {
+        let spec = tiny_spec();
+        let cal = Calibration::default();
+        let opts = RebalanceOpts {
+            oracles: true,
+            mode: DataMode::Full,
+            ..RebalanceOpts::default()
+        };
+        let r = run_rebalance_with(&spec, RebalanceScenario::IorEasyRp2, &cal, &opts);
+        assert!(r.map_version > 0, "membership changes bump the map version");
+        assert!(r.moves_planned > 0, "grow + drain must move shards");
+        assert!(r.waves > 0, "moves ship in waves");
+        assert_eq!(
+            r.migration.moves_done, r.moves_planned,
+            "a crash-free rebalance ships every planned move"
+        );
+        let oracle = r.oracles.expect("oracles audited");
+        assert!(oracle.ok(), "{}", oracle.render());
+    }
+
+    #[test]
+    fn rebalance_case_is_deterministic() {
+        let spec = tiny_spec();
+        let cal = Calibration::default();
+        let a = run_rebalance_case(&spec, RebalanceScenario::IorEasyRp2, &cal, 3);
+        assert!(a.passed(), "seed 3 must be green:\n{}", a.oracle.render());
+        let b = run_rebalance_case(&spec, RebalanceScenario::IorEasyRp2, &cal, 3);
+        assert_eq!(a.digest, b.digest, "same seed, same case digest");
+        assert_eq!(a.plan.to_json(), b.plan.to_json());
+    }
+
+    #[test]
+    fn rebalance_space_spans_all_dimensions() {
+        let spec = tiny_spec();
+        let space = rebalance_space(&spec, &Calibration::default());
+        assert_eq!(space.add_servers, vec![4, 5]);
+        assert_eq!(space.drain_servers, vec![0, 1]);
+        assert_eq!(space.migration_crash_groups.len(), 2);
+        assert_eq!(space.crash_groups.len(), spec.servers);
+    }
+}

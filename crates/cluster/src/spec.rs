@@ -58,6 +58,11 @@ pub struct ClusterSpec {
     pub client: ClientSpec,
     /// Model constants.
     pub cal: Calibration,
+    /// Per-server NVMe speed multipliers for heterogeneous fleets
+    /// (scale-out experiments mix device generations).  Index `s` scales
+    /// server `s`'s device and pool bandwidths; servers beyond the end of
+    /// the vector run at the calibrated speed (factor 1.0).
+    pub server_speeds: Vec<f64>,
 }
 
 impl ClusterSpec {
@@ -70,6 +75,7 @@ impl ClusterSpec {
             server: ServerSpec::default(),
             client: ClientSpec::default(),
             cal: Calibration::default(),
+            server_speeds: Vec::new(),
         }
     }
 
@@ -77,6 +83,18 @@ impl ClusterSpec {
     pub fn with_cal(mut self, cal: Calibration) -> Self {
         self.cal = cal;
         self
+    }
+
+    /// Give each server its own NVMe speed multiplier (heterogeneous
+    /// fleet).  Servers past the end of `speeds` keep factor 1.0.
+    pub fn with_server_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.server_speeds = speeds;
+        self
+    }
+
+    /// NVMe speed multiplier for server `s`.
+    pub fn server_speed(&self, s: usize) -> f64 {
+        self.server_speeds.get(s).copied().unwrap_or(1.0)
     }
 
     /// Instantiate the hardware as scheduler resources.

@@ -50,19 +50,28 @@ impl Topology {
         let dev_w = cal.server_nvme_write_bw / ndev as f64 * cal.nvme_dev_burst;
         let dev_r = cal.server_nvme_read_bw / ndev as f64 * cal.nvme_dev_burst;
         let servers = (0..spec.servers)
-            .map(|s| ServerNode {
-                nic_tx: sched.add_resource(format!("srv{s}.nic_tx"), cal.nic_bw),
-                nic_rx: sched.add_resource(format!("srv{s}.nic_rx"), cal.nic_bw),
-                nvme_w: (0..ndev)
-                    .map(|d| sched.add_resource(format!("srv{s}.nvme{d}.w"), dev_w))
-                    .collect(),
-                nvme_r: (0..ndev)
-                    .map(|d| sched.add_resource(format!("srv{s}.nvme{d}.r"), dev_r))
-                    .collect(),
-                nvme_w_pool: sched
-                    .add_resource(format!("srv{s}.nvme.wpool"), cal.server_nvme_write_bw),
-                nvme_r_pool: sched
-                    .add_resource(format!("srv{s}.nvme.rpool"), cal.server_nvme_read_bw),
+            .map(|s| {
+                // heterogeneous fleets scale a server's NVMe (devices and
+                // node pool) without touching its NIC
+                let speed = spec.server_speed(s);
+                ServerNode {
+                    nic_tx: sched.add_resource(format!("srv{s}.nic_tx"), cal.nic_bw),
+                    nic_rx: sched.add_resource(format!("srv{s}.nic_rx"), cal.nic_bw),
+                    nvme_w: (0..ndev)
+                        .map(|d| sched.add_resource(format!("srv{s}.nvme{d}.w"), dev_w * speed))
+                        .collect(),
+                    nvme_r: (0..ndev)
+                        .map(|d| sched.add_resource(format!("srv{s}.nvme{d}.r"), dev_r * speed))
+                        .collect(),
+                    nvme_w_pool: sched.add_resource(
+                        format!("srv{s}.nvme.wpool"),
+                        cal.server_nvme_write_bw * speed,
+                    ),
+                    nvme_r_pool: sched.add_resource(
+                        format!("srv{s}.nvme.rpool"),
+                        cal.server_nvme_read_bw * speed,
+                    ),
+                }
             })
             .collect();
         let clients = (0..spec.clients)
@@ -139,6 +148,28 @@ mod tests {
         let mut w = Done(SimTime::ZERO);
         run(&mut sched, &mut w);
         assert!((w.0.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn server_speeds_scale_nvme_but_not_nic() {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(3, 1)
+            .with_server_speeds(vec![1.0, 0.5])
+            .build(&mut sched);
+        let full = sched.capacity(topo.servers[0].nvme_w_pool);
+        let half = sched.capacity(topo.servers[1].nvme_w_pool);
+        assert!((half - full / 2.0).abs() < 1.0);
+        // a server past the end of the speeds vector runs at full speed
+        assert!((sched.capacity(topo.servers[2].nvme_w_pool) - full).abs() < 1.0);
+        // per-device capacities scale with their node
+        let dev_full = sched.capacity(topo.servers[0].nvme_w[0]);
+        let dev_half = sched.capacity(topo.servers[1].nvme_w[0]);
+        assert!((dev_half - dev_full / 2.0).abs() < 1.0);
+        // NICs are unaffected: the mix is about device generations
+        assert_eq!(
+            sched.capacity(topo.servers[0].nic_tx),
+            sched.capacity(topo.servers[1].nic_tx)
+        );
     }
 
     #[test]

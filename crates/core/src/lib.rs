@@ -61,4 +61,4 @@ pub use oid::{Oid, OidAllocator, FLAG_KV};
 pub use pool::{Layout, PoolMap, TargetId, TargetState};
 pub use rebuild::RebuildReport;
 pub use retry::{Retriable, RetryExec, RetryPolicy, RetryStats};
-pub use system::{dkey_hash, DaosError, DaosSystem, PoolInfo};
+pub use system::{dkey_hash, DaosError, DaosSystem, MigrationProgress, PoolInfo, RebalanceReport};

@@ -5,9 +5,17 @@
 //! device each.  Objects are placed on targets by a deterministic hash
 //! of their OID, in shard groups whose width depends on the object class
 //! (1 for plain shards, `r` for replication, `k+p` for erasure coding).
+//!
+//! The map is **versioned**: every effective state transition (and every
+//! membership change) bumps a monotonic map version, exactly like the
+//! pool-map revision DAOS distributes to clients.  Two maps at the same
+//! version are byte-identical, so layouts computed against an unchanged
+//! version are stable; any divergence in placement implies a version
+//! step in between.
 
 use crate::class::ObjectClass;
 use crate::oid::Oid;
+use simkit::json::{self, Json};
 
 /// One DAOS target: `(server rank, target index)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -34,21 +42,62 @@ impl TargetId {
     }
 }
 
-/// Health of a target.
+/// Health / membership state of a target.
+///
+/// The four states split along two axes: **placement** (do new layouts
+/// use it?) and **service** (can it serve I/O for shards it already
+/// holds?).  `Up` is both; `Drain` serves but no longer places (its
+/// shards are being migrated away before retirement); `Reint` places
+/// nothing yet but accepts and serves migrated shards (a reintegrating
+/// or newly added target); `Down` is neither.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TargetState {
-    /// Serving I/O.
+    /// Serving I/O and eligible for new placements.
     Up,
-    /// Excluded/failed: receives no new I/O; its shards are unavailable.
+    /// Serving existing shards, excluded from new layouts; the
+    /// migration engine is moving its shards away, after which it
+    /// retires to `Down`.
+    Drain,
+    /// Excluded/failed: receives no I/O; its shards are unavailable.
     Down,
+    /// Rejoining (or newly added): receives migrated shards and serves
+    /// them, but new layouts skip it until it is promoted to `Up`.
+    Reint,
 }
 
-/// The pool map: target inventory and health.
+impl TargetState {
+    fn as_str(self) -> &'static str {
+        match self {
+            TargetState::Up => "up",
+            TargetState::Drain => "drain",
+            TargetState::Down => "down",
+            TargetState::Reint => "reint",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<TargetState> {
+        match s {
+            "up" => Some(TargetState::Up),
+            "drain" => Some(TargetState::Drain),
+            "down" => Some(TargetState::Down),
+            "reint" => Some(TargetState::Reint),
+            _ => None,
+        }
+    }
+}
+
+/// The pool map: target inventory, health, and a monotonic version.
 #[derive(Debug, Clone)]
 pub struct PoolMap {
     servers: usize,
     targets_per_server: usize,
+    version: u64,
     state: Vec<TargetState>,
+    /// Cached `Up` count, maintained on every transition so lookup
+    /// paths never rescan the state vector.
+    up: usize,
+    /// Cached non-`Down` count (targets able to serve I/O).
+    servable: usize,
 }
 
 /// The placement of one object: shard groups of equal width.
@@ -78,13 +127,17 @@ impl Layout {
 
 impl PoolMap {
     /// A pool over `servers` engines with `targets_per_server` targets
-    /// each, all up.
+    /// each, all up, at map version 0.
     pub fn new(servers: usize, targets_per_server: usize) -> Self {
         assert!(servers > 0 && targets_per_server > 0);
+        let total = servers * targets_per_server;
         PoolMap {
             servers,
             targets_per_server,
-            state: vec![TargetState::Up; servers * targets_per_server],
+            version: 0,
+            state: vec![TargetState::Up; total],
+            up: total,
+            servable: total,
         }
     }
 
@@ -98,9 +151,25 @@ impl PoolMap {
         self.targets_per_server
     }
 
-    /// Total targets, up or down.
+    /// Total targets, regardless of state.
     pub fn total_targets(&self) -> usize {
         self.state.len()
+    }
+
+    /// Monotonic map version: bumped by every effective state
+    /// transition and by every membership change.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of `Up` targets (placement-eligible), O(1).
+    pub fn up_count(&self) -> usize {
+        self.up
+    }
+
+    /// Number of non-`Down` targets (able to serve I/O), O(1).
+    pub fn servable_count(&self) -> usize {
+        self.servable
     }
 
     /// Linear index of a target.
@@ -121,15 +190,38 @@ impl PoolMap {
         self.state[self.index(t)]
     }
 
-    /// True when the target serves I/O.
+    /// True when the target is `Up`: serving I/O *and* eligible for new
+    /// placements.
     pub fn is_up(&self, t: TargetId) -> bool {
         self.state(t) == TargetState::Up
     }
 
+    /// True when the target can serve I/O for shards it holds (`Up`,
+    /// `Drain` or `Reint` — everything but `Down`).
+    pub fn is_servable(&self, t: TargetId) -> bool {
+        self.state(t) != TargetState::Down
+    }
+
+    /// The single transition point: applies the new state, maintains the
+    /// cached counts, and bumps the version — only when the state
+    /// actually changes, so no-op transitions leave the version alone.
+    fn set_state(&mut self, t: TargetId, new: TargetState) {
+        let i = self.index(t);
+        let old = self.state[i];
+        if old == new {
+            return;
+        }
+        self.up -= (old == TargetState::Up) as usize;
+        self.up += (new == TargetState::Up) as usize;
+        self.servable -= (old != TargetState::Down) as usize;
+        self.servable += (new != TargetState::Down) as usize;
+        self.state[i] = new;
+        self.version += 1;
+    }
+
     /// Mark a target down (failure injection / `dmg pool exclude`).
     pub fn exclude(&mut self, t: TargetId) {
-        let i = self.index(t);
-        self.state[i] = TargetState::Down;
+        self.set_state(t, TargetState::Down);
     }
 
     /// Mark every target of a server down.
@@ -139,19 +231,151 @@ impl PoolMap {
         }
     }
 
-    /// Bring a target back up (reintegration).
+    /// Bring a target back up (reintegration completed / restart).
     pub fn reintegrate(&mut self, t: TargetId) {
-        let i = self.index(t);
-        self.state[i] = TargetState::Up;
+        self.set_state(t, TargetState::Up);
+    }
+
+    /// Start draining a target (`dmg pool drain`): it keeps serving its
+    /// shards but new layouts skip it.  Only meaningful for targets that
+    /// currently serve (`Up`/`Reint`); draining a `Down` target is a
+    /// no-op.
+    pub fn drain(&mut self, t: TargetId) {
+        if self.is_servable(t) {
+            self.set_state(t, TargetState::Drain);
+        }
+    }
+
+    /// Start draining every target of a server.
+    pub fn drain_server(&mut self, server: u16) {
+        for t in 0..self.targets_per_server as u16 {
+            self.drain(TargetId { server, target: t });
+        }
+    }
+
+    /// Begin reintegrating a `Down` target: it becomes a migration
+    /// destination (`Reint`) but stays out of new layouts until
+    /// [`PoolMap::promote_reint`] (or [`PoolMap::reintegrate`]).
+    pub fn start_reint(&mut self, t: TargetId) {
+        if self.state(t) == TargetState::Down {
+            self.set_state(t, TargetState::Reint);
+        }
+    }
+
+    /// Grow the pool by one server whose targets start in `Reint`
+    /// (receiving migrated shards, not yet placement-eligible).
+    /// Returns the new server's rank.
+    pub fn add_server(&mut self) -> u16 {
+        let rank = self.servers as u16;
+        self.servers += 1;
+        self.state.extend(std::iter::repeat_n(
+            TargetState::Reint,
+            self.targets_per_server,
+        ));
+        self.servable += self.targets_per_server;
+        self.version += 1;
+        rank
+    }
+
+    /// Retire every fully-drained target: `Drain` → `Down`.  Called when
+    /// the migration engine has moved the last shard off the draining
+    /// targets.
+    pub fn retire_drained(&mut self) {
+        for i in 0..self.state.len() {
+            if self.state[i] == TargetState::Drain {
+                self.set_state(self.target_at(i), TargetState::Down);
+            }
+        }
+    }
+
+    /// Promote every reintegrating target: `Reint` → `Up`.  Called when
+    /// the migration engine has finished populating them.
+    pub fn promote_reint(&mut self) {
+        for i in 0..self.state.len() {
+            if self.state[i] == TargetState::Reint {
+                self.set_state(self.target_at(i), TargetState::Up);
+            }
+        }
     }
 
     /// Currently-up targets, in linear order.
-    // simlint::allow(hot-alloc) — collects the live-target view for a placement decision; runs per create/rebuild, not per I/O event
+    // simlint::allow(hot-alloc) — collects the live-target view for a placement decision; runs per create/rebuild, not per I/O event (counting paths use the cached up_count instead)
     pub fn up_targets(&self) -> Vec<TargetId> {
         (0..self.state.len())
             .filter(|&i| self.state[i] == TargetState::Up)
             .map(|i| self.target_at(i))
             .collect()
+    }
+
+    /// Serialize to the pool-map JSON format (compact, stable field
+    /// order): membership shape, version, and one state string per
+    /// target in linear order.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("servers".into(), Json::num_u64(self.servers as u64)),
+            (
+                "targets_per_server".into(),
+                Json::num_u64(self.targets_per_server as u64),
+            ),
+            ("version".into(), Json::num_u64(self.version)),
+            (
+                "states".into(),
+                Json::Arr(
+                    self.state
+                        .iter()
+                        .map(|s| Json::Str(s.as_str().into()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parse a map serialized by [`PoolMap::to_json`], restoring the
+    /// version and every per-target state exactly.
+    pub fn from_json(input: &str) -> Result<PoolMap, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let num = |name: &str| -> Result<u64, String> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing u64 \"{name}\""))
+        };
+        let servers = num("servers")? as usize;
+        let targets_per_server = num("targets_per_server")? as usize;
+        if servers == 0 || targets_per_server == 0 {
+            return Err("servers and targets_per_server must be > 0".into());
+        }
+        let version = num("version")?;
+        let states = doc
+            .get("states")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"states\" array")?;
+        if states.len() != servers * targets_per_server {
+            return Err(format!(
+                "states length {} != servers {servers} × targets_per_server {targets_per_server}",
+                states.len()
+            ));
+        }
+        let mut state = Vec::with_capacity(states.len());
+        for (i, s) in states.iter().enumerate() {
+            let name = s
+                .as_str()
+                .ok_or_else(|| format!("state {i}: not a string"))?;
+            state.push(
+                TargetState::from_str(name)
+                    .ok_or_else(|| format!("state {i}: unknown state \"{name}\""))?,
+            );
+        }
+        let up = state.iter().filter(|&&s| s == TargetState::Up).count();
+        let servable = state.iter().filter(|&&s| s != TargetState::Down).count();
+        Ok(PoolMap {
+            servers,
+            targets_per_server,
+            version,
+            state,
+            up,
+            servable,
+        })
     }
 
     /// Generate the layout for an object: a **per-object pseudorandom
@@ -255,6 +479,157 @@ mod tests {
     }
 
     #[test]
+    fn cached_counts_track_every_transition() {
+        let mut pm = PoolMap::new(2, 4);
+        assert_eq!((pm.up_count(), pm.servable_count()), (8, 8));
+        let t = TargetId {
+            server: 0,
+            target: 1,
+        };
+        pm.exclude(t);
+        assert_eq!((pm.up_count(), pm.servable_count()), (7, 7));
+        pm.start_reint(t);
+        assert_eq!((pm.up_count(), pm.servable_count()), (7, 8));
+        pm.promote_reint();
+        assert_eq!((pm.up_count(), pm.servable_count()), (8, 8));
+        pm.drain_server(1);
+        assert_eq!((pm.up_count(), pm.servable_count()), (4, 8));
+        pm.retire_drained();
+        assert_eq!((pm.up_count(), pm.servable_count()), (4, 4));
+        // the caches always agree with a fresh scan
+        assert_eq!(pm.up_count(), pm.up_targets().len());
+    }
+
+    #[test]
+    fn version_is_monotonic_under_interleaved_transitions() {
+        let mut pm = PoolMap::new(3, 4);
+        assert_eq!(pm.version(), 0);
+        let mut last = pm.version();
+        let targets: Vec<TargetId> = (0..pm.total_targets()).map(|i| pm.target_at(i)).collect();
+        // an interleaved exclude/drain/reintegrate storm: the version
+        // never decreases and steps on every effective transition
+        for (i, &t) in targets.iter().enumerate() {
+            match i % 3 {
+                0 => pm.exclude(t),
+                1 => pm.drain(t),
+                _ => pm.reintegrate(t),
+            }
+            assert!(pm.version() >= last, "version must never decrease");
+            last = pm.version();
+        }
+        for &t in &targets {
+            pm.reintegrate(t);
+            assert!(pm.version() >= last);
+            last = pm.version();
+        }
+        // no-op transitions do not bump: reintegrating an Up target
+        let v = pm.version();
+        pm.reintegrate(targets[0]);
+        assert_eq!(pm.version(), v, "no-op transition must not bump");
+        // draining a Down target is a no-op
+        pm.exclude(targets[1]);
+        let v = pm.version();
+        pm.drain(targets[1]);
+        assert_eq!(pm.version(), v);
+    }
+
+    #[test]
+    fn add_server_grows_membership_and_bumps_version() {
+        let mut pm = PoolMap::new(2, 4);
+        let v0 = pm.version();
+        let rank = pm.add_server();
+        assert_eq!(rank, 2);
+        assert_eq!(pm.server_count(), 3);
+        assert_eq!(pm.total_targets(), 12);
+        assert!(pm.version() > v0, "membership change bumps the version");
+        // new targets receive migration but are not placement-eligible
+        let t = TargetId {
+            server: rank,
+            target: 0,
+        };
+        assert_eq!(pm.state(t), TargetState::Reint);
+        assert!(pm.is_servable(t) && !pm.is_up(t));
+        assert_eq!(pm.up_count(), 8);
+        pm.promote_reint();
+        assert_eq!(pm.up_count(), 12);
+        assert!(pm.is_up(t));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_version_and_states() {
+        let mut pm = PoolMap::new(3, 4);
+        pm.exclude(TargetId {
+            server: 0,
+            target: 1,
+        });
+        pm.drain_server(1);
+        pm.add_server();
+        pm.start_reint(TargetId {
+            server: 0,
+            target: 1,
+        });
+        let json = pm.to_json();
+        let back = PoolMap::from_json(&json).expect("parses");
+        assert_eq!(back.version(), pm.version());
+        assert_eq!(back.server_count(), pm.server_count());
+        assert_eq!(back.total_targets(), pm.total_targets());
+        for i in 0..pm.total_targets() {
+            let t = pm.target_at(i);
+            assert_eq!(back.state(t), pm.state(t), "target {t:?}");
+        }
+        assert_eq!(back.up_count(), pm.up_count());
+        assert_eq!(back.servable_count(), pm.servable_count());
+        // byte-identical re-serialization
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_maps() {
+        assert!(PoolMap::from_json("{}").is_err());
+        assert!(PoolMap::from_json(
+            "{\"servers\":1,\"targets_per_server\":2,\"version\":0,\"states\":[\"up\"]}"
+        )
+        .is_err());
+        assert!(PoolMap::from_json(
+            "{\"servers\":1,\"targets_per_server\":1,\"version\":0,\"states\":[\"meteor\"]}"
+        )
+        .is_err());
+        assert!(PoolMap::from_json(
+            "{\"servers\":0,\"targets_per_server\":1,\"version\":0,\"states\":[]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn layouts_are_stable_for_unchanged_versions() {
+        let mut pm = PoolMap::new(4, 16);
+        pm.exclude(TargetId {
+            server: 2,
+            target: 3,
+        });
+        let mut alloc = OidAllocator::new();
+        let oid = alloc.next(ObjectClass::RP_2, 0);
+        // same version ⇒ identical layout, run after run and across a
+        // JSON round trip
+        let v = pm.version();
+        let l1 = pm.layout(&oid, ObjectClass::RP_2);
+        let l2 = pm.layout(&oid, ObjectClass::RP_2);
+        assert_eq!(pm.version(), v, "layout generation must not mutate");
+        assert_eq!(l1, l2);
+        let restored = PoolMap::from_json(&pm.to_json()).unwrap();
+        assert_eq!(restored.layout(&oid, ObjectClass::RP_2), l1);
+        // a version step (drain) may move placements
+        pm.drain_server(0);
+        assert!(pm.version() > v);
+        let l3 = pm.layout(&oid, ObjectClass::RP_2);
+        for g in &l3.groups {
+            for t in g {
+                assert_ne!(t.server, 0, "drained server excluded from new layouts");
+            }
+        }
+    }
+
+    #[test]
     fn s1_layout_single_target() {
         let pm = PoolMap::new(4, 16);
         let mut alloc = OidAllocator::new();
@@ -322,6 +697,26 @@ mod tests {
             for g in &l.groups {
                 for t in g {
                     assert_eq!(t.server, 1, "placement must skip down server");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_skips_drain_and_reint_targets() {
+        let mut pm = PoolMap::new(3, 4);
+        pm.drain_server(0);
+        pm.add_server(); // server 3, all Reint
+        let mut alloc = OidAllocator::new();
+        for _ in 0..16 {
+            let oid = alloc.next(ObjectClass::RP_2, 0);
+            let l = pm.layout(&oid, ObjectClass::RP_2);
+            for g in &l.groups {
+                for t in g {
+                    assert!(
+                        t.server == 1 || t.server == 2,
+                        "placement must use Up targets only, got {t:?}"
+                    );
                 }
             }
         }

@@ -76,6 +76,64 @@ struct ServerRes {
     tgt_svc: Vec<ResourceId>,
 }
 
+/// One planned shard move, addressed by `(container, object, group,
+/// member)` so re-planning after a crash overwrites rather than
+/// duplicates.  The key orders the pending set deterministically, which
+/// makes wave emission (and therefore the replay digest) independent of
+/// planning order.
+type MoveKey = (u32, Oid, usize, usize);
+
+/// Source/destination/bytes of one planned shard move.
+#[derive(Debug, Clone)]
+struct MovePlan {
+    sources: Vec<TargetId>,
+    read_each: f64,
+    dst: TargetId,
+    write_bytes: f64,
+}
+
+/// The background data-migration engine's bookkeeping: planned moves not
+/// yet shipped, plus progress counters.  Lives inside [`DaosSystem`] and
+/// is therefore replay-visible simulation state: waves pop moves in key
+/// order, and every wave is validated against the *current* pool map and
+/// layouts, so a crash (and the rebuild it triggers) simply invalidates
+/// the stale moves — migration resumes with whatever is still correct.
+#[derive(Debug, Clone, Default)]
+struct MigrationState {
+    pending: BTreeMap<MoveKey, MovePlan>,
+    moves_done: usize,
+    moves_dropped: usize,
+    moved_bytes: f64,
+}
+
+/// Progress of the background migration engine
+/// ([`DaosSystem::migration_progress`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrationProgress {
+    /// Moves shipped in completed waves.
+    pub moves_done: usize,
+    /// Planned moves dropped at wave time because a crash/rebuild made
+    /// them stale (object gone, layout remapped, destination down).
+    pub moves_dropped: usize,
+    /// Logical bytes shipped by completed waves.
+    pub moved_bytes: f64,
+}
+
+/// Outcome of a rebalance planning pass
+/// ([`DaosSystem::rebalance_plan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RebalanceReport {
+    /// Objects examined across all containers.
+    pub objects_scanned: usize,
+    /// Shard moves planned (layouts already remapped).
+    pub moves_planned: usize,
+    /// Logical bytes the planned moves will ship.
+    pub bytes_planned: f64,
+    /// Drained shards left in place because no destination was
+    /// available; they are lost when the drain completes.
+    pub moves_skipped: usize,
+}
+
 /// A deployed DAOS pool with its API.
 // simlint::sim_state — replay-visible simulation state
 pub struct DaosSystem {
@@ -106,6 +164,9 @@ pub struct DaosSystem {
     /// nothing; when enabled it is written by the data paths but never
     /// read by them, so it cannot alter any schedule.
     ledger: Option<DurabilityLedger>,
+    /// The background data-migration engine (rebalance after server
+    /// add/drain).
+    migration: MigrationState,
 }
 
 impl DaosSystem {
@@ -140,6 +201,7 @@ impl DaosSystem {
             undetected: BTreeMap::new(),
             extra_delay: BTreeMap::new(),
             ledger: None,
+            migration: MigrationState::default(),
         }
     }
 
@@ -544,12 +606,13 @@ impl DaosSystem {
             .group_for(dkey_hash(key))
             .to_vec();
         self.check_detection(client, &group)?;
-        // degraded writes land on the up members only; a fully-down
-        // group cannot accept the update
+        // degraded writes land on the servable members only (drained and
+        // reintegrating targets still accept updates for shards they
+        // hold); a fully-down group cannot accept the update
         let up: Vec<TargetId> = group
             .iter()
             .copied()
-            .filter(|&t| self.pool.is_up(t))
+            .filter(|&t| self.pool.is_servable(t))
             .collect();
         if up.is_empty() {
             return Err(DaosError::Unavailable);
@@ -604,7 +667,7 @@ impl DaosSystem {
         let t = group
             .iter()
             .copied()
-            .find(|&t| pool.is_up(t))
+            .find(|&t| pool.is_servable(t))
             .ok_or(DaosError::Unavailable)?;
         let bytes = (read.len() as f64).max(64.0);
         let step = Step::span(
@@ -638,7 +701,7 @@ impl DaosSystem {
         let up: Vec<TargetId> = group
             .iter()
             .copied()
-            .filter(|&t| self.pool.is_up(t))
+            .filter(|&t| self.pool.is_servable(t))
             .collect();
         if up.is_empty() {
             return Err(DaosError::Unavailable);
@@ -687,7 +750,7 @@ impl DaosSystem {
         let per_group_bytes = key_bytes / groups.len() as f64;
         let reads = groups
             .iter()
-            .filter_map(|g| g.iter().copied().find(|&t| pool.is_up(t)))
+            .filter_map(|g| g.iter().copied().find(|&t| pool.is_servable(t)))
             .map(|t| self.read_from_target(client, t, per_group_bytes))
             .collect::<Vec<_>>();
         let step = Step::span(
@@ -750,9 +813,11 @@ impl DaosSystem {
         }
         for &g in group_bytes.keys() {
             let group = &layout.groups[g];
-            let up = group.iter().filter(|&&t| self.pool.is_up(t)).count();
+            let up = group.iter().filter(|&&t| self.pool.is_servable(t)).count();
             let writable = match class {
-                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => self.pool.is_up(group[0]),
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                    self.pool.is_servable(group[0])
+                }
                 ObjectClass::Replicated { .. } => up >= 1,
                 ObjectClass::ErasureCoded { k, .. } => up >= k as usize,
             };
@@ -785,7 +850,7 @@ impl DaosSystem {
                     // rebuild re-protects the group
                     let writes = group
                         .iter()
-                        .filter(|&&t| self.pool.is_up(t))
+                        .filter(|&&t| self.pool.is_servable(t))
                         .map(|&t| self.write_to_target(client, t, bytes))
                         .collect::<Vec<_>>();
                     group_steps.push(Step::par(writes));
@@ -795,7 +860,7 @@ impl DaosSystem {
                     let cell = bytes / k as f64;
                     let writes = group
                         .iter()
-                        .filter(|&&t| self.pool.is_up(t))
+                        .filter(|&&t| self.pool.is_servable(t))
                         .map(|&t| self.write_to_target(client, t, cell))
                         .collect::<Vec<_>>();
                     group_steps.push(Step::par(writes));
@@ -869,21 +934,21 @@ impl DaosSystem {
             let group = layout.group_for(chunk_dkey_hash(chunk));
             match class {
                 ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
-                    if pool.is_up(group[0]) {
+                    if pool.is_servable(group[0]) {
                         CellAvailability::All
                     } else {
                         CellAvailability::Unavailable
                     }
                 }
                 ObjectClass::Replicated { .. } => {
-                    if group.iter().any(|&t| pool.is_up(t)) {
+                    if group.iter().any(|&t| pool.is_servable(t)) {
                         CellAvailability::All
                     } else {
                         CellAvailability::Unavailable
                     }
                 }
                 ObjectClass::ErasureCoded { .. } => {
-                    CellAvailability::Mask(group.iter().map(|&t| pool.is_up(t)).collect())
+                    CellAvailability::Mask(group.iter().map(|&t| pool.is_servable(t)).collect())
                 }
             }
         };
@@ -908,14 +973,14 @@ impl DaosSystem {
                     let t = group
                         .iter()
                         .copied()
-                        .find(|&t| pool.is_up(t))
+                        .find(|&t| pool.is_servable(t))
                         .ok_or(DaosError::Unavailable)?;
                     group_steps.push(self.read_from_target(client, t, bytes));
                 }
                 ObjectClass::ErasureCoded { k, .. } => {
                     let k = k as usize;
                     let data_targets = &group[..k];
-                    let healthy = data_targets.iter().all(|&t| pool.is_up(t));
+                    let healthy = data_targets.iter().all(|&t| pool.is_servable(t));
                     let cell = bytes / k as f64;
                     if healthy {
                         let reads = data_targets
@@ -928,7 +993,7 @@ impl DaosSystem {
                         let survivors: Vec<TargetId> = group
                             .iter()
                             .copied()
-                            .filter(|&t| pool.is_up(t))
+                            .filter(|&t| pool.is_servable(t))
                             .take(k)
                             .collect();
                         if survivors.len() < k {
@@ -984,7 +1049,7 @@ impl DaosSystem {
             .groups
             .iter()
             .flat_map(|g| g.iter().copied())
-            .find(|&t| pool.is_up(t))
+            .find(|&t| pool.is_servable(t))
             .ok_or(DaosError::Unavailable)?;
         let step = Step::span(
             "libdaos",
@@ -1140,11 +1205,17 @@ impl DaosSystem {
                 for group in entry.layout.groups.iter_mut() {
                     for m in 0..group.len() {
                         let t = group[m];
-                        if pool.is_up(t) {
+                        // repair fully-down members only: drained and
+                        // reintegrating targets still serve their shards
+                        // and are the migration engine's responsibility
+                        if pool.is_servable(t) {
                             continue;
                         }
-                        let survivors: Vec<TargetId> =
-                            group.iter().copied().filter(|&x| pool.is_up(x)).collect();
+                        let survivors: Vec<TargetId> = group
+                            .iter()
+                            .copied()
+                            .filter(|&x| pool.is_servable(x))
+                            .collect();
                         let (needed, write_bytes, read_each) = match class {
                             ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
                                 report.shards_lost += 1;
@@ -1251,6 +1322,234 @@ impl DaosSystem {
         )
     }
 
+    // ---- elastic membership & the migration engine ------------------------------
+
+    /// Targets of the current map that cannot serve I/O.  Only these can
+    /// hold an undetected crash, so they bound the auditor's retry
+    /// budget ([`DaosSystem::verify_durability`]).
+    fn down_targets(&self) -> usize {
+        self.pool.total_targets() - self.pool.servable_count()
+    }
+
+    /// Add a server to the pool online (`dmg system join` + extend).
+    /// The topology must have spare hardware (deploys over fewer servers
+    /// than the topology holds leave room to grow).  The new engine's
+    /// service resources are created in `sched`; its targets join in
+    /// `Reint` state — they receive migrated shards and serve them, but
+    /// new layouts skip them until [`DaosSystem::finish_rebalance`]
+    /// promotes them.  Returns the new server's rank.
+    // simlint::allow(digest-taint) — membership op: driven by fault-plan actions, whose canonical encoding is already folded into the replay digest at install time
+    pub fn add_server(&mut self, sched: &mut Scheduler) -> u16 {
+        let s = self.pool.server_count();
+        assert!(
+            s < self.topo.server_count(),
+            "topology has no spare server hardware to add"
+        );
+        let rank = self.pool.add_server();
+        self.srv_res.push(ServerRes {
+            engine_xfer: sched.add_resource(format!("daos{s}.engine"), self.cal.engine_xfer_bw),
+            tgt_svc: (0..self.cal.targets_per_server)
+                .map(|t| sched.add_resource(format!("daos{s}.tgt{t}"), self.cal.target_svc_iops))
+                .collect(),
+        });
+        rank
+    }
+
+    /// Start draining a server (`dmg pool drain`): its targets keep
+    /// serving their shards but leave new layouts; plan a rebalance to
+    /// move the shards off, then [`DaosSystem::finish_rebalance`]
+    /// retires them.
+    // simlint::allow(digest-taint) — membership op: driven by fault-plan actions, whose canonical encoding is already folded into the replay digest at install time
+    pub fn drain_server(&mut self, server: u16) {
+        self.pool.drain_server(server);
+    }
+
+    /// Plan the data migration for the current membership: every shard
+    /// on a draining target moves off it, and when reintegrating targets
+    /// exist (a newly added server), a proportional share of the shards
+    /// on up targets moves onto them — consistent-hashing-style minimal
+    /// movement, so growing 4→5 servers relocates ≈1/5th of the data.
+    ///
+    /// Layouts are remapped at plan time (the same modelling shortcut as
+    /// [`DaosSystem::rebuild`]): reads follow the new layout immediately
+    /// while the planned moves model the background copy cost.  Ship the
+    /// moves with [`DaosSystem::migration_wave`]; a crash between waves
+    /// only invalidates the moves it made stale.
+    // simlint::panic_root — membership-change path: must never panic
+    // simlint::amortized — planning runs once per membership change, not per event; its scan amortizes across the whole rebalance it plans
+    pub fn rebalance_plan(&mut self) -> RebalanceReport {
+        let pool = self.pool.clone();
+        let mut report = RebalanceReport::default();
+        // migration destinations: reintegrating targets in linear order
+        let reint: Vec<TargetId> = (0..pool.total_targets())
+            .map(|i| pool.target_at(i))
+            .filter(|&t| pool.state(t) == crate::pool::TargetState::Reint)
+            .collect();
+        let total = pool.total_targets() as u64;
+        let mut plans: Vec<(MoveKey, MovePlan)> = Vec::new();
+        for cont in self.containers.iter_mut().flatten() {
+            let cid = cont.id;
+            for (oid, entry) in cont.objects.iter_mut() {
+                report.objects_scanned += 1;
+                let class = entry.layout.class;
+                let ngroups = entry.layout.groups.len().max(1);
+                let obj_bytes = match &entry.data {
+                    ObjData::Array(a) => a.size() as f64,
+                    ObjData::Kv(kv) => kv.len() as f64 * 512.0,
+                };
+                let group_share = obj_bytes / ngroups as f64;
+                let member_bytes = match class {
+                    ObjectClass::Sharded(_)
+                    | ObjectClass::ShardedMax
+                    | ObjectClass::Replicated { .. } => group_share,
+                    ObjectClass::ErasureCoded { k, .. } => group_share / k as f64,
+                };
+                for (g, group) in entry.layout.groups.iter_mut().enumerate() {
+                    for m in 0..group.len() {
+                        let from = group[m];
+                        let h = move_hash(oid, g, m);
+                        let dst = match pool.state(from) {
+                            // drained shards must leave; prefer the new
+                            // server's targets, else any up target
+                            crate::pool::TargetState::Drain => {
+                                pick_migration_dest(&pool, group, from, &reint, h)
+                            }
+                            // minimal movement onto a new server: member
+                            // moves iff its hash lands in the added slice
+                            crate::pool::TargetState::Up
+                                if !reint.is_empty() && h % total < reint.len() as u64 =>
+                            {
+                                pick_reint_dest(&pool, group, from, &reint, h)
+                            }
+                            _ => None,
+                        };
+                        let Some(dst) = dst else {
+                            if pool.state(from) == crate::pool::TargetState::Drain {
+                                report.moves_skipped += 1;
+                            }
+                            continue;
+                        };
+                        group[m] = dst;
+                        report.moves_planned += 1;
+                        report.bytes_planned += member_bytes;
+                        plans.push((
+                            (cid.0, *oid, g, m),
+                            MovePlan {
+                                sources: vec![from],
+                                read_each: member_bytes,
+                                dst,
+                                write_bytes: member_bytes,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        for (key, plan) in plans {
+            // re-planning overwrites: the newest layout decision wins
+            self.migration.pending.insert(key, plan);
+        }
+        report
+    }
+
+    /// Emit the next migration wave: up to `max_moves` pending moves,
+    /// validated against the *current* layouts and pool map, as one
+    /// parallel step of server-to-server copies competing with
+    /// foreground traffic through the same NIC/engine/NVMe resources.
+    /// Stale moves (object punched, layout remapped by a crash-triggered
+    /// rebuild, destination no longer servable) are dropped and counted
+    /// — this is what makes migration resumable after a crash.  Returns
+    /// `None` when nothing remains to ship.
+    // simlint::panic_root — migration path runs under injected faults: must never panic
+    // simlint::allow(hot-alloc) — wave construction: runs once per migration wave (bounded by max_moves), not per engine event
+    pub fn migration_wave(&mut self, max_moves: usize) -> Option<Step> {
+        assert!(max_moves > 0);
+        let mut moves: Vec<Step> = Vec::new();
+        let mut wave_bytes = 0.0;
+        while moves.len() < max_moves {
+            let Some(((cid, oid, g, m), plan)) = self.migration.pending.pop_first() else {
+                break;
+            };
+            let cid = ContainerId(cid);
+            // validate against the current world: a crash (and the
+            // rebuild it triggered) may have invalidated this move
+            let valid = match self.obj(cid, oid) {
+                Ok(entry) => {
+                    entry.layout.groups.get(g).and_then(|grp| grp.get(m)) == Some(&plan.dst)
+                        && self.pool.is_servable(plan.dst)
+                }
+                Err(_) => false,
+            };
+            if !valid {
+                self.migration.moves_dropped += 1;
+                continue;
+            }
+            // re-source from the surviving group when the planned source
+            // died mid-migration (redundant classes can still feed the
+            // copy; an unreplicated shard with a dead source is dropped
+            // and the durability oracle will name the loss)
+            let mut sources: Vec<TargetId> = plan
+                .sources
+                .iter()
+                .copied()
+                .filter(|&t| self.pool.is_servable(t))
+                .collect();
+            if sources.is_empty() {
+                if let Ok(entry) = self.obj(cid, oid) {
+                    sources = entry.layout.groups[g]
+                        .iter()
+                        .copied()
+                        .filter(|&t| t != plan.dst && self.pool.is_servable(t))
+                        .take(1)
+                        .collect();
+                }
+            }
+            if sources.is_empty() {
+                self.migration.moves_dropped += 1;
+                continue;
+            }
+            wave_bytes += plan.write_bytes;
+            moves.push(self.rebuild_move(&sources, plan.read_each, plan.dst, plan.write_bytes));
+            self.migration.moves_done += 1;
+            self.migration.moved_bytes += plan.write_bytes;
+        }
+        if moves.is_empty() {
+            return None;
+        }
+        Some(Step::span(
+            "migrate",
+            "wave",
+            wave_bytes as u64,
+            Step::par(moves),
+        ))
+    }
+
+    /// Planned moves not yet shipped.
+    pub fn migration_pending(&self) -> usize {
+        self.migration.pending.len()
+    }
+
+    /// Progress of the migration engine so far.
+    pub fn migration_progress(&self) -> MigrationProgress {
+        MigrationProgress {
+            moves_done: self.migration.moves_done,
+            moves_dropped: self.migration.moves_dropped,
+            moved_bytes: self.migration.moved_bytes,
+        }
+    }
+
+    /// Complete the rebalance: retire fully-drained targets
+    /// (`Drain` → `Down`) and promote reintegrating ones (`Reint` →
+    /// `Up`).  Call once [`DaosSystem::migration_pending`] reaches zero;
+    /// any shard the planner could not move off a drained target becomes
+    /// unavailable here, which is exactly what the durability oracles
+    /// are watching for.
+    // simlint::allow(digest-taint) — membership op: driven by fault-plan actions, whose canonical encoding is already folded into the replay digest at install time
+    pub fn finish_rebalance(&mut self) {
+        self.pool.retire_drained();
+        self.pool.promote_reint();
+    }
+
     // ---- space accounting -------------------------------------------------------
 
     /// Pool usage summary (`dmg pool query`): logical bytes stored per
@@ -1259,7 +1558,7 @@ impl DaosSystem {
         let mut info = PoolInfo {
             servers: self.pool.server_count(),
             targets_total: self.pool.total_targets(),
-            targets_up: self.pool.up_targets().len(),
+            targets_up: self.pool.up_count(),
             containers: 0,
             objects: 0,
             array_bytes: 0.0,
@@ -1319,12 +1618,15 @@ impl DaosSystem {
                 String::from_utf8_lossy(key)
             );
             let mut got = self.kv_get(client, *cid, *oid, key);
-            // first touches of crashed targets fail once per client
-            // detection is monotone per (client, target): at most one
-            // TargetDown per still-undetected target can occur
-            let mut detect_budget = self.pool.total_targets();
-            while matches!(got, Err(DaosError::TargetDown)) && detect_budget > 0 {
-                detect_budget -= 1;
+            // first touches of crashed targets fail once per client;
+            // detection is monotone per (client, target), so the retry
+            // budget is the number of down targets in the *current* map,
+            // re-read each attempt — membership changes (drained servers
+            // retired mid-audit, servers added) neither inflate nor
+            // starve it
+            let mut detections = 0;
+            while matches!(got, Err(DaosError::TargetDown)) && detections < self.down_targets() {
+                detections += 1;
                 got = self.kv_get(client, *cid, *oid, key);
             }
             match got {
@@ -1355,11 +1657,13 @@ impl DaosSystem {
                     offset + acked.len()
                 );
                 let mut got = self.array_read(client, *cid, *oid, offset, acked.len());
-                // detection is monotone per (client, target): at most one
-                // TargetDown per still-undetected target can occur
-                let mut detect_budget = self.pool.total_targets();
-                while matches!(got, Err(DaosError::TargetDown)) && detect_budget > 0 {
-                    detect_budget -= 1;
+                // detection is monotone per (client, target): the budget
+                // is the down-target count of the *current* map version,
+                // recomputed per attempt (see the KV loop above)
+                let mut detections = 0;
+                while matches!(got, Err(DaosError::TargetDown)) && detections < self.down_targets()
+                {
+                    detections += 1;
                     got = self.array_read(client, *cid, *oid, offset, acked.len());
                 }
                 match got {
@@ -1521,6 +1825,54 @@ fn content_mismatch(acked: &AckedValue, read: &ReadPayload) -> Option<String> {
         }
         _ => None,
     }
+}
+
+/// Deterministic per-shard hash deciding whether (and where) a shard
+/// moves during a rebalance.  A pure function of the shard's identity,
+/// so replanning after a crash reproduces the same decisions.
+fn move_hash(oid: &Oid, g: usize, m: usize) -> u64 {
+    simkit::SplitMix64::new(oid.placement_hash() ^ ((g as u64) << 20) ^ (m as u64 + 1)).next_u64()
+}
+
+/// Destination for a shard leaving a draining target: a reintegrating
+/// target on a server the group does not already use, else any up
+/// target via the rebuild replacement policy, else `None` (the shard
+/// stays and is lost when the drain retires).
+fn pick_migration_dest(
+    pool: &PoolMap,
+    group: &[TargetId],
+    from: TargetId,
+    reint: &[TargetId],
+    hash: u64,
+) -> Option<TargetId> {
+    pick_reint_dest(pool, group, from, reint, hash).or_else(|| pick_replacement(pool, group, from))
+}
+
+/// Destination among the reintegrating targets only, preserving
+/// fault-domain spread (no server already used by the group); `None`
+/// when every reintegrating target collides with the group's servers.
+fn pick_reint_dest(
+    pool: &PoolMap,
+    group: &[TargetId],
+    from: TargetId,
+    reint: &[TargetId],
+    hash: u64,
+) -> Option<TargetId> {
+    let used: BTreeSet<u16> = group
+        .iter()
+        .copied()
+        .filter(|&t| t != from && pool.is_servable(t))
+        .map(|t| t.server)
+        .collect();
+    let fresh: Vec<TargetId> = reint
+        .iter()
+        .copied()
+        .filter(|t| !used.contains(&t.server))
+        .collect();
+    if fresh.is_empty() {
+        return None;
+    }
+    Some(fresh[(hash % fresh.len() as u64) as usize])
 }
 
 /// Distribution key hash (DAOS hashes dkeys to route to shards).
@@ -1885,5 +2237,215 @@ mod attr_tests {
         let (listed, s) = sys.obj_list(0, cid).unwrap();
         exec(&mut sched, s);
         assert_eq!(listed, created);
+    }
+
+    /// Deploy over fewer servers than the topology holds, leaving spare
+    /// hardware for online adds.
+    fn elastic_system(
+        topo_servers: usize,
+        deploy: usize,
+        clients: usize,
+        mode: DataMode,
+    ) -> (Scheduler, DaosSystem) {
+        let mut sched = Scheduler::new();
+        let topo = ClusterSpec::new(topo_servers, clients).build(&mut sched);
+        let sys = DaosSystem::deploy(&topo, &mut sched, deploy, mode);
+        (sched, sys)
+    }
+
+    fn drive_migration(sched: &mut Scheduler, sys: &mut DaosSystem) -> usize {
+        let mut waves = 0;
+        while let Some(step) = sys.migration_wave(16) {
+            exec(sched, step);
+            waves += 1;
+        }
+        assert_eq!(sys.migration_pending(), 0);
+        waves
+    }
+
+    #[test]
+    fn online_add_server_rebalances_minimally() {
+        let (mut sched, mut sys) = elastic_system(5, 4, 1, DataMode::Full);
+        sys.enable_ledger();
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::SX, 1 << 16).unwrap();
+        exec(&mut sched, s);
+        let mut rng = simkit::SplitMix64::new(7);
+        let mut data = vec![0u8; 1 << 20];
+        rng.fill_bytes(&mut data);
+        let s = sys
+            .array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap();
+        exec(&mut sched, s);
+        let v0 = sys.pool().version();
+        let rank = sys.add_server(&mut sched);
+        assert_eq!(rank, 4);
+        assert!(sys.pool().version() > v0);
+        assert_eq!(sys.pool().server_count(), 5);
+        // new targets serve but don't place yet
+        assert_eq!(sys.pool().up_count(), 4 * sys.cal().targets_per_server);
+        let report = sys.rebalance_plan();
+        let total_members: usize = 5 * sys.cal().targets_per_server;
+        // minimal movement: roughly 1/5th of the shard population moves,
+        // certainly not all of it
+        assert!(report.moves_planned > 0, "growth must move something");
+        assert!(
+            report.moves_planned < total_members / 2,
+            "moved {} of {} members — not minimal",
+            report.moves_planned,
+            total_members
+        );
+        let waves = drive_migration(&mut sched, &mut sys);
+        assert!(waves >= 1);
+        sys.finish_rebalance();
+        assert_eq!(sys.pool().up_count(), 5 * sys.cal().targets_per_server);
+        // data survives the move and the new layout serves it
+        let (r, s) = sys.array_read(0, cid, oid, 0, 1 << 20).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+        assert!(sys.verify_durability(0).ok());
+        assert!(sys.verify_redundancy().ok());
+        let progress = sys.migration_progress();
+        assert_eq!(progress.moves_done, report.moves_planned);
+        assert!(progress.moved_bytes > 0.0);
+    }
+
+    #[test]
+    fn drain_server_evacuates_and_retires() {
+        let (mut sched, mut sys) = elastic_system(3, 3, 1, DataMode::Full);
+        sys.enable_ledger();
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys
+            .array_create(0, cid, ObjectClass::RP_2, 1 << 16)
+            .unwrap();
+        exec(&mut sched, s);
+        let mut rng = simkit::SplitMix64::new(9);
+        let mut data = vec![0u8; 400_000];
+        rng.fill_bytes(&mut data);
+        let s = sys
+            .array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+            .unwrap();
+        exec(&mut sched, s);
+        sys.drain_server(1);
+        // drained targets still serve while migration runs
+        let (r, s) = sys.array_read(0, cid, oid, 0, 400_000).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+        let report = sys.rebalance_plan();
+        assert!(report.moves_planned > 0);
+        assert_eq!(report.moves_skipped, 0, "2 healthy servers can host RP_2");
+        drive_migration(&mut sched, &mut sys);
+        sys.finish_rebalance();
+        // the drained server is retired and no live layout references it
+        assert_eq!(sys.pool().up_count(), 2 * sys.cal().targets_per_server);
+        for i in 0..sys.pool().total_targets() {
+            let t = sys.pool().target_at(i);
+            if t.server == 1 {
+                assert!(!sys.pool().is_servable(t));
+            }
+        }
+        assert!(sys.verify_durability(0).ok());
+        assert!(sys.verify_redundancy().ok());
+        let (r, s) = sys.array_read(0, cid, oid, 0, 400_000).unwrap();
+        exec(&mut sched, s);
+        assert_eq!(r.bytes().unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn destination_crash_mid_migration_loses_unreplicated_shard() {
+        let (mut sched, mut sys) = elastic_system(2, 2, 1, DataMode::Full);
+        sys.enable_ledger();
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let (oid, s) = sys.array_create(0, cid, ObjectClass::S1, 1 << 16).unwrap();
+        exec(&mut sched, s);
+        let s = sys
+            .array_write(0, cid, oid, 0, Payload::Bytes(vec![42u8; 100_000]))
+            .unwrap();
+        exec(&mut sched, s);
+        let home = sys.containers[cid.0 as usize].as_ref().unwrap().objects[&oid]
+            .layout
+            .groups[0][0];
+        sys.drain_server(home.server);
+        let report = sys.rebalance_plan();
+        assert!(report.moves_planned >= 1);
+        // the migration destination dies before the wave ships
+        let dst = sys.containers[cid.0 as usize].as_ref().unwrap().objects[&oid]
+            .layout
+            .groups[0][0];
+        assert_ne!(dst.server, home.server);
+        sys.crash_target(dst);
+        // every move to the dead destination is dropped as stale
+        assert!(sys.migration_wave(16).is_none() || sys.migration_progress().moves_dropped > 0);
+        while let Some(step) = sys.migration_wave(16) {
+            exec(&mut sched, step);
+        }
+        sys.finish_rebalance();
+        // an unreplicated shard whose destination died is gone — the
+        // durability oracle must name the loss
+        let audit = sys.verify_durability(0);
+        assert!(
+            audit
+                .violations
+                .iter()
+                .any(|v| v.oracle == OracleKind::AckedDurability),
+            "expected an acked-durability violation, got: {:?}",
+            audit.violations
+        );
+    }
+
+    #[test]
+    fn migration_resumes_after_crash_and_rebuild() {
+        let (mut sched, mut sys) = elastic_system(4, 3, 1, DataMode::Full);
+        sys.enable_ledger();
+        let (cid, s) = sys.cont_create(0, ContainerProps::default());
+        exec(&mut sched, s);
+        let mut rng = simkit::SplitMix64::new(11);
+        let mut oids = Vec::new();
+        for _ in 0..6 {
+            let (oid, s) = sys
+                .array_create(0, cid, ObjectClass::RP_2, 1 << 16)
+                .unwrap();
+            exec(&mut sched, s);
+            let mut data = vec![0u8; 200_000];
+            rng.fill_bytes(&mut data);
+            let s = sys
+                .array_write(0, cid, oid, 0, Payload::Bytes(data.clone()))
+                .unwrap();
+            exec(&mut sched, s);
+            oids.push((oid, data));
+        }
+        sys.add_server(&mut sched);
+        sys.drain_server(0);
+        let report = sys.rebalance_plan();
+        assert!(report.moves_planned > 0);
+        // ship one wave, then a target crashes mid-migration
+        if let Some(step) = sys.migration_wave(4) {
+            exec(&mut sched, step);
+        }
+        let victim = TargetId {
+            server: 1,
+            target: 0,
+        };
+        sys.crash_target(victim);
+        let (_rep, step) = sys.rebuild();
+        exec(&mut sched, step);
+        // migration resumes: stale moves (remapped by the rebuild or
+        // aimed at the dead target) drop, the rest ship
+        drive_migration(&mut sched, &mut sys);
+        sys.finish_rebalance();
+        for (oid, data) in &oids {
+            // reads may observe the crash once, then go degraded
+            let mut got = sys.array_read(0, cid, *oid, 0, data.len() as u64);
+            while matches!(got, Err(DaosError::TargetDown)) {
+                got = sys.array_read(0, cid, *oid, 0, data.len() as u64);
+            }
+            let (r, s) = got.unwrap();
+            exec(&mut sched, s);
+            assert_eq!(r.bytes().unwrap(), &data[..]);
+        }
+        assert!(sys.verify_durability(0).ok());
     }
 }

@@ -67,6 +67,12 @@ pub struct IorConfig {
     pub queue_depth: usize,
     /// Current phase.
     pub phase: Phase,
+    /// Tolerate terminally-unavailable reads instead of aborting: the
+    /// failed op costs nothing and is counted in
+    /// [`Ior::unavailable_reads`].  Chaos runs over unreplicated data
+    /// set this — data loss is the oracles' verdict to deliver, not the
+    /// benchmark driver's.
+    pub tolerate_unavailable: bool,
 }
 
 impl IorConfig {
@@ -81,6 +87,7 @@ impl IorConfig {
             access: AccessOrder::Sequential,
             queue_depth: 1,
             phase: Phase::Write,
+            tolerate_unavailable: false,
         }
     }
 }
@@ -140,6 +147,9 @@ pub struct Ior {
     shuffles: Vec<Vec<u32>>,
     /// Retry machinery around per-op backend calls (off by default).
     retry: RetryExec,
+    /// Reads that failed terminally under
+    /// [`IorConfig::tolerate_unavailable`].
+    unavailable_reads: usize,
 }
 
 impl Ior {
@@ -168,6 +178,7 @@ impl Ior {
             state,
             shuffles,
             retry: RetryExec::disabled(),
+            unavailable_reads: 0,
         }
     }
 
@@ -180,6 +191,12 @@ impl Ior {
     /// Retry counters accumulated so far.
     pub fn retry_stats(&self) -> RetryStats {
         *self.retry.stats()
+    }
+
+    /// Reads that failed terminally and were tolerated (always 0 unless
+    /// [`IorConfig::tolerate_unavailable`] is set).
+    pub fn unavailable_reads(&self) -> usize {
+        self.unavailable_reads
     }
 
     /// Switch phase (the paper always writes first, then reads).
@@ -300,7 +317,9 @@ impl ProcWorkload for Ior {
         let len = self.cfg.transfer_size;
         let phase = self.cfg.phase;
         let payload = self.payload();
+        let tolerate = self.cfg.tolerate_unavailable;
         let retry = &mut self.retry;
+        let unavailable = &mut self.unavailable_reads;
         let step = match (&mut self.backend, &mut self.state[proc]) {
             (IorBackend::Daos { daos, cid, .. }, ProcState::Array(oid)) => match phase {
                 Phase::Write => retry
@@ -310,10 +329,14 @@ impl ProcWorkload for Ior {
                     })
                     .expect("write"),
                 Phase::Read => {
-                    retry
-                        .run(|| daos.borrow_mut().array_read(node, *cid, *oid, off, len))
-                        .expect("read")
-                        .1
+                    match retry.run(|| daos.borrow_mut().array_read(node, *cid, *oid, off, len)) {
+                        Ok((_, s)) => s,
+                        Err(_) if tolerate => {
+                            *unavailable += 1;
+                            Step::Noop
+                        }
+                        Err(e) => panic!("read: {e:?}"),
+                    }
                 }
             },
             (IorBackend::Dfs(dfs), ProcState::File(f)) => match phase {

@@ -43,6 +43,20 @@ pub struct ChaosSpace {
     /// World-interpreted payloads eligible for
     /// [`FaultAction::DelayedCompletion`] (e.g. server ranks).
     pub delay_payloads: Vec<u64>,
+    /// Server ranks eligible for [`FaultAction::AddServer`] (spare
+    /// hardware the world can bring online).  Each rank is added at most
+    /// once per schedule; membership changes land in the first half of
+    /// the window so the migration they trigger runs inside it.
+    pub add_servers: Vec<u64>,
+    /// Server ranks eligible for [`FaultAction::DrainServer`].  Each
+    /// rank drains at most once per schedule.
+    pub drain_servers: Vec<u64>,
+    /// Crash groups fired only in the *second* half of the window — the
+    /// crash-during-migration dimension.  They share the
+    /// [`ChaosConfig::max_crash_groups`] budget with `crash_groups`, so
+    /// a schedule never exceeds the redundancy the object classes
+    /// tolerate.
+    pub migration_crash_groups: Vec<Vec<u64>>,
 }
 
 impl ChaosSpace {
@@ -52,6 +66,9 @@ impl ChaosSpace {
             && self.disks.is_empty()
             && self.nics.is_empty()
             && self.delay_payloads.is_empty()
+            && self.add_servers.is_empty()
+            && self.drain_servers.is_empty()
+            && self.migration_crash_groups.is_empty()
     }
 }
 
@@ -110,6 +127,9 @@ enum IncidentKind {
     SlowDisk,
     NicBrownout,
     Delay,
+    AddServer,
+    DrainServer,
+    MigrationCrash,
 }
 
 /// Sample a deterministic fault schedule: same `(space, cfg, seed)` →
@@ -130,9 +150,13 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
     // Groups not yet crashed this schedule: crashing the same group twice
     // without a restart in between would be an invalid double-crash.
     let mut crashable: Vec<usize> = (0..space.crash_groups.len()).collect();
+    let mut mig_crashable: Vec<usize> = (0..space.migration_crash_groups.len()).collect();
+    // Each server rank joins or drains at most once per schedule.
+    let mut addable: Vec<u64> = space.add_servers.clone();
+    let mut drainable: Vec<u64> = space.drain_servers.clone();
 
     for _ in 0..n_incidents {
-        let mut kinds: Vec<IncidentKind> = Vec::with_capacity(4);
+        let mut kinds: Vec<IncidentKind> = Vec::with_capacity(7);
         if crashes_used < cfg.max_crash_groups && !crashable.is_empty() {
             kinds.push(IncidentKind::Crash);
         }
@@ -144,6 +168,18 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
         }
         if !space.delay_payloads.is_empty() {
             kinds.push(IncidentKind::Delay);
+        }
+        // The rebalance dimensions append after the original four, so a
+        // space that leaves them empty draws the exact event stream it
+        // always did — archived schedule digests stay valid.
+        if !addable.is_empty() {
+            kinds.push(IncidentKind::AddServer);
+        }
+        if !drainable.is_empty() {
+            kinds.push(IncidentKind::DrainServer);
+        }
+        if crashes_used < cfg.max_crash_groups && !mig_crashable.is_empty() {
+            kinds.push(IncidentKind::MigrationCrash);
         }
         let Some(&kind) = kinds.get(rng.next_below(kinds.len() as u64) as usize) else {
             break; // crash budget spent and nothing else to sample
@@ -216,6 +252,45 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
                     },
                 );
             }
+            IncidentKind::AddServer | IncidentKind::DrainServer => {
+                // membership changes fire in the first half of the
+                // window so the migration they trigger runs (and can be
+                // crashed into) before verification
+                let early = SimTime(cfg.window_start.0 + start_off % (cfg.window_ns / 2).max(1));
+                match kind {
+                    IncidentKind::AddServer => {
+                        let i = rng.next_below(addable.len() as u64) as usize;
+                        let server = addable.swap_remove(i);
+                        plan.at(early, FaultAction::AddServer { server });
+                    }
+                    _ => {
+                        let i = rng.next_below(drainable.len() as u64) as usize;
+                        let server = drainable.swap_remove(i);
+                        plan.at(early, FaultAction::DrainServer { server });
+                    }
+                }
+            }
+            IncidentKind::MigrationCrash => {
+                // crash-during-migration: fire in the second half of the
+                // window, after membership changes have started moving
+                // data
+                let half = cfg.window_ns / 2;
+                let late_off = half + start_off % (cfg.window_ns - half).max(1);
+                let late = SimTime(cfg.window_start.0 + late_off);
+                let gi = rng.next_below(mig_crashable.len() as u64) as usize;
+                let group_idx = mig_crashable.swap_remove(gi);
+                crashes_used += 1;
+                for &packed in &space.migration_crash_groups[group_idx] {
+                    plan.at(late, FaultAction::TargetCrash(packed));
+                }
+                if rng.next_f64() < cfg.restart_probability {
+                    let remaining = cfg.window_ns - late_off;
+                    let back = SimTime(late.0 + 1 + rng.next_below(remaining.max(1)));
+                    for &packed in &space.migration_crash_groups[group_idx] {
+                        plan.at(back, FaultAction::TargetRestart(packed));
+                    }
+                }
+            }
         }
     }
     plan
@@ -231,6 +306,7 @@ mod tests {
             disks: vec![ResourceId(10), ResourceId(11)],
             nics: vec![ResourceId(20)],
             delay_payloads: vec![1, 2, 3],
+            ..ChaosSpace::default()
         }
     }
 
@@ -355,6 +431,80 @@ mod tests {
             ..cfg
         };
         assert!(generate(&space(), &zero, 1).is_empty());
+    }
+
+    fn rebalance_space() -> ChaosSpace {
+        ChaosSpace {
+            add_servers: vec![4, 5],
+            drain_servers: vec![0, 1],
+            migration_crash_groups: vec![vec![3 << 16, (3 << 16) | 1]],
+            ..space()
+        }
+    }
+
+    #[test]
+    fn rebalance_dimensions_sample_with_correct_timing() {
+        let cfg = ChaosConfig {
+            max_faults: 8,
+            ..ChaosConfig::default()
+        };
+        let s = rebalance_space();
+        let half = cfg.window_start.0 + cfg.window_ns / 2;
+        let (mut saw_add, mut saw_drain, mut saw_late_crash) = (false, false, false);
+        for seed in 0..256 {
+            let plan = generate(&s, &cfg, seed);
+            let mut added = std::collections::BTreeSet::new();
+            let mut drained = std::collections::BTreeSet::new();
+            let mut crashed_groups = std::collections::BTreeSet::new();
+            for ev in plan.events() {
+                match ev.action {
+                    FaultAction::AddServer { server } => {
+                        saw_add = true;
+                        assert!(ev.at.0 < half, "seed {seed}: add in first half");
+                        assert!(added.insert(server), "seed {seed}: rank added twice");
+                    }
+                    FaultAction::DrainServer { server } => {
+                        saw_drain = true;
+                        assert!(ev.at.0 < half, "seed {seed}: drain in first half");
+                        assert!(drained.insert(server), "seed {seed}: rank drained twice");
+                    }
+                    FaultAction::TargetCrash(p) => {
+                        crashed_groups.insert(p >> 16);
+                        if p >> 16 == 3 {
+                            saw_late_crash = true;
+                            assert!(
+                                ev.at.0 >= half,
+                                "seed {seed}: migration crash must land in the second half"
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // migration crashes share the ordinary crash-group budget
+            assert!(
+                crashed_groups.len() <= cfg.max_crash_groups,
+                "seed {seed}: crashed {crashed_groups:?}"
+            );
+        }
+        assert!(
+            saw_add && saw_drain && saw_late_crash,
+            "dimensions unsampled"
+        );
+    }
+
+    #[test]
+    fn rebalance_plans_survive_json_round_trip() {
+        let cfg = ChaosConfig {
+            max_faults: 8,
+            ..ChaosConfig::default()
+        };
+        let s = rebalance_space();
+        for seed in 0..32 {
+            let plan = generate(&s, &cfg, seed);
+            let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(back, plan, "seed {seed}");
+        }
     }
 
     #[test]

@@ -305,7 +305,9 @@ impl Scheduler {
             }
             FaultAction::TargetCrash(_)
             | FaultAction::TargetRestart(_)
-            | FaultAction::DelayedCompletion { .. } => {}
+            | FaultAction::DelayedCompletion { .. }
+            | FaultAction::AddServer { .. }
+            | FaultAction::DrainServer { .. } => {}
         }
         self.trace.record_fault(t, ev.id);
         self.spans.mark_fault(t, ev.id, SpanId::NONE);

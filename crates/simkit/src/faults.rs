@@ -68,6 +68,19 @@ pub enum FaultAction {
         /// Added latency in nanoseconds (0 clears the fault).
         extra_ns: u64,
     },
+    /// Membership change: a server joins the pool online.  A domain
+    /// event like crash/restart — the world maps `server` onto its own
+    /// membership state and starts a rebalance.
+    AddServer {
+        /// World-interpreted server rank to add.
+        server: u64,
+    },
+    /// Membership change: a server starts draining (its targets keep
+    /// serving while the world migrates their shards away).
+    DrainServer {
+        /// World-interpreted server rank to drain.
+        server: u64,
+    },
 }
 
 /// One scheduled fault: an action firing at an exact simulated time.
@@ -226,6 +239,14 @@ fn action_to_json(action: &FaultAction) -> Json {
             ("payload".into(), Json::num_u64(*payload)),
             ("extra_ns".into(), Json::num_u64(*extra_ns)),
         ]),
+        FaultAction::AddServer { server } => Json::Obj(vec![
+            ("kind".into(), Json::Str("add_server".into())),
+            ("server".into(), Json::num_u64(*server)),
+        ]),
+        FaultAction::DrainServer { server } => Json::Obj(vec![
+            ("kind".into(), Json::Str("drain_server".into())),
+            ("server".into(), Json::num_u64(*server)),
+        ]),
     }
 }
 
@@ -274,6 +295,12 @@ fn event_from_json(ev: &Json) -> Result<FaultEvent, String> {
             payload: payload("payload")?,
             extra_ns: payload("extra_ns")?,
         },
+        "add_server" => FaultAction::AddServer {
+            server: payload("server")?,
+        },
+        "drain_server" => FaultAction::DrainServer {
+            server: payload("server")?,
+        },
         other => return Err(format!("unknown action kind \"{other}\"")),
     };
     Ok(FaultEvent {
@@ -295,6 +322,8 @@ impl FaultEvent {
             FaultAction::SlowDisk { resource, scale } => (3, resource.0 as u64, scale.to_bits()),
             FaultAction::NicBrownout { resource, scale } => (4, resource.0 as u64, scale.to_bits()),
             FaultAction::DelayedCompletion { payload, extra_ns } => (5, payload, extra_ns),
+            FaultAction::AddServer { server } => (6, server, 0),
+            FaultAction::DrainServer { server } => (7, server, 0),
         };
         out.extend_from_slice(&self.at.0.to_le_bytes());
         out.extend_from_slice(&self.id.to_le_bytes());
@@ -346,6 +375,14 @@ mod tests {
             },
         );
         p.at(SimTime::from_millis(6), FaultAction::TargetRestart(1 << 16));
+        p.at(
+            SimTime::from_millis(7),
+            FaultAction::AddServer { server: 4 },
+        );
+        p.at(
+            SimTime::from_millis(8),
+            FaultAction::DrainServer { server: 1 },
+        );
         p
     }
 

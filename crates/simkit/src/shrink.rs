@@ -161,6 +161,8 @@ fn incident_key(a: &FaultAction) -> (u8, u64) {
         FaultAction::SlowDisk { resource, .. } => (1, resource.0 as u64),
         FaultAction::NicBrownout { resource, .. } => (2, resource.0 as u64),
         FaultAction::DelayedCompletion { payload, .. } => (3, *payload),
+        FaultAction::AddServer { server } => (4, *server),
+        FaultAction::DrainServer { server } => (5, *server),
     }
 }
 
@@ -173,7 +175,10 @@ fn is_recovery(a: &FaultAction) -> bool {
             *scale >= 1.0
         }
         FaultAction::DelayedCompletion { extra_ns, .. } => *extra_ns == 0,
-        FaultAction::TargetCrash(_) => false,
+        // membership changes are one-shot incidents with no healing half
+        FaultAction::TargetCrash(_)
+        | FaultAction::AddServer { .. }
+        | FaultAction::DrainServer { .. } => false,
     }
 }
 

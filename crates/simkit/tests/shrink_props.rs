@@ -16,6 +16,7 @@ fn space() -> ChaosSpace {
         disks: vec![ResourceId(10), ResourceId(11), ResourceId(12)],
         nics: vec![ResourceId(20), ResourceId(21)],
         delay_payloads: vec![1, 2],
+        ..ChaosSpace::default()
     }
 }
 
