@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use daos_core::{ErasureCode, ObjectClass, OidAllocator, PoolMap};
 use simkit::fairshare::FairShare;
-use simkit::{ResourceId, SplitMix64};
+use simkit::units::{GB, MB};
+use simkit::{Rate, ResourceId, SplitMix64};
 
 /// Progressive filling over a 16-server-deployment-sized snapshot:
 /// ~1000 flows with 5-resource paths over ~800 resources.
@@ -18,7 +19,7 @@ fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurem
 
 fn bench_fairshare(c: &mut Criterion) {
     let n_res = 800usize;
-    let caps: Vec<f64> = (0..n_res).map(|i| 1e9 + (i as f64) * 1e6).collect();
+    let caps: Vec<Rate> = (0..n_res).map(|i| Rate(GB + (i as f64) * MB)).collect();
     let mut rng = SplitMix64::new(42);
     let flows: Vec<Vec<ResourceId>> = (0..1000)
         .map(|_| {

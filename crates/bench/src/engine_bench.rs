@@ -11,6 +11,7 @@
 //! comparing throughput.  This module performs no timing itself —
 //! callers (the criterion bench, the repro target) own the clock.
 
+use simkit::units::{GB, MB};
 use simkit::{run, OpId, ResourceId, Scheduler, SplitMix64, Step, World};
 
 /// Ops completed per family run; fixed so event counts are comparable
@@ -151,7 +152,7 @@ pub fn run_family(name: &str, ops: u64) -> FamilyResult {
     };
     let mut sched = Scheduler::new();
     let resources: Vec<ResourceId> = (0..RESOURCES)
-        .map(|i| sched.add_resource(format!("r{i}"), 1e9 + i as f64 * 1e7))
+        .map(|i| sched.add_resource(format!("r{i}"), GB + i as f64 * 10.0 * MB))
         .collect();
     let mut driver = Driver {
         rng: SplitMix64::new(seed),

@@ -1,0 +1,23 @@
+//! Print the replay digest and bandwidths for every paper scenario.
+//!
+//! Used to prove refactors digest-neutral: capture this output before
+//! and after a change and diff it — any drift means the event schedule
+//! moved, not just the code.
+
+use benchkit::{replay_all, RunSpec};
+use cluster::Calibration;
+
+fn main() {
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 12;
+    let reports = replay_all(&spec, &Calibration::default());
+    for r in &reports {
+        println!(
+            "{:<16} digest={:#018x} det={} bw={:?}",
+            r.scenario.name(),
+            r.digests[0],
+            r.deterministic(),
+            r.bandwidths[0],
+        );
+    }
+}

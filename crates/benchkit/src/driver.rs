@@ -4,12 +4,14 @@
 //! end of the last one.
 
 use cluster::bench::ProcWorkload;
+use cluster::units;
 use simkit::{run, OpId, Scheduler, SimTime, World};
 
 /// Result of one measured phase.
 #[derive(Debug, Clone, Copy)]
 pub struct PhaseResult {
     /// Logical bytes moved in the measured window.
+    // simlint::dim(bytes)
     pub bytes: f64,
     /// Measured window in (simulated) seconds.
     pub seconds: f64,
@@ -144,7 +146,7 @@ pub fn run_phase<W: ProcWorkload>(sched: &mut Scheduler, wl: &mut W) -> PhaseRes
         eprintln!(
             "[diag] recomputes={} flow_visits={} fill_iters={} settle={:.1}s rebuild={:.1}s solve={:.1}s ({} procs x {} ops)",
             sched.stat_recomputes, sched.stat_flow_visits, sched.stat_fill_iters,
-            sched.stat_ns[0] as f64 / 1e9, sched.stat_ns[1] as f64 / 1e9, sched.stat_ns[2] as f64 / 1e9,
+            units::ns_to_secs(sched.stat_ns[0]), units::ns_to_secs(sched.stat_ns[1]), units::ns_to_secs(sched.stat_ns[2]),
             procs, ops_per_proc
         );
     }

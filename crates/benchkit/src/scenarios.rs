@@ -255,7 +255,7 @@ pub fn analyze_scenario(
     let end = sched.monitor().snapshot(n);
     let caps = sched.capacities().to_vec();
     let mut uses: Vec<ResourceUse> = (0..n)
-        .filter(|&i| caps[i] > 0.0)
+        .filter(|&i| caps[i] > simkit::Rate::ZERO)
         .map(|i| {
             let w_units = mid.get(i).copied().unwrap_or(0.0);
             let r_units = end[i] - w_units;
@@ -264,12 +264,12 @@ pub fn analyze_scenario(
                     .resource_name(simkit::ResourceId(i as u32))
                     .to_string(),
                 write_frac: if result.write.seconds > 0.0 {
-                    w_units / (caps[i] * result.write.seconds)
+                    w_units / caps[i].bytes_in(result.write.seconds).get()
                 } else {
                     0.0
                 },
                 read_frac: if result.read.seconds > 0.0 {
-                    r_units / (caps[i] * result.read.seconds)
+                    r_units / caps[i].bytes_in(result.read.seconds).get()
                 } else {
                     0.0
                 },

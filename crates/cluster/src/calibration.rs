@@ -20,8 +20,10 @@ pub struct Calibration {
     /// Aggregate measured write bandwidth of one server's NVMe (3.86 GiB/s,
     /// §III-A `dd` measurement), divided evenly across devices at build
     /// time.
+    // simlint::dim(bytes_per_sec)
     pub server_nvme_write_bw: f64,
     /// Aggregate measured read bandwidth of one server's NVMe (7 GiB/s).
+    // simlint::dim(bytes_per_sec)
     pub server_nvme_read_bw: f64,
     /// Short-burst headroom of a single device over its sustained share
     /// of the node aggregate.  Server-side buffering (the WAL) and
@@ -32,18 +34,24 @@ pub struct Calibration {
     /// undershoots the paper's near-optimal utilisation.
     pub nvme_dev_burst: f64,
     /// Device access latency added per bulk I/O request (write).
+    // simlint::dim(ns)
     pub nvme_write_lat_ns: u64,
     /// Latency of small writes, which DAOS absorbs in its write-ahead
     /// log (kept in DRAM on these VMs, §II-B).
+    // simlint::dim(ns)
     pub small_write_lat_ns: u64,
     /// Requests at or above this size pay the bulk device latency.
+    // simlint::dim(bytes)
     pub bulk_io_threshold: f64,
     /// Device access latency added per I/O request (read).
+    // simlint::dim(ns)
     pub nvme_read_lat_ns: u64,
     /// NIC bandwidth per node and direction (50 Gbps = 6.25 GiB/s,
     /// confirmed by the paper's iperf measurement).
+    // simlint::dim(bytes_per_sec)
     pub nic_bw: f64,
     /// Network round-trip latency between a client and a server process.
+    // simlint::dim(ns)
     pub net_rtt_ns: u64,
 
     // ----- DAOS server ----------------------------------------------------
@@ -56,6 +64,7 @@ pub struct Calibration {
     /// engine, both directions).  Slightly below the NIC: this is why the
     /// paper reads ~90 GiB/s from 16 servers instead of the 100 GiB/s
     /// network bound.
+    // simlint::dim(bytes_per_sec)
     pub engine_xfer_bw: f64,
     /// Capacity of the pool's metadata/container service replica group
     /// (ops/s).  This group does **not** grow with the server count —
@@ -63,24 +72,31 @@ pub struct Calibration {
     /// paper attributes to container-per-process (§III-B, Fig. 4/5).
     pub pool_md_iops: f64,
     /// Per-server cost of a collective container create/open, ns.
+    // simlint::dim(ns)
     pub cont_collective_ns_per_server: u64,
 
     // ----- DAOS client ----------------------------------------------------
     /// Client-side software overhead per libdaos operation.
+    // simlint::dim(ns)
     pub libdaos_op_ns: u64,
     /// Additional client-side overhead per libdfs operation (namespace
     /// logic on top of libdaos).
+    // simlint::dim(ns)
     pub dfs_op_ns: u64,
     /// Client-side overhead per intercepted (IL) read/write.
+    // simlint::dim(ns)
     pub il_op_ns: u64,
     /// Client-side erasure-code encode throughput (bytes/s per process).
+    // simlint::dim(bytes_per_sec)
     pub ec_encode_bw: f64,
     /// Bytes carried by a typical Key-Value index entry.
+    // simlint::dim(bytes)
     pub kv_entry_bytes: f64,
 
     // ----- DFUSE ----------------------------------------------------------
     /// Application-visible latency of one FUSE round trip
     /// (syscall → kernel → user-space daemon → back).
+    // simlint::dim(ns)
     pub fuse_crossing_ns: u64,
     /// FUSE daemon threads per mount (paper used 24).
     pub fuse_threads: usize,
@@ -93,8 +109,10 @@ pub struct Calibration {
     pub fuse_thread_iops: f64,
     /// Kernel↔user data copy bandwidth per client node through the FUSE
     /// mount (bytes/s).
+    // simlint::dim(bytes_per_sec)
     pub fuse_copy_bw: f64,
     /// Largest single FUSE request; larger application I/O fragments.
+    // simlint::dim(bytes)
     pub fuse_max_req_bytes: f64,
 
     // ----- Lustre ----------------------------------------------------------
@@ -107,6 +125,7 @@ pub struct Calibration {
     /// Request-processing capacity of one OST (ops/s).
     pub ost_svc_iops: f64,
     /// Client-side overhead per Lustre POSIX call (kernel fs client).
+    // simlint::dim(ns)
     pub lustre_op_ns: u64,
     /// Extra round trips to acquire an extent lock on first access of a
     /// stripe by a client.
@@ -120,13 +139,17 @@ pub struct Calibration {
     /// Request-processing capacity of one OSD (ops/s).
     pub osd_svc_iops: f64,
     /// Per-OSD read-path processing bandwidth (crc, messenger copies).
+    // simlint::dim(bytes_per_sec)
     pub osd_read_bw: f64,
     /// Per-OSD write-path processing bandwidth.
+    // simlint::dim(bytes_per_sec)
     pub osd_write_bw: f64,
     /// Client-side overhead per librados operation.
+    // simlint::dim(ns)
     pub rados_op_ns: u64,
     /// Recommended maximum RADOS object size (132 MiB in the paper);
     /// larger writes are rejected by the simulated cluster too.
+    // simlint::dim(bytes)
     pub rados_max_object_bytes: f64,
 
     // ----- applications -----------------------------------------------------
@@ -138,17 +161,21 @@ pub struct Calibration {
     /// a/b, Fig. 5); it applies to every HDF5 driver (DFUSE+IL and the
     /// DAOS VOL), while the VOL's container-per-process metadata ceiling
     /// (`pool_md_iops`) additionally caps the libdaos flavour.
+    // simlint::dim(bytes_per_sec)
     pub hdf5_client_bw: f64,
     /// HDF5: small metadata I/Os issued alongside each dataset write on
     /// the POSIX VFD.
     pub hdf5_md_ops_per_write: u32,
     /// HDF5: size of one metadata I/O.
+    // simlint::dim(bytes)
     pub hdf5_md_bytes: f64,
     /// HDF5 POSIX VFD fragments data I/O into pieces of at most this size
     /// (chunked layout), multiplying FUSE request counts.
+    // simlint::dim(bytes)
     pub hdf5_fragment_bytes: f64,
     /// FDB POSIX backend: writers buffer this much data client-side and
     /// flush in one large sequential write.
+    // simlint::dim(bytes)
     pub fdb_flush_bytes: f64,
     /// Key-Value index operations per field archived/retrieved
     /// (paper: "an average of 10 Key-Value operations ... for each of the

@@ -14,6 +14,7 @@ use simkit::{run, OpId, Scheduler, SimTime, Step, World};
 #[derive(Debug, Clone, Copy)]
 pub struct MicroResult {
     /// Bytes moved in total.
+    // simlint::dim(bytes)
     pub bytes: f64,
     /// Wall-clock seconds (simulated).
     pub seconds: f64,

@@ -41,6 +41,7 @@ pub enum FsError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileStat {
     /// Size in bytes.
+    // simlint::dim(bytes)
     pub size: u64,
     /// True for directories.
     pub is_dir: bool,

@@ -1,46 +1,24 @@
 //! Byte-size units used throughout the workspace.
+//!
+//! The canonical definitions now live in [`simkit::units`] (where the
+//! `Bytes`/`Rate` newtypes and second↔nanosecond helpers are); this
+//! module re-exports them so existing `cluster::units` / `cluster::GIB`
+//! call sites keep working unchanged.
 
-/// One kibibyte in bytes.
-pub const KIB: f64 = 1024.0;
-/// One mebibyte in bytes.
-pub const MIB: f64 = 1024.0 * 1024.0;
-/// One gibibyte in bytes.
-pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
-
-/// Render a byte count as a human-readable size.
-pub fn fmt_bytes(b: f64) -> String {
-    if b >= GIB {
-        format!("{:.2} GiB", b / GIB)
-    } else if b >= MIB {
-        format!("{:.2} MiB", b / MIB)
-    } else if b >= KIB {
-        format!("{:.2} KiB", b / KIB)
-    } else {
-        format!("{b:.0} B")
-    }
-}
-
-/// Render a bandwidth (bytes/second) the way the paper's figures do.
-pub fn fmt_bw(bps: f64) -> String {
-    format!("{}/s", fmt_bytes(bps))
-}
+pub use simkit::units::{
+    fmt_bw, fmt_bytes, ns_to_secs, ops_interval_ns, secs_to_ns, Bytes, Rate, GB, GIB, KIB, MB, MIB,
+    NS_PER_SEC,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn unit_values() {
+    fn reexports_match_canonical_values() {
         assert_eq!(KIB, 1024.0);
         assert_eq!(MIB, 1048576.0);
         assert_eq!(GIB, 1073741824.0);
-    }
-
-    #[test]
-    fn formatting() {
-        assert_eq!(fmt_bytes(512.0), "512 B");
-        assert_eq!(fmt_bytes(2.0 * KIB), "2.00 KiB");
-        assert_eq!(fmt_bytes(3.5 * MIB), "3.50 MiB");
         assert_eq!(fmt_bw(61.76 * GIB), "61.76 GiB/s");
     }
 }

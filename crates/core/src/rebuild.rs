@@ -24,6 +24,7 @@ pub struct RebuildReport {
     /// Shards moved to replacement targets.
     pub shards_rebuilt: usize,
     /// Logical bytes reconstructed and rewritten.
+    // simlint::dim(bytes)
     pub bytes_moved: f64,
     /// Shards that had no surviving redundancy (data loss).
     pub shards_lost: usize,

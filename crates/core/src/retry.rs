@@ -44,10 +44,13 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Simulated time a failed attempt costs before the client gives up
     /// on it (RPC timeout).
+    // simlint::dim(ns)
     pub op_timeout_ns: u64,
     /// Base backoff before retry `n` (doubles each retry).
+    // simlint::dim(ns)
     pub backoff_base_ns: u64,
     /// Ceiling on a single backoff wait.
+    // simlint::dim(ns)
     pub backoff_cap_ns: u64,
     /// Multiplicative jitter amplitude on each backoff (0.0 = none,
     /// 0.25 = uniform in `[0.75, 1.25]×`), drawn from the executor's

@@ -28,7 +28,7 @@ use crate::oid::{Oid, FLAG_KV};
 use crate::pool::{PoolMap, TargetId};
 use crate::rebuild::{pick_replacement, RebuildReport};
 use cluster::payload::{Payload, ReadPayload};
-use cluster::{Calibration, Topology};
+use cluster::{units, Calibration, Topology};
 use simkit::{ResourceId, Scheduler, Step};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -116,6 +116,7 @@ pub struct MigrationProgress {
     /// them stale (object gone, layout remapped, destination down).
     pub moves_dropped: usize,
     /// Logical bytes shipped by completed waves.
+    // simlint::dim(bytes)
     pub moved_bytes: f64,
 }
 
@@ -128,6 +129,7 @@ pub struct RebalanceReport {
     /// Shard moves planned (layouts already remapped).
     pub moves_planned: usize,
     /// Logical bytes the planned moves will ship.
+    // simlint::dim(bytes)
     pub bytes_planned: f64,
     /// Drained shards left in place because no destination was
     /// available; they are lost when the drain completes.
@@ -358,7 +360,7 @@ impl DaosSystem {
     /// saturate.
     fn tgt_request_sized(&self, t: TargetId, bytes: f64) -> Step {
         if bytes >= self.cal.bulk_io_threshold {
-            Step::delay((1e9 / self.cal.target_svc_iops) as u64)
+            Step::delay(units::ops_interval_ns(self.cal.target_svc_iops))
         } else {
             Step::transfer(
                 1.0,
@@ -868,7 +870,7 @@ impl DaosSystem {
             }
         }
         let encode = if encode_bytes > 0.0 {
-            Step::delay((encode_bytes / self.cal.ec_encode_bw * 1e9) as u64)
+            Step::delay(units::secs_to_ns(encode_bytes / self.cal.ec_encode_bw))
         } else {
             Step::Noop
         };
@@ -1010,7 +1012,7 @@ impl DaosSystem {
             }
         }
         let decode = if decode_bytes > 0.0 {
-            Step::delay((decode_bytes / self.cal.ec_encode_bw * 1e9) as u64)
+            Step::delay(units::secs_to_ns(decode_bytes / self.cal.ec_encode_bw))
         } else {
             Step::Noop
         };
@@ -1785,6 +1787,7 @@ pub struct PoolInfo {
     /// Live objects across all containers.
     pub objects: usize,
     /// Logical Array bytes stored.
+    // simlint::dim(bytes)
     pub array_bytes: f64,
     /// Key-Value entries stored.
     pub kv_entries: usize,

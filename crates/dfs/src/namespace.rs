@@ -33,6 +33,7 @@ pub struct DfsOpts {
     /// redundancy experiments).
     pub dir_class: ObjectClass,
     /// Array chunk size for file data.
+    // simlint::dim(bytes)
     pub chunk_size: u64,
 }
 

@@ -322,6 +322,7 @@ impl<P: PosixFs> FdbPosix<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cluster::units;
     use cluster::ClusterSpec;
     use lustre_sim::{LustreDataMode, LustreSystem, StripeOpts};
     use simkit::{run, OpId, Scheduler, SimTime, World};
@@ -354,7 +355,7 @@ mod tests {
                 size: 8 << 20,
             },
         );
-        let fdb = FdbPosix::new(fs, 4.0 * 1024.0 * 1024.0).unwrap();
+        let fdb = FdbPosix::new(fs, 4.0 * units::MIB).unwrap();
         (sched, fdb)
     }
 

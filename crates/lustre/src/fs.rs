@@ -35,6 +35,7 @@ pub struct StripeOpts {
     /// OSTs per file.
     pub count: usize,
     /// Stripe unit in bytes.
+    // simlint::dim(bytes)
     pub size: u64,
 }
 

@@ -11,6 +11,7 @@ use crate::span::{SpanId, SpanLog};
 use crate::step::{ResourceId, Step};
 use crate::time::SimTime;
 use crate::trace::Trace;
+use crate::units::{Bytes, Rate};
 
 /// Opaque identifier attached to a submitted op chain and reported back
 /// on completion.  Callers typically encode a process index and an op
@@ -76,13 +77,13 @@ enum Cont {
 
 #[derive(Debug)]
 struct Flow {
-    remaining: f64,
-    rate: f64,
+    remaining: Bytes,
+    rate: Rate,
     deadline: SimTime,
     /// Residual below which the flow counts as finished: a safety net
     /// against f64 settlement drift, scaled to the flow's size so tiny
     /// transfers are not cut short measurably.
-    eps: f64,
+    eps: Bytes,
     path: Vec<ResourceId>,
     parent: Parent,
 }
@@ -117,10 +118,10 @@ impl Ord for Timer {
 pub struct Scheduler {
     now: SimTime,
     last_settle: SimTime,
-    caps: Vec<f64>,
+    caps: Vec<Rate>,
     /// Registered (un-degraded) capacities; fault scaling is relative to
     /// these, so `scale: 1.0` restores exactly the original rate.
-    base_caps: Vec<f64>,
+    base_caps: Vec<Rate>,
     names: Vec<String>,
     flows: Slab<Flow>,
     conts: Slab<Cont>,
@@ -212,15 +213,15 @@ impl Scheduler {
             "capacity must be finite and >= 0"
         );
         let id = ResourceId(self.caps.len() as u32);
-        self.caps.push(capacity);
-        self.base_caps.push(capacity);
+        self.caps.push(Rate(capacity));
+        self.base_caps.push(Rate(capacity));
         self.names.push(name.into());
         id
     }
 
     /// Capacity of `r` in units/second.
     pub fn capacity(&self, r: ResourceId) -> f64 {
-        self.caps[r.0 as usize]
+        self.caps[r.0 as usize].get()
     }
 
     /// Name given to `r` at registration.
@@ -239,8 +240,8 @@ impl Scheduler {
     pub fn set_capacity(&mut self, r: ResourceId, capacity: f64) {
         assert!(capacity >= 0.0 && capacity.is_finite());
         self.settle_to(self.now);
-        self.caps[r.0 as usize] = capacity;
-        self.base_caps[r.0 as usize] = capacity;
+        self.caps[r.0 as usize] = Rate(capacity);
+        self.base_caps[r.0 as usize] = Rate(capacity);
         self.rates_dirty = true;
     }
 
@@ -389,7 +390,7 @@ impl Scheduler {
     }
 
     /// Capacities indexed by resource id, for [`Monitor::report`].
-    pub fn capacities(&self) -> &[f64] {
+    pub fn capacities(&self) -> &[Rate] {
         &self.caps
     }
 
@@ -438,10 +439,10 @@ impl Scheduler {
                 debug_assert!(units > 0.0 && !path.is_empty());
                 debug_assert!(path.iter().all(|r| (r.0 as usize) < self.caps.len()));
                 self.flows.insert(Flow {
-                    remaining: units,
-                    rate: 0.0,
+                    remaining: Bytes(units),
+                    rate: Rate::ZERO,
                     deadline: SimTime::NEVER,
-                    eps: units * 1e-9,
+                    eps: Bytes(units * 1e-9),
                     path,
                     parent,
                 });
@@ -557,12 +558,12 @@ impl Scheduler {
             let monitor_on = self.monitor.is_enabled();
             // simlint::allow(hot-state-scan) — the fluid model settles every live flow across the elapsed interval; recompute coalescing (set_coalescing) bounds how often this runs per event batch
             for (_, f) in self.flows.iter_mut() {
-                if f.rate > 0.0 {
-                    let moved = (f.rate * dt).min(f.remaining);
+                if f.rate > Rate::ZERO {
+                    let moved = f.rate.bytes_in(dt).min(f.remaining);
                     f.remaining -= moved;
                     if monitor_on {
                         for &r in &f.path {
-                            self.monitor.credit(r, moved, t0, t);
+                            self.monitor.credit(r, moved.get(), t0, t);
                         }
                     }
                 }
@@ -607,10 +608,10 @@ impl Scheduler {
             f.rate = rate;
             f.deadline = if f.remaining <= f.eps {
                 now
-            } else if rate <= 0.0 {
+            } else if rate <= Rate::ZERO {
                 SimTime::NEVER
             } else {
-                now + ((f.remaining / rate) * 1e9).ceil() as u64
+                now + (f.remaining / rate).as_nanos()
             };
             deadline_min = deadline_min.min(f.deadline);
         }

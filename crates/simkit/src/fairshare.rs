@@ -13,6 +13,7 @@
 //! allocating.
 
 use crate::step::ResourceId;
+use crate::units::Rate;
 
 /// Reusable max-min fair-share solver.
 #[derive(Debug, Default)]
@@ -22,10 +23,10 @@ pub struct FairShare {
     path_start: Vec<u32>,
     path_len: Vec<u32>,
     paths: Vec<u32>,
-    rates: Vec<f64>,
+    rates: Vec<Rate>,
     frozen: Vec<bool>,
     // Lazily-initialised per-resource state (indexed by resource id).
-    rem: Vec<f64>,
+    rem: Vec<Rate>,
     nflows: Vec<u32>,
     res_flows: Vec<Vec<u32>>,
     stamp: Vec<u32>,
@@ -54,7 +55,7 @@ impl FairShare {
         }
         self.touched.clear();
         if self.rem.len() < n_resources {
-            self.rem.resize(n_resources, 0.0);
+            self.rem.resize(n_resources, Rate::ZERO);
             self.nflows.resize(n_resources, 0);
             self.res_flows.resize_with(n_resources, Vec::new);
             self.stamp.resize(n_resources, 0);
@@ -72,7 +73,7 @@ impl FairShare {
         self.keys.push(key);
         self.path_start.push(self.paths.len() as u32);
         self.path_len.push(path.len() as u32);
-        self.rates.push(0.0);
+        self.rates.push(Rate::ZERO);
         self.frozen.push(false);
         for &ResourceId(r) in path {
             self.paths.push(r);
@@ -105,9 +106,9 @@ impl FairShare {
     /// Returns the number of progressive-filling iterations.  Rates are
     /// then available through [`FairShare::results`].
     // simlint::hot_root — max-min solver: runs on every rate recomputation
-    pub fn solve(&mut self, caps: &[f64]) -> usize {
+    pub fn solve(&mut self, caps: &[Rate]) -> usize {
         for &r in &self.touched {
-            self.rem[r as usize] = caps[r as usize].max(0.0);
+            self.rem[r as usize] = caps[r as usize].max(Rate::ZERO);
         }
         let band = 1.0 + self.tolerance + 1e-12;
         let mut iters = 0usize;
@@ -115,7 +116,7 @@ impl FairShare {
         while unfrozen > 0 {
             iters += 1;
             // Find the bottleneck fair share.
-            let mut best_fair = f64::INFINITY;
+            let mut best_fair = Rate(f64::INFINITY);
             for &r in &self.touched {
                 let ri = r as usize;
                 let n = self.nflows[ri];
@@ -126,8 +127,11 @@ impl FairShare {
                     }
                 }
             }
-            debug_assert!(best_fair.is_finite(), "unfrozen flow with no live resource");
-            let cutoff = best_fair.max(0.0) * band;
+            debug_assert!(
+                best_fair.get().is_finite(),
+                "unfrozen flow with no live resource"
+            );
+            let cutoff = best_fair.max(Rate::ZERO) * band;
             // Freeze the flows of every resource inside the band, each at
             // the resource's own current share.  Freezing updates `rem`
             // and `nflows`, so re-check the share as we go; resources
@@ -139,7 +143,7 @@ impl FairShare {
                 if n == 0 {
                     continue;
                 }
-                let fair = (self.rem[ri] / n as f64).max(0.0);
+                let fair = (self.rem[ri] / n as f64).max(Rate::ZERO);
                 if fair > cutoff {
                     continue;
                 }
@@ -167,7 +171,7 @@ impl FairShare {
     }
 
     /// `(key, rate)` pairs from the last solve.
-    pub fn results(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+    pub fn results(&self) -> impl Iterator<Item = (u32, Rate)> + '_ {
         self.keys.iter().copied().zip(self.rates.iter().copied())
     }
 }
@@ -183,10 +187,11 @@ mod tests {
             let p: Vec<ResourceId> = path.iter().map(|&r| ResourceId(r)).collect();
             fs.add_flow(i as u32, &p);
         }
-        fs.solve(caps);
+        let caps: Vec<Rate> = caps.iter().map(|&c| Rate(c)).collect();
+        fs.solve(&caps);
         let mut rates = vec![0.0; flows.len()];
         for (k, r) in fs.results() {
-            rates[k as usize] = r;
+            rates[k as usize] = r.get();
         }
         rates
     }
@@ -252,10 +257,10 @@ mod tests {
             fs.begin(2);
             fs.add_flow(7, &[ResourceId(0)]);
             fs.add_flow(9, &[ResourceId(0), ResourceId(1)]);
-            fs.solve(&[10.0, 2.0]);
+            fs.solve(&[Rate(10.0), Rate(2.0)]);
             let mut m = std::collections::HashMap::new();
             for (k, r) in fs.results() {
-                m.insert(k, r);
+                m.insert(k, r.get());
             }
             assert!((m[&9] - 2.0).abs() < 1e-12);
             assert!((m[&7] - 8.0).abs() < 1e-12);

@@ -59,6 +59,7 @@ pub mod span;
 pub mod step;
 pub mod time;
 pub mod trace;
+pub mod units;
 
 pub use chaos::{generate, ChaosConfig, ChaosSpace};
 pub use engine::{run, run_digest, run_for, OpId, RunOutcome, Scheduler, World};
@@ -75,3 +76,4 @@ pub use span::{SpanId, SpanLog, SpanMark, SpanRecord};
 pub use step::{ResourceId, Step};
 pub use time::SimTime;
 pub use trace::{ReplayDigest, Trace};
+pub use units::{Bytes, Rate, GIB, KIB, MIB};

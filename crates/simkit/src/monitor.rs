@@ -21,6 +21,7 @@
 
 use crate::step::ResourceId;
 use crate::time::SimTime;
+use crate::units::Rate;
 
 /// Per-resource busy accounting.
 #[derive(Debug, Default, Clone)]
@@ -28,6 +29,7 @@ pub struct Monitor {
     /// Total units moved through each resource.
     busy_units: Vec<f64>,
     /// Window width in ns (0 = totals only).
+    // simlint::dim(ns)
     window_ns: u64,
     /// Per-resource, per-window units (outer: resource, inner: window).
     series: Vec<Vec<f64>>,
@@ -63,6 +65,7 @@ impl Monitor {
 
     /// A recording monitor that additionally samples utilisation into
     /// fixed windows of `window_ns` nanoseconds.
+    // simlint::dim(window_ns: ns)
     pub fn windowed(window_ns: u64) -> Self {
         assert!(window_ns > 0, "window width must be positive");
         Monitor {
@@ -152,14 +155,15 @@ impl Monitor {
 
     /// Utilisation time series for `r`: fraction of `capacity` used in
     /// each window.  Empty when windowing is off.
-    pub fn window_fractions(&self, r: ResourceId, capacity: f64) -> Vec<f64> {
-        if self.window_ns == 0 || capacity <= 0.0 {
+    pub fn window_fractions(&self, r: ResourceId, capacity: Rate) -> Vec<f64> {
+        if self.window_ns == 0 || capacity <= Rate::ZERO {
             return Vec::new();
         }
-        let w_secs = self.window_ns as f64 / 1e9;
+        let w_secs = crate::units::ns_to_secs(self.window_ns);
+        let per_window = capacity.bytes_in(w_secs);
         self.window_units(r)
             .iter()
-            .map(|u| u / (capacity * w_secs))
+            .map(|u| u / per_window.get())
             .collect()
     }
 
@@ -167,7 +171,7 @@ impl Monitor {
     /// windowing is off).  This is the number the whole-run mean hides:
     /// a resource saturated for half the run and idle for the rest
     /// reports `fraction = 0.5` in [`Monitor::report`] but a peak of 1.0.
-    pub fn peak_fraction(&self, r: ResourceId, capacity: f64) -> f64 {
+    pub fn peak_fraction(&self, r: ResourceId, capacity: Rate) -> f64 {
         self.window_fractions(r, capacity)
             .into_iter()
             .fold(0.0, f64::max)
@@ -176,14 +180,14 @@ impl Monitor {
     /// Utilisation report over `[t0, t1]` for resources with the given
     /// capacities (indexed by resource id).  A derived view over the
     /// whole-run totals; unchanged by windowing.
-    pub fn report(&self, caps: &[f64], t0: SimTime, t1: SimTime) -> Vec<Utilisation> {
+    pub fn report(&self, caps: &[Rate], t0: SimTime, t1: SimTime) -> Vec<Utilisation> {
         let dt = t1.secs_since(t0);
         (0..caps.len())
             .map(|i| {
                 let units = self.busy_units.get(i).copied().unwrap_or(0.0);
                 let mean_rate = if dt > 0.0 { units / dt } else { 0.0 };
-                let fraction = if caps[i] > 0.0 {
-                    mean_rate / caps[i]
+                let fraction = if caps[i] > Rate::ZERO {
+                    mean_rate / caps[i].get()
                 } else {
                     0.0
                 };
@@ -228,14 +232,14 @@ mod tests {
         assert!((m.units(ResourceId(2)) - 7.5).abs() < 1e-12);
         assert_eq!(m.units(ResourceId(0)), 0.0);
         assert_eq!(m.window_ns(), 0);
-        assert!(m.window_fractions(ResourceId(2), 1.0).is_empty());
+        assert!(m.window_fractions(ResourceId(2), Rate(1.0)).is_empty());
     }
 
     #[test]
     fn report_computes_fractions() {
         let mut m = Monitor::enabled();
         m.credit(ResourceId(0), 50.0, at(0), SimTime::from_secs_f64(1.0));
-        let rep = m.report(&[100.0], SimTime::ZERO, SimTime::from_secs_f64(1.0));
+        let rep = m.report(&[Rate(100.0)], SimTime::ZERO, SimTime::from_secs_f64(1.0));
         assert!((rep[0].mean_rate - 50.0).abs() < 1e-9);
         assert!((rep[0].fraction - 0.5).abs() < 1e-9);
     }
@@ -269,7 +273,7 @@ mod tests {
         // Saturated for the first window, idle afterwards: the whole-run
         // mean dilutes to 0.25 while the peak stays at 1.0 — the
         // under-reporting the windowed view exists to fix.
-        let cap = 100.0; // units/s
+        let cap = Rate(100.0); // units/s
         let w_ns = 1_000_000_000; // 1s windows
         let mut m = Monitor::windowed(w_ns);
         m.credit(ResourceId(0), 100.0, at(0), at(w_ns));

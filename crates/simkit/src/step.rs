@@ -45,6 +45,11 @@ pub enum Step {
 
 impl Step {
     /// A fixed delay of `ns` nanoseconds (no-op when zero).
+    ///
+    /// This is the nanosecond sink of the whole simulator: every latency
+    /// eventually funnels through here, so the stage-4 dimension pass
+    /// checks each call site's argument against `ns`.
+    // simlint::dim(ns: ns)
     #[inline]
     pub fn delay(ns: u64) -> Step {
         if ns == 0 {
@@ -65,6 +70,7 @@ impl Step {
     /// Degenerate transfers (no units, or an empty path) normalise to
     /// [`Step::Noop`]: a zero-byte move takes no time, and a move that
     /// touches no modelled resource is a modelling error we make harmless.
+    // simlint::dim(units: bytes)
     // simlint::allow(hot-alloc) — Step-tree construction owns its path vector by design; arena-allocated op chains are ROADMAP item 2
     pub fn transfer(units: f64, path: impl IntoIterator<Item = ResourceId>) -> Step {
         let path: Vec<ResourceId> = path.into_iter().collect();

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use simkit::fairshare::FairShare;
+use simkit::units::Rate;
 use simkit::ResourceId;
 
 fn scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<u32>>)> {
@@ -24,10 +25,11 @@ fn solve_with(caps: &[f64], flows: &[Vec<u32>], tol: f64) -> Vec<f64> {
         let p: Vec<ResourceId> = path.iter().map(|&r| ResourceId(r)).collect();
         fs.add_flow(i as u32, &p);
     }
-    fs.solve(caps);
+    let caps: Vec<Rate> = caps.iter().map(|&c| Rate(c)).collect();
+    fs.solve(&caps);
     let mut rates = vec![0.0; flows.len()];
     for (k, r) in fs.results() {
-        rates[k as usize] = r;
+        rates[k as usize] = r.get();
     }
     rates
 }

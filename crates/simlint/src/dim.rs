@@ -1,0 +1,1089 @@
+//! Stage-4 **dimension pass**: byte/time/rate taint analysis over the
+//! stage-2 item index.
+//!
+//! The simulator's hot arithmetic mixes three physical dimensions —
+//! byte counts, transfer rates and integer-nanosecond time — and the
+//! conversions between them are exactly the expressions a unit test is
+//! least likely to pin down: a missing `* 1e9` shrinks every transfer
+//! time by nine orders of magnitude and the run still completes, still
+//! produces a digest, still draws a plausible figure.  This pass seeds
+//! dimensions from `simlint::dim(...)` markers and from built-in
+//! knowledge of the `simkit` unit types (`Bytes`, `Rate`, `SimTime`),
+//! propagates them through `let` bindings, field accesses, arithmetic
+//! and cross-crate calls, and reports:
+//!
+//! * **`dim-mixed-add`** — `+`/`-`/`+=`/`-=` whose operands carry
+//!   different known dimensions (`bytes + ns` is never meaningful).
+//! * **`dim-divide-no-convert`** — a seconds-valued expression (most
+//!   often `bytes / rate` with the `* 1e9` forgotten) passed to a sink
+//!   that expects nanoseconds.
+//! * **`dim-unchecked-sink`** — any other argument whose inferred
+//!   dimension disagrees with the sink's registered one, including
+//!   derived products (`bytes * bytes_per_sec`) that correspond to no
+//!   physical quantity.
+//! * **`dim-raw-literal`** — a bare conversion constant (`1e9`,
+//!   `1_000_000_000`, `1073741824`, `1024.0 * 1024.0`) outside the
+//!   units modules, where drift between copies is invisible.
+//!
+//! # Markers
+//!
+//! ```text
+//! // simlint::dim(bytes)            — on a struct: the type carries bytes
+//! pub struct Chunk(pub f64);
+//!
+//! pub struct Xfer {
+//!     // simlint::dim(ns)           — on a field: overrides/when untyped
+//!     pub elapsed: u64,
+//! }
+//!
+//! // simlint::dim(s: secs, return: ns)   — on a fn: params by name
+//! pub fn secs_to_ns(s: f64) -> u64 { … }
+//! ```
+//!
+//! Fields whose declared type head is itself a registered unit type
+//! (`remaining: Bytes`) register without a marker.  Units are `bytes`,
+//! `bytes_per_sec`, `ns` and `secs` ([`crate::flow::UNITS`]).
+//!
+//! # Approximations (deliberate)
+//!
+//! The evaluator is linear and name-based, like the rest of simlint.
+//! Unknown values are treated as dimensionless: multiplying a unit by
+//! an unknown keeps the unit (so `rate * 0.5` stays a rate), and only
+//! events where *both* sides carry known dimensions are reported — the
+//! pass prefers silence to guessing.  Field dimensions are collapsed to
+//! bare field names (ambiguous names are dropped); the left operand of
+//! a binary `+`/`-` is the nearest postfix chain, not the full
+//! precedence-correct subexpression; `as` casts preserve dimension
+//! (they change representation, not meaning).  Findings are suppressed
+//! with the same `simlint::allow(rule) — reason` directives as every
+//! other stage.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::flow::{
+    build_index, read_sources, skip_angle_brackets, skip_balanced, DimSig, Emitter, FlowRule,
+    FnFact, Index, CALL_KEYWORDS,
+};
+use crate::lex::{Tok, TokKind};
+use crate::{Finding, Severity};
+
+/// The stage-4 rule registry.
+pub fn dim_rules() -> &'static [FlowRule] {
+    &[
+        FlowRule {
+            id: "dim-mixed-add",
+            severity: Severity::Error,
+            summary: "adding or subtracting values of different physical dimensions (bytes + ns) is never meaningful",
+        },
+        FlowRule {
+            id: "dim-divide-no-convert",
+            severity: Severity::Error,
+            summary: "a seconds-valued expression (bytes / rate without * 1e9) reaches a sink that expects nanoseconds",
+        },
+        FlowRule {
+            id: "dim-unchecked-sink",
+            severity: Severity::Warn,
+            summary: "a sink argument's inferred dimension disagrees with the sink's registered dimension",
+        },
+        FlowRule {
+            id: "dim-raw-literal",
+            severity: Severity::Warn,
+            summary: "raw conversion constants (1e9, 1_000_000_000, 1024.0 * 1024.0) belong in the units modules",
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Built-in registrations
+// ---------------------------------------------------------------------------
+
+/// Unit types the pass knows without markers: the `simkit` newtypes and
+/// the nanosecond clock.
+pub(crate) fn builtin_types() -> BTreeMap<String, String> {
+    [
+        ("Bytes", "bytes"),
+        ("Rate", "bytes_per_sec"),
+        ("SimTime", "ns"),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect()
+}
+
+/// Dimension signatures the pass knows without markers: the `simkit`
+/// conversion surface between the three dimensions.
+pub(crate) fn builtin_sigs() -> BTreeMap<String, DimSig> {
+    let sig = |params: &[(u32, &str)], ret: Option<&str>| DimSig {
+        params: params.iter().map(|(p, u)| (*p, u.to_string())).collect(),
+        ret: ret.map(|r| r.to_string()),
+    };
+    [
+        ("SimTime::from_secs_f64", sig(&[(0, "secs")], Some("ns"))),
+        ("SimTime::from_nanos", sig(&[(0, "ns")], Some("ns"))),
+        ("SimTime::as_nanos", sig(&[], Some("ns"))),
+        ("SimTime::nanos_since", sig(&[], Some("ns"))),
+        ("SimTime::as_secs_f64", sig(&[], Some("secs"))),
+        ("SimTime::secs_since", sig(&[], Some("secs"))),
+        ("Rate::bytes_in", sig(&[(0, "secs")], Some("bytes"))),
+        ("Bytes::get", sig(&[], Some("bytes"))),
+        ("Rate::get", sig(&[], Some("bytes_per_sec"))),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+/// Methods that return (a projection of) their receiver unchanged, so
+/// the receiver's dimension survives the call: `per_window.get()` is
+/// still bytes, `a.min(b)` is whatever `a` was.
+const PRESERVE_METHODS: &[&str] = &[
+    "min",
+    "max",
+    "clamp",
+    "abs",
+    "ceil",
+    "floor",
+    "round",
+    "copied",
+    "cloned",
+    "unwrap",
+    "unwrap_or",
+    "expect",
+    "get",
+];
+
+// ---------------------------------------------------------------------------
+// Lookup tables
+// ---------------------------------------------------------------------------
+
+/// Dimension lookup tables, pre-collapsed for the evaluator.  Built once
+/// per [`build_index`] run from the registration maps.
+pub(crate) struct DimTables {
+    /// Type name → unit.
+    types: BTreeMap<String, String>,
+    /// Bare field name → unit; only names that resolve to one unit
+    /// across every registered `Type::field` (the evaluator sees
+    /// `x.len`, not `Xfer::len`, so ambiguous names are dropped).
+    fields: BTreeMap<String, String>,
+    /// `Type::fn` (or bare fn) → signature.
+    sigs: BTreeMap<String, DimSig>,
+    /// Bare fn name → signature; only names whose registered signatures
+    /// are unique (or identical), for method-call and bare resolution.
+    by_name: BTreeMap<String, DimSig>,
+}
+
+impl DimTables {
+    pub(crate) fn new(
+        types: &BTreeMap<String, String>,
+        fields: &BTreeMap<String, String>,
+        sigs: &BTreeMap<String, DimSig>,
+    ) -> DimTables {
+        let mut bare_fields: BTreeMap<String, Option<String>> = BTreeMap::new();
+        for (qual, unit) in fields {
+            let bare = qual.rsplit("::").next().unwrap_or(qual).to_string();
+            match bare_fields.get(&bare) {
+                None => {
+                    bare_fields.insert(bare, Some(unit.clone()));
+                }
+                Some(Some(u)) if u != unit => {
+                    bare_fields.insert(bare, None); // ambiguous: drop
+                }
+                _ => {}
+            }
+        }
+        let mut by_name: BTreeMap<String, Option<DimSig>> = BTreeMap::new();
+        for (qual, sig) in sigs {
+            let bare = qual.rsplit("::").next().unwrap_or(qual).to_string();
+            match by_name.get(&bare) {
+                None => {
+                    by_name.insert(bare, Some(sig.clone()));
+                }
+                Some(Some(s)) if s != sig => {
+                    by_name.insert(bare, None); // ambiguous: drop
+                }
+                _ => {}
+            }
+        }
+        DimTables {
+            types: types.clone(),
+            fields: bare_fields
+                .into_iter()
+                .filter_map(|(k, v)| v.map(|u| (k, u)))
+                .collect(),
+            sigs: sigs.clone(),
+            by_name: by_name
+                .into_iter()
+                .filter_map(|(k, v)| v.map(|s| (k, s)))
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The abstract value and its arithmetic
+// ---------------------------------------------------------------------------
+
+/// Abstract dimension value of an expression.
+#[derive(Debug, Clone, PartialEq)]
+enum Dv {
+    /// A known unit from [`crate::flow::UNITS`].
+    Unit(String),
+    /// The literal `1e9`/`1_000_000_000`/`NS_PER_SEC` conversion
+    /// constant: dimensionless, but `secs * NsConst = ns` and
+    /// `ns / NsConst = secs`.
+    NsConst,
+    /// A product/quotient of units with no registered meaning,
+    /// rendered for the report (e.g. `bytes*bytes_per_sec`).
+    Derived(String),
+    /// No dimension information; treated as dimensionless.
+    Unknown,
+}
+
+fn combine_add(l: Dv, r: Dv) -> Dv {
+    match (l, r) {
+        // Unlike units: the operator scan reports the event; keep the
+        // left dimension so propagation continues deterministically.
+        (Dv::Unit(a), _) => Dv::Unit(a),
+        (_, Dv::Unit(b)) => Dv::Unit(b),
+        (Dv::Derived(d), _) | (_, Dv::Derived(d)) => Dv::Derived(d),
+        _ => Dv::Unknown,
+    }
+}
+
+fn combine_mul(l: Dv, r: Dv) -> Dv {
+    match (l, r) {
+        (Dv::Derived(d), _) | (_, Dv::Derived(d)) => Dv::Derived(d),
+        (Dv::Unit(s), Dv::NsConst) | (Dv::NsConst, Dv::Unit(s)) if s == "secs" => {
+            Dv::Unit("ns".to_string())
+        }
+        // A known unit times an unknown/constant is dimensionless
+        // scaling (`rate * 0.5`): the unit survives.
+        (Dv::Unit(a), Dv::NsConst | Dv::Unknown) | (Dv::NsConst | Dv::Unknown, Dv::Unit(a)) => {
+            Dv::Unit(a)
+        }
+        (Dv::Unit(a), Dv::Unit(b)) if (a == "secs") ^ (b == "secs") => {
+            let other = if a == "secs" { b } else { a };
+            if other == "bytes_per_sec" {
+                Dv::Unit("bytes".to_string())
+            } else {
+                Dv::Derived(format!("{}*{}", "secs", other))
+            }
+        }
+        (Dv::Unit(a), Dv::Unit(b)) => Dv::Derived(format!("{a}*{b}")),
+        _ => Dv::Unknown,
+    }
+}
+
+fn combine_div(l: Dv, r: Dv) -> Dv {
+    match (l, r) {
+        (Dv::Derived(d), _) | (_, Dv::Derived(d)) => Dv::Derived(d),
+        (Dv::Unit(a), Dv::NsConst) if a == "ns" => Dv::Unit("secs".to_string()),
+        (Dv::Unit(a), Dv::Unit(b)) if a == "bytes" && b == "bytes_per_sec" => {
+            Dv::Unit("secs".to_string())
+        }
+        (Dv::Unit(a), Dv::Unit(b)) if a == "bytes" && b == "secs" => {
+            Dv::Unit("bytes_per_sec".to_string())
+        }
+        (Dv::Unit(a), Dv::Unit(b)) if a == b => Dv::Unknown, // ratio
+        (Dv::Unit(a), Dv::Unit(b)) => Dv::Derived(format!("{a}/{b}")),
+        (Dv::Unit(a), Dv::NsConst | Dv::Unknown) => Dv::Unit(a), // per-n split
+        _ => Dv::Unknown,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The expression evaluator
+// ---------------------------------------------------------------------------
+
+/// Shared context for one evaluation: the token stream, the body range,
+/// the lookup tables, the local environment and the impl self type.
+struct Cx<'a> {
+    toks: &'a [Tok],
+    body: &'a std::ops::Range<usize>,
+    tables: &'a DimTables,
+    env: &'a BTreeMap<String, Dv>,
+    impl_type: Option<&'a str>,
+}
+
+impl Cx<'_> {
+    fn get(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i).filter(|_| self.body.contains(&i))
+    }
+}
+
+/// `term (+|- term)*` — returns the value and the index past it.
+fn eval_expr(cx: &Cx, i: usize, end: usize) -> (Dv, usize) {
+    let (mut v, mut p) = eval_term(cx, i, end);
+    while p < end {
+        let Some(t) = cx.get(p) else { break };
+        let compound = cx.get(p + 1).is_some_and(|n| n.is_punct("="));
+        if (t.is_punct("+") || t.is_punct("-")) && !compound {
+            let (r, q) = eval_term(cx, p + 1, end);
+            if q == p + 1 {
+                break; // no operand: not an infix position
+            }
+            v = combine_add(v, r);
+            p = q;
+        } else {
+            break;
+        }
+    }
+    (v, p)
+}
+
+/// `atom ((*|/|%) atom)*`.
+fn eval_term(cx: &Cx, i: usize, end: usize) -> (Dv, usize) {
+    let (mut v, mut p) = eval_atom(cx, i, end);
+    while p < end {
+        let Some(t) = cx.get(p) else { break };
+        let compound = cx.get(p + 1).is_some_and(|n| n.is_punct("="));
+        if compound {
+            break;
+        }
+        if t.is_punct("*") || t.is_punct("/") || t.is_punct("%") {
+            let (r, q) = eval_atom(cx, p + 1, end);
+            if q == p + 1 {
+                break;
+            }
+            v = match t.text.as_str() {
+                "*" => combine_mul(v, r),
+                "/" => combine_div(v, r),
+                _ => Dv::Unknown,
+            };
+            p = q;
+        } else {
+            break;
+        }
+    }
+    (v, p)
+}
+
+/// One operand: prefixes, a literal / parenthesized expression / path /
+/// call, then the postfix chain (`?`, `as`, `.field`, `.method(…)`,
+/// `[…]`).
+fn eval_atom(cx: &Cx, mut i: usize, end: usize) -> (Dv, usize) {
+    while i < end
+        && cx.get(i).is_some_and(|t| {
+            t.is_punct("&")
+                || t.is_punct("*")
+                || t.is_punct("-")
+                || t.is_punct("!")
+                || t.is_ident("mut")
+        })
+    {
+        i += 1;
+    }
+    let Some(t) = cx.get(i).filter(|_| i < end) else {
+        return (Dv::Unknown, i);
+    };
+    let mut v;
+    if t.kind == TokKind::Num {
+        let stripped = t.text.replace('_', "");
+        v = if stripped == "1e9" || stripped == "1000000000" {
+            Dv::NsConst
+        } else {
+            Dv::Unknown
+        };
+        i += 1;
+        // Float continuation: `1024` `.` `0` lexes as three tokens.
+        if cx.get(i).is_some_and(|t| t.is_punct("."))
+            && cx.get(i + 1).is_some_and(|t| t.kind == TokKind::Num)
+        {
+            i += 2;
+        }
+    } else if t.is_punct("(") {
+        let close = skip_balanced(cx.toks, i) - 1;
+        let (inner, _) = eval_expr(cx, i + 1, close.min(end));
+        v = inner;
+        i = (close + 1).min(end);
+    } else if t.kind == TokKind::Ident {
+        if CALL_KEYWORDS.contains(&t.text.as_str()) {
+            return (Dv::Unknown, i + 1);
+        }
+        // Collect the `a::b::c` path.
+        let mut segs: Vec<&str> = vec![t.text.as_str()];
+        let mut p = i + 1;
+        while cx.get(p).is_some_and(|t| t.is_punct("::"))
+            && cx.get(p + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            segs.push(cx.toks[p + 1].text.as_str());
+            p += 2;
+        }
+        let name = *segs.last().unwrap();
+        if cx.get(p).is_some_and(|t| t.is_punct("(")) {
+            // Call (or tuple-struct construction).
+            let close = skip_balanced(cx.toks, p);
+            v = if segs.len() >= 2 {
+                let q = segs[segs.len() - 2];
+                let q = if q == "Self" {
+                    cx.impl_type.unwrap_or("")
+                } else {
+                    q
+                };
+                cx.tables
+                    .sigs
+                    .get(&format!("{q}::{name}"))
+                    .and_then(|s| s.ret.clone())
+                    .map(Dv::Unit)
+                    .unwrap_or(Dv::Unknown)
+            } else if let Some(u) = cx.tables.types.get(name) {
+                Dv::Unit(u.clone()) // `Bytes(raw)` wraps into the unit
+            } else {
+                cx.tables
+                    .sigs
+                    .get(name)
+                    .or_else(|| cx.tables.by_name.get(name))
+                    .and_then(|s| s.ret.clone())
+                    .map(Dv::Unit)
+                    .unwrap_or(Dv::Unknown)
+            };
+            i = close.min(end);
+        } else if segs.len() >= 2 {
+            // Path constant / variant: `Bytes::ZERO` carries bytes.
+            v = cx
+                .tables
+                .types
+                .get(segs[segs.len() - 2])
+                .map(|u| Dv::Unit(u.clone()))
+                .unwrap_or(Dv::Unknown);
+            i = p;
+        } else if name == "NS_PER_SEC" {
+            v = Dv::NsConst;
+            i = p;
+        } else if name == "self" {
+            v = cx
+                .impl_type
+                .and_then(|t| cx.tables.types.get(t))
+                .map(|u| Dv::Unit(u.clone()))
+                .unwrap_or(Dv::Unknown);
+            i = p;
+        } else {
+            v = cx.env.get(name).cloned().unwrap_or(Dv::Unknown);
+            i = p;
+        }
+    } else {
+        return (Dv::Unknown, i);
+    }
+    // Postfix chain.
+    while i < end {
+        let Some(t) = cx.get(i) else { break };
+        if t.is_punct("?") {
+            i += 1;
+        } else if t.is_ident("as") {
+            // Casts change representation, not dimension.
+            i += 1;
+            while cx
+                .get(i)
+                .is_some_and(|t| t.kind == TokKind::Ident || t.is_punct("::"))
+            {
+                i += 1;
+            }
+        } else if t.is_punct(".") {
+            let Some(n) = cx.get(i + 1) else { break };
+            if n.kind == TokKind::Num {
+                i += 2; // tuple index: dimension of the whole is kept
+            } else if n.kind == TokKind::Ident {
+                if cx.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+                    let close = skip_balanced(cx.toks, i + 2);
+                    if let Some(ret) = cx
+                        .tables
+                        .by_name
+                        .get(n.text.as_str())
+                        .and_then(|s| s.ret.clone())
+                    {
+                        v = Dv::Unit(ret);
+                    } else if !PRESERVE_METHODS.contains(&n.text.as_str()) {
+                        v = Dv::Unknown;
+                    }
+                    i = close.min(end);
+                } else {
+                    v = cx
+                        .tables
+                        .fields
+                        .get(n.text.as_str())
+                        .map(|u| Dv::Unit(u.clone()))
+                        .unwrap_or(Dv::Unknown);
+                    i += 2;
+                }
+            } else {
+                break; // `..` range
+            }
+        } else if t.is_punct("[") {
+            i = skip_balanced(cx.toks, i).min(end);
+            v = Dv::Unknown; // element type unknowable by name
+        } else {
+            break;
+        }
+    }
+    (v, i)
+}
+
+// ---------------------------------------------------------------------------
+// Fact extraction (runs inside build_index, cached in the JSON index)
+// ---------------------------------------------------------------------------
+
+/// Split a call's arguments into token ranges.  `open` is the `(`.
+fn split_args(toks: &[Tok], body: &std::ops::Range<usize>, open: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = open + 1;
+    let mut i = open;
+    while body.contains(&i) && i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                if i > start {
+                    out.push((start, i));
+                }
+                break;
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            out.push((start, i));
+            start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Record the facts the dimension analysis reads: mixed additions, sink
+/// violations and raw conversion literals.  Runs over the same token
+/// range as the other fact extractors so the facts land in the cached
+/// index.  All evaluation is pure; each event is recorded by exactly
+/// one detector visiting its anchor token once.
+pub(crate) fn collect_dim_facts(
+    toks: &[Tok],
+    body: std::ops::Range<usize>,
+    tables: &DimTables,
+    params: &[String],
+    qual: &str,
+    impl_type: Option<&str>,
+    fact: &mut FnFact,
+) {
+    let mut env: BTreeMap<String, Dv> = BTreeMap::new();
+    if let Some(sig) = tables.sigs.get(qual) {
+        for (pos, unit) in &sig.params {
+            if let Some(name) = params.get(*pos as usize).filter(|n| !n.is_empty()) {
+                env.insert(name.clone(), Dv::Unit(unit.clone()));
+            }
+        }
+    }
+    let get = |i: usize| toks.get(i).filter(|_| body.contains(&i));
+
+    for i in body.clone() {
+        let t = &toks[i];
+        let prev = i.checked_sub(1).and_then(get);
+        let prev2 = i.checked_sub(2).and_then(get);
+        let next = get(i + 1);
+        let cx = Cx {
+            toks,
+            body: &body,
+            tables,
+            env: &env,
+            impl_type,
+        };
+
+        // ---- let bindings: extend the environment ------------------------
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            while get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let plain = get(j).is_some_and(|t| {
+                t.kind == TokKind::Ident && !CALL_KEYWORDS.contains(&t.text.as_str())
+            }) && get(j + 1).is_some_and(|t| t.is_punct(":") || t.is_punct("="));
+            if plain {
+                let name = toks[j].text.clone();
+                // Find the `=` that starts the initializer (skipping a
+                // type annotation, whose generics can nest).
+                let mut k = j + 1;
+                let mut eq = None;
+                while let Some(tk) = get(k) {
+                    if tk.is_punct(";") {
+                        break;
+                    }
+                    if tk.is_punct("=") && !get(k + 1).is_some_and(|t| t.is_punct("=")) {
+                        eq = Some(k);
+                        break;
+                    }
+                    if tk.is_punct("<") {
+                        k = skip_angle_brackets(toks, k);
+                    } else if tk.is_punct("(") || tk.is_punct("[") {
+                        k = skip_balanced(toks, k);
+                    } else {
+                        k += 1;
+                    }
+                }
+                if let Some(eq) = eq {
+                    let (dv, _) = eval_expr(&cx, eq + 1, body.end);
+                    env.insert(name, dv);
+                }
+            }
+            continue; // the linear scan still visits the RHS tokens
+        }
+
+        // ---- raw conversion literals -------------------------------------
+        if t.kind == TokKind::Num {
+            let stripped = t.text.replace('_', "");
+            if stripped == "1e9" || stripped == "1000000000" || stripped == "1073741824" {
+                fact.dim_lits.push((t.line, t.text.clone()));
+            }
+            // `1024.0 * 1024.0` (seven tokens); record at the first
+            // window only, so `1024.0 * 1024.0 * 1024.0` is one event.
+            let window = |at: usize| -> bool {
+                get(at).is_some_and(|t| t.kind == TokKind::Num && t.text == "1024")
+                    && get(at + 1).is_some_and(|t| t.is_punct("."))
+                    && get(at + 2).is_some_and(|t| t.kind == TokKind::Num && t.text == "0")
+                    && get(at + 3).is_some_and(|t| t.is_punct("*"))
+                    && get(at + 4).is_some_and(|t| t.kind == TokKind::Num && t.text == "1024")
+                    && get(at + 5).is_some_and(|t| t.is_punct("."))
+                    && get(at + 6).is_some_and(|t| t.kind == TokKind::Num && t.text == "0")
+            };
+            if window(i) && !(i >= 4 && window(i - 4)) {
+                fact.dim_lits.push((t.line, "1024.0 * 1024.0".to_string()));
+            }
+        }
+
+        // ---- sink checks at call sites -----------------------------------
+        if t.kind == TokKind::Ident
+            && next.is_some_and(|n| n.is_punct("("))
+            && !CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            let (display, sig) = if prev.is_some_and(|p| p.is_punct("::"))
+                && prev2.is_some_and(|q| q.kind == TokKind::Ident)
+            {
+                let q = prev2.map(|q| q.text.as_str()).unwrap_or("");
+                let q = if q == "Self" {
+                    impl_type.unwrap_or("")
+                } else {
+                    q
+                };
+                let key = format!("{q}::{}", t.text);
+                (key.clone(), tables.sigs.get(&key))
+            } else if prev.is_some_and(|p| p.is_punct(".")) {
+                (format!(".{}", t.text), tables.by_name.get(t.text.as_str()))
+            } else if tables.types.contains_key(&t.text) {
+                // Tuple-struct construction wraps the raw representation;
+                // the argument is dimensionless by design.
+                (t.text.clone(), None)
+            } else {
+                (
+                    t.text.clone(),
+                    tables
+                        .sigs
+                        .get(&t.text)
+                        .or_else(|| tables.by_name.get(t.text.as_str())),
+                )
+            };
+            if let Some(sig) = sig.filter(|s| !s.params.is_empty()) {
+                let args = split_args(toks, &body, i + 1);
+                for (pos, unit) in &sig.params {
+                    let Some(&(s, e)) = args.get(*pos as usize) else {
+                        continue;
+                    };
+                    let (dv, _) = eval_expr(&cx, s, e);
+                    match dv {
+                        Dv::Unit(u) if &u == unit => {}
+                        Dv::Unit(u) => {
+                            fact.dim_sinks
+                                .push((t.line, display.clone(), unit.clone(), u));
+                        }
+                        Dv::Derived(d) => {
+                            fact.dim_sinks
+                                .push((t.line, display.clone(), unit.clone(), d));
+                        }
+                        Dv::NsConst | Dv::Unknown => {}
+                    }
+                }
+            }
+        }
+
+        // ---- mixed addition / subtraction --------------------------------
+        if t.is_punct("+") || t.is_punct("-") {
+            let compound = next.is_some_and(|n| n.is_punct("="));
+            let binary = prev.is_some_and(|p| {
+                (p.kind == TokKind::Ident && !CALL_KEYWORDS.contains(&p.text.as_str()))
+                    || p.kind == TokKind::Num
+                    || p.is_punct(")")
+                    || p.is_punct("]")
+            });
+            if compound || binary {
+                let left = left_operand(&cx, i).map(|s| eval_atom(&cx, s, i).0);
+                let rhs_at = if compound { i + 2 } else { i + 1 };
+                let right = if compound {
+                    eval_expr(&cx, rhs_at, body.end).0
+                } else {
+                    eval_term(&cx, rhs_at, body.end).0
+                };
+                if let (Some(Dv::Unit(a)), Dv::Unit(b)) = (left, right) {
+                    if a != b {
+                        fact.dim_mixed.push((t.line, a, b));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Find the start of the postfix chain ending just before the operator
+/// at `op`: walks back over `ident`/`num`/`.`/`::` segments and balanced
+/// `(…)`/`[…]` groups.  Computed receivers it cannot name yield `None`.
+fn left_operand(cx: &Cx, op: usize) -> Option<usize> {
+    let mut j = op; // exclusive end; operand is toks[start..op]
+    loop {
+        let t = cx.get(j.checked_sub(1)?)?;
+        if t.is_punct(")") || t.is_punct("]") {
+            // Walk back to the matching opener.
+            let (open_p, close_p) = if t.is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let mut depth = 0isize;
+            let mut k = j - 1;
+            loop {
+                let u = cx.get(k)?;
+                if u.is_punct(close_p) {
+                    depth += 1;
+                } else if u.is_punct(open_p) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+            }
+            j = k;
+            // A call's callee (or indexed base) precedes the opener.
+            let before = j.checked_sub(1).and_then(|b| cx.get(b));
+            match before {
+                Some(b) if b.kind == TokKind::Ident || b.kind == TokKind::Num => j -= 1,
+                _ => return Some(j), // parenthesized subexpression
+            }
+        } else if t.kind == TokKind::Ident || t.kind == TokKind::Num {
+            j -= 1;
+        } else {
+            return Some(j);
+        }
+        // Continue left through `.`/`::` chains.
+        match j.checked_sub(1).and_then(|b| cx.get(b)) {
+            Some(b) if b.is_punct(".") || b.is_punct("::") => {
+                j -= 1;
+            }
+            _ => return Some(j),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis over cached facts
+// ---------------------------------------------------------------------------
+
+/// Paths whose raw conversion constants are the point: the units
+/// modules define the constants everyone else must reference.
+fn is_units_module(path: &str) -> bool {
+    path.ends_with("units.rs") || path.ends_with("time.rs")
+}
+
+/// Run the dimension analysis over a built index.  Mirrors
+/// [`crate::flow::analyze`]: `sources` supplies excerpts and
+/// `simlint::allow` suppressions.
+pub fn analyze(index: &Index, sources: &BTreeMap<String, String>) -> Vec<Finding> {
+    let mut em = Emitter::new(sources);
+    for f in &index.fns {
+        for (line, a, b) in &f.dim_mixed {
+            em.emit(
+                "dim-mixed-add",
+                Severity::Error,
+                &f.file,
+                *line,
+                Some(f.line),
+                format!(
+                    "`{}` adds/subtracts {a} and {b}: values of different physical dimensions can never be combined additively",
+                    f.qual,
+                ),
+            );
+        }
+        for (line, callee, expected, got) in &f.dim_sinks {
+            if got == "secs" && expected == "ns" {
+                em.emit(
+                    "dim-divide-no-convert",
+                    Severity::Error,
+                    &f.file,
+                    *line,
+                    Some(f.line),
+                    format!(
+                        "`{}` passes a seconds-valued expression to `{callee}`, which expects nanoseconds: multiply by NS_PER_SEC (or use units::secs_to_ns / `Bytes / Rate`) first",
+                        f.qual,
+                    ),
+                );
+            } else {
+                em.emit(
+                    "dim-unchecked-sink",
+                    Severity::Warn,
+                    &f.file,
+                    *line,
+                    Some(f.line),
+                    format!(
+                        "`{}` passes {got} to `{callee}`, which expects {expected}",
+                        f.qual,
+                    ),
+                );
+            }
+        }
+        if !is_units_module(&f.file) {
+            for (line, lit) in &f.dim_lits {
+                em.emit(
+                    "dim-raw-literal",
+                    Severity::Warn,
+                    &f.file,
+                    *line,
+                    Some(f.line),
+                    format!(
+                        "raw conversion constant `{lit}` in `{}`: use the named constants/helpers in simkit::units so copies cannot drift",
+                        f.qual,
+                    ),
+                );
+            }
+        }
+    }
+    let mut findings = em.findings;
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// Convenience: read sources, build the index and analyze in one call.
+pub fn analyze_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let sources = read_sources(root)?;
+    let index = build_index(&sources);
+    Ok(analyze(&index, &sources))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srcs(files: &[(&str, &str)]) -> BTreeMap<String, String> {
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources = srcs(files);
+        let index = build_index(&sources);
+        analyze(&index, &sources)
+    }
+
+    fn rules_hit(files: &[(&str, &str)]) -> Vec<&'static str> {
+        run(files).into_iter().map(|f| f.rule).collect()
+    }
+
+    /// A miniature transfer record with marked fields, used by most tests.
+    const XFER: &str = "pub struct Xfer {\n\
+         // simlint::dim(bytes)\n\
+         pub len: f64,\n\
+         // simlint::dim(ns)\n\
+         pub elapsed: u64,\n\
+         // simlint::dim(bytes_per_sec)\n\
+         pub bw: f64,\n\
+     }\n";
+
+    #[test]
+    fn mixed_add_flagged_and_same_unit_clean() {
+        let bad = format!(
+            "{XFER}impl Xfer {{\n\
+                 pub fn broken(&self) -> f64 {{ self.len + self.elapsed as f64 }}\n\
+                 pub fn fine(&self, o: &Xfer) -> f64 {{ self.len + o.len }}\n\
+             }}\n"
+        );
+        let findings = run(&[("crates/x/src/lib.rs", &bad)]);
+        let mixed: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "dim-mixed-add")
+            .collect();
+        assert_eq!(mixed.len(), 1, "{findings:?}");
+        assert!(mixed[0].message.contains("bytes"), "{}", mixed[0].message);
+        assert!(mixed[0].message.contains("ns"));
+        assert!(mixed[0].message.contains("Xfer::broken"));
+    }
+
+    #[test]
+    fn compound_assign_mixing_flagged() {
+        let bad = format!(
+            "{XFER}impl Xfer {{\n\
+                 pub fn tick(&mut self, dt_ns: u64) {{ self.len += self.elapsed as f64; }}\n\
+             }}\n"
+        );
+        assert!(rules_hit(&[("crates/x/src/lib.rs", &bad)]).contains(&"dim-mixed-add"));
+    }
+
+    #[test]
+    fn divide_without_convert_reaches_ns_sink() {
+        let src = format!(
+            "{XFER}// simlint::dim(ns: ns)\n\
+             pub fn delay(ns: u64) {{}}\n\
+             impl Xfer {{\n\
+                 pub fn broken(&self) {{\n\
+                     let secs = self.len / self.bw;\n\
+                     delay(secs as u64);\n\
+                 }}\n\
+                 pub fn fixed(&self) {{\n\
+                     let secs = self.len / self.bw;\n\
+                     delay((secs * 1e9) as u64);\n\
+                 }}\n\
+             }}\n"
+        );
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        let sinks: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "dim-divide-no-convert")
+            .collect();
+        assert_eq!(sinks.len(), 1, "{findings:?}");
+        assert!(sinks[0].message.contains("Xfer::broken"));
+        // `secs * 1e9` converts: only the raw-literal warn remains there.
+        assert!(findings
+            .iter()
+            .filter(|f| f.message.contains("Xfer::fixed"))
+            .all(|f| f.rule == "dim-raw-literal"));
+    }
+
+    #[test]
+    fn derived_product_reaching_sink_warns() {
+        let src = format!(
+            "{XFER}// simlint::dim(units: bytes)\n\
+             pub fn transfer(units: f64) {{}}\n\
+             impl Xfer {{\n\
+                 pub fn broken(&self) {{ transfer(self.len * self.bw); }}\n\
+                 pub fn fine(&self) {{ transfer(self.len); }}\n\
+             }}\n"
+        );
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        let sinks: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "dim-unchecked-sink")
+            .collect();
+        assert_eq!(sinks.len(), 1, "{findings:?}");
+        assert!(
+            sinks[0].message.contains("bytes*bytes_per_sec"),
+            "{}",
+            sinks[0].message
+        );
+        assert_eq!(sinks[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn builtin_simtime_sig_checks_arguments() {
+        let src = format!(
+            "{XFER}impl Xfer {{\n\
+                 pub fn broken(&self) -> u64 {{\n\
+                     let t = SimTime::from_secs_f64(self.elapsed as f64);\n\
+                     t.as_nanos()\n\
+                 }}\n\
+                 pub fn fine(&self) -> u64 {{\n\
+                     let t = SimTime::from_secs_f64(self.len / self.bw);\n\
+                     t.as_nanos()\n\
+                 }}\n\
+             }}\n"
+        );
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        let sinks: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "dim-unchecked-sink")
+            .collect();
+        assert_eq!(sinks.len(), 1, "{findings:?}");
+        assert!(sinks[0].message.contains("Xfer::broken"));
+        assert!(sinks[0].message.contains("ns"));
+    }
+
+    #[test]
+    fn raw_literals_flagged_outside_units_modules_only() {
+        let files = &[
+            (
+                "crates/x/src/lib.rs",
+                "pub fn f(s: f64) -> u64 { (s * 1e9) as u64 }\n\
+                 pub fn g() -> f64 { 1024.0 * 1024.0 }\n\
+                 pub fn h() -> u64 { 1_000_000_000 }\n",
+            ),
+            (
+                "crates/x/src/units.rs",
+                "pub const NS: f64 = 1e9;\n\
+                 pub fn conv(s: f64) -> u64 { (s * 1e9) as u64 }\n",
+            ),
+        ];
+        let findings = run(files);
+        let lits: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "dim-raw-literal")
+            .collect();
+        assert_eq!(lits.len(), 3, "{findings:?}");
+        assert!(lits.iter().all(|f| f.path == "crates/x/src/lib.rs"));
+        assert!(lits.iter().any(|f| f.message.contains("1024.0 * 1024.0")));
+    }
+
+    #[test]
+    fn marked_conversion_helper_makes_sink_clean() {
+        let src = format!(
+            "{XFER}// simlint::dim(ns: ns)\n\
+             pub fn delay(ns: u64) {{}}\n\
+             // simlint::dim(s: secs, return: ns)\n\
+             pub fn secs_to_ns(s: f64) -> u64 {{ 0 }}\n\
+             impl Xfer {{\n\
+                 pub fn fine(&self) {{\n\
+                     let secs = self.len / self.bw;\n\
+                     delay(secs_to_ns(secs));\n\
+                 }}\n\
+             }}\n"
+        );
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.rule == "dim-raw-literal" || !f.message.contains("fine")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn own_params_seed_the_environment() {
+        let src = "// simlint::dim(ns: ns)\n\
+             pub fn delay(ns: u64) {}\n\
+             // simlint::dim(secs: secs)\n\
+             pub fn broken(secs: f64) { delay(secs as u64); }\n";
+        let findings = run(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(
+            rules_hit(&[("crates/x/src/lib.rs", src)]),
+            vec!["dim-divide-no-convert"],
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason() {
+        let src = format!(
+            "{XFER}impl Xfer {{\n\
+                 // simlint::allow(dim-mixed-add) — packed wire encoding, dimensionless by contract\n\
+                 pub fn packed(&self) -> f64 {{ self.len + self.elapsed as f64 }}\n\
+             }}\n"
+        );
+        assert!(!rules_hit(&[("crates/x/src/lib.rs", &src)]).contains(&"dim-mixed-add"));
+    }
+
+    #[test]
+    fn bytes_over_rate_newtype_division_is_ns() {
+        // `Bytes / Rate` yields SimTime (ns) through the builtin tables:
+        // wrapping in the newtypes is itself the conversion.
+        let src = "// simlint::dim(ns: ns)\n\
+             pub fn delay(ns: u64) {}\n\
+             pub fn fine(len: f64, bw: f64) {\n\
+                 let t = Bytes(len) / Rate(bw);\n\
+                 delay(t.as_nanos());\n\
+             }\n";
+        assert!(rules_hit(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+}

@@ -47,6 +47,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod cost;
+pub mod dim;
 pub mod flow;
 pub mod json;
 pub mod lex;
@@ -349,6 +350,7 @@ fn rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = rules().iter().map(|r| r.id).collect();
     ids.extend(flow::flow_rules().iter().map(|r| r.id));
     ids.extend(cost::cost_rules().iter().map(|r| r.id));
+    ids.extend(dim::dim_rules().iter().map(|r| r.id));
     ids
 }
 

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use simlint::json::Json;
-use simlint::{cost, flow, lint_tree, rules, Finding, Severity};
+use simlint::{cost, dim, flow, lint_tree, rules, Finding, Severity};
 
 fn usage() -> &'static str {
     "simlint — determinism lint for the daos-io-sim workspace\n\n\
@@ -27,7 +27,8 @@ fn usage() -> &'static str {
      --json            emit findings as JSON lines instead of human text\n\
      --list-rules      print the rule registry (both stages) and exit\n\
      --root DIR        lint DIR instead of the inferred workspace root\n\
-     --no-flow         skip the stage-2/3 passes (call-graph + cost analyses)\n\
+     --no-flow         skip the stage-2/3/4 passes (call-graph, cost and\n\
+                       dimension analyses)\n\
      --baseline FILE   accept findings recorded in FILE: they are still\n\
                        reported, but do not fail --deny\n\
      --write-baseline FILE  record current error findings as the baseline\n\
@@ -133,6 +134,9 @@ fn main() -> ExitCode {
                 for r in cost::cost_rules() {
                     println!("{:<30} {:<5} {}", r.id, r.severity.to_string(), r.summary);
                 }
+                for r in dim::dim_rules() {
+                    println!("{:<30} {:<5} {}", r.id, r.severity.to_string(), r.summary);
+                }
                 return ExitCode::SUCCESS;
             }
             "--root" => path_arg(&mut args, "--root").map(|p| root = Some(p)),
@@ -188,6 +192,7 @@ fn main() -> ExitCode {
         }
         findings.extend(flow::analyze(&index, &sources));
         findings.extend(cost::analyze(&index, &sources));
+        findings.extend(dim::analyze(&index, &sources));
         findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     }
 

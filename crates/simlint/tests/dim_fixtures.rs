@@ -1,0 +1,241 @@
+//! Fixture-workspace tests for the stage-4 dimension pass.
+//!
+//! Mirrors `cost_fixtures.rs`: the `dim_taint` fixture is a miniature
+//! workspace that is analyzed — never compiled — with at least one true
+//! positive and one clean negative per dimension analysis.  The CLI
+//! tests drive the built binary end-to-end to cover `--deny`, baselines
+//! and the version-checked index cache.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use simlint::{dim, flow};
+use simlint::{Finding, Severity};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze_fixture(name: &str) -> Vec<Finding> {
+    dim::analyze_tree(&fixture_root(name)).expect("fixture tree readable")
+}
+
+// ---------------------------------------------------------------------------
+// dim-mixed-add
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mixed_add_true_positive_and_same_unit_negative() {
+    let findings = analyze_fixture("dim_taint");
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "dim-mixed-add")
+        .collect();
+    let hit = hits
+        .iter()
+        .find(|f| f.message.contains("Xfer::mixed_sum"))
+        .expect("bytes + ns flagged");
+    assert_eq!(hit.severity, Severity::Error, "{hit:?}");
+    assert!(hit.message.contains("bytes") && hit.message.contains("ns"));
+    // Same-dimension addition stays silent.
+    assert!(
+        hits.iter().all(|f| !f.message.contains("Xfer::total_len")),
+        "{hits:#?}"
+    );
+}
+
+#[test]
+fn allow_directive_suppresses_mixed_add() {
+    let findings = analyze_fixture("dim_taint");
+    assert!(
+        findings.iter().all(|f| !f.message.contains("Xfer::packed")),
+        "{findings:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// dim-divide-no-convert
+// ---------------------------------------------------------------------------
+
+#[test]
+fn divide_no_convert_true_positive_and_helper_negative() {
+    let findings = analyze_fixture("dim_taint");
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "dim-divide-no-convert")
+        .collect();
+    let hit = hits
+        .iter()
+        .find(|f| f.message.contains("Xfer::eta_broken"))
+        .expect("seconds reaching Step::delay flagged");
+    assert_eq!(hit.severity, Severity::Error, "{hit:?}");
+    assert!(hit.message.contains("Step::delay"), "{hit:?}");
+    // Routing through the registered secs_to_ns helper is clean.
+    assert!(
+        hits.iter().all(|f| !f.message.contains("Xfer::eta_fixed")),
+        "{hits:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// dim-unchecked-sink
+// ---------------------------------------------------------------------------
+
+#[test]
+fn derived_product_at_sink_true_positive_and_plain_bytes_negative() {
+    let findings = analyze_fixture("dim_taint");
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "dim-unchecked-sink")
+        .collect();
+    let hit = hits
+        .iter()
+        .find(|f| f.message.contains("Xfer::units_broken"))
+        .expect("bytes * rate reaching Step::transfer flagged");
+    assert_eq!(hit.severity, Severity::Warn, "{hit:?}");
+    assert!(hit.message.contains("bytes*bytes_per_sec"), "{hit:?}");
+    assert!(
+        hits.iter()
+            .all(|f| !f.message.contains("Xfer::units_fixed")),
+        "{hits:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// dim-raw-literal
+// ---------------------------------------------------------------------------
+
+#[test]
+fn raw_literal_true_positive_and_units_module_exemption() {
+    let findings = analyze_fixture("dim_taint");
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == "dim-raw-literal")
+        .collect();
+    assert!(
+        hits.iter().any(|f| f.message.contains("Xfer::eta_inline")),
+        "{hits:#?}"
+    );
+    // The named constant and the whole units module stay silent: the
+    // fixture units.rs deliberately contains `1e9`, `1_000_000_000` and
+    // `1024.0 * 1024.0`.
+    assert!(
+        hits.iter().all(|f| !f.message.contains("Xfer::eta_named")),
+        "{hits:#?}"
+    );
+    assert!(
+        hits.iter().all(|f| !f.path.ends_with("units.rs")),
+        "{hits:#?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// index cache round-trip at the bumped format version
+// ---------------------------------------------------------------------------
+
+#[test]
+fn index_round_trip_preserves_dim_findings() {
+    let root = fixture_root("dim_taint");
+    let sources = flow::read_sources(&root).expect("fixture sources");
+    let index = flow::build_index(&sources);
+    let json = flow::index_to_json(&index);
+    assert!(
+        json.starts_with("{\"version\":4,"),
+        "stage 4 must bump the index format version"
+    );
+    let restored = flow::index_from_json(&json).expect("round trip");
+    assert_eq!(index, restored);
+    assert_eq!(
+        dim::analyze(&index, &sources),
+        dim::analyze(&restored, &sources)
+    );
+}
+
+#[test]
+fn stale_format_version_is_rejected() {
+    let root = fixture_root("dim_taint");
+    let sources = flow::read_sources(&root).expect("fixture sources");
+    let json = flow::index_to_json(&flow::build_index(&sources));
+    let stale = json.replacen("{\"version\":4,", "{\"version\":3,", 1);
+    assert!(
+        flow::index_from_json(&stale).is_err(),
+        "pre-stage-4 caches must be rebuilt, not trusted"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end: --deny, --baseline, --save-index/--load-index
+// ---------------------------------------------------------------------------
+
+fn simlint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("simlint-dim-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn cli_deny_fails_on_dim_fixture_and_baseline_accepts_it() {
+    let root = fixture_root("dim_taint");
+
+    let status = simlint_cmd()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run simlint");
+    assert!(
+        !status.status.success(),
+        "dimension errors must fail --deny"
+    );
+
+    let baseline = scratch("baseline.json");
+    let status = simlint_cmd()
+        .args(["--root"])
+        .arg(&root)
+        .args(["--write-baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("write baseline");
+    assert!(status.status.success());
+    let status = simlint_cmd()
+        .args(["--deny", "--root"])
+        .arg(&root)
+        .args(["--baseline"])
+        .arg(&baseline)
+        .output()
+        .expect("run with baseline");
+    assert!(
+        status.status.success(),
+        "baselined errors must not fail --deny"
+    );
+    let _ = std::fs::remove_file(&baseline);
+}
+
+#[test]
+fn cli_index_cache_reproduces_dim_findings() {
+    let root = fixture_root("dim_taint");
+    let index = scratch("index.json");
+
+    let first = simlint_cmd()
+        .args(["--json", "--root"])
+        .arg(&root)
+        .args(["--save-index"])
+        .arg(&index)
+        .output()
+        .expect("save index");
+    let second = simlint_cmd()
+        .args(["--json", "--root"])
+        .arg(&root)
+        .args(["--load-index"])
+        .arg(&index)
+        .output()
+        .expect("load index");
+    assert_eq!(first.stdout, second.stdout);
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("dim-divide-no-convert"), "{stdout}");
+    assert!(stdout.contains("dim-mixed-add"), "{stdout}");
+    let _ = std::fs::remove_file(&index);
+}

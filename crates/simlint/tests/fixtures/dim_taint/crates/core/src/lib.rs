@@ -1,0 +1,63 @@
+//! Fixture client: one true positive and one clean negative for every
+//! stage-4 dimension analysis.
+
+pub struct Xfer {
+    // simlint::dim(bytes)
+    pub len: f64,
+    // simlint::dim(ns)
+    pub elapsed: u64,
+    // simlint::dim(bytes_per_sec)
+    pub bw: f64,
+}
+
+impl Xfer {
+    // TP: bytes + ns can never be meaningful.
+    pub fn mixed_sum(&self) -> f64 {
+        self.len + self.elapsed as f64
+    }
+
+    // Negative: same dimension on both sides.
+    pub fn total_len(&self, other: &Xfer) -> f64 {
+        self.len + other.len
+    }
+
+    // TP: the division yields seconds; the `* 1e9` was forgotten, so a
+    // seconds value reaches the nanosecond sink nine orders too small.
+    pub fn eta_broken(&self) -> Step {
+        let secs = self.len / self.bw;
+        Step::delay(secs as u64)
+    }
+
+    // Negative: the registered conversion helper restores nanoseconds.
+    pub fn eta_fixed(&self) -> Step {
+        let secs = self.len / self.bw;
+        Step::delay(secs_to_ns(secs))
+    }
+
+    // TP: bytes × rate is a derived product no sink can want.
+    pub fn units_broken(&self) -> Step {
+        Step::transfer(self.len * self.bw)
+    }
+
+    // Negative: plain bytes satisfy the byte sink.
+    pub fn units_fixed(&self) -> Step {
+        Step::transfer(self.len)
+    }
+
+    // TP: raw conversion constant outside the units module.
+    pub fn eta_inline(&self) -> u64 {
+        (self.len / self.bw * 1e9) as u64
+    }
+
+    // Negative: the named constant carries the conversion meaning.
+    pub fn eta_named(&self) -> u64 {
+        (self.len / self.bw * NS_PER_SEC) as u64
+    }
+
+    // Negative: a deliberate dimensionless reinterpretation, suppressed
+    // with a reason like every other simlint stage.
+    // simlint::allow(dim-mixed-add) — packed wire encoding folds fields into one word by contract
+    pub fn packed(&self) -> f64 {
+        self.len + self.elapsed as f64
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture engine surface: the registered nanosecond and byte sinks.
+
+pub mod units;
+
+pub enum Step {
+    Noop,
+    Delay(u64),
+    Transfer(f64),
+}
+
+impl Step {
+    /// Fixed delay in nanoseconds.
+    // simlint::dim(ns: ns)
+    pub fn delay(ns: u64) -> Step {
+        Step::Delay(ns)
+    }
+
+    /// Shared transfer of `units` bytes.
+    // simlint::dim(units: bytes)
+    pub fn transfer(units: f64) -> Step {
+        Step::Transfer(units)
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture units module: the one place raw conversion constants are
+//! allowed — `dim-raw-literal` must stay silent on this whole file.
+
+// simlint::dim(bytes)
+#[derive(Clone, Copy)]
+pub struct Bytes(pub f64);
+
+// simlint::dim(bytes_per_sec)
+#[derive(Clone, Copy)]
+pub struct Rate(pub f64);
+
+pub const NS_PER_SEC: f64 = 1e9;
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+// simlint::dim(s: secs, return: ns)
+pub fn secs_to_ns(s: f64) -> u64 {
+    (s * 1e9) as u64
+}
+
+// simlint::dim(ns: ns, return: secs)
+pub fn ns_to_secs(ns: u64) -> f64 {
+    ns as f64 / 1_000_000_000 as f64
+}
