@@ -5,8 +5,8 @@
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
 //!          lustre-ior ceph-ior faulted chaos chaos-replay chaos-shrink
-//!          rebalance rebalance-replay scaleout trace bench-engine
-//!          all quick
+//!          rebalance rebalance-replay scaleout trace report
+//!          bench-engine all quick
 //! ```
 //!
 //! `chaos` runs the seeded fault swarm (`--seeds N`, default 8) over
@@ -25,6 +25,13 @@
 //! Each figure is printed as an aligned table and saved as CSV under the
 //! output directory (default `results/`).  `quick` runs a reduced set
 //! used for smoke testing.
+//!
+//! `report` runs every scenario twice with the full telemetry pipeline
+//! on (windowed monitor, span log, metrics registry, SLO rules),
+//! asserting byte-identical artifacts and untouched replay digests; it
+//! writes per-scenario `report-*.report.{json,txt}` and
+//! `report-*.counters.trace.json` artifacts plus a `SLO_report.json`
+//! verdict summary, gated against the committed `SLO_baseline.json`.
 //!
 //! `bench-engine` runs the seeded engine workload families (see
 //! `bench::engine_bench`), writes `BENCH_engine.json` under the output
@@ -171,6 +178,7 @@ fn archive_failure(
         mode: daos_core::DataMode::Full,
         oracles: false,
         traced: true,
+        ..faulted::FaultedOpts::default()
     };
     let (_, exports) = faulted::run_faulted_with(spec, scen, cal, &topts);
     if let Some(exports) = exports {
@@ -531,6 +539,138 @@ fn run_bench_engine(out: &Path) {
     }
 }
 
+/// Unified run reports: every scenario twice with the full telemetry
+/// pipeline on (windowed monitor, span log, metrics registry, SLO
+/// rules).  The double run is the determinism gate — the report JSON,
+/// text and counter-track trace must be byte-identical, and the replay
+/// digest must match the untelemetered run.  Artifacts land under
+/// `out/` per scenario plus a `SLO_report.json` verdict summary, which
+/// is gated against the committed `SLO_baseline.json`: any rule that
+/// passed in the baseline must still pass.
+fn run_report_target(cal: &Calibration, out: &Path) {
+    use simkit::json::Json;
+    let mut spec = RunSpec::new(2, 2, 4);
+    spec.ops_per_proc = 24;
+    let rules = benchkit::default_slo_rules();
+    let mut summary: Vec<(String, Vec<simkit::SloVerdict>)> = Vec::new();
+    for scen in Scenario::ALL {
+        let (_, plain_digest) = benchkit::scenarios::run_scenario_digest(&spec, scen, cal);
+        let a = benchkit::run_reported(&spec, scen, cal, &rules);
+        let b = benchkit::run_reported(&spec, scen, cal, &rules);
+        if a.report.replay_digest != plain_digest {
+            eprintln!("{}: telemetry perturbed the replay digest", scen.name());
+            std::process::exit(1);
+        }
+        if a.report.render_json() != b.report.render_json()
+            || a.report.render_text() != b.report.render_text()
+            || a.trace_json != b.trace_json
+        {
+            eprintln!(
+                "{}: report artifacts not byte-identical across replays",
+                scen.name()
+            );
+            std::process::exit(1);
+        }
+        print!("{}", a.report.render_text());
+        let stem = format!("report-{}", slug(scen.name()));
+        let save = |suffix: &str, data: &str| {
+            let path = out.join(format!("{stem}{suffix}"));
+            if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, data)) {
+                eprintln!("warning: could not save {}: {e}", path.display());
+            } else {
+                println!("saved {}", path.display());
+            }
+        };
+        save(".report.json", &a.report.render_json());
+        save(".report.txt", &a.report.render_text());
+        save(".counters.trace.json", &a.trace_json);
+        summary.push((scen.name().to_string(), a.report.verdicts.clone()));
+    }
+
+    let scenarios: Vec<Json> = summary
+        .iter()
+        .map(|(name, verdicts)| {
+            let slo = verdicts
+                .iter()
+                .map(|v| {
+                    Json::Obj(vec![
+                        ("rule".to_string(), Json::Str(v.rule.clone())),
+                        ("pass".to_string(), Json::Bool(v.pass)),
+                        ("observed".to_string(), Json::num_u64(v.observed)),
+                        ("limit".to_string(), Json::num_u64(v.limit)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("scenario".to_string(), Json::Str(name.clone())),
+                ("slo".to_string(), Json::Arr(slo)),
+            ])
+        })
+        .collect();
+    let mut json = Json::Obj(vec![("scenarios".to_string(), Json::Arr(scenarios))]).render();
+    json.push('\n');
+    let path = out.join("SLO_report.json");
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("saved {}", path.display());
+    }
+
+    let committed = Path::new("SLO_baseline.json");
+    let prev = match std::fs::read_to_string(committed) {
+        Ok(t) => t,
+        Err(_) => {
+            println!(
+                "no committed {} — recorded fresh SLO verdicts, nothing to gate against",
+                committed.display()
+            );
+            return;
+        }
+    };
+    let prev = simkit::json::parse(&prev).expect("committed SLO_baseline.json parses");
+    let scens = prev
+        .get("scenarios")
+        .and_then(|s| s.as_arr())
+        .expect("baseline lists scenarios");
+    let mut failed = false;
+    for s in scens {
+        let name = s
+            .get("scenario")
+            .and_then(|v| v.as_str())
+            .expect("scenario");
+        let Some((_, verdicts)) = summary.iter().find(|(n, _)| n == name) else {
+            eprintln!("report: scenario `{name}` missing from this run");
+            failed = true;
+            continue;
+        };
+        for rule in s.get("slo").and_then(|v| v.as_arr()).expect("slo array") {
+            let rname = rule.get("rule").and_then(|v| v.as_str()).expect("rule");
+            if !matches!(rule.get("pass"), Some(Json::Bool(true))) {
+                continue;
+            }
+            match verdicts.iter().find(|v| v.rule == rname) {
+                Some(v) if v.pass => {}
+                Some(v) => {
+                    eprintln!(
+                        "report: {name}: SLO `{rname}` regressed (observed {} vs limit {})",
+                        v.observed, v.limit
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("report: {name}: SLO `{rname}` missing from this run");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("report: SLO verdict gate failed");
+        std::process::exit(1);
+    }
+    println!("all baseline SLO verdicts held");
+}
+
 /// Bottleneck analysis: one representative point per scenario against a
 /// 16-server deployment, with the top-utilised resources per phase —
 /// the reasoning the paper applies when comparing measured bandwidth to
@@ -599,7 +739,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|rebalance|rebalance-replay|scaleout|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|report|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|rebalance|rebalance-replay|scaleout|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
                 );
                 return;
             }
@@ -676,6 +816,7 @@ fn main() {
             ),
             "scaleout" => run_scaleout_target(&cal, &out),
             "trace" => run_traces(&cal, &out),
+            "report" => run_report_target(&cal, &out),
             "bench-engine" => run_bench_engine(&out),
             "ablations" => emit(figures::ablations(&cal), &out, &mut collected),
             "mdtest" => emit(vec![figures::mdtest_table(&cal)], &out, &mut collected),

@@ -151,7 +151,7 @@ pub fn run_planned_case(
         plan: PlanSource::Fixed(plan.clone()),
         mode: DataMode::Full,
         oracles: true,
-        traced: false,
+        ..FaultedOpts::default()
     };
     let (first, _) = run_faulted_with(spec, scen, cal, &opts);
     let (second, _) = run_faulted_with(spec, scen, cal, &opts);
@@ -277,7 +277,7 @@ pub fn shrink_failing(
         plan: PlanSource::Fixed(p.clone()),
         mode: DataMode::Full,
         oracles: true,
-        traced: false,
+        ..FaultedOpts::default()
     };
     shrink(plan, |candidate| {
         let (report, _) = run_faulted_with(spec, scen, cal, &opts_for(candidate));

@@ -123,6 +123,12 @@ pub struct FaultedOpts {
     pub oracles: bool,
     /// Record causal spans.
     pub traced: bool,
+    /// Enable the telemetry registry and a windowed monitor (at
+    /// [`crate::runreport::RUN_REPORT_WINDOW_NS`]) and collect a
+    /// unified [`crate::runreport::RunReport`] into the result.
+    /// Telemetry is an observer: the digest must match an
+    /// untelemetered run's exactly.
+    pub telemetry: bool,
 }
 
 impl Default for FaultedOpts {
@@ -132,6 +138,7 @@ impl Default for FaultedOpts {
             mode: DataMode::Sized,
             oracles: false,
             traced: false,
+            telemetry: false,
         }
     }
 }
@@ -156,6 +163,9 @@ pub struct FaultedReport {
     /// read-back, redundancy restoration, and the owning interface's
     /// consistency checks.
     pub oracles: Option<OracleReport>,
+    /// Unified telemetry report (only with [`FaultedOpts::telemetry`]),
+    /// evaluated against [`crate::runreport::faulted_slo_rules`].
+    pub run_report: Option<crate::runreport::RunReport>,
     /// Replay digest over completions *and* fired faults (including the
     /// installed schedule itself).
     pub digest: u64,
@@ -464,6 +474,12 @@ pub fn run_faulted_with(
     if opts.traced {
         sched.enable_spans();
     }
+    if opts.telemetry {
+        sched.set_monitor(simkit::Monitor::windowed(
+            crate::runreport::RUN_REPORT_WINDOW_NS,
+        ));
+        sched.enable_telemetry(crate::runreport::RUN_REPORT_WINDOW_NS);
+    }
     let cspec = ClusterSpec::new(spec.servers, spec.client_nodes).with_cal(cal.clone());
     let topo = cspec.build(&mut sched);
     let mut daos_sys = DaosSystem::deploy(&topo, &mut sched, spec.servers, opts.mode);
@@ -538,6 +554,23 @@ pub fn run_faulted_with(
         (Some(c), Some(r)) => Some(r.secs_since(c)),
         _ => None,
     };
+    let run_report = opts.telemetry.then(|| {
+        // fold the layer-owned totals into the registry before export:
+        // retry attempts/timeouts/circuit opens and the rebuild outcome
+        // only the storage layers know
+        let at = sched.now();
+        retry.publish(sched.telemetry_mut(), at);
+        if let Some(rb) = &out.rebuild {
+            rb.publish(sched.telemetry_mut(), at);
+        }
+        crate::runreport::RunReport::collect(
+            &sched,
+            scen.name(),
+            &write,
+            &read,
+            &crate::runreport::faulted_slo_rules(),
+        )
+    });
     let exports = opts
         .traced
         .then(|| crate::tracing::SpanExports::collect(&sched));
@@ -550,6 +583,7 @@ pub fn run_faulted_with(
             rebuild: out.rebuild,
             redundancy_restored_secs,
             oracles,
+            run_report,
             digest: sched.digest(),
         },
         exports,

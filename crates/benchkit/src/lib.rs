@@ -24,6 +24,7 @@ pub mod faulted;
 pub mod figures;
 pub mod rebalance;
 pub mod report;
+pub mod runreport;
 pub mod scaleout;
 pub mod scenarios;
 pub mod stats;
@@ -47,6 +48,10 @@ pub use rebalance::{
     default_rebalance_spec, rebalance_space, replay_archived_rebalance, run_planned_rebalance_case,
     run_rebalance_case, run_rebalance_swarm, run_rebalance_with, shrink_failing_rebalance,
     RebalanceOpts, RebalanceRunReport, RebalanceScenario,
+};
+pub use runreport::{
+    default_slo_rules, faulted_slo_rules, report_chaos_case, report_faulted, report_rebalance,
+    run_reported, LatencyRow, ReportedRun, ResourceReport, RunReport, RUN_REPORT_WINDOW_NS,
 };
 pub use scaleout::{run_scaleout, run_scaleout_with, ScaleoutConfig, ScaleoutReport, ScaleoutRung};
 pub use scenarios::{

@@ -175,6 +175,9 @@ pub struct RebalanceRunReport {
     /// Post-quiescence invariant audit (durability + redundancy), when
     /// requested.
     pub oracles: Option<OracleReport>,
+    /// Unified telemetry report (only with [`RebalanceOpts::telemetry`]),
+    /// evaluated against [`crate::runreport::faulted_slo_rules`].
+    pub run_report: Option<crate::runreport::RunReport>,
     /// Replay digest over completions and fired faults.
     pub digest: u64,
 }
@@ -188,6 +191,11 @@ pub struct RebalanceOpts {
     pub mode: DataMode,
     /// Record acked writes and audit every oracle after quiescence.
     pub oracles: bool,
+    /// Enable spans, the telemetry registry and a windowed monitor, and
+    /// collect a unified [`crate::runreport::RunReport`] into the
+    /// result.  Observers only: the digest must match an untelemetered
+    /// run's exactly.
+    pub telemetry: bool,
 }
 
 impl Default for RebalanceOpts {
@@ -196,6 +204,7 @@ impl Default for RebalanceOpts {
             plan: PlanSource::Builtin,
             mode: DataMode::Sized,
             oracles: false,
+            telemetry: false,
         }
     }
 }
@@ -417,6 +426,13 @@ pub fn run_rebalance_with(
     opts: &RebalanceOpts,
 ) -> RebalanceRunReport {
     let mut sched = make_sched(spec, false);
+    if opts.telemetry {
+        sched.enable_spans();
+        sched.set_monitor(simkit::Monitor::windowed(
+            crate::runreport::RUN_REPORT_WINDOW_NS,
+        ));
+        sched.enable_telemetry(crate::runreport::RUN_REPORT_WINDOW_NS);
+    }
     let cspec =
         ClusterSpec::new(spec.servers + SPARE_SERVERS, spec.client_nodes).with_cal(cal.clone());
     let topo = cspec.build(&mut sched);
@@ -468,6 +484,24 @@ pub fn run_rebalance_with(
         report
     });
     let d = daos.borrow();
+    let run_report = opts.telemetry.then(|| {
+        // fold the layer-owned totals into the registry before export:
+        // client retries, the crash-triggered rebuild, and the
+        // migration engine's progress at quiescence
+        let at = sched.now();
+        ior.retry_stats().publish(sched.telemetry_mut(), at);
+        if let Some(rb) = &out.rebuild {
+            rb.publish(sched.telemetry_mut(), at);
+        }
+        d.migration_progress().publish(sched.telemetry_mut(), at);
+        crate::runreport::RunReport::collect(
+            &sched,
+            scen.name(),
+            &write,
+            &read,
+            &crate::runreport::faulted_slo_rules(),
+        )
+    });
     RebalanceRunReport {
         scenario: scen,
         write,
@@ -480,6 +514,7 @@ pub fn run_rebalance_with(
         migration: d.migration_progress(),
         map_version: d.pool().version(),
         oracles,
+        run_report,
         digest: sched.digest(),
     }
 }
@@ -498,6 +533,7 @@ pub fn run_planned_rebalance_case(
         plan: PlanSource::Fixed(plan.clone()),
         mode: DataMode::Full,
         oracles: true,
+        ..RebalanceOpts::default()
     };
     let first = run_rebalance_with(spec, scen, cal, &opts);
     let second = run_rebalance_with(spec, scen, cal, &opts);
@@ -559,6 +595,7 @@ pub fn shrink_failing_rebalance(
             plan: PlanSource::Fixed(candidate.clone()),
             mode: DataMode::Full,
             oracles: true,
+            ..RebalanceOpts::default()
         };
         let report = run_rebalance_with(spec, scen, cal, &opts);
         !report

@@ -7,6 +7,7 @@
 //! interface stack must actually show up in its trace: parented spans
 //! from every layer the scenario's call path crosses.
 
+use benchkit::runreport::{default_slo_rules, run_reported};
 use benchkit::scenarios::{run_scenario_digest, RunSpec, Scenario};
 use benchkit::tracing::trace_scenario;
 use cluster::Calibration;
@@ -68,6 +69,61 @@ fn every_scenario_traces_deterministically() {
             scen.name()
         );
         assert!(a.exports.span_count > 0, "{}: empty trace", scen.name());
+    }
+}
+
+#[test]
+fn every_scenario_reports_deterministically() {
+    // Telemetry + SLO evaluation is pure observation: with the full
+    // pipeline on (windowed monitor, span log, metrics registry, SLO
+    // rules), every scenario must keep the untelemetered replay digest
+    // and export byte-identical artifacts across replays.
+    let spec = small_spec();
+    let cal = Calibration::default();
+    let rules = default_slo_rules();
+    for scen in Scenario::ALL {
+        let (_, plain_digest) = run_scenario_digest(&spec, scen, &cal);
+        let a = run_reported(&spec, scen, &cal, &rules);
+        let b = run_reported(&spec, scen, &cal, &rules);
+        assert_eq!(
+            a.report.replay_digest,
+            plain_digest,
+            "{}: telemetry perturbed the replay digest",
+            scen.name()
+        );
+        assert_eq!(
+            a.report.render_json(),
+            b.report.render_json(),
+            "{}: run-report JSON not byte-identical",
+            scen.name()
+        );
+        assert_eq!(
+            a.report.render_text(),
+            b.report.render_text(),
+            "{}: run-report text not byte-identical",
+            scen.name()
+        );
+        assert_eq!(
+            a.trace_json,
+            b.trace_json,
+            "{}: counter-track trace not byte-identical",
+            scen.name()
+        );
+        assert!(
+            a.trace_json.contains("\"ph\":\"C\""),
+            "{}: no counter tracks in trace",
+            scen.name()
+        );
+        assert!(
+            !a.report.counters.is_empty(),
+            "{}: no counters sampled",
+            scen.name()
+        );
+        assert!(
+            !a.report.verdicts.is_empty(),
+            "{}: no SLO verdicts",
+            scen.name()
+        );
     }
 }
 

@@ -30,6 +30,30 @@ pub struct RebuildReport {
     pub shards_lost: usize,
 }
 
+impl RebuildReport {
+    /// Publish the rebuild outcome into a telemetry registry as
+    /// `daos.rebuild.*` counters recorded at `at`.  The wave-by-wave
+    /// time series of rebuild traffic flows through the engine's
+    /// span-open counters (`span.rebuild.*`); these totals carry the
+    /// planning-level facts — shards lost, logical bytes re-protected —
+    /// that spans cannot express.  No-op on a disabled registry.
+    pub fn publish(&self, tel: &mut simkit::Telemetry, at: simkit::SimTime) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("daos.rebuild.objects_scanned", self.objects_scanned as u64),
+            ("daos.rebuild.shards_rebuilt", self.shards_rebuilt as u64),
+            // simlint::dim(bytes)
+            ("daos.rebuild.bytes_moved", self.bytes_moved as u64),
+            ("daos.rebuild.shards_lost", self.shards_lost as u64),
+        ] {
+            let id = tel.counter(name);
+            tel.counter_add(id, at, value);
+        }
+    }
+}
+
 /// Pick a replacement target for a group: up, not already in the group,
 /// preferring servers not yet represented in the group (fault domains).
 pub(crate) fn pick_replacement(

@@ -27,7 +27,7 @@
 //! workspace, and the flow pass's `panic-path` rule keeps the executor
 //! and everything reachable from it panic-free.
 
-use simkit::{SplitMix64, Step};
+use simkit::{SimTime, SplitMix64, Step, Telemetry};
 
 /// Classification of an error as transient (worth retrying) or terminal.
 pub trait Retriable {
@@ -122,6 +122,29 @@ impl RetryStats {
         self.timeouts += other.timeouts;
         self.circuit_opens += other.circuit_opens;
         self.gave_up += other.gave_up;
+    }
+
+    /// Publish the counters into a telemetry registry as `daos.retry.*`
+    /// totals recorded at `at`.  The per-window *time series* of retry
+    /// activity already flows through the engine's span-open counters
+    /// (`span.retry.backoff`); this records the authoritative end-of-run
+    /// totals — including circuit-breaker opens and exhausted ops, which
+    /// never surface as spans — in the same registry the run report and
+    /// SLO rules read.  No-op on a disabled registry.
+    pub fn publish(&self, tel: &mut Telemetry, at: SimTime) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("daos.retry.attempts", self.attempts),
+            ("daos.retry.retries", self.retries),
+            ("daos.retry.timeouts", self.timeouts),
+            ("daos.retry.circuit_opens", self.circuit_opens),
+            ("daos.retry.gave_up", self.gave_up),
+        ] {
+            let id = tel.counter(name);
+            tel.counter_add(id, at, value);
+        }
     }
 }
 

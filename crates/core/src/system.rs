@@ -120,6 +120,29 @@ pub struct MigrationProgress {
     pub moved_bytes: f64,
 }
 
+impl MigrationProgress {
+    /// Publish migration progress into a telemetry registry as
+    /// `daos.migration.*` counters recorded at `at`.  Wave activity over
+    /// time is already visible through the engine's span-open counters
+    /// (`span.migration.wave`); these totals add the dropped-move and
+    /// shipped-byte bookkeeping only the migration engine knows.  No-op
+    /// on a disabled registry.
+    pub fn publish(&self, tel: &mut simkit::Telemetry, at: simkit::SimTime) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("daos.migration.moves_done", self.moves_done as u64),
+            ("daos.migration.moves_dropped", self.moves_dropped as u64),
+            // simlint::dim(bytes)
+            ("daos.migration.moved_bytes", self.moved_bytes as u64),
+        ] {
+            let id = tel.counter(name);
+            tel.counter_add(id, at, value);
+        }
+    }
+}
+
 /// Outcome of a rebalance planning pass
 /// ([`DaosSystem::rebalance_plan`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -9,6 +9,7 @@ use crate::monitor::Monitor;
 use crate::slab::Slab;
 use crate::span::{SpanId, SpanLog};
 use crate::step::{ResourceId, Step};
+use crate::telemetry::{MetricId, Telemetry};
 use crate::time::SimTime;
 use crate::trace::Trace;
 use crate::units::{Bytes, Rate};
@@ -95,6 +96,46 @@ struct Timer {
     parent: Parent,
 }
 
+/// Pre-interned ids of the engine's own metrics, resolved once when
+/// telemetry is enabled so the hot-path hooks never look up a name.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetricIds {
+    /// Gauge: in-flight flow count.
+    flows: MetricId,
+    /// Gauge: pending timer count (the engine's event-queue depth).
+    timers: MetricId,
+    /// Gauge: undelivered op completions queued for the world.
+    queue: MetricId,
+    /// Counter: op completions.
+    ops: MetricId,
+    /// Counter: fair-share re-solves.
+    resolves: MetricId,
+    /// Counter: progressive-filling iterations across re-solves.
+    fill_iters: MetricId,
+    /// Counter: fault events fired.
+    faults: MetricId,
+    /// Counter: flows started.
+    flow_starts: MetricId,
+    /// Counter: flows completed.
+    flow_completes: MetricId,
+}
+
+impl EngineMetricIds {
+    fn register(tel: &mut Telemetry) -> EngineMetricIds {
+        EngineMetricIds {
+            flows: tel.gauge("engine.flows.inflight"),
+            timers: tel.gauge("engine.timers.pending"),
+            queue: tel.gauge("engine.queue.completions"),
+            ops: tel.counter("engine.ops.completed"),
+            resolves: tel.counter("engine.fairshare.resolves"),
+            fill_iters: tel.counter("engine.fairshare.fill_iters"),
+            faults: tel.counter("engine.faults.fired"),
+            flow_starts: tel.counter("engine.flows.started"),
+            flow_completes: tel.counter("engine.flows.completed"),
+        }
+    }
+}
+
 impl PartialEq for Timer {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -143,6 +184,11 @@ pub struct Scheduler {
     faults: VecDeque<FaultEvent>,
     /// Optional causal span log (off by default).
     spans: SpanLog,
+    /// Optional telemetry registry (off by default; read-only over the
+    /// schedule, never perturbs the replay digest).
+    telemetry: Telemetry,
+    /// Pre-interned engine metric ids; `Some` iff telemetry is enabled.
+    tel_ids: Option<EngineMetricIds>,
     /// Event-coalescing quantum in ns (see [`Scheduler::set_coalescing`]).
     quantum_ns: u64,
     /// Optional completion trace.
@@ -184,6 +230,8 @@ impl Scheduler {
             monitor: Monitor::disabled(),
             faults: VecDeque::new(),
             spans: SpanLog::disabled(),
+            telemetry: Telemetry::disabled(),
+            tel_ids: None,
             quantum_ns: 0,
             trace: Trace::disabled(),
             stat_recomputes: 0,
@@ -312,6 +360,9 @@ impl Scheduler {
         }
         self.trace.record_fault(t, ev.id);
         self.spans.mark_fault(t, ev.id, SpanId::NONE);
+        if let Some(ids) = self.tel_ids {
+            self.telemetry.counter_add(ids.faults, t, 1);
+        }
         Some(ev)
     }
 
@@ -362,6 +413,30 @@ impl Scheduler {
     /// The span log (empty unless [`Scheduler::enable_spans`] was called).
     pub fn spans(&self) -> &SpanLog {
         &self.spans
+    }
+
+    /// Turn on telemetry sampling into `window_ns`-wide sim-time windows
+    /// (see [`crate::telemetry`]).  Off by default; telemetry observes
+    /// the schedule read-only, so enabling it never changes event times
+    /// or the replay digest — the same contract as spans.
+    // simlint::dim(window_ns: ns)
+    // simlint::allow(digest-taint) — pre-run configuration: telemetry is a read-only observer; op completions fold into the replay digest unchanged
+    pub fn enable_telemetry(&mut self, window_ns: u64) {
+        let mut tel = Telemetry::enabled(window_ns);
+        self.tel_ids = Some(EngineMetricIds::register(&mut tel));
+        self.telemetry = tel;
+    }
+
+    /// The telemetry registry (empty unless
+    /// [`Scheduler::enable_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access, for layers that publish their own
+    /// counters into the run's registry after (or during) a run.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Order-sensitive digest of the span open/close/mark stream — the
@@ -434,10 +509,23 @@ impl Scheduler {
                     seq,
                     parent,
                 }));
+                if let Some(ids) = self.tel_ids {
+                    self.telemetry.gauge_incr(ids.timers, self.now);
+                }
             }
             Step::Transfer { units, path } => {
                 debug_assert!(units > 0.0 && !path.is_empty());
                 debug_assert!(path.iter().all(|r| (r.0 as usize) < self.caps.len()));
+                if let Some(ids) = self.tel_ids {
+                    self.telemetry.counter_add(ids.flow_starts, self.now, 1);
+                    self.telemetry.gauge_incr(ids.flows, self.now);
+                    for &r in &path {
+                        let g = self
+                            .telemetry
+                            .resource_gauge(r.0 as usize, &self.names[r.0 as usize]);
+                        self.telemetry.gauge_incr(g, self.now);
+                    }
+                }
                 self.flows.insert(Flow {
                     remaining: Bytes(units),
                     rate: Rate::ZERO,
@@ -482,6 +570,13 @@ impl Scheduler {
                 attempt,
                 inner,
             } => {
+                // Telemetry counts every span step it sees — including
+                // retry/backoff, rebuild and migration waves — whether
+                // or not span *recording* is on; the count is read-only
+                // observation, never a schedule change.
+                if self.telemetry.is_enabled() {
+                    self.telemetry.span_open(self.now, layer, op);
+                }
                 if !self.spans.is_enabled() {
                     // One branch of overhead, no allocation: the cont
                     // slab evolves exactly as for a span-free run, so
@@ -502,6 +597,14 @@ impl Scheduler {
                 Parent::Op(op) => {
                     self.trace.record(self.now, op);
                     self.completions.push_back(op);
+                    if let Some(ids) = self.tel_ids {
+                        self.telemetry.counter_add(ids.ops, self.now, 1);
+                        self.telemetry.gauge_set(
+                            ids.queue,
+                            self.now,
+                            self.completions.len() as u64,
+                        );
+                    }
                     return;
                 }
                 Parent::Cont(cid) => {
@@ -589,7 +692,13 @@ impl Scheduler {
         let t2 = std::time::Instant::now();
         self.stat_recomputes += 1;
         self.stat_flow_visits += self.flows.len() as u64;
-        self.stat_fill_iters += self.fair.solve(&self.caps) as u64;
+        let fill_iters = self.fair.solve(&self.caps) as u64;
+        self.stat_fill_iters += fill_iters;
+        if let Some(ids) = self.tel_ids {
+            self.telemetry.counter_add(ids.resolves, self.now, 1);
+            self.telemetry
+                .counter_add(ids.fill_iters, self.now, fill_iters);
+        }
         // simlint::allow(wall-clock) — perf counters for stat_ns diagnostics; never feeds sim time
         let t3 = std::time::Instant::now();
         self.stat_ns[0] += (t1 - t0).as_nanos() as u64;
@@ -653,6 +762,9 @@ impl Scheduler {
             }
             let parent = timer.parent;
             self.timers.pop();
+            if let Some(ids) = self.tel_ids {
+                self.telemetry.gauge_decr(ids.timers, self.now);
+            }
             self.complete_parent(parent);
         }
         // Flows whose deadline has arrived (or whose residual rounded to
@@ -671,6 +783,16 @@ impl Scheduler {
         for &key in &done {
             let flow = self.flows.remove(key);
             self.rates_dirty = true;
+            if let Some(ids) = self.tel_ids {
+                self.telemetry.counter_add(ids.flow_completes, self.now, 1);
+                self.telemetry.gauge_decr(ids.flows, self.now);
+                for &r in &flow.path {
+                    let g = self
+                        .telemetry
+                        .resource_gauge(r.0 as usize, &self.names[r.0 as usize]);
+                    self.telemetry.gauge_decr(g, self.now);
+                }
+            }
             self.complete_parent(flow.parent);
         }
         self.done_scratch = done;
@@ -712,6 +834,11 @@ pub fn run_for<W: World>(sched: &mut Scheduler, world: &mut W, limit: SimTime) -
         // Deliver completions; the world may submit follow-up work which
         // may itself complete synchronously.
         while let Some(op) = sched.completions.pop_front() {
+            if let Some(ids) = sched.tel_ids {
+                sched
+                    .telemetry
+                    .gauge_set(ids.queue, sched.now, sched.completions.len() as u64);
+            }
             world.on_op_complete(op, sched);
         }
         if sched.rates_dirty {
@@ -1178,6 +1305,52 @@ mod tests {
         assert_ne!(sd_off, sd_on, "the span digest sees the span stream");
         let (d_on2, sd_on2, _) = build(true);
         assert_eq!((d_on, sd_on), (d_on2, sd_on2), "traced runs replay");
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_replay_digest() {
+        let build = |telemetered: bool| {
+            let mut s = Scheduler::new();
+            if telemetered {
+                s.enable_telemetry(1_000);
+            }
+            let r = s.add_resource("disk", 50.0);
+            for i in 0..8u64 {
+                s.submit(
+                    Step::span(
+                        "ior",
+                        "write",
+                        10,
+                        Step::seq([
+                            Step::delay(i * 100),
+                            Step::span("libdaos", "update", 10, Step::transfer(10.0, [r])),
+                        ]),
+                    ),
+                    OpId(i),
+                );
+            }
+            let mut w = Recorder::default();
+            let d = run_digest(&mut s, &mut w);
+            (d, s)
+        };
+        let (d_off, s_off) = build(false);
+        let (d_on, s_on) = build(true);
+        assert_eq!(d_off, d_on, "telemetry must not perturb the replay digest");
+        assert!(s_off.telemetry().is_empty());
+        assert_eq!(s_on.telemetry().total("engine.ops.completed"), 8);
+        assert_eq!(s_on.telemetry().total("span.ior.write"), 8);
+        assert_eq!(s_on.telemetry().total("span.libdaos.update"), 8);
+        assert!(s_on.telemetry().total("engine.fairshare.resolves") > 0);
+        assert_eq!(s_on.telemetry().total("engine.flows.inflight"), 0);
+        assert_eq!(s_on.telemetry().total("engine.flows.started"), 8);
+        assert_eq!(s_on.telemetry().total("engine.flows.completed"), 8);
+        assert_eq!(s_on.telemetry().total("res.disk.flows"), 0);
+        // Two telemetered runs export byte-identically.
+        let (_, s_on2) = build(true);
+        assert_eq!(
+            s_on.telemetry().counter_events_json(),
+            s_on2.telemetry().counter_events_json()
+        );
     }
 
     #[test]

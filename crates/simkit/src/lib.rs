@@ -57,6 +57,7 @@ pub mod shrink;
 pub mod slab;
 pub mod span;
 pub mod step;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;
@@ -66,14 +67,18 @@ pub use engine::{run, run_digest, run_for, OpId, RunOutcome, Scheduler, World};
 pub use faults::{FaultAction, FaultEvent, FaultPlan};
 pub use json::Json;
 pub use metrics::{
-    attributed_wall_ns, chrome_trace_json, critical_path, critical_path_report, layer_histograms,
-    Histogram, PathContribution,
+    attributed_wall_ns, chrome_trace_json, chrome_trace_json_with_counters, critical_path,
+    critical_path_report, layer_histograms, Histogram, PathContribution,
 };
 pub use monitor::Monitor;
 pub use rng::SplitMix64;
 pub use shrink::{shrink, ShrinkOutcome};
 pub use span::{SpanId, SpanLog, SpanMark, SpanRecord};
 pub use step::{ResourceId, Step};
+pub use telemetry::{
+    evaluate_slos, render_slo_text, MetricId, MetricKind, MetricView, SloInputs, SloKind, SloRule,
+    SloVerdict, Telemetry,
+};
 pub use time::SimTime;
 pub use trace::{ReplayDigest, Trace};
 pub use units::{Bytes, Rate, GIB, KIB, MIB};

@@ -108,12 +108,16 @@ impl Histogram {
         self.max
     }
 
-    /// (p50, p95, p99, max) in nanoseconds.
-    pub fn summary(&self) -> (u64, u64, u64, u64) {
+    /// (p50, p95, p99, p99.9, max) in nanoseconds.  The p99.9 column is
+    /// the multi-tenant QoS tail the roadmap asks for: with log2
+    /// buckets it is conservative like every other quantile, and it
+    /// collapses onto `max` for histograms under 1000 samples.
+    pub fn summary(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.quantile(0.50),
             self.quantile(0.95),
             self.quantile(0.99),
+            self.quantile(0.999),
             self.max,
         )
     }
@@ -233,7 +237,7 @@ pub fn attributed_wall_ns(log: &SpanLog) -> u64 {
 /// `ts`/`dur` unit of the Chrome trace format — without ever touching
 /// floating point, so output is byte-stable.
 // simlint::allow(hot-alloc) — post-run trace formatting: runs once per span at export time (hot reachability is a same-name call edge)
-fn micros(ns: u64) -> String {
+pub(crate) fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
@@ -289,6 +293,30 @@ pub fn chrome_trace_json(log: &SpanLog) -> String {
     out
 }
 
+/// [`chrome_trace_json`] with the telemetry registry's Perfetto counter
+/// tracks merged into the same `traceEvents` array: spans and fault
+/// marks first, then one `ph: "C"` event per metric per window (see
+/// [`crate::telemetry::Telemetry::counter_events_json`]).  Byte-stable
+/// for identical inputs, like every exporter here.
+// simlint::allow(hot-alloc) — post-run trace export: runs once per run after the clock stops (hot reachability is a same-name call edge)
+pub fn chrome_trace_json_with_counters(
+    log: &SpanLog,
+    telemetry: &crate::telemetry::Telemetry,
+) -> String {
+    let mut out = chrome_trace_json(log);
+    let counters = telemetry.counter_events_json();
+    if !counters.is_empty() {
+        debug_assert!(out.ends_with("]}"));
+        out.truncate(out.len() - 2);
+        if !out.ends_with('[') {
+            out.push(',');
+        }
+        out.push_str(&counters);
+        out.push_str("]}");
+    }
+    out
+}
+
 /// Render a text critical-path + latency report.
 ///
 /// The top section attributes wall time per `(layer, op)` along the
@@ -321,17 +349,18 @@ pub fn critical_path_report(log: &SpanLog) -> String {
     }
     let hists = layer_histograms(log);
     if !hists.is_empty() {
-        let _ = writeln!(out, "latency (p50/p95/p99/max):");
+        let _ = writeln!(out, "latency (p50/p95/p99/p99.9/max):");
         for ((layer, op), h) in &hists {
-            let (p50, p95, p99, max) = h.summary();
+            let (p50, p95, p99, p999, max) = h.summary();
             let _ = writeln!(
                 out,
-                "  {:<24} n={:<7} {} / {} / {} / {}",
+                "  {:<24} n={:<7} {} / {} / {} / {} / {}",
                 format!("{layer}/{op}"),
                 h.count(),
                 SimTime::from_nanos(p50),
                 SimTime::from_nanos(p95),
                 SimTime::from_nanos(p99),
+                SimTime::from_nanos(p999),
                 SimTime::from_nanos(max)
             );
         }
@@ -374,7 +403,29 @@ mod tests {
         assert_eq!(h.quantile(1.0), u64::MAX);
         let empty = Histogram::new();
         assert_eq!(empty.quantile(0.5), 0);
-        assert_eq!(empty.summary(), (0, 0, 0, 0));
+        assert_eq!(empty.summary(), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        // 10_000 samples: 9_990 at ~1k ns, 9 at ~1M, 1 at ~1G.  p99
+        // stays in the 1k bucket, p99.9 must climb to the 1M bucket and
+        // max to the outlier — the tail the roadmap's QoS reporting
+        // needs visible.
+        let mut h = Histogram::new();
+        for _ in 0..9_989 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        h.record(1_073_741_824);
+        let (p50, _, p99, p999, max) = h.summary();
+        assert_eq!(p50, bucket_upper(bucket_of(1_000)));
+        assert_eq!(p99, bucket_upper(bucket_of(1_000)));
+        assert_eq!(p999, bucket_upper(bucket_of(1_000_000)));
+        assert_eq!(max, 1_073_741_824);
+        assert!(p999 > p99);
     }
 
     #[test]
@@ -467,7 +518,26 @@ mod tests {
         assert!(rep.contains("critical path"));
         assert!(rep.contains("libdaos/update"));
         assert!(rep.contains("40.0%"), "{rep}");
-        assert!(rep.contains("latency (p50/p95/p99/max):"));
+        assert!(rep.contains("latency (p50/p95/p99/p99.9/max):"));
+    }
+
+    #[test]
+    fn counter_tracks_merge_into_chrome_trace() {
+        use crate::telemetry::Telemetry;
+        let log = demo_log();
+        let mut tel = Telemetry::enabled(50);
+        let c = tel.counter("ops");
+        tel.counter_add(c, SimTime::from_nanos(10), 2);
+        let a = chrome_trace_json_with_counters(&log, &tel);
+        let b = chrome_trace_json_with_counters(&log, &tel);
+        assert_eq!(a, b, "merged export is byte-stable");
+        assert!(a.contains("\"ph\":\"X\""), "spans survive the merge");
+        assert!(a.contains("\"ph\":\"C\""), "counter tracks present");
+        assert!(a.contains("\"name\":\"ops\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        // An empty registry leaves the plain export untouched.
+        let plain = chrome_trace_json_with_counters(&log, &Telemetry::disabled());
+        assert_eq!(plain, chrome_trace_json(&log));
     }
 
     #[test]

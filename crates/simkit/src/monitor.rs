@@ -155,6 +155,7 @@ impl Monitor {
 
     /// Utilisation time series for `r`: fraction of `capacity` used in
     /// each window.  Empty when windowing is off.
+    // simlint::amortized — post-run export, called once per report
     pub fn window_fractions(&self, r: ResourceId, capacity: Rate) -> Vec<f64> {
         if self.window_ns == 0 || capacity <= Rate::ZERO {
             return Vec::new();
@@ -175,6 +176,51 @@ impl Monitor {
         self.window_fractions(r, capacity)
             .into_iter()
             .fold(0.0, f64::max)
+    }
+
+    /// The window holding the peak utilisation of `r`: `(window index,
+    /// fraction)`.  `None` when windowing is off or nothing moved.  Ties
+    /// resolve to the earliest window, so the answer is deterministic.
+    pub fn peak_window(&self, r: ResourceId, capacity: Rate) -> Option<(usize, f64)> {
+        let fr = self.window_fractions(r, capacity);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, f) in fr.into_iter().enumerate() {
+            if best.is_none_or(|(_, bf)| f > bf) {
+                best = Some((i, f));
+            }
+        }
+        best
+    }
+
+    /// Maximal runs of consecutive windows where `r`'s utilisation is at
+    /// or above `threshold` (a fraction of capacity), as half-open
+    /// `[start, end)` window-index ranges in time order.  This is the
+    /// plateau-attribution primitive: "nvme busy ≥ 95% for windows
+    /// 12..40" replaces hand-reading the series.
+    // simlint::amortized — post-run export, called once per report
+    pub fn busy_intervals(
+        &self,
+        r: ResourceId,
+        capacity: Rate,
+        threshold: f64,
+    ) -> Vec<(usize, usize)> {
+        let fr = self.window_fractions(r, capacity);
+        let mut out = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, &f) in fr.iter().enumerate() {
+            match (f >= threshold, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    out.push((s, i));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            out.push((s, fr.len()));
+        }
+        out
     }
 
     /// Utilisation report over `[t0, t1]` for resources with the given
@@ -284,6 +330,30 @@ mod tests {
         let f = m.window_fractions(ResourceId(0), cap);
         assert!((f[0] - 1.0).abs() < 1e-9);
         assert!(f[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn peak_window_and_busy_intervals() {
+        let cap = Rate(10.0); // units/s
+        let w_ns = 1_000_000_000; // 1s windows
+        let mut m = Monitor::windowed(w_ns);
+        // windows: [1.0, 1.0, 0.2, 0.95, 1.0] of capacity
+        m.credit(ResourceId(0), 20.0, at(0), at(2 * w_ns));
+        m.credit(ResourceId(0), 2.0, at(2 * w_ns), at(3 * w_ns));
+        m.credit(ResourceId(0), 9.5, at(3 * w_ns), at(4 * w_ns));
+        m.credit(ResourceId(0), 10.0, at(4 * w_ns), at(5 * w_ns));
+        let (w, f) = m.peak_window(ResourceId(0), cap).unwrap();
+        assert_eq!(w, 0, "ties resolve to the earliest window");
+        assert!((f - 1.0).abs() < 1e-9);
+        let busy = m.busy_intervals(ResourceId(0), cap, 0.9);
+        assert_eq!(busy, vec![(0, 2), (3, 5)]);
+        // A run ending at the series tail closes at the series length;
+        // a threshold nothing reaches yields no intervals.
+        assert!(m.busy_intervals(ResourceId(0), cap, 1.5).is_empty());
+        // Windowing off: no peak window, no intervals.
+        let plain = Monitor::enabled();
+        assert!(plain.peak_window(ResourceId(0), cap).is_none());
+        assert!(plain.busy_intervals(ResourceId(0), cap, 0.5).is_empty());
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub const GB: f64 = 1e9;
 /// Nanoseconds per second, as the `f64` the conversion sites multiply
 /// and divide by.
 pub const NS_PER_SEC: f64 = 1e9;
+/// Nanoseconds per second as an integer, for derived-rate arithmetic
+/// that must stay exact (telemetry exports divide window deltas by the
+/// window width without ever touching floating point).
+pub const NS_PER_SEC_INT: u64 = 1_000_000_000;
 
 /// A byte count (or, on service resources, a generic work amount) as
 /// carried by flow-level transfers.

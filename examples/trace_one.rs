@@ -8,8 +8,12 @@
 //! prints the top-3 critical-path contributors of every layer plus the
 //! full report, and drops the Chrome trace JSON next to the binary's
 //! working directory — load it in Perfetto (ui.perfetto.dev) or
-//! `chrome://tracing` to browse the causal tree interactively.
+//! `chrome://tracing` to browse the causal tree interactively.  The
+//! trace includes telemetry counter tracks (queue depth, in-flight
+//! flows, per-layer op counters) rendered under the span tree, and the
+//! run's SLO verdicts print alongside the critical path.
 
+use benchkit::runreport::{default_slo_rules, run_reported};
 use benchkit::scenarios::{RunSpec, Scenario};
 use benchkit::trace_scenario;
 use cluster::{Calibration, GIB};
@@ -60,9 +64,25 @@ fn main() {
         }
     }
     println!("\n{}", t.exports.critical_path);
+    // A second, telemetered run of the same scenario: identical replay
+    // digest (checked below), but the exported trace carries counter
+    // tracks and the run report carries SLO verdicts.
+    let reported = run_reported(&spec, scen, &Calibration::default(), &default_slo_rules());
+    assert_eq!(
+        reported.report.replay_digest, t.replay_digest,
+        "telemetry must not perturb the replay digest"
+    );
+    println!("slo:");
+    for v in &reported.report.verdicts {
+        println!(
+            "  {:<32} {}",
+            v.rule,
+            if v.pass { "ok" } else { "VIOLATED" }
+        );
+    }
     let path = format!("{arg}.trace.json");
-    match std::fs::write(&path, &t.exports.chrome_json) {
-        Ok(()) => println!("wrote {path} — open it in ui.perfetto.dev"),
+    match std::fs::write(&path, &reported.trace_json) {
+        Ok(()) => println!("wrote {path} (spans + counter tracks) — open it in ui.perfetto.dev"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
