@@ -5,8 +5,8 @@
 //!
 //! targets: hw fig1 fig2 fig3 fig4 fig5 fig6 fig6-rf2 fig7 fig8 fig9
 //!          lustre-ior ceph-ior faulted chaos chaos-replay chaos-shrink
-//!          rebalance rebalance-replay scaleout trace report
-//!          bench-engine all quick
+//!          rebalance rebalance-replay scrub scrub-replay scaleout
+//!          trace report bench-engine all quick
 //! ```
 //!
 //! `chaos` runs the seeded fault swarm (`--seeds N`, default 8) over
@@ -18,7 +18,11 @@
 //! `rebalance` swarms the live-membership family (server adds, drains,
 //! crashes aimed at migration traffic) with the same archive/shrink
 //! machinery; `rebalance-replay --schedule FILE` reruns an archived
-//! rebalance schedule.  `scaleout` runs the 4 → 256 server ladder
+//! rebalance schedule.  `scrub` swarms the integrity family (bit-rot
+//! chaos against the checksum/scrub machinery) and writes the
+//! per-case `integrity.json` artifact; `scrub-replay --schedule FILE`
+//! reruns an archived integrity schedule.  `scaleout` runs the
+//! 4 → 256 server ladder
 //! against the paper's +3.86 GiB/s-per-server claim and writes the
 //! `scaleout.json` verdict artifact.
 //!
@@ -42,6 +46,7 @@
 use benchkit::chaos;
 use benchkit::faulted::{self, FaultedScenario};
 use benchkit::figures::{self, Figure};
+use benchkit::integrity;
 use benchkit::rebalance;
 use benchkit::report;
 use benchkit::scenarios::{analyze_scenario, RunSpec, Scenario};
@@ -354,6 +359,110 @@ fn run_rebalance_replay(cal: &Calibration, schedule: &Path) {
     println!("{}", v.render_line());
     if !v.passed() {
         print!("{}", v.oracle.render());
+        std::process::exit(1);
+    }
+}
+
+/// The integrity swarm: N seeds of bit-rot chaos over the scrub/read
+/// race, rot-under-rebalance, and rot-beyond-redundancy scenarios, the
+/// scenario-aware verdict applied (the planted beyond-redundancy cases
+/// must fail *loudly* to count as green).  Writes the per-case
+/// `integrity.json` artifact; failing schedules are archived, shrunk,
+/// and — for the faulted-backed scenarios — replayed with tracing on so
+/// the critical-path artifacts ship next to the schedule.  Any failure
+/// exits non-zero.
+fn run_scrub_target(cal: &Calibration, out: &Path, seeds: u64) {
+    let seed_block: Vec<u64> = (0..seeds).collect();
+    let spec = integrity::default_integrity_spec();
+    println!(
+        "--- integrity family ({} scenarios x {seeds} seeds, bit-rot chaos)",
+        integrity::IntegrityScenario::ALL.len()
+    );
+    let (report, verdicts) = integrity::run_integrity_swarm(&spec, cal, &seed_block);
+    print!("{}", report.render());
+    for v in &verdicts {
+        println!("{}", v.render_line());
+    }
+    let path = out.join("integrity.json");
+    let json = integrity::render_integrity_json(&verdicts);
+    if let Err(e) = std::fs::create_dir_all(out).and_then(|_| std::fs::write(&path, &json)) {
+        eprintln!("warning: could not save {}: {e}", path.display());
+    } else {
+        println!("saved {}", path.display());
+    }
+    let mut failed = false;
+    for v in report.failures() {
+        failed = true;
+        print!("{}", v.oracle.render());
+        let scen = integrity::IntegrityScenario::ALL
+            .into_iter()
+            .find(|s| s.name() == v.scenario)
+            .expect("integrity scenario");
+        let stem = format!("integrity-{}-seed{:#06x}", slug(&v.scenario), v.seed);
+        let path = out.join(format!("{stem}.json"));
+        let json = chaos::schedule_json(&v.scenario, v.seed, &spec, &v.plan);
+        if std::fs::write(&path, &json).is_ok() {
+            println!("archived failing schedule: {}", path.display());
+        }
+        // traced replay of the failing schedule (the rebalance-backed
+        // scenario has no traced runner; its schedule still archives)
+        if scen != integrity::IntegrityScenario::RotUnderRebalance {
+            let topts = faulted::FaultedOpts {
+                plan: faulted::PlanSource::Fixed(v.plan.clone()),
+                mode: daos_core::DataMode::Full,
+                oracles: false,
+                traced: true,
+                scrub: scen == integrity::IntegrityScenario::ScrubReadRace,
+                tolerate_unavailable: true,
+                ..faulted::FaultedOpts::default()
+            };
+            let (_, exports) =
+                faulted::run_faulted_with(&spec, FaultedScenario::IorEasyRp2, cal, &topts);
+            if let Some(exports) = exports {
+                if let Err(e) =
+                    report::save_trace(&exports, out, &format!("integrity-{}", slug(&v.scenario)))
+                {
+                    eprintln!("warning: could not save failing-run trace: {e}");
+                }
+            }
+        }
+        let outcome = integrity::shrink_failing_integrity(&spec, scen, cal, v.seed, &v.plan);
+        if outcome.reproduced {
+            let min_path = out.join(format!("{stem}.min.json"));
+            let min_json = chaos::schedule_json(&v.scenario, v.seed, &spec, &outcome.plan);
+            if std::fs::write(&min_path, &min_json).is_ok() {
+                println!(
+                    "shrunk {} -> {} events ({} probes): {}",
+                    v.plan.len(),
+                    outcome.plan.len(),
+                    outcome.probes,
+                    min_path.display()
+                );
+                println!(
+                    "replay: cargo run --release --bin repro -- scrub-replay --schedule {}",
+                    min_path.display()
+                );
+            }
+        } else {
+            eprintln!("shrinker could not reproduce the failure (flaky oracle?)");
+        }
+    }
+    if failed {
+        eprintln!("integrity swarm found invariant violations");
+        std::process::exit(1);
+    }
+}
+
+/// Replay an archived integrity schedule byte-for-byte; exits non-zero
+/// when the case fails its scenario-aware expectation.
+fn run_scrub_replay(cal: &Calibration, schedule: &Path) {
+    let input = std::fs::read_to_string(schedule)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", schedule.display()));
+    let arch = chaos::parse_schedule(&input).expect("schedule artifact parses");
+    let v = integrity::replay_archived_integrity(&arch, cal).expect("scenario resolves");
+    println!("{}", v.render_line());
+    if !v.passed() {
+        print!("{}", v.chaos.oracle.render());
         std::process::exit(1);
     }
 }
@@ -739,7 +848,7 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|report|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|rebalance|rebalance-replay|scaleout|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
+                    "usage: repro [hw|fig1..fig9|fig6-rf2|lustre-ior|ceph-ior|faulted|trace|report|bench-engine|ablations|mdtest|analyze|chaos|chaos-replay|chaos-shrink|rebalance|rebalance-replay|scrub|scrub-replay|scaleout|all|quick]* [--out DIR] [--seeds N] [--schedule FILE]"
                 );
                 return;
             }
@@ -808,6 +917,13 @@ fn main() {
                     .expect("chaos-shrink needs --schedule FILE"),
             ),
             "rebalance" => run_rebalance_swarm_target(&cal, &out, seeds),
+            "scrub" => run_scrub_target(&cal, &out, seeds),
+            "scrub-replay" => run_scrub_replay(
+                &cal,
+                schedule
+                    .as_deref()
+                    .expect("scrub-replay needs --schedule FILE"),
+            ),
             "rebalance-replay" => run_rebalance_replay(
                 &cal,
                 schedule

@@ -59,6 +59,11 @@ pub fn chaos_space(spec: &RunSpec, cal: &Calibration) -> ChaosSpace {
         })
         .collect();
     space.delay_payloads = (0..spec.servers as u64).collect();
+    // bit-rot dimension: the widest redundancy group the families
+    // deploy is EC_2P1 (k + p = 3); a single sampled rot is always
+    // within redundancy, so swarm cases stay green by transparent
+    // repair (the sampler shares the crash budget to guarantee it)
+    space.rot_shards = 3;
     space
 }
 

@@ -53,6 +53,13 @@ const REBUILD_DETECT_NS: u64 = 2_000_000;
 /// Marker op ids for the rebuild chain, far above any process index.
 const OP_REBUILD_TRIGGER: OpId = OpId(1 << 40);
 const OP_REBUILD_DONE: OpId = OpId((1 << 40) + 1);
+const OP_SCRUB_WAVE: OpId = OpId((1 << 40) + 2);
+
+/// Scan units (array chunks / KV values) verified per scrubber wave:
+/// the throttle that keeps background scanning from starving foreground
+/// reads — each wave is one parallel step against the shared fairshare
+/// disks, and the next is emitted only when it completes.
+const SCRUB_WAVE_UNITS: usize = 8;
 
 /// The failure-injection benchmark family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,6 +136,15 @@ pub struct FaultedOpts {
     /// Telemetry is an observer: the digest must match an
     /// untelemetered run's exactly.
     pub telemetry: bool,
+    /// Run the background scrubber during the faulted phase: one full
+    /// resumable pass in [`SCRUB_WAVE_UNITS`]-unit waves racing the
+    /// foreground reads for the same disks.  Part of the schedule (not
+    /// an observer): scrub waves shift the digest like any other work.
+    pub scrub: bool,
+    /// Let terminally-failed reads complete as unavailable instead of
+    /// panicking the driver — the rot-beyond-redundancy scenarios where
+    /// the durability oracle, not the benchmark, delivers the verdict.
+    pub tolerate_unavailable: bool,
 }
 
 impl Default for FaultedOpts {
@@ -139,6 +155,8 @@ impl Default for FaultedOpts {
             oracles: false,
             traced: false,
             telemetry: false,
+            scrub: false,
+            tolerate_unavailable: false,
         }
     }
 }
@@ -163,6 +181,13 @@ pub struct FaultedReport {
     /// read-back, redundancy restoration, and the owning interface's
     /// consistency checks.
     pub oracles: Option<OracleReport>,
+    /// End-to-end checksum activity at quiescence (after any oracle
+    /// read-back): verifications, rot detections, transparent repairs,
+    /// unrepairable extents, corrupt bytes served (always zero unless
+    /// the verified-read path is broken).
+    pub csum: daos_core::CsumStats,
+    /// Scrubber progress (only with [`FaultedOpts::scrub`]).
+    pub scrub: Option<daos_core::ScrubReport>,
     /// Unified telemetry report (only with [`FaultedOpts::telemetry`]),
     /// evaluated against [`crate::runreport::faulted_slo_rules`].
     pub run_report: Option<crate::runreport::RunReport>,
@@ -189,6 +214,8 @@ impl FaultedReplay {
             && a.retry == b.retry
             && a.rebuild == b.rebuild
             && a.redundancy_restored_secs == b.redundancy_restored_secs
+            && a.csum == b.csum
+            && a.scrub == b.scrub
     }
 }
 
@@ -233,6 +260,14 @@ impl<W: ProcWorkload> World for FaultedWorld<'_, W> {
             self.out.restored_at = Some(sched.now());
             return;
         }
+        if op == OP_SCRUB_WAVE {
+            // wave drained: resume the scan from its cursor, stopping
+            // after one full pass over the stored units
+            if let Some(wave) = self.daos.borrow_mut().scrub_wave(SCRUB_WAVE_UNITS) {
+                sched.submit(wave, OP_SCRUB_WAVE);
+            }
+            return;
+        }
         let proc = op.0 as usize;
         self.last_end = sched.now();
         self.inflight[proc] -= 1;
@@ -269,6 +304,11 @@ impl<W: ProcWorkload> World for FaultedWorld<'_, W> {
                     .borrow_mut()
                     .set_extra_delay(payload as u16, extra_ns);
             }
+            FaultAction::BitRot { locus, shard } => {
+                // silent: no detection chain here — a verified read or
+                // a scrub wave has to find the damage on its own
+                self.daos.borrow_mut().apply_bit_rot(locus, shard);
+            }
             // capacity scaling is applied by the engine before dispatch;
             // membership events belong to the rebalance family's world
             FaultAction::SlowDisk { .. }
@@ -286,6 +326,7 @@ fn run_faulted_phase<W: ProcWorkload>(
     sched: &mut Scheduler,
     wl: &mut W,
     daos: &Rc<RefCell<DaosSystem>>,
+    scrub: bool,
 ) -> (PhaseResult, FaultOutcome) {
     struct Barrier {
         remaining: usize,
@@ -327,6 +368,13 @@ fn run_faulted_phase<W: ProcWorkload>(
         for i in 0..initial {
             let step = world.wl.op(p, i);
             sched.submit_after(stagger, step, OpId(p as u64));
+        }
+    }
+    if scrub {
+        let mut d = daos.borrow_mut();
+        d.scrub_start();
+        if let Some(wave) = d.scrub_wave(SCRUB_WAVE_UNITS) {
+            sched.submit(wave, OP_SCRUB_WAVE);
         }
     }
     run(sched, &mut world);
@@ -499,6 +547,7 @@ pub fn run_faulted_with(
             let mut cfg = IorConfig::new(spec.procs(), spec.client_nodes, spec.ops_per_proc);
             cfg.transfer_size = spec.transfer;
             cfg.queue_depth = spec.queue_depth;
+            cfg.tolerate_unavailable = opts.tolerate_unavailable;
             let oclass = if scen == FaultedScenario::IorEasyRp2 {
                 ObjectClass::RP_2
             } else {
@@ -516,7 +565,7 @@ pub fn run_faulted_with(
             let write = run_phase(&mut sched, &mut ior);
             sched.install_faults(plan_for(sched.now()));
             ior.set_phase(Phase::Read);
-            let (read, out) = run_faulted_phase(&mut sched, &mut ior, &daos);
+            let (read, out) = run_faulted_phase(&mut sched, &mut ior, &daos, opts.scrub);
             (write, read, ior.retry_stats(), out, None)
         }
         FaultedScenario::FieldIoFaulted => {
@@ -537,7 +586,7 @@ pub fn run_faulted_with(
             let write = run_phase(&mut sched, &mut wl);
             sched.install_faults(plan_for(sched.now()));
             wl.phase = Phase::Read;
-            let (read, out) = run_faulted_phase(&mut sched, &mut wl, &daos);
+            let (read, out) = run_faulted_phase(&mut sched, &mut wl, &daos, opts.scrub);
             let iface = opts.oracles.then(|| wl.fio.verify_consistency(0));
             (write, read, wl.fio.retry_stats(), out, iface)
         }
@@ -554,14 +603,22 @@ pub fn run_faulted_with(
         (Some(c), Some(r)) => Some(r.secs_since(c)),
         _ => None,
     };
+    // snapshot after the oracle read-back so audit-triggered repairs
+    // are included
+    let csum = daos.borrow().csum_stats();
+    let scrub = opts.scrub.then(|| daos.borrow().scrub_progress());
     let run_report = opts.telemetry.then(|| {
         // fold the layer-owned totals into the registry before export:
-        // retry attempts/timeouts/circuit opens and the rebuild outcome
-        // only the storage layers know
+        // retry attempts/timeouts/circuit opens, the rebuild outcome and
+        // the checksum/scrub activity only the storage layers know
         let at = sched.now();
         retry.publish(sched.telemetry_mut(), at);
         if let Some(rb) = &out.rebuild {
             rb.publish(sched.telemetry_mut(), at);
+        }
+        csum.publish(sched.telemetry_mut(), at);
+        if let Some(sr) = &scrub {
+            sr.publish(sched.telemetry_mut(), at);
         }
         crate::runreport::RunReport::collect(
             &sched,
@@ -583,6 +640,8 @@ pub fn run_faulted_with(
             rebuild: out.rebuild,
             redundancy_restored_secs,
             oracles,
+            csum,
+            scrub,
             run_report,
             digest: sched.digest(),
         },

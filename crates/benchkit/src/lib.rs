@@ -22,6 +22,7 @@ pub mod determinism;
 pub mod driver;
 pub mod faulted;
 pub mod figures;
+pub mod integrity;
 pub mod rebalance;
 pub mod report;
 pub mod runreport;
@@ -44,6 +45,11 @@ pub use faulted::{
     FaultedOpts, FaultedReplay, FaultedReport, FaultedScenario, PlanSource,
 };
 pub use figures::{Figure, Point, Series};
+pub use integrity::{
+    default_integrity_spec, integrity_case_ok, integrity_plan, render_integrity_json,
+    replay_archived_integrity, run_integrity_case, run_integrity_swarm, run_planned_integrity_case,
+    shrink_failing_integrity, IntegrityScenario, IntegrityVerdict,
+};
 pub use rebalance::{
     default_rebalance_spec, rebalance_space, replay_archived_rebalance, run_planned_rebalance_case,
     run_rebalance_case, run_rebalance_swarm, run_rebalance_with, shrink_failing_rebalance,

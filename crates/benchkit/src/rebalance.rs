@@ -175,6 +175,9 @@ pub struct RebalanceRunReport {
     /// Post-quiescence invariant audit (durability + redundancy), when
     /// requested.
     pub oracles: Option<OracleReport>,
+    /// End-to-end checksum activity at quiescence (nonzero only when
+    /// the schedule planted bit rot).
+    pub csum: daos_core::CsumStats,
     /// Unified telemetry report (only with [`RebalanceOpts::telemetry`]),
     /// evaluated against [`crate::runreport::faulted_slo_rules`].
     pub run_report: Option<crate::runreport::RunReport>,
@@ -344,6 +347,11 @@ impl<W: ProcWorkload> World for RebalanceWorld<'_, W> {
                     .borrow_mut()
                     .set_extra_delay(payload as u16, extra_ns);
             }
+            FaultAction::BitRot { locus, shard } => {
+                // silent: only a verified read (or the faulted family's
+                // scrubber) will find the damage
+                self.daos.borrow_mut().apply_bit_rot(locus, shard);
+            }
             // capacity scaling is applied by the engine before dispatch
             FaultAction::SlowDisk { .. } | FaultAction::NicBrownout { .. } => {}
         }
@@ -494,6 +502,7 @@ pub fn run_rebalance_with(
             rb.publish(sched.telemetry_mut(), at);
         }
         d.migration_progress().publish(sched.telemetry_mut(), at);
+        d.csum_stats().publish(sched.telemetry_mut(), at);
         crate::runreport::RunReport::collect(
             &sched,
             scen.name(),
@@ -514,6 +523,7 @@ pub fn run_rebalance_with(
         migration: d.migration_progress(),
         map_version: d.pool().version(),
         oracles,
+        csum: d.csum_stats(),
         run_report,
         digest: sched.digest(),
     }

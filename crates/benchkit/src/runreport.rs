@@ -52,6 +52,10 @@ pub fn default_slo_rules() -> Vec<SloRule> {
         SloRule::utilisation_burn("no-endless-saturation", "*", 999, 2_000),
         SloRule::counter_ceiling("no-faults-fired", "engine.faults.fired", 0),
         SloRule::counter_ceiling("no-ops-gave-up", "daos.retry.gave_up", 0),
+        // the end-to-end integrity contract: a verified read either
+        // serves bytes whose checksum matches or refuses — never both
+        SloRule::counter_ceiling("served-corrupt-never", "daos.csum.served_corrupt", 0),
+        SloRule::counter_ceiling("scrub-all-repairable", "daos.scrub.unrepairable", 0),
     ]
 }
 
@@ -63,6 +67,10 @@ pub fn faulted_slo_rules() -> Vec<SloRule> {
         SloRule::latency("tail-p999-bounded", "*", "*", 999, 30_000_000_000),
         SloRule::counter_ceiling("no-ops-gave-up", "daos.retry.gave_up", 0),
         SloRule::counter_ceiling("faults-bounded", "engine.faults.fired", 64),
+        // even under chaos, corrupt bytes are never served: detected rot
+        // is repaired in place or the read refuses loudly
+        SloRule::counter_ceiling("served-corrupt-never", "daos.csum.served_corrupt", 0),
+        SloRule::counter_ceiling("scrub-all-repairable", "daos.scrub.unrepairable", 0),
     ]
 }
 

@@ -5,6 +5,7 @@
 //! runs the real Reed-Solomon decode.  In **Sized** mode only logical
 //! sizes are tracked, which is what the large bandwidth sweeps use.
 
+use crate::csum::CsumCodec;
 use crate::ec::ErasureCode;
 use cluster::payload::{Payload, ReadPayload};
 use std::collections::BTreeMap;
@@ -36,14 +37,30 @@ pub enum DataError {
     Unavailable,
 }
 
+/// A stored checksum that no longer verifies against its bytes — the
+/// data layer's report of latent bit rot, consumed by the verified-read
+/// and scrubber paths in [`crate::DaosSystem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsumMismatch {
+    /// Chunk index whose stored checksum failed verification.
+    pub chunk: u64,
+    /// Mismatching cell indices for erasure-coded chunks (data cells
+    /// `0..k`, parity `k..k+p`); empty for plain chunks.
+    pub cells: Vec<usize>,
+}
+
 // ---------------------------------------------------------------------------
 // Key-Value objects
 // ---------------------------------------------------------------------------
 
-/// A Key-Value object: ordered map from small keys to values.
+/// A Key-Value object: ordered map from small keys to values.  Every
+/// value carries a whole-value checksum computed on put and verified on
+/// fetch and by the scrubber.
 #[derive(Debug, Clone, Default)]
 pub struct KvData {
     entries: BTreeMap<Vec<u8>, Payload>,
+    csums: BTreeMap<Vec<u8>, u64>,
+    codec: CsumCodec,
 }
 
 impl KvData {
@@ -52,9 +69,17 @@ impl KvData {
         Self::default()
     }
 
-    /// Insert or replace a value.
+    fn value_sum(&self, value: &Payload) -> u64 {
+        match value.bytes() {
+            Some(b) => self.codec.sum(b),
+            None => self.codec.sum_sized(value.len()),
+        }
+    }
+
+    /// Insert or replace a value, recording its whole-value checksum.
     // simlint::allow(hot-alloc) — the KV store owns its value bytes: copying the payload in is the put contract
     pub fn put(&mut self, key: &[u8], value: Payload) {
+        self.csums.insert(key.to_vec(), self.value_sum(&value));
         self.entries.insert(key.to_vec(), value);
     }
 
@@ -63,8 +88,29 @@ impl KvData {
         self.entries.get(key)
     }
 
+    /// Does the stored value still verify against its checksum?
+    /// `None` when the key does not exist.
+    pub fn verify(&self, key: &[u8]) -> Option<bool> {
+        let v = self.entries.get(key)?;
+        let stored = self.csums.get(key)?;
+        Some(self.value_sum(v) == *stored)
+    }
+
+    /// Flip the first byte of the stored value — a planted-rot test
+    /// hook.  Returns `false` for sized values (no bytes at rest).
+    pub fn corrupt_value(&mut self, key: &[u8]) -> bool {
+        match self.entries.get_mut(key) {
+            Some(Payload::Bytes(b)) if !b.is_empty() => {
+                b[0] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Remove a key; true if it existed.
     pub fn remove(&mut self, key: &[u8]) -> bool {
+        self.csums.remove(key);
         self.entries.remove(key).is_some()
     }
 
@@ -96,10 +142,12 @@ impl KvData {
 enum Chunk {
     /// Sized-mode marker: the chunk has been written.
     Sized,
-    /// Full-mode plain or replicated chunk (one logical copy).
-    Plain(Vec<u8>),
-    /// Full-mode erasure-coded chunk: `k` data cells then `p` parity.
-    Ec(Vec<Vec<u8>>),
+    /// Full-mode plain or replicated chunk (one logical copy) with its
+    /// stored whole-chunk checksum, computed at write time.
+    Plain(Vec<u8>, u64),
+    /// Full-mode erasure-coded chunk: `k` data cells then `p` parity,
+    /// each cell with its own stored checksum.
+    Ec(Vec<Vec<u8>>, Vec<u64>),
 }
 
 /// A sparse one-dimensional byte array, chunked by `chunk_size`.
@@ -108,6 +156,7 @@ pub struct ArrayData {
     chunk_size: u64,
     size: u64,
     chunks: BTreeMap<u64, Chunk>,
+    codec: CsumCodec,
 }
 
 impl ArrayData {
@@ -119,6 +168,7 @@ impl ArrayData {
             chunk_size,
             size: 0,
             chunks: BTreeMap::new(),
+            codec: CsumCodec::default(),
         }
     }
 
@@ -186,8 +236,15 @@ impl ArrayData {
             let mut buf = self.chunk_bytes_full(chunk_idx, ec);
             buf[within..within + take].copy_from_slice(seg);
             let chunk = match ec {
-                None => Chunk::Plain(buf),
-                Some(code) => Chunk::Ec(Self::encode_cells(&buf, code)),
+                None => {
+                    let sum = self.codec.sum(&buf);
+                    Chunk::Plain(buf, sum)
+                }
+                Some(code) => {
+                    let cells = Self::encode_cells(&buf, code);
+                    let sums = cells.iter().map(|c| self.codec.sum(c)).collect();
+                    Chunk::Ec(cells, sums)
+                }
             };
             self.chunks.insert(chunk_idx, chunk);
             pos += take as u64;
@@ -202,8 +259,8 @@ impl ArrayData {
     fn chunk_bytes_full(&self, idx: u64, ec: Option<&ErasureCode>) -> Vec<u8> {
         match self.chunks.get(&idx) {
             None | Some(Chunk::Sized) => vec![0u8; self.chunk_size as usize],
-            Some(Chunk::Plain(b)) => b.clone(),
-            Some(Chunk::Ec(cells)) => {
+            Some(Chunk::Plain(b, _)) => b.clone(),
+            Some(Chunk::Ec(cells, _)) => {
                 let code = ec.expect("EC chunk without code");
                 let k = code.data_cells();
                 let mut out = Vec::with_capacity(self.chunk_size as usize);
@@ -271,11 +328,11 @@ impl ArrayData {
             match self.chunks.get(&chunk_idx) {
                 None => {}               // hole: zeros
                 Some(Chunk::Sized) => {} // sized marker in full mode: zeros
-                Some(Chunk::Plain(b)) => match avail(chunk_idx) {
+                Some(Chunk::Plain(b, _)) => match avail(chunk_idx) {
                     CellAvailability::Unavailable => return Err(DataError::Unavailable),
                     _ => dst.copy_from_slice(&b[within..within + take]),
                 },
-                Some(Chunk::Ec(cells)) => {
+                Some(Chunk::Ec(cells, _)) => {
                     let code = ec.expect("EC chunk without code");
                     let masked: Vec<Option<Vec<u8>>> = match avail(chunk_idx) {
                         CellAvailability::All => cells.iter().cloned().map(Some).collect(),
@@ -319,14 +376,14 @@ impl ArrayData {
         let idx = offset / self.chunk_size;
         let within = (offset % self.chunk_size) as usize;
         match self.chunks.get_mut(&idx) {
-            Some(Chunk::Plain(b)) => match b.get_mut(within) {
+            Some(Chunk::Plain(b, _)) => match b.get_mut(within) {
                 Some(byte) => {
                     *byte ^= 0xFF;
                     true
                 }
                 None => false,
             },
-            Some(Chunk::Ec(cells)) => {
+            Some(Chunk::Ec(cells, _)) => {
                 let cell_len = match cells.first() {
                     Some(c) if !c.is_empty() => c.len(),
                     _ => return false,
@@ -343,6 +400,84 @@ impl ArrayData {
                 }
             }
             None | Some(Chunk::Sized) => false,
+        }
+    }
+
+    /// Flip one stored byte inside parity cell `parity_idx` of the
+    /// erasure-coded chunk containing `offset` — the planted-rot hook
+    /// for cells no logical byte offset addresses.  Returns `false` for
+    /// non-EC chunks or out-of-range parity indices.
+    pub fn corrupt_parity_at(&mut self, offset: u64, parity_idx: usize, ec: &ErasureCode) -> bool {
+        let idx = offset / self.chunk_size;
+        let within = (offset % self.chunk_size) as usize;
+        match self.chunks.get_mut(&idx) {
+            Some(Chunk::Ec(cells, _)) => {
+                let cell = ec.data_cells() + parity_idx;
+                let cell_len = match cells.first() {
+                    Some(c) if !c.is_empty() => c.len(),
+                    _ => return false,
+                };
+                match cells
+                    .get_mut(cell)
+                    .and_then(|c| c.get_mut(within % cell_len))
+                {
+                    Some(byte) => {
+                        *byte ^= 0xFF;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Recompute and compare the stored checksum of chunk `idx`.
+    /// `None` when the chunk verifies (or holds no bytes at rest);
+    /// otherwise the mismatch with the offending EC cells.
+    pub fn verify_chunk(&self, idx: u64) -> Option<CsumMismatch> {
+        match self.chunks.get(&idx)? {
+            Chunk::Sized => None,
+            Chunk::Plain(b, stored) => (!self.codec.verify(b, *stored)).then(|| CsumMismatch {
+                chunk: idx,
+                cells: Vec::new(),
+            }),
+            Chunk::Ec(cells, sums) => {
+                let bad: Vec<usize> = cells
+                    .iter()
+                    .zip(sums)
+                    .enumerate()
+                    .filter(|(_, (c, s))| !self.codec.verify(c, **s))
+                    .map(|(i, _)| i)
+                    .collect();
+                (!bad.is_empty()).then_some(CsumMismatch {
+                    chunk: idx,
+                    cells: bad,
+                })
+            }
+        }
+    }
+
+    /// Recompute checksums over every chunk touched by
+    /// `[offset, offset+len)` and return the mismatches in chunk order.
+    pub fn verify_range(&self, offset: u64, len: u64) -> Vec<CsumMismatch> {
+        self.chunks_in_range(offset, len)
+            .filter_map(|c| self.verify_chunk(c))
+            .collect()
+    }
+
+    /// Written chunk indices in order — the scrubber's scan domain.
+    pub fn written_chunks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.chunks.keys().copied()
+    }
+
+    /// Bytes at rest backing chunk `idx` (cells included for EC; 0 for
+    /// holes and Sized markers).
+    pub fn chunk_stored_bytes(&self, idx: u64) -> u64 {
+        match self.chunks.get(&idx) {
+            None | Some(Chunk::Sized) => 0,
+            Some(Chunk::Plain(b, _)) => b.len() as u64,
+            Some(Chunk::Ec(cells, _)) => cells.iter().map(|c| c.len() as u64).sum(),
         }
     }
 
@@ -515,6 +650,76 @@ mod tests {
         s.write(0, &Payload::Sized(64), DataMode::Sized, None);
         assert!(!s.corrupt_at(0));
         assert!(!s.corrupt_at(1 << 20));
+    }
+
+    #[test]
+    fn verify_detects_flips_and_repair_by_reflip() {
+        // Plain chunk: clean until rot lands, clean again when the
+        // repair path restores the byte (xor is an involution).
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Bytes(vec![5; 64]), DataMode::Full, None);
+        assert!(a.verify_range(0, 64).is_empty());
+        assert!(a.corrupt_at(10));
+        let bad = a.verify_range(0, 64);
+        assert_eq!(
+            bad,
+            vec![CsumMismatch {
+                chunk: 0,
+                cells: vec![]
+            }]
+        );
+        assert!(a.corrupt_at(10)); // repair = restore from a healthy copy
+        assert!(a.verify_range(0, 64).is_empty());
+
+        // EC chunk: the mismatch names the offending cell, including
+        // parity cells that no logical offset addresses.
+        let code = ErasureCode::new(2, 1);
+        let mut e = ArrayData::new(128);
+        e.write(
+            0,
+            &Payload::Bytes(vec![7; 128]),
+            DataMode::Full,
+            Some(&code),
+        );
+        assert!(e.corrupt_at(100)); // second data cell
+        assert!(e.corrupt_parity_at(0, 0, &code));
+        let bad = e.verify_chunk(0).expect("rot detected");
+        assert_eq!(bad.cells, vec![1, 2]);
+        assert!(e.corrupt_at(100));
+        assert!(e.corrupt_parity_at(0, 0, &code));
+        assert!(e.verify_chunk(0).is_none());
+
+        // Sized chunks hold no bytes at rest: nothing to verify.
+        let mut s = ArrayData::new(64);
+        s.write(0, &Payload::Sized(64), DataMode::Sized, None);
+        assert!(s.verify_range(0, 64).is_empty());
+        assert!(!s.corrupt_parity_at(0, 0, &code));
+    }
+
+    #[test]
+    fn overwrite_recomputes_checksums() {
+        let mut a = ArrayData::new(64);
+        a.write(0, &Payload::Bytes(vec![5; 64]), DataMode::Full, None);
+        assert!(a.corrupt_at(10));
+        // A full-chunk overwrite replaces bytes and checksum together.
+        a.write(0, &Payload::Bytes(vec![9; 64]), DataMode::Full, None);
+        assert!(a.verify_range(0, 64).is_empty());
+        assert_eq!(a.chunk_stored_bytes(0), 64);
+    }
+
+    #[test]
+    fn kv_values_are_checksummed() {
+        let mut kv = KvData::new();
+        kv.put(b"k", Payload::Bytes(vec![1, 2, 3]));
+        kv.put(b"sized", Payload::Sized(100));
+        assert_eq!(kv.verify(b"k"), Some(true));
+        assert_eq!(kv.verify(b"sized"), Some(true));
+        assert_eq!(kv.verify(b"missing"), None);
+        assert!(kv.corrupt_value(b"k"));
+        assert_eq!(kv.verify(b"k"), Some(false));
+        assert!(kv.corrupt_value(b"k")); // repair restores the byte
+        assert_eq!(kv.verify(b"k"), Some(true));
+        assert!(!kv.corrupt_value(b"sized"));
     }
 
     #[test]

@@ -216,6 +216,10 @@ pub enum OracleKind {
     /// An acknowledged write reads back with the wrong content
     /// (replication fail-over or EC reconstruction returned bad bytes).
     Reconstruction,
+    /// An acknowledged write is silently wrong or unservable because of
+    /// bit-rot beyond what the class redundancy can repair — bytes
+    /// *corrupted*, as distinct from bytes *lost*.
+    Corruption,
     /// A shard group still has down members after rebuild (the pool
     /// never restored full redundancy).
     RedundancyRestored,
@@ -233,6 +237,7 @@ impl OracleKind {
         match self {
             OracleKind::AckedDurability => "acked_durability",
             OracleKind::Reconstruction => "reconstruction",
+            OracleKind::Corruption => "corruption",
             OracleKind::RedundancyRestored => "redundancy_restored",
             OracleKind::FieldIoConsistency => "fieldio_consistency",
             OracleKind::NamespaceConnectivity => "namespace_connectivity",

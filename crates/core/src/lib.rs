@@ -41,6 +41,7 @@
 
 pub mod class;
 pub mod container;
+pub mod csum;
 pub mod data;
 pub mod ec;
 pub mod ledger;
@@ -52,7 +53,8 @@ pub mod system;
 
 pub use class::ObjectClass;
 pub use container::{Container, ContainerId, ContainerProps, ObjectEntry};
-pub use data::{ArrayData, CellAvailability, DataError, DataMode, KvData, ObjData};
+pub use csum::{CsumCodec, DEFAULT_CSUM_SEED};
+pub use data::{ArrayData, CellAvailability, CsumMismatch, DataError, DataMode, KvData, ObjData};
 pub use ec::ErasureCode;
 pub use ledger::{
     content_digest, AckedValue, DurabilityLedger, OracleKind, OracleReport, Violation,
@@ -61,4 +63,7 @@ pub use oid::{Oid, OidAllocator, FLAG_KV};
 pub use pool::{Layout, PoolMap, TargetId, TargetState};
 pub use rebuild::RebuildReport;
 pub use retry::{Retriable, RetryExec, RetryPolicy, RetryStats};
-pub use system::{dkey_hash, DaosError, DaosSystem, MigrationProgress, PoolInfo, RebalanceReport};
+pub use system::{
+    dkey_hash, CsumStats, DaosError, DaosSystem, MigrationProgress, PoolInfo, RebalanceReport,
+    ScrubReport,
+};

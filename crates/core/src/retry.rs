@@ -294,9 +294,16 @@ impl RetryExec {
 
 impl Retriable for crate::DaosError {
     fn is_retriable(&self) -> bool {
+        // BadChecksum is transient in principle — a scrub repair or a
+        // rewrite may heal the extent between attempts — and when
+        // nothing heals it the retry budget exhausts and the failure
+        // surfaces loudly; bad bytes are never served either way.
         matches!(
             self,
-            crate::DaosError::Timeout | crate::DaosError::TargetDown | crate::DaosError::Retriable
+            crate::DaosError::Timeout
+                | crate::DaosError::TargetDown
+                | crate::DaosError::BadChecksum
+                | crate::DaosError::Retriable
         )
     }
 }
@@ -442,6 +449,10 @@ mod tests {
         assert!(DaosError::Timeout.is_retriable());
         assert!(DaosError::TargetDown.is_retriable());
         assert!(DaosError::Retriable.is_retriable());
+        assert!(
+            DaosError::BadChecksum.is_retriable(),
+            "a scrub repair may heal the extent between attempts"
+        );
         assert!(!DaosError::Unavailable.is_retriable(), "data loss is final");
         assert!(!DaosError::NoSuchKey.is_retriable());
     }

@@ -19,7 +19,9 @@
 
 use crate::class::ObjectClass;
 use crate::container::{Container, ContainerId, ContainerProps, ObjectEntry};
-use crate::data::{ArrayData, CellAvailability, DataError, DataMode, KvData, ObjData};
+use crate::data::{
+    ArrayData, CellAvailability, CsumMismatch, DataError, DataMode, KvData, ObjData,
+};
 use crate::ec::ErasureCode;
 use crate::ledger::{
     content_digest, AckedValue, DurabilityLedger, OracleKind, OracleReport, Violation,
@@ -55,6 +57,13 @@ pub enum DaosError {
     /// the failure; the pool map is refreshed and a retry takes the
     /// degraded path (replica fail-over / EC reconstruction).
     TargetDown,
+    /// A stored checksum failed verification and the rot exceeds the
+    /// class redundancy, so the verified read refuses to serve the
+    /// bytes.  Classified transient (a scrub repair or rewrite may heal
+    /// the extent between attempts), but when nothing heals it the
+    /// retry budget exhausts and the failure surfaces loudly — bad
+    /// bytes are never returned.
+    BadChecksum,
     /// Generic injected transient failure (fault plans).
     Retriable,
 }
@@ -159,6 +168,152 @@ pub struct RebalanceReport {
     pub moves_skipped: usize,
 }
 
+/// Which stored copies of each datum are currently bit-rotten.
+///
+/// The data layer stores one logical copy per chunk/value, so a rot
+/// event flips the physical byte **once** and this registry records
+/// which replica shards / EC cells the rot notionally hit.  Verified
+/// reads and the scrubber recompute checksums to *detect* the flip,
+/// then consult the registry to decide repairability: replication
+/// repairs while at least one replica is clean, erasure coding while
+/// the distinct rotten cells fit within `p`, and plain sharding never.
+/// Repair re-flips the registered byte (xor with `0xFF` is an
+/// involution), modelling a rewrite from the reconstructed content,
+/// and drops the entry.  Every entry therefore corresponds to exactly
+/// one still-flipped physical byte — the invariant that makes repair
+/// by re-flip sound.
+// simlint::sim_state — replay-visible simulation state
+#[derive(Debug, Clone, Default)]
+struct RotState {
+    /// Array rot: `(container, object)` → flipped byte offset → shard
+    /// copies hit (replica index, or derived EC data-cell index).
+    extents: BTreeMap<(u32, Oid), BTreeMap<u64, BTreeSet<u64>>>,
+    /// EC parity rot: `(container, object)` → set of `(chunk offset,
+    /// parity cell index)` flips — parity bytes no logical offset
+    /// addresses.
+    parity: BTreeMap<(u32, Oid), BTreeSet<(u64, u64)>>,
+    /// KV rot: `(container, object)` → key → replica copies hit.
+    kv: BTreeMap<(u32, Oid), BTreeMap<Vec<u8>, BTreeSet<u64>>>,
+}
+
+impl RotState {
+    fn touches(&self, key: &(u32, Oid)) -> bool {
+        self.extents.contains_key(key) || self.parity.contains_key(key) || self.kv.contains_key(key)
+    }
+}
+
+/// End-to-end checksum activity counters ([`DaosSystem::csum_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsumStats {
+    /// Chunk/value verifications performed (reads, writes, scrubber).
+    pub verified: u64,
+    /// Rotten shard copies (replica copies / EC cells) detected.
+    pub detected: u64,
+    /// Rotten shard copies transparently repaired.
+    pub repaired: u64,
+    /// Bytes rewritten by transparent repair.
+    // simlint::dim(bytes)
+    pub repaired_bytes: u64,
+    /// Verification units whose rot exceeded the class redundancy: the
+    /// access fails with [`DaosError::BadChecksum`] instead of serving.
+    pub unrepairable: u64,
+    /// Corrupt payloads served to clients.  **Must stay zero** — the
+    /// verified read path refuses rather than serves; the counter
+    /// exists so the `CounterCeiling` SLO rule can witness the
+    /// invariant in every run report.
+    pub served_corrupt: u64,
+}
+
+impl CsumStats {
+    /// Publish the checksum counters into a telemetry registry as
+    /// `daos.csum.*` counters recorded at `at`.  No-op on a disabled
+    /// registry.
+    pub fn publish(&self, tel: &mut simkit::Telemetry, at: simkit::SimTime) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("daos.csum.verified", self.verified),
+            ("daos.csum.detected", self.detected),
+            ("daos.csum.repaired", self.repaired),
+            // simlint::dim(bytes)
+            ("daos.csum.repaired_bytes", self.repaired_bytes),
+            ("daos.csum.unrepairable", self.unrepairable),
+            ("daos.csum.served_corrupt", self.served_corrupt),
+        ] {
+            let id = tel.counter(name);
+            tel.counter_add(id, at, value);
+        }
+    }
+}
+
+/// Progress of the background scrubber ([`DaosSystem::scrub_progress`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Scan units verified (array chunks and KV values).
+    pub units_scanned: u64,
+    /// Stored bytes the scan read.
+    // simlint::dim(bytes)
+    pub bytes_scanned: u64,
+    /// Rotten copies the scrubber detected (before any read hit them).
+    pub detected: u64,
+    /// Rotten copies the scrubber repaired.
+    pub repaired: u64,
+    /// Units whose rot exceeded the class redundancy; left in place for
+    /// reads to refuse loudly and the durability oracle to name.
+    pub unrepairable: u64,
+    /// Waves emitted.
+    pub waves: u64,
+    /// Full passes completed over the scan domain.
+    pub passes: u64,
+}
+
+impl ScrubReport {
+    /// Publish scrubber progress into a telemetry registry as
+    /// `daos.scrub.*` counters recorded at `at`.  No-op on a disabled
+    /// registry.
+    pub fn publish(&self, tel: &mut simkit::Telemetry, at: simkit::SimTime) {
+        if !tel.is_enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("daos.scrub.units_scanned", self.units_scanned),
+            // simlint::dim(bytes)
+            ("daos.scrub.bytes_scanned", self.bytes_scanned),
+            ("daos.scrub.detected", self.detected),
+            ("daos.scrub.repaired", self.repaired),
+            ("daos.scrub.unrepairable", self.unrepairable),
+            ("daos.scrub.waves", self.waves),
+            ("daos.scrub.passes", self.passes),
+        ] {
+            let id = tel.counter(name);
+            tel.counter_add(id, at, value);
+        }
+    }
+}
+
+/// The background scrubber's bookkeeping: whether a pass is running,
+/// the resume cursor, and cumulative progress.  Replay-visible
+/// simulation state — the cursor is exactly what makes a pass resume
+/// byte-identically after a mid-scrub crash.
+// simlint::sim_state — replay-visible simulation state
+#[derive(Debug, Clone, Default)]
+struct ScrubState {
+    active: bool,
+    /// Next `(container, object, unit)` to scan; `None` while active
+    /// means start from the beginning.
+    cursor: Option<(u32, Oid, u64)>,
+    report: ScrubReport,
+}
+
+/// One unit of scrub work collected by the scan phase.
+enum ScrubUnit {
+    /// An array chunk and its verification result.
+    Chunk(u64, Option<CsumMismatch>),
+    /// A KV key and whether its value verified.
+    Key(Vec<u8>, bool),
+}
+
 /// A deployed DAOS pool with its API.
 // simlint::sim_state — replay-visible simulation state
 pub struct DaosSystem {
@@ -192,6 +347,12 @@ pub struct DaosSystem {
     /// The background data-migration engine (rebalance after server
     /// add/drain).
     migration: MigrationState,
+    /// Which stored copies are currently bit-rotten (see [`RotState`]).
+    rot: RotState,
+    /// End-to-end checksum activity counters.
+    csum: CsumStats,
+    /// The background scrubber (cursor + progress).
+    scrub: ScrubState,
 }
 
 impl DaosSystem {
@@ -227,6 +388,9 @@ impl DaosSystem {
             extra_delay: BTreeMap::new(),
             ledger: None,
             migration: MigrationState::default(),
+            rot: RotState::default(),
+            csum: CsumStats::default(),
+            scrub: ScrubState::default(),
         }
     }
 
@@ -473,6 +637,9 @@ impl DaosSystem {
         if slot.take().is_none() {
             return Err(DaosError::NoSuchContainer);
         }
+        self.rot.extents.retain(|&(c, _), _| c != id.0);
+        self.rot.parity.retain(|&(c, _), _| c != id.0);
+        self.rot.kv.retain(|&(c, _), _| c != id.0);
         if let Some(l) = self.ledger.as_mut() {
             l.record_cont_destroy(id);
         }
@@ -600,6 +767,10 @@ impl DaosSystem {
     ) -> Result<Step, DaosError> {
         let c = self.cont_mut(cid)?;
         c.objects.remove(&oid).ok_or(DaosError::NoSuchObject)?;
+        let key = (cid.0, oid);
+        self.rot.extents.remove(&key);
+        self.rot.parity.remove(&key);
+        self.rot.kv.remove(&key);
         if let Some(l) = self.ledger.as_mut() {
             l.record_punch(cid, oid);
         }
@@ -649,6 +820,10 @@ impl DaosSystem {
             ObjData::Kv(kv) => kv.put(key, value),
             ObjData::Array(_) => return Err(DaosError::WrongObjectType),
         }
+        // the value (and its checksum) were replaced wholesale: latent
+        // rot in the old value is healed, so its registry entry must go
+        // before it could mis-direct a later repair re-flip
+        self.rot_clear_kv(cid, oid, key);
         if let (Some(l), Some(v)) = (self.ledger.as_mut(), acked) {
             l.record_kv_put(cid, oid, key, &v);
         }
@@ -680,6 +855,10 @@ impl DaosSystem {
             .group_for(dkey_hash(key))
             .to_vec();
         self.check_detection(client, &group)?;
+        // verified read: recompute the stored value checksum and
+        // transparently repair rot the replication still covers; rot on
+        // every replica refuses loudly instead of serving bad bytes
+        let repair = self.kv_verify_repair(cid, oid, key, &group)?;
         let entry = self.obj(cid, oid)?;
         let value = match &entry.data {
             ObjData::Kv(kv) => kv.get(key).ok_or(DaosError::NoSuchKey)?,
@@ -702,6 +881,7 @@ impl DaosSystem {
             Step::seq([
                 self.client_overhead(),
                 self.rtt(),
+                repair,
                 self.read_from_target(client, t, bytes),
             ]),
         );
@@ -739,6 +919,7 @@ impl DaosSystem {
         if !existed {
             return Err(DaosError::NoSuchKey);
         }
+        self.rot_clear_kv(cid, oid, key);
         if let Some(l) = self.ledger.as_mut() {
             l.record_kv_remove(cid, oid, key);
         }
@@ -850,6 +1031,12 @@ impl DaosSystem {
                 return Err(DaosError::Unavailable);
             }
         }
+        // verified read-modify-write: a partially-overwritten chunk
+        // folds its existing bytes into the new chunk, so those bytes
+        // must verify (and be repaired) first — rot beyond redundancy
+        // fails the write here, before any mutation.  Fully-covered
+        // chunks are replaced wholesale, which heals latent rot.
+        let repair = self.array_prewrite_integrity(cid, oid, offset, len)?;
         // apply the mutation
         {
             let entry = self.obj_mut(cid, oid)?;
@@ -905,6 +1092,7 @@ impl DaosSystem {
                 self.client_overhead(),
                 encode,
                 self.rtt(),
+                repair,
                 Step::par(group_steps),
             ]),
         ))
@@ -942,6 +1130,11 @@ impl DaosSystem {
                 self.check_detection(client, g)?;
             }
         }
+        // verified read: recompute stored checksums over the touched
+        // chunks and transparently repair what the redundancy still
+        // covers; rot beyond redundancy refuses loudly instead of
+        // serving bad bytes
+        let repair = self.array_verify_repair(cid, oid, offset, len)?;
         let mode = self.mode;
         let pool = self.pool.clone();
         let entry = self.obj(cid, oid)?;
@@ -1046,6 +1239,7 @@ impl DaosSystem {
             Step::seq([
                 self.client_overhead(),
                 self.rtt(),
+                repair,
                 Step::par(group_steps),
                 decode,
             ]),
@@ -1100,9 +1294,28 @@ impl DaosSystem {
     ) -> Result<Step, DaosError> {
         let entry = self.obj_mut(cid, oid)?;
         let t = entry.layout.groups[0][0];
-        match &mut entry.data {
-            ObjData::Array(a) => a.set_size(size),
+        let cs = match &mut entry.data {
+            ObjData::Array(a) => {
+                a.set_size(size);
+                a.chunk_size()
+            }
             ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+        };
+        // truncation drops whole chunks; their rot entries must go with
+        // them (the registry only ever names still-flipped bytes)
+        let cut = size.div_ceil(cs) * cs;
+        let key = (cid.0, oid);
+        if let Some(m) = self.rot.extents.get_mut(&key) {
+            m.retain(|&o, _| o < cut);
+            if m.is_empty() {
+                self.rot.extents.remove(&key);
+            }
+        }
+        if let Some(s) = self.rot.parity.get_mut(&key) {
+            s.retain(|&(o, _)| o < cut);
+            if s.is_empty() {
+                self.rot.parity.remove(&key);
+            }
         }
         if let Some(l) = self.ledger.as_mut() {
             l.record_truncate(cid, oid, size);
@@ -1192,6 +1405,763 @@ impl DaosSystem {
             oids,
             Step::seq([self.client_overhead(), self.rtt(), Step::par(reads)]),
         ))
+    }
+
+    // ---- end-to-end data integrity ----------------------------------------------
+
+    /// Checksum activity counters so far ([`CsumStats::publish`] for
+    /// telemetry).
+    pub fn csum_stats(&self) -> CsumStats {
+        self.csum
+    }
+
+    /// Verify a KV value's stored checksum and transparently repair rot
+    /// the replication still covers.  Returns the repair cost step
+    /// ([`Step::Noop`] when the value is clean or absent) or
+    /// [`DaosError::BadChecksum`] when the rot exceeds redundancy.
+    // simlint::panic_root — integrity path runs under injected faults: must never panic
+    fn kv_verify_repair(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+        group: &[TargetId],
+    ) -> Result<Step, DaosError> {
+        let verdict = {
+            let entry = self.obj(cid, oid)?;
+            match &entry.data {
+                ObjData::Kv(kv) => kv.verify(key),
+                ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+            }
+        };
+        match verdict {
+            None => Ok(Step::Noop),
+            Some(true) => {
+                self.csum.verified += 1;
+                Ok(Step::Noop)
+            }
+            Some(false) => {
+                self.csum.verified += 1;
+                self.repair_kv_rot(cid, oid, key, group)
+            }
+        }
+    }
+
+    /// Repair a KV value whose checksum failed: re-flip the registered
+    /// rot (the xor involution restores the original byte, modelling a
+    /// rewrite from a clean replica) and charge the replica-to-replica
+    /// copy; refuse with [`DaosError::BadChecksum`] when every replica
+    /// is rotten or the damage is unknown to the registry.
+    // simlint::panic_root — integrity path runs under injected faults: must never panic
+    // simlint::allow(hot-alloc) — repair path: runs only when rot was detected, not per I/O
+    fn repair_kv_rot(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+        group: &[TargetId],
+    ) -> Result<Step, DaosError> {
+        let rkey = (cid.0, oid);
+        let rotten: BTreeSet<u64> = self
+            .rot
+            .kv
+            .get(&rkey)
+            .and_then(|m| m.get(key))
+            .cloned()
+            .unwrap_or_default();
+        self.csum.detected += rotten.len().max(1) as u64;
+        if rotten.is_empty() || rotten.len() >= group.len() {
+            self.csum.unrepairable += 1;
+            return Err(DaosError::BadChecksum);
+        }
+        let bytes = {
+            let entry = self.obj_mut(cid, oid)?;
+            match &mut entry.data {
+                ObjData::Kv(kv) => {
+                    kv.corrupt_value(key);
+                    kv.get(key).map(|v| v.len()).unwrap_or(0)
+                }
+                ObjData::Array(_) => return Err(DaosError::WrongObjectType),
+            }
+        };
+        self.rot_clear_kv(cid, oid, key);
+        self.csum.repaired += rotten.len() as u64;
+        self.csum.repaired_bytes += bytes * rotten.len() as u64;
+        // cost: a clean replica feeds a rewrite of each rotten one
+        let src = group
+            .iter()
+            .enumerate()
+            .find(|(i, t)| !rotten.contains(&(*i as u64)) && self.pool.is_servable(**t))
+            .map(|(_, &t)| t);
+        let per_copy = (bytes as f64).max(64.0);
+        let moves: Vec<Step> = src
+            .map(|src| {
+                rotten
+                    .iter()
+                    .map(|&r| {
+                        let dst = group[r as usize % group.len()];
+                        self.rebuild_move(&[src], per_copy, dst, per_copy)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(repair_span(bytes * rotten.len() as u64, moves))
+    }
+
+    /// Verify stored checksums over every chunk `[offset, offset+len)`
+    /// touches and transparently repair what the redundancy covers.
+    // simlint::panic_root — integrity path runs under injected faults: must never panic
+    fn array_verify_repair(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        len: u64,
+    ) -> Result<Step, DaosError> {
+        let (checked, bad) = {
+            let entry = self.obj(cid, oid)?;
+            let a = match &entry.data {
+                ObjData::Array(a) => a,
+                ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+            };
+            let checked = a
+                .chunks_in_range(offset, len)
+                .filter(|&c| a.chunk_written(c))
+                .count() as u64;
+            (checked, a.verify_range(offset, len))
+        };
+        self.csum.verified += checked;
+        if bad.is_empty() {
+            return Ok(Step::Noop);
+        }
+        self.repair_array_rot(cid, oid, &bad)
+    }
+
+    /// Pre-write verification: partially-overwritten chunks fold their
+    /// existing bytes into the new chunk, so they must verify (and be
+    /// repaired) first; fully-covered chunks are replaced wholesale,
+    /// which heals latent rot — their registry entries are dropped so a
+    /// later repair cannot re-flip fresh bytes.
+    // simlint::panic_root — integrity path runs under injected faults: must never panic
+    fn array_prewrite_integrity(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        len: u64,
+    ) -> Result<Step, DaosError> {
+        let (cs, full, checked, bad) = {
+            let entry = self.obj(cid, oid)?;
+            let a = match &entry.data {
+                ObjData::Array(a) => a,
+                ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+            };
+            let cs = a.chunk_size();
+            let mut full: BTreeSet<u64> = BTreeSet::new();
+            let mut checked = 0u64;
+            let mut bad = Vec::new();
+            for c in a.chunks_in_range(offset, len) {
+                let lo = c * cs;
+                if offset <= lo && offset + len >= lo + cs {
+                    full.insert(c);
+                } else if a.chunk_written(c) {
+                    checked += 1;
+                    if let Some(mm) = a.verify_chunk(c) {
+                        bad.push(mm);
+                    }
+                }
+            }
+            (cs, full, checked, bad)
+        };
+        self.csum.verified += checked;
+        let repair = if bad.is_empty() {
+            Step::Noop
+        } else {
+            self.repair_array_rot(cid, oid, &bad)?
+        };
+        if !full.is_empty() {
+            let rkey = (cid.0, oid);
+            if let Some(m) = self.rot.extents.get_mut(&rkey) {
+                m.retain(|&o, _| !full.contains(&(o / cs)));
+                if m.is_empty() {
+                    self.rot.extents.remove(&rkey);
+                }
+            }
+            if let Some(s) = self.rot.parity.get_mut(&rkey) {
+                s.retain(|&(o, _)| !full.contains(&(o / cs)));
+                if s.is_empty() {
+                    self.rot.parity.remove(&rkey);
+                }
+            }
+        }
+        Ok(repair)
+    }
+
+    /// Repair rotten array chunks: re-flip every registered flip
+    /// (restoring the bytes the surviving redundancy reconstructs),
+    /// clear the registry, and charge the reconstruction copies through
+    /// the rebuild machinery.  Refuses with [`DaosError::BadChecksum`]
+    /// when a chunk's rot exceeds its class redundancy — the caller
+    /// must not serve (or fold in) its bytes.
+    // simlint::panic_root — integrity path runs under injected faults: must never panic
+    // simlint::allow(hot-alloc) — repair path: runs only when rot was detected, not per I/O
+    fn repair_array_rot(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        mismatches: &[CsumMismatch],
+    ) -> Result<Step, DaosError> {
+        let (layout, cs) = {
+            let entry = self.obj(cid, oid)?;
+            let cs = match &entry.data {
+                ObjData::Array(a) => a.chunk_size(),
+                ObjData::Kv(_) => return Err(DaosError::WrongObjectType),
+            };
+            (entry.layout.clone(), cs)
+        };
+        let class = layout.class;
+        let ec = self.ec_for(class);
+        let rkey = (cid.0, oid);
+        let mut moves: Vec<Step> = Vec::new();
+        let mut span_bytes = 0u64;
+        for mm in mismatches {
+            let chunk = mm.chunk;
+            let lo = chunk * cs;
+            let group = layout.group_for(chunk_dkey_hash(chunk)).to_vec();
+            let flips: Vec<u64> = self
+                .rot
+                .extents
+                .get(&rkey)
+                .map(|m| m.range(lo..lo + cs).map(|(&o, _)| o).collect())
+                .unwrap_or_default();
+            let parity_flips: Vec<(u64, u64)> = self
+                .rot
+                .parity
+                .get(&rkey)
+                .map(|s| {
+                    s.iter()
+                        .copied()
+                        .filter(|&(o, _)| o / cs == chunk)
+                        .collect()
+                })
+                .unwrap_or_default();
+            // rotten copy indices: EC trusts the recomputed per-cell
+            // verdict; replication derives them from the registry
+            let rotten: BTreeSet<u64> = match class {
+                ObjectClass::ErasureCoded { .. } => mm.cells.iter().map(|&c| c as u64).collect(),
+                _ => self
+                    .rot
+                    .extents
+                    .get(&rkey)
+                    .map(|m| {
+                        m.range(lo..lo + cs)
+                            .flat_map(|(_, s)| s.iter().copied())
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            };
+            self.csum.detected += rotten.len().max(1) as u64;
+            let known = !flips.is_empty() || !parity_flips.is_empty();
+            let repairable = known
+                && match class {
+                    ObjectClass::Sharded(_) | ObjectClass::ShardedMax => false,
+                    ObjectClass::Replicated { .. } => {
+                        !rotten.is_empty() && rotten.len() < group.len()
+                    }
+                    ObjectClass::ErasureCoded { p, .. } => rotten.len() <= p as usize,
+                };
+            if !repairable {
+                self.csum.unrepairable += 1;
+                return Err(DaosError::BadChecksum);
+            }
+            {
+                let entry = self.obj_mut(cid, oid)?;
+                if let ObjData::Array(a) = &mut entry.data {
+                    for &o in &flips {
+                        a.corrupt_at(o);
+                    }
+                    if let Some(ec) = ec.as_ref() {
+                        for &(o, pi) in &parity_flips {
+                            a.corrupt_parity_at(o, pi as usize, ec);
+                        }
+                    }
+                    debug_assert!(a.verify_chunk(chunk).is_none(), "repair left chunk rotten");
+                }
+            }
+            if let Some(m) = self.rot.extents.get_mut(&rkey) {
+                for o in &flips {
+                    m.remove(o);
+                }
+                if m.is_empty() {
+                    self.rot.extents.remove(&rkey);
+                }
+            }
+            if let Some(s) = self.rot.parity.get_mut(&rkey) {
+                for pf in &parity_flips {
+                    s.remove(pf);
+                }
+                if s.is_empty() {
+                    self.rot.parity.remove(&rkey);
+                }
+            }
+            self.csum.repaired += rotten.len() as u64;
+            // cost: read enough clean copies, rewrite each rotten shard
+            match class {
+                ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {}
+                ObjectClass::Replicated { .. } => {
+                    let src = group
+                        .iter()
+                        .enumerate()
+                        .find(|(i, t)| !rotten.contains(&(*i as u64)) && self.pool.is_servable(**t))
+                        .map(|(_, &t)| t);
+                    if let Some(src) = src {
+                        for &r in &rotten {
+                            let dst = group[r as usize % group.len()];
+                            moves.push(self.rebuild_move(&[src], cs as f64, dst, cs as f64));
+                            self.csum.repaired_bytes += cs;
+                            span_bytes += cs;
+                        }
+                    }
+                }
+                ObjectClass::ErasureCoded { k, .. } => {
+                    let k = k as usize;
+                    let cell_bytes = cs.div_ceil(k as u64);
+                    let sources: Vec<TargetId> = group
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, t)| {
+                            !rotten.contains(&(*i as u64)) && self.pool.is_servable(**t)
+                        })
+                        .map(|(_, &t)| t)
+                        .take(k)
+                        .collect();
+                    if sources.len() == k {
+                        for &r in &rotten {
+                            let dst = group[r as usize % group.len()];
+                            moves.push(self.rebuild_move(
+                                &sources,
+                                cell_bytes as f64,
+                                dst,
+                                cell_bytes as f64,
+                            ));
+                            self.csum.repaired_bytes += cell_bytes;
+                            span_bytes += cell_bytes;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(repair_span(span_bytes, moves))
+    }
+
+    fn rot_clear_kv(&mut self, cid: ContainerId, oid: Oid, key: &[u8]) {
+        if let Some(m) = self.rot.kv.get_mut(&(cid.0, oid)) {
+            m.remove(key);
+            if m.is_empty() {
+                self.rot.kv.remove(&(cid.0, oid));
+            }
+        }
+    }
+
+    /// Apply a bit-rot fault: deterministically select the `locus`-th
+    /// stored unit (written array chunks and KV values, in container /
+    /// object / unit order) and flip one stored byte of its `shard`-th
+    /// copy (replica index; for EC objects, cell index — parity cells
+    /// included).  Re-rotting the same copy is idempotent; rotting
+    /// *another* copy of an already-rotten unit extends the damage
+    /// toward (and past) the redundancy limit.  Returns `false` when
+    /// the pool stores no rot-able bytes (e.g. Sized data mode).
+    // simlint::panic_root — fault-handling path: must never panic
+    // simlint::allow(hot-alloc) — fault application: runs once per injected fault, not per event
+    pub fn apply_bit_rot(&mut self, locus: u64, shard: u64) -> bool {
+        enum Unit {
+            Chunk(u64),
+            Key(Vec<u8>),
+        }
+        let mut units: Vec<(ContainerId, Oid, Unit)> = Vec::new();
+        for cont in self.containers.iter().flatten() {
+            for (oid, entry) in &cont.objects {
+                match &entry.data {
+                    ObjData::Array(a) => units.extend(
+                        a.written_chunks()
+                            .filter(|&c| a.chunk_stored_bytes(c) > 0)
+                            .map(|c| (cont.id, *oid, Unit::Chunk(c))),
+                    ),
+                    ObjData::Kv(kv) => units.extend(
+                        kv.list(b"")
+                            .into_iter()
+                            .map(|k| (cont.id, *oid, Unit::Key(k))),
+                    ),
+                }
+            }
+        }
+        if units.is_empty() {
+            return false;
+        }
+        let idx = (locus % units.len() as u64) as usize;
+        let (cid, oid, unit) = units.swap_remove(idx);
+        match unit {
+            Unit::Chunk(c) => self.plant_chunk_rot(cid, oid, c, locus, shard),
+            Unit::Key(k) => self.plant_kv_rot(cid, oid, &k, shard),
+        }
+    }
+
+    /// Plant rot on one copy of an array chunk: pick a stored byte of
+    /// the addressed replica/cell deterministically from `locus` and
+    /// flip it (first copy only — further copies extend the registry's
+    /// shard set without flipping again).
+    // simlint::panic_root — fault-handling path: must never panic
+    fn plant_chunk_rot(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        chunk: u64,
+        locus: u64,
+        shard: u64,
+    ) -> bool {
+        let (class, cs, rf) = match self.obj(cid, oid) {
+            Ok(entry) => {
+                let cs = match &entry.data {
+                    ObjData::Array(a) => a.chunk_size(),
+                    ObjData::Kv(_) => return false,
+                };
+                let rf = entry.layout.group_for(chunk_dkey_hash(chunk)).len().max(1) as u64;
+                (entry.layout.class, cs, rf)
+            }
+            Err(_) => return false,
+        };
+        let lo = chunk * cs;
+        match class {
+            ObjectClass::Sharded(_) | ObjectClass::ShardedMax => {
+                self.plant_extent_rot(cid, oid, lo + chunk_dkey_hash(locus) % cs, 0)
+            }
+            ObjectClass::Replicated { .. } => {
+                self.plant_extent_rot(cid, oid, lo + chunk_dkey_hash(locus) % cs, shard % rf)
+            }
+            ObjectClass::ErasureCoded { k, p } => {
+                let (k, p) = (k as u64, p as u64);
+                let cell = shard % (k + p);
+                if cell >= k {
+                    return self.plant_parity_rot(cid, oid, lo, cell - k);
+                }
+                let cell_len = cs.div_ceil(k);
+                // land inside the addressed data cell, clamped to the
+                // chunk's logical bytes (the tail cell carries padding)
+                let mut within = cell * cell_len + chunk_dkey_hash(locus) % cell_len;
+                if within >= cs {
+                    within = cell * cell_len;
+                }
+                if within >= cs {
+                    within = 0;
+                }
+                self.plant_extent_rot(cid, oid, lo + within, within / cell_len)
+            }
+        }
+    }
+
+    /// Flip the stored byte at `offset` (first copy only) and record
+    /// the hit shard copy.  Returns `false` when no real byte backs
+    /// the offset.
+    // simlint::panic_root — fault-handling path: must never panic
+    fn plant_extent_rot(&mut self, cid: ContainerId, oid: Oid, offset: u64, shard: u64) -> bool {
+        let rkey = (cid.0, oid);
+        let already = self
+            .rot
+            .extents
+            .get(&rkey)
+            .and_then(|m| m.get(&offset))
+            .is_some();
+        if !already {
+            let flipped = match self.obj_mut(cid, oid) {
+                Ok(entry) => match &mut entry.data {
+                    ObjData::Array(a) => a.corrupt_at(offset),
+                    ObjData::Kv(_) => false,
+                },
+                Err(_) => false,
+            };
+            if !flipped {
+                return false;
+            }
+        }
+        self.rot
+            .extents
+            .entry(rkey)
+            .or_default()
+            .entry(offset)
+            .or_default()
+            .insert(shard);
+        true
+    }
+
+    /// Flip one byte of parity cell `parity_idx` in the chunk holding
+    /// `offset` (first hit only) and record it.  Returns `false` for
+    /// non-EC objects or out-of-range parity indices.
+    // simlint::panic_root — fault-handling path: must never panic
+    fn plant_parity_rot(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        parity_idx: u64,
+    ) -> bool {
+        let rkey = (cid.0, oid);
+        let (class, cs) = match self.obj(cid, oid) {
+            Ok(entry) => match &entry.data {
+                ObjData::Array(a) => (entry.layout.class, a.chunk_size()),
+                ObjData::Kv(_) => return false,
+            },
+            Err(_) => return false,
+        };
+        let lo = offset / cs * cs;
+        if self
+            .rot
+            .parity
+            .get(&rkey)
+            .is_some_and(|s| s.contains(&(lo, parity_idx)))
+        {
+            return true;
+        }
+        let Some(ec) = self.ec_for(class) else {
+            return false;
+        };
+        let flipped = match self.obj_mut(cid, oid) {
+            Ok(entry) => match &mut entry.data {
+                ObjData::Array(a) => a.corrupt_parity_at(lo, parity_idx as usize, &ec),
+                ObjData::Kv(_) => false,
+            },
+            Err(_) => false,
+        };
+        if !flipped {
+            return false;
+        }
+        self.rot
+            .parity
+            .entry(rkey)
+            .or_default()
+            .insert((lo, parity_idx));
+        true
+    }
+
+    /// Flip a stored KV value byte (first copy only) and record the hit
+    /// replica.  Returns `false` for absent or Sized values.
+    // simlint::panic_root — fault-handling path: must never panic
+    fn plant_kv_rot(&mut self, cid: ContainerId, oid: Oid, key: &[u8], shard: u64) -> bool {
+        let rf = match self.obj(cid, oid) {
+            Ok(entry) => entry.layout.group_for(dkey_hash(key)).len().max(1) as u64,
+            Err(_) => return false,
+        };
+        let rkey = (cid.0, oid);
+        let already = self.rot.kv.get(&rkey).and_then(|m| m.get(key)).is_some();
+        if !already {
+            let flipped = match self.obj_mut(cid, oid) {
+                Ok(entry) => match &mut entry.data {
+                    ObjData::Kv(kv) => kv.corrupt_value(key),
+                    ObjData::Array(_) => false,
+                },
+                Err(_) => false,
+            };
+            if !flipped {
+                return false;
+            }
+        }
+        self.rot
+            .kv
+            .entry(rkey)
+            .or_default()
+            .entry(key.to_vec())
+            .or_default()
+            .insert(shard % rf);
+        true
+    }
+
+    // ---- background scrubber ----------------------------------------------------
+
+    /// Start (or restart) a scrub pass from the beginning of the scan
+    /// domain.  Drive it with [`DaosSystem::scrub_wave`].
+    pub fn scrub_start(&mut self) {
+        self.scrub.active = true;
+        self.scrub.cursor = None;
+    }
+
+    /// Whether a scrub pass is in progress.
+    pub fn scrub_active(&self) -> bool {
+        self.scrub.active
+    }
+
+    /// Scrubber progress so far ([`ScrubReport::publish`] for
+    /// telemetry).
+    pub fn scrub_progress(&self) -> ScrubReport {
+        self.scrub.report
+    }
+
+    /// Emit the next scrub wave: verify up to `max_units` stored units
+    /// (array chunks and KV values) in container/object/unit order from
+    /// the resume cursor, repairing what the redundancy covers, as one
+    /// `scrub.wave` span of target-local disk reads plus any repair
+    /// copies — all competing with foreground traffic through the same
+    /// fairshare NVMe/engine resources.  Rot beyond redundancy is
+    /// counted and **left in place**: reads refuse it loudly and the
+    /// durability oracle names it.  Returns `None` when the pass is
+    /// complete.  The cursor is replay-visible state, so a pass resumes
+    /// byte-identically after a crash.
+    // simlint::panic_root — scrub path runs under injected faults: must never panic
+    // simlint::allow(hot-alloc) — wave construction: runs once per scrub wave (bounded by max_units), not per engine event
+    pub fn scrub_wave(&mut self, max_units: usize) -> Option<Step> {
+        assert!(max_units > 0);
+        if !self.scrub.active {
+            return None;
+        }
+        // phase 1: scan forward from the cursor, collecting work
+        let start = self.scrub.cursor;
+        let mut work: Vec<(ContainerId, Oid, u64, ScrubUnit)> = Vec::new();
+        let mut next: Option<(u32, Oid, u64)> = None;
+        'scan: for (ci, cont) in self.containers.iter().enumerate() {
+            let Some(cont) = cont else { continue };
+            if let Some((scid, _, _)) = start {
+                if (ci as u32) < scid {
+                    continue;
+                }
+            }
+            for (oid, entry) in &cont.objects {
+                let from_unit = match start {
+                    Some((scid, soid, u)) if ci as u32 == scid => {
+                        if *oid < soid {
+                            continue;
+                        }
+                        if *oid == soid {
+                            u
+                        } else {
+                            0
+                        }
+                    }
+                    _ => 0,
+                };
+                match &entry.data {
+                    ObjData::Array(a) => {
+                        for c in a.written_chunks().filter(|&c| c >= from_unit) {
+                            if work.len() >= max_units {
+                                next = Some((ci as u32, *oid, c));
+                                break 'scan;
+                            }
+                            work.push((
+                                cont.id,
+                                *oid,
+                                a.chunk_stored_bytes(c),
+                                ScrubUnit::Chunk(c, a.verify_chunk(c)),
+                            ));
+                        }
+                    }
+                    ObjData::Kv(kv) => {
+                        for (u, k) in kv
+                            .list(b"")
+                            .into_iter()
+                            .enumerate()
+                            .skip(from_unit as usize)
+                        {
+                            if work.len() >= max_units {
+                                next = Some((ci as u32, *oid, u as u64));
+                                break 'scan;
+                            }
+                            let ok = kv.verify(&k).unwrap_or(true);
+                            let bytes = kv.get(&k).map(|v| v.len()).unwrap_or(0);
+                            work.push((cont.id, *oid, bytes, ScrubUnit::Key(k, ok)));
+                        }
+                    }
+                }
+            }
+        }
+        self.scrub.cursor = next;
+        if next.is_none() {
+            self.scrub.active = false;
+            self.scrub.report.passes += 1;
+        }
+        if work.is_empty() {
+            return None;
+        }
+        // phase 2: charge the scan reads and apply repairs
+        let mut reads: Vec<Step> = Vec::new();
+        let mut repairs: Vec<Step> = Vec::new();
+        let mut wave_bytes = 0u64;
+        for (cid, oid, bytes, unit) in work {
+            self.scrub.report.units_scanned += 1;
+            self.scrub.report.bytes_scanned += bytes;
+            self.csum.verified += 1;
+            wave_bytes += bytes;
+            let before = self.csum;
+            match unit {
+                ScrubUnit::Chunk(c, mm) => {
+                    let (group, per_member) = match self.obj(cid, oid) {
+                        Ok(entry) => {
+                            let group = entry.layout.group_for(chunk_dkey_hash(c)).to_vec();
+                            let per = match entry.layout.class {
+                                ObjectClass::ErasureCoded { .. } => {
+                                    bytes as f64 / group.len().max(1) as f64
+                                }
+                                _ => bytes as f64,
+                            };
+                            (group, per)
+                        }
+                        Err(_) => continue,
+                    };
+                    reads.push(self.scrub_read_cost(&group, per_member));
+                    if let Some(mm) = mm {
+                        // beyond-redundancy rot is counted and left in
+                        // place: reads refuse it, the oracle names it
+                        if let Ok(step) = self.repair_array_rot(cid, oid, std::slice::from_ref(&mm))
+                        {
+                            repairs.push(step);
+                        }
+                    }
+                }
+                ScrubUnit::Key(k, ok) => {
+                    let group = match self.obj(cid, oid) {
+                        Ok(entry) => entry.layout.group_for(dkey_hash(&k)).to_vec(),
+                        Err(_) => continue,
+                    };
+                    reads.push(self.scrub_read_cost(&group, (bytes as f64).max(64.0)));
+                    if !ok {
+                        if let Ok(step) = self.repair_kv_rot(cid, oid, &k, &group) {
+                            repairs.push(step);
+                        }
+                    }
+                }
+            }
+            let after = self.csum;
+            self.scrub.report.detected += after.detected - before.detected;
+            self.scrub.report.repaired += after.repaired - before.repaired;
+            self.scrub.report.unrepairable += after.unrepairable - before.unrepairable;
+        }
+        self.scrub.report.waves += 1;
+        let wave = if repairs.is_empty() {
+            Step::par(reads)
+        } else {
+            Step::seq([Step::par(reads), Step::seq(repairs)])
+        };
+        Some(Step::span("scrub", "wave", wave_bytes, wave))
+    }
+
+    /// Target-local scan cost: each servable group member reads its
+    /// share of the stored bytes straight off its NVMe through the
+    /// engine — no client or network involvement, but full contention
+    /// with foreground traffic on the shared fairshare resources.
+    fn scrub_read_cost(&self, group: &[TargetId], bytes_each: f64) -> Step {
+        let reads: Vec<Step> = group
+            .iter()
+            .filter(|&&t| self.pool.is_servable(t))
+            .map(|&t| {
+                let srv = &self.topo.servers[t.server as usize];
+                let res = &self.srv_res[t.server as usize];
+                let dev = self.dev_for(t);
+                Step::seq([
+                    Step::transfer(
+                        bytes_each,
+                        [srv.nvme_r[dev], srv.nvme_r_pool, res.engine_xfer],
+                    ),
+                    Step::delay(self.cal.nvme_read_lat_ns),
+                ])
+            })
+            .collect();
+        Step::par(reads)
     }
 
     // ---- rebuild ---------------------------------------------------------------
@@ -1664,6 +2634,14 @@ impl DaosSystem {
                         });
                     }
                 }
+                Err(DaosError::BadChecksum) => report.violations.push(Violation {
+                    oracle: OracleKind::Corruption,
+                    subject,
+                    detail: format!(
+                        "acked {} bytes, checksum mismatch with rot beyond redundancy",
+                        acked.len()
+                    ),
+                }),
                 Err(e) => report.violations.push(Violation {
                     oracle: OracleKind::AckedDurability,
                     subject,
@@ -1701,6 +2679,14 @@ impl DaosSystem {
                             });
                         }
                     }
+                    Err(DaosError::BadChecksum) => report.violations.push(Violation {
+                        oracle: OracleKind::Corruption,
+                        subject,
+                        detail: format!(
+                            "acked {} bytes, checksum mismatch with rot beyond redundancy",
+                            acked.len()
+                        ),
+                    }),
                     Err(e) => report.violations.push(Violation {
                         oracle: OracleKind::AckedDurability,
                         subject,
@@ -1712,10 +2698,15 @@ impl DaosSystem {
         report
     }
 
-    /// A content mismatch on a redundant class means fail-over or
+    /// Classify a read-back content mismatch: rot the registry still
+    /// names is **Corruption** — bytes silently wrong, not lost; a
+    /// mismatch on a redundant class otherwise means fail-over or
     /// reconstruction served bad bytes; on a plain class it is a
     /// straight durability loss.
     fn mismatch_kind(&self, cid: ContainerId, oid: Oid) -> OracleKind {
+        if self.rot.touches(&(cid.0, oid)) {
+            return OracleKind::Corruption;
+        }
         match self.obj(cid, oid).map(|e| e.layout.class) {
             Ok(ObjectClass::Replicated { .. }) | Ok(ObjectClass::ErasureCoded { .. }) => {
                 OracleKind::Reconstruction
@@ -1766,19 +2757,72 @@ impl DaosSystem {
         }
     }
 
-    /// Flip one stored byte of an Array object (for EC objects: inside
-    /// one cell) — a **planted-violation test hook**; see
-    /// [`ArrayData::corrupt_at`].  Returns `false` when no real byte
-    /// backs the offset.
+    /// Flip one stored byte — a **planted-rot test hook**; see
+    /// [`ArrayData::corrupt_at`].  For Array objects the flip lands at
+    /// `offset` (inside one data cell for EC); for Key-Value objects it
+    /// lands in the value of the `offset`-th key (sorted order).  The
+    /// rot registry records the damage against shard copy 0, so
+    /// verified reads detect it and repair it when redundancy allows.
+    /// Returns `false` when no real byte backs the offset.
     // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
     pub fn inject_corrupt_extent(&mut self, cid: ContainerId, oid: Oid, offset: u64) -> bool {
-        match self.obj_mut(cid, oid) {
-            Ok(entry) => match &mut entry.data {
-                ObjData::Array(a) => a.corrupt_at(offset),
-                ObjData::Kv(_) => false,
+        let kv_key = match self.obj(cid, oid) {
+            Ok(entry) => match &entry.data {
+                ObjData::Array(_) => None,
+                ObjData::Kv(kv) => {
+                    let keys = kv.list(b"");
+                    if keys.is_empty() {
+                        return false;
+                    }
+                    Some(keys[(offset % keys.len() as u64) as usize].clone())
+                }
             },
-            Err(_) => false,
+            Err(_) => return false,
+        };
+        match kv_key {
+            None => self.plant_extent_rot(cid, oid, offset, 0),
+            Some(key) => self.plant_kv_rot(cid, oid, &key, 0),
         }
+    }
+
+    /// Flip one stored byte of a specific replica/cell copy — the
+    /// beyond-redundancy planting hook: calling it for every shard of a
+    /// location rots the datum past what repair can recover.
+    // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
+    pub fn inject_corrupt_replica(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        shard: u64,
+    ) -> bool {
+        self.plant_extent_rot(cid, oid, offset, shard)
+    }
+
+    /// Flip one byte of EC parity cell `parity_idx` in the chunk
+    /// holding `offset` — the planted-rot hook for cells no logical
+    /// byte offset addresses.
+    // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
+    pub fn inject_corrupt_parity(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        offset: u64,
+        parity_idx: u64,
+    ) -> bool {
+        self.plant_parity_rot(cid, oid, offset, parity_idx)
+    }
+
+    /// Flip a stored byte of a KV value's `shard`-th replica copy.
+    // simlint::allow(digest-taint) — planted-violation test hook: deliberately corrupts state to prove the oracles catch it
+    pub fn inject_corrupt_kv(
+        &mut self,
+        cid: ContainerId,
+        oid: Oid,
+        key: &[u8],
+        shard: u64,
+    ) -> bool {
+        self.plant_kv_rot(cid, oid, key, shard)
     }
 
     fn obj(&self, cid: ContainerId, oid: Oid) -> Result<&ObjectEntry, DaosError> {
@@ -1814,6 +2858,16 @@ pub struct PoolInfo {
     pub array_bytes: f64,
     /// Key-Value entries stored.
     pub kv_entries: usize,
+}
+
+/// Wrap repair copies as a `csum.repair` span ([`Step::Noop`] when the
+/// repair carried no billable movement, e.g. no servable clean source).
+fn repair_span(bytes: u64, moves: Vec<Step>) -> Step {
+    if moves.is_empty() {
+        Step::Noop
+    } else {
+        Step::span("csum", "repair", bytes, Step::par(moves))
+    }
 }
 
 /// Array chunks use their index as dkey; DAOS hashes it before routing,

@@ -126,32 +126,111 @@ fn dropped_acked_kv_write_is_caught_with_precise_report() {
 }
 
 #[test]
-fn corrupted_ec_cell_is_caught_as_reconstruction_violation() {
+fn corrupted_ec_cell_is_transparently_repaired() {
+    // Rot in one EC cell is within EC_2P1's parity budget: the verified
+    // read detects it, repairs it, and the audit stays clean.
     let (_sched, mut daos, cid, _kv, _rp2, ec) = fixture();
     assert!(daos.inject_corrupt_extent(cid, ec, 5 * 4096 + 17));
     let report = daos.verify_durability(0);
-    assert_eq!(report.violations.len(), 1);
-    let v = &report.violations[0];
-    assert_eq!(v.oracle, OracleKind::Reconstruction);
-    assert!(
-        v.subject.contains("extent"),
-        "subject names the extent: {}",
-        v.subject
-    );
-    assert!(
-        v.detail.contains("content differs"),
-        "detail pinpoints the mismatch: {}",
-        v.detail
-    );
+    assert!(report.ok(), "single-cell rot repairs:\n{}", report.render());
+    let stats = daos.csum_stats();
+    assert!(stats.detected >= 1, "the rot was detected");
+    assert!(stats.repaired >= 1, "and repaired");
+    assert_eq!(stats.served_corrupt, 0);
+    assert_eq!(stats.unrepairable, 0);
+    // A second audit sees only clean chunks: the repair rewrote the
+    // stored bytes, it did not mask them.
+    let again = daos.verify_durability(0);
+    assert!(again.ok());
+    assert_eq!(daos.csum_stats().detected, stats.detected);
 }
 
 #[test]
-fn corrupted_replica_bytes_are_caught() {
+fn ec_rot_beyond_parity_fails_loudly_as_corruption() {
+    // Rot two distinct cells of the same EC_2P1 chunk (> p = 1): the
+    // read must refuse with BadChecksum — never serve the bytes — and
+    // the audit names the extent with a Corruption violation.
+    let (_sched, mut daos, cid, _kv, _rp2, ec) = fixture();
+    assert!(daos.inject_corrupt_extent(cid, ec, 17)); // cell 0
+    assert!(daos.inject_corrupt_extent(cid, ec, 32768 + 17)); // cell 1
+    let report = daos.verify_durability(0);
+    assert!(!report.ok());
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.oracle == OracleKind::Corruption));
+    assert!(
+        report.violations[0].subject.contains("extent"),
+        "subject names the extent: {}",
+        report.violations[0].subject
+    );
+    let stats = daos.csum_stats();
+    assert!(stats.unrepairable >= 1);
+    assert_eq!(stats.served_corrupt, 0, "bad bytes are never served");
+}
+
+#[test]
+fn corrupted_replica_bytes_are_transparently_repaired() {
     let (_sched, mut daos, cid, _kv, rp2, _ec) = fixture();
     assert!(daos.inject_corrupt_extent(cid, rp2, 0));
     let report = daos.verify_durability(0);
-    assert_eq!(report.violations.len(), 1);
-    assert_eq!(report.violations[0].oracle, OracleKind::Reconstruction);
+    assert!(
+        report.ok(),
+        "single-replica rot repairs:\n{}",
+        report.render()
+    );
+    assert!(daos.csum_stats().repaired >= 1);
+    assert_eq!(daos.csum_stats().served_corrupt, 0);
+}
+
+#[test]
+fn rot_on_every_replica_fails_loudly_as_corruption() {
+    let (_sched, mut daos, cid, _kv, rp2, _ec) = fixture();
+    assert!(daos.inject_corrupt_replica(cid, rp2, 0, 0));
+    assert!(daos.inject_corrupt_replica(cid, rp2, 0, 1));
+    let report = daos.verify_durability(0);
+    assert!(!report.ok(), "rot on both RP_2 replicas is unrepairable");
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.oracle == OracleKind::Corruption));
+    assert_eq!(daos.csum_stats().served_corrupt, 0);
+}
+
+#[test]
+fn corrupted_kv_value_is_repaired_and_beyond_redundancy_is_loud() {
+    let (_sched, mut daos, cid, kv, _rp2, _ec) = fixture();
+    // one rotten replica of a value: verified get repairs it
+    assert!(daos.inject_corrupt_kv(cid, kv, b"k/0002", 0));
+    let report = daos.verify_durability(0);
+    assert!(report.ok(), "{}", report.render());
+    assert!(daos.csum_stats().repaired >= 1);
+    // both replicas rotten: the get refuses, the audit names the key
+    assert!(daos.inject_corrupt_kv(cid, kv, b"k/0005", 0));
+    assert!(daos.inject_corrupt_kv(cid, kv, b"k/0005", 1));
+    let report = daos.verify_durability(0);
+    assert!(!report.ok());
+    let v = &report.violations[0];
+    assert_eq!(v.oracle, OracleKind::Corruption);
+    assert!(v.subject.contains("k/0005"), "{}", v.subject);
+    assert_eq!(daos.csum_stats().served_corrupt, 0);
+}
+
+#[test]
+fn corrupted_parity_cell_is_detected_and_repaired_by_scrub() {
+    // Parity rot is invisible to plain reads (they only touch data
+    // cells) — exactly the latent-rot case the scrubber exists for.
+    let (_sched, mut daos, cid, _kv, _rp2, ec) = fixture();
+    assert!(daos.inject_corrupt_parity(cid, ec, 0, 0));
+    daos.scrub_start();
+    while daos.scrub_wave(16).is_some() {}
+    let scrub = daos.scrub_progress();
+    assert!(scrub.detected >= 1, "scrub found the parity rot");
+    assert!(scrub.repaired >= 1, "and repaired it");
+    assert_eq!(scrub.unrepairable, 0);
+    assert_eq!(scrub.passes, 1);
+    let report = daos.verify_durability(0);
+    assert!(report.ok(), "{}", report.render());
 }
 
 #[test]

@@ -560,9 +560,12 @@ fn map_daos(e: DaosError) -> FsError {
     match e {
         // Transient DAOS failures surface as `Unavailable`, the POSIX
         // layer's retriable error (see `daos_core::retry::Retriable`).
+        // BadChecksum is retriable like TargetDown: a scrub repair or a
+        // rewrite may heal the extent between attempts.
         DaosError::Unavailable
         | DaosError::Timeout
         | DaosError::TargetDown
+        | DaosError::BadChecksum
         | DaosError::Retriable => FsError::Unavailable,
         DaosError::NoSuchKey | DaosError::NoSuchObject => FsError::NotFound,
         DaosError::NoSuchContainer => FsError::Other("container gone"),

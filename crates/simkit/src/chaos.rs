@@ -57,6 +57,14 @@ pub struct ChaosSpace {
     /// a schedule never exceeds the redundancy the object classes
     /// tolerate.
     pub migration_crash_groups: Vec<Vec<u64>>,
+    /// Widest redundancy group eligible for [`FaultAction::BitRot`]
+    /// (replica count or `k + p`); sampled shards are `< rot_shards`.
+    /// Zero disables the bit-rot dimension.  Rot incidents share the
+    /// [`ChaosConfig::max_crash_groups`] budget with crashes: one rotten
+    /// copy *or* one downed fault domain is what `RP_2`/`EC_2P1`
+    /// tolerate — both at once could hit the same unit and turn a
+    /// tolerable fault into by-design data loss.
+    pub rot_shards: u64,
 }
 
 impl ChaosSpace {
@@ -69,6 +77,7 @@ impl ChaosSpace {
             && self.add_servers.is_empty()
             && self.drain_servers.is_empty()
             && self.migration_crash_groups.is_empty()
+            && self.rot_shards == 0
     }
 }
 
@@ -132,6 +141,7 @@ enum IncidentKind {
     AddServer,
     DrainServer,
     MigrationCrash,
+    BitRot,
 }
 
 /// Sample a deterministic fault schedule: same `(space, cfg, seed)` →
@@ -158,7 +168,7 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
     let mut drainable: Vec<u64> = space.drain_servers.clone();
 
     for _ in 0..n_incidents {
-        let mut kinds: Vec<IncidentKind> = Vec::with_capacity(7);
+        let mut kinds: Vec<IncidentKind> = Vec::with_capacity(8);
         if crashes_used < cfg.max_crash_groups && !crashable.is_empty() {
             kinds.push(IncidentKind::Crash);
         }
@@ -182,6 +192,12 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
         }
         if crashes_used < cfg.max_crash_groups && !mig_crashable.is_empty() {
             kinds.push(IncidentKind::MigrationCrash);
+        }
+        // The rot dimension appends last for the same archived-digest
+        // reason: spaces with rot_shards == 0 draw the stream they
+        // always did.
+        if crashes_used < cfg.max_crash_groups && space.rot_shards > 0 {
+            kinds.push(IncidentKind::BitRot);
         }
         let Some(&kind) = kinds.get(rng.next_below(kinds.len() as u64) as usize) else {
             break; // crash budget spent and nothing else to sample
@@ -292,6 +308,14 @@ pub fn generate(space: &ChaosSpace, cfg: &ChaosConfig, seed: u64) -> FaultPlan {
                         plan.at(back, FaultAction::TargetRestart(packed));
                     }
                 }
+            }
+            IncidentKind::BitRot => {
+                // Silent corruption has no paired recovery: only a
+                // verified read or a scrub pass heals it.
+                crashes_used += 1;
+                let locus = rng.next_u64();
+                let shard = rng.next_below(space.rot_shards);
+                plan.at(start, FaultAction::BitRot { locus, shard });
             }
         }
     }
@@ -493,6 +517,78 @@ mod tests {
             saw_add && saw_drain && saw_late_crash,
             "dimensions unsampled"
         );
+    }
+
+    #[test]
+    fn rot_dimension_samples_within_shard_bound_and_crash_budget() {
+        let cfg = ChaosConfig {
+            max_faults: 8,
+            ..ChaosConfig::default()
+        };
+        let s = ChaosSpace {
+            rot_shards: 3,
+            ..space()
+        };
+        let mut saw_rot = false;
+        for seed in 0..256 {
+            let plan = generate(&s, &cfg, seed);
+            let mut crashed = std::collections::BTreeSet::new();
+            let mut rots = 0usize;
+            for ev in plan.events() {
+                match ev.action {
+                    FaultAction::BitRot { shard, .. } => {
+                        saw_rot = true;
+                        rots += 1;
+                        assert!(shard < 3, "seed {seed}: shard {shard} out of bounds");
+                        assert!(
+                            ev.at.0 <= cfg.window_start.0 + cfg.window_ns,
+                            "seed {seed}: rot outside window"
+                        );
+                    }
+                    FaultAction::TargetCrash(p) => {
+                        crashed.insert(p >> 16);
+                    }
+                    _ => {}
+                }
+            }
+            // rot shares the crash-group budget: one rotten copy or one
+            // downed fault domain, never both
+            assert!(
+                rots + crashed.len() <= cfg.max_crash_groups,
+                "seed {seed}: {rots} rots + {crashed:?} crashes"
+            );
+        }
+        assert!(saw_rot, "rot dimension unsampled");
+    }
+
+    #[test]
+    fn rot_free_spaces_draw_the_stream_they_always_did() {
+        // Archived-digest compatibility: enabling the dimension must not
+        // perturb schedules sampled from spaces that leave it off.
+        let cfg = ChaosConfig::default();
+        let legacy = space();
+        for seed in 0..32 {
+            assert_eq!(
+                generate(&legacy, &cfg, seed),
+                generate(
+                    &ChaosSpace {
+                        rot_shards: 0,
+                        ..legacy.clone()
+                    },
+                    &cfg,
+                    seed
+                ),
+            );
+        }
+        let rotty = ChaosSpace {
+            rot_shards: 2,
+            ..space()
+        };
+        for seed in 0..32 {
+            let plan = generate(&rotty, &cfg, seed);
+            let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+            assert_eq!(back, plan, "seed {seed}");
+        }
     }
 
     #[test]

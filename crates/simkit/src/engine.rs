@@ -356,7 +356,8 @@ impl Scheduler {
             | FaultAction::TargetRestart(_)
             | FaultAction::DelayedCompletion { .. }
             | FaultAction::AddServer { .. }
-            | FaultAction::DrainServer { .. } => {}
+            | FaultAction::DrainServer { .. }
+            | FaultAction::BitRot { .. } => {}
         }
         self.trace.record_fault(t, ev.id);
         self.spans.mark_fault(t, ev.id, SpanId::NONE);

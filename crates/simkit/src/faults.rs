@@ -81,6 +81,18 @@ pub enum FaultAction {
         /// World-interpreted server rank to drain.
         server: u64,
     },
+    /// Silent data corruption: flip stored bytes in place without any
+    /// membership or capacity signal.  `locus` selects which stored unit
+    /// rots (world-interpreted, e.g. hashed onto a container/object/
+    /// chunk) and `shard` selects which redundant copy of it (replica
+    /// index or EC cell).  The world only learns about the damage when a
+    /// verified read or scrub recomputes checksums.
+    BitRot {
+        /// World-interpreted locator for the rotten unit.
+        locus: u64,
+        /// Which redundant copy of the unit rots.
+        shard: u64,
+    },
 }
 
 /// One scheduled fault: an action firing at an exact simulated time.
@@ -247,6 +259,11 @@ fn action_to_json(action: &FaultAction) -> Json {
             ("kind".into(), Json::Str("drain_server".into())),
             ("server".into(), Json::num_u64(*server)),
         ]),
+        FaultAction::BitRot { locus, shard } => Json::Obj(vec![
+            ("kind".into(), Json::Str("bit_rot".into())),
+            ("locus".into(), Json::num_u64(*locus)),
+            ("shard".into(), Json::num_u64(*shard)),
+        ]),
     }
 }
 
@@ -301,6 +318,10 @@ fn event_from_json(ev: &Json) -> Result<FaultEvent, String> {
         "drain_server" => FaultAction::DrainServer {
             server: payload("server")?,
         },
+        "bit_rot" => FaultAction::BitRot {
+            locus: payload("locus")?,
+            shard: payload("shard")?,
+        },
         other => return Err(format!("unknown action kind \"{other}\"")),
     };
     Ok(FaultEvent {
@@ -324,6 +345,7 @@ impl FaultEvent {
             FaultAction::DelayedCompletion { payload, extra_ns } => (5, payload, extra_ns),
             FaultAction::AddServer { server } => (6, server, 0),
             FaultAction::DrainServer { server } => (7, server, 0),
+            FaultAction::BitRot { locus, shard } => (8, locus, shard),
         };
         out.extend_from_slice(&self.at.0.to_le_bytes());
         out.extend_from_slice(&self.id.to_le_bytes());
@@ -382,6 +404,13 @@ mod tests {
         p.at(
             SimTime::from_millis(8),
             FaultAction::DrainServer { server: 1 },
+        );
+        p.at(
+            SimTime::from_millis(9),
+            FaultAction::BitRot {
+                locus: 0xdead_beef,
+                shard: 2,
+            },
         );
         p
     }

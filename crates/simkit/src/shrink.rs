@@ -163,6 +163,7 @@ fn incident_key(a: &FaultAction) -> (u8, u64) {
         FaultAction::DelayedCompletion { payload, .. } => (3, *payload),
         FaultAction::AddServer { server } => (4, *server),
         FaultAction::DrainServer { server } => (5, *server),
+        FaultAction::BitRot { locus, .. } => (6, *locus),
     }
 }
 
@@ -175,10 +176,12 @@ fn is_recovery(a: &FaultAction) -> bool {
             *scale >= 1.0
         }
         FaultAction::DelayedCompletion { extra_ns, .. } => *extra_ns == 0,
-        // membership changes are one-shot incidents with no healing half
+        // membership changes and silent rot are one-shot incidents with
+        // no healing half
         FaultAction::TargetCrash(_)
         | FaultAction::AddServer { .. }
-        | FaultAction::DrainServer { .. } => false,
+        | FaultAction::DrainServer { .. }
+        | FaultAction::BitRot { .. } => false,
     }
 }
 
